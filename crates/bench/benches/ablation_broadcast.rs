@@ -1,0 +1,41 @@
+//! Ablation for the paper's §6 future work: "more efficient location
+//! update mechanisms to reduce the messaging overhead in the dynamic
+//! and the fixed algorithms" — here, border-retransmit self-pruning
+//! (only sensors at least a fraction of the radio range from the
+//! transmitter relay a flood). Measures the messaging saved and the
+//! price paid in `myrobot` accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, ScenarioConfig, Simulation};
+
+const SCALE: f64 = 64.0;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_broadcast");
+    group.sample_size(10);
+    println!("\nBroadcast-pruning ablation (dynamic algorithm, time-compressed x{SCALE}):");
+    for prune in [None, Some(0.3), Some(0.5), Some(0.7)] {
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(1)
+            .scaled(SCALE);
+        cfg.broadcast_prune = prune;
+        let s = Simulation::run(cfg.clone()).metrics.summary();
+        let label = prune.map_or("off".to_string(), |f| format!("{f:.1}"));
+        println!(
+            "  prune {label:<4}: updates {:>6.1} tx/failure, myrobot accuracy {:>5.1}%, \
+             delivery {:>5.1}%, travel {:>6.1} m",
+            s.loc_update_tx_per_failure,
+            s.myrobot_accuracy * 100.0,
+            s.report_delivery_ratio * 100.0,
+            s.avg_travel_per_failure
+        );
+        group.bench_with_input(BenchmarkId::new("prune", label), &cfg, |b, cfg| {
+            b.iter(|| Simulation::run(cfg.clone()).metrics.tx.total_tx())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation of the centralized manager's dispatch rule: the paper's
+//! "closest robot" (§3.1) vs a `NearestIdle` extension where robots
+//! piggyback queue lengths on their location updates and the manager
+//! prefers idle robots. Run under increasing load (shrinking mean
+//! lifetime) to expose the trade-off between extra travel and queueing
+//! delay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, DispatchPolicy, ScenarioConfig, Simulation};
+use robonet_des::SimDuration;
+
+const SCALE: f64 = 64.0;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dispatch");
+    group.sample_size(10);
+    println!("\nDispatch-policy ablation (centralized, time-compressed x{SCALE}):");
+    for lifetime in [250.0, 125.0, 62.5] {
+        for policy in [DispatchPolicy::Nearest, DispatchPolicy::NearestIdle] {
+            let mut cfg = ScenarioConfig::paper(2, Algorithm::Centralized)
+                .with_seed(1)
+                .scaled(SCALE);
+            cfg.mean_lifetime = SimDuration::from_secs(lifetime);
+            cfg.dispatch = policy;
+            let s = Simulation::run(cfg.clone()).metrics.summary();
+            println!(
+                "  lifetime {lifetime:>6.1}s {policy:<12?}: delay {:>6.1}s travel {:>6.1}m repaired {:>4}/{:<4}",
+                s.avg_repair_delay, s.avg_travel_per_failure, s.replacements, s.failures_occurred
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}").to_lowercase(), lifetime as u64),
+                &cfg,
+                |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation for the paper's §4.3.1 remark: "other partition methods
+//! (e.g., hexagon partition) show negligible difference in the
+//! overheads" for the fixed algorithm. Runs square vs hexagonal
+//! partitions and prints both overheads side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+
+const SCALE: f64 = 64.0;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+    println!("\nPartition ablation (fixed algorithm, time-compressed x{SCALE}):");
+    for kind in [PartitionKind::Square, PartitionKind::Hex] {
+        for k in [2usize, 3] {
+            let cfg = ScenarioConfig::paper(k, Algorithm::Fixed(kind))
+                .with_seed(1)
+                .scaled(SCALE);
+            let robots = cfg.n_robots();
+            let s = Simulation::run(cfg.clone()).metrics.summary();
+            println!(
+                "  {:<10} {robots:>2} robots: travel {:>6.1} m/failure, updates {:>6.1} tx/failure",
+                format!("{kind:?}"),
+                s.avg_travel_per_failure,
+                s.loc_update_tx_per_failure
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}").to_lowercase(), robots),
+                &cfg,
+                |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

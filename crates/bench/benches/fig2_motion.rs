@@ -1,0 +1,46 @@
+//! Figure 2 bench: average robot traveling distance per failure, per
+//! algorithm and robot count.
+//!
+//! Criterion measures wall time of a compressed run per configuration
+//! and — once per configuration — prints the paper metric itself, so
+//! `cargo bench` regenerates the figure's series (time-compressed; see
+//! `cargo run -p robonet-bench --bin fig2` for the full-scale version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+
+/// Compression used inside the bench loop; per-failure metrics are
+/// preserved by design (see `ScenarioConfig::scaled`).
+const SCALE: f64 = 64.0;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_motion");
+    group.sample_size(10);
+    println!("\nFigure 2 (time-compressed x{SCALE}): avg traveling distance per failure (m)");
+    for alg in [
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Dynamic,
+        Algorithm::Centralized,
+    ] {
+        for k in [2usize, 3] {
+            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
+            let robots = cfg.n_robots();
+            let outcome = Simulation::run(cfg.clone());
+            println!(
+                "  {alg:<12} {robots:>2} robots: {:>7.1} m over {} failures",
+                outcome.metrics.summary().avg_travel_per_failure,
+                outcome.metrics.replacements
+            );
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), robots),
+                &cfg,
+                |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

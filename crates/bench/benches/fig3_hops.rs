@@ -1,0 +1,42 @@
+//! Figure 3 bench: average message hops per failure report / repair
+//! request. Prints the series (time-compressed) and benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+
+const SCALE: f64 = 64.0;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_hops");
+    group.sample_size(10);
+    println!("\nFigure 3 (time-compressed x{SCALE}): avg hops per failure");
+    for alg in [
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Dynamic,
+        Algorithm::Centralized,
+    ] {
+        for k in [2usize, 3] {
+            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
+            let robots = cfg.n_robots();
+            let s = Simulation::run(cfg.clone()).metrics.summary();
+            match s.avg_request_hops {
+                Some(req) => println!(
+                    "  {alg:<12} {robots:>2} robots: report {:.2} hops, repair request {req:.2} hops",
+                    s.avg_report_hops
+                ),
+                None => println!(
+                    "  {alg:<12} {robots:>2} robots: report {:.2} hops",
+                    s.avg_report_hops
+                ),
+            }
+            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
+                b.iter(|| Simulation::run(cfg.clone()).metrics.report_hops.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4 bench: average number of transmissions for robot location
+//! updates per failure. Prints the series (time-compressed) and
+//! benchmarks the run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+
+const SCALE: f64 = 64.0;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_updates");
+    group.sample_size(10);
+    println!("\nFigure 4 (time-compressed x{SCALE}): location-update transmissions per failure");
+    for alg in [
+        Algorithm::Dynamic,
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Centralized,
+    ] {
+        for k in [2usize, 3] {
+            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
+            let robots = cfg.n_robots();
+            let s = Simulation::run(cfg.clone()).metrics.summary();
+            println!(
+                "  {alg:<12} {robots:>2} robots: {:>7.1} transmissions/failure",
+                s.loc_update_tx_per_failure
+            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
+                b.iter(|| Simulation::run(cfg.clone()).metrics.tx.total_tx())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

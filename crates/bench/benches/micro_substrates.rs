@@ -1,0 +1,137 @@
+//! Microbenchmarks of the substrates the simulation is built on: event
+//! queue throughput, Voronoi construction, geographic routing decision
+//! rate, and raw MAC-engine frame throughput. These bound how large a
+//! deployment the simulator can handle.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::Rng;
+use rand::SeedableRng;
+
+use robonet_des::{EventQueue, NodeId, SimTime};
+use robonet_geom::{deploy, voronoi, Bounds, Point};
+use robonet_net::{route, GeoHeader, NeighborTable, RouteDecision};
+
+fn queue_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.gen::<u32>() as u64), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn voronoi_bench(c: &mut Criterion) {
+    let bounds = Bounds::square(800.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let sites = deploy::uniform(&mut rng, &bounds, 16);
+    let mut group = c.benchmark_group("voronoi");
+    group.bench_function("cells_16_sites", |b| {
+        b.iter(|| voronoi::voronoi_cells(&sites, &bounds).len())
+    });
+    group.bench_function("nearest_site_16", |b| {
+        b.iter(|| voronoi::nearest_site(&sites, Point::new(123.0, 456.0)))
+    });
+    group.finish();
+}
+
+fn routing_bench(c: &mut Criterion) {
+    // A realistic neighbourhood: ~16 neighbours at the paper's density.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut table = NeighborTable::new();
+    for i in 0..16u32 {
+        table.update(
+            NodeId::new(i + 1),
+            Point::new(rng.gen_range(-63.0..63.0), rng.gen_range(-63.0..63.0)),
+            SimTime::ZERO,
+        );
+    }
+    let dst = NodeId::new(999);
+    let dst_loc = Point::new(400.0, 0.0);
+    let mut group = c.benchmark_group("routing");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("greedy_decision", |b| {
+        b.iter(|| {
+            let mut hdr = GeoHeader::new(dst, dst_loc);
+            matches!(
+                route(NodeId::new(0), Point::ZERO, &table, &mut hdr, None),
+                RouteDecision::Forward(_)
+            )
+        })
+    });
+    group.finish();
+}
+
+fn mac_bench(c: &mut Criterion) {
+    use robonet_radio::medium::{Medium, NodeClass, RangeTable};
+    use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass};
+
+    let bounds = Bounds::square(400.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let positions = deploy::uniform(&mut rng, &bounds, 200);
+    let classes = vec![NodeClass::Sensor; 200];
+
+    let mut group = c.benchmark_group("mac_engine");
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("broadcast_round_200_nodes", |b| {
+        b.iter(|| {
+            let medium = Medium::new(bounds, RangeTable::default(), &positions, &classes);
+            let mut engine: RadioEngine<u32> = RadioEngine::new(
+                medium,
+                MacParams::default(),
+                rand::rngs::StdRng::seed_from_u64(5),
+            );
+            let mut sched: robonet_des::Scheduler<robonet_radio::RadioEvent> =
+                robonet_des::Scheduler::new();
+            {
+                let s = &mut sched;
+                for i in 0..200u32 {
+                    engine.send(
+                        s.now(),
+                        Frame {
+                            src: NodeId::new(i),
+                            dst: None,
+                            bytes: 32,
+                            class: TrafficClass::Beacon,
+                            payload: i,
+                        },
+                        &mut |at, e| {
+                            s.schedule_at(at, e);
+                        },
+                    );
+                }
+            }
+            let mut out = Vec::new();
+            let mut delivered = 0usize;
+            while let Some(ev) = sched.next_event() {
+                let now = sched.now();
+                let s = &mut sched;
+                engine.handle(
+                    now,
+                    ev,
+                    &mut |at, e| {
+                        s.schedule_at(at, e);
+                    },
+                    &mut out,
+                );
+                delivered += out.len();
+                out.clear();
+            }
+            delivered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_bench, voronoi_bench, routing_bench, mac_bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates Figure 3: average message-passing hops per failure —
+//! failure reports for all three algorithms plus repair requests for
+//! the centralized algorithm.
+//!
+//! Usage: `cargo run --release -p robonet-bench --bin fig3 -- [--scale N] [--seeds a,b] [--ks 2,3,4]`
+
+use robonet_bench::{print_series, sweep, SweepOptions};
+use robonet_core::report::Row;
+
+fn main() {
+    let opts = match SweepOptions::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "fig3: messaging hops sweep (scale {}, seeds {:?}, ks {:?})",
+        opts.scale, opts.seeds, opts.ks
+    );
+    let rows = sweep(&opts);
+    println!("{}", Row::csv_header());
+    for r in &rows {
+        println!("{}", r.to_csv());
+    }
+    println!();
+    let chart = robonet_bench::chart_from_rows(
+        "Figure 3: average hops per failure report",
+        "hops",
+        &rows,
+        |r| Some(r.summary.avg_report_hops),
+    );
+    let path = "fig3.svg";
+    match std::fs::write(path, chart.render(640, 420)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print_series(
+        "Figure 3a: average hops per failure report",
+        &rows,
+        &opts.ks,
+        |r| Some(r.summary.avg_report_hops),
+    );
+    println!();
+    print_series(
+        "Figure 3b: average hops per repair request (centralized only)",
+        &rows,
+        &opts.ks,
+        |r| r.summary.avg_request_hops,
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 4: average number of transmissions for robot
+//! location updates per failure.
+//!
+//! Usage: `cargo run --release -p robonet-bench --bin fig4 -- [--scale N] [--seeds a,b] [--ks 2,3,4]`
+
+use robonet_bench::{print_series, sweep, SweepOptions};
+use robonet_core::report::Row;
+
+fn main() {
+    let opts = match SweepOptions::from_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "fig4: location-update transmissions sweep (scale {}, seeds {:?}, ks {:?})",
+        opts.scale, opts.seeds, opts.ks
+    );
+    let rows = sweep(&opts);
+    println!("{}", Row::csv_header());
+    for r in &rows {
+        println!("{}", r.to_csv());
+    }
+    println!();
+    let chart = robonet_bench::chart_from_rows(
+        "Figure 4: location-update transmissions per failure",
+        "transmissions",
+        &rows,
+        |r| Some(r.summary.loc_update_tx_per_failure),
+    );
+    let path = "fig4.svg";
+    match std::fs::write(path, chart.render(640, 420)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print_series(
+        "Figure 4: location-update transmissions per failure",
+        &rows,
+        &opts.ks,
+        |r| Some(r.summary.loc_update_tx_per_failure),
+    );
+}

@@ -1,0 +1,293 @@
+//! Shared sweep harness for regenerating the paper's figures.
+//!
+//! Every figure in the evaluation section of *Replacing Failed Sensor
+//! Nodes by Mobile Robots* comes from the same experiment design: run
+//! the three coordination algorithms with 4, 9 and 16 robots and report
+//! a per-failure average (§4.3). [`sweep`] runs that design and the
+//! `fig2`/`fig3`/`fig4` binaries print the matching series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use robonet_core::report::Row;
+use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+
+/// The robot-count axis of the paper's figures: k² for k ∈ {2, 3, 4},
+/// i.e. 4, 9 and 16 robots ("we choose square numbers to make area
+/// partition easy", §4.3.1).
+pub const PAPER_KS: [usize; 3] = [2, 3, 4];
+
+/// The three algorithms in the order the figures list them.
+pub const PAPER_ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Dynamic,
+    Algorithm::Centralized,
+];
+
+/// Options for a figure sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Time-compression factor (1.0 = the paper's full 64000 s runs;
+    /// see [`ScenarioConfig::scaled`] — per-failure metrics are
+    /// preserved).
+    pub scale: f64,
+    /// Seeds to run and average over.
+    pub seeds: Vec<u64>,
+    /// Robot-count axis (values of k; robots = k²).
+    pub ks: Vec<usize>,
+    /// Algorithms to include.
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scale: 1.0,
+            seeds: vec![1],
+            ks: PAPER_KS.to_vec(),
+            algorithms: PAPER_ALGORITHMS.to_vec(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parses command-line style arguments: `--scale N`, `--seeds a,b`,
+    /// `--ks 2,3,4`. Unknown arguments are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when an argument cannot be parsed.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = SweepOptions::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .ok_or_else(|| format!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    opts.scale = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--seeds" => {
+                    opts.seeds = value()?
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--ks" => {
+                    opts.ks = value()?
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("bad k: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument {other}; supported: --scale N --seeds a,b --ks 2,3,4"
+                    ));
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Runs the full sweep and returns one [`Row`] per (algorithm, k, seed).
+///
+/// Configurations are independent, so they run on worker threads (one
+/// per CPU, capped at the number of configurations); results come back
+/// in deterministic (k, algorithm, seed) order regardless of thread
+/// scheduling.
+pub fn sweep(opts: &SweepOptions) -> Vec<Row> {
+    let mut configs = Vec::new();
+    for &k in &opts.ks {
+        for &alg in &opts.algorithms {
+            for &seed in &opts.seeds {
+                configs.push(
+                    ScenarioConfig::paper(k, alg)
+                        .with_seed(seed)
+                        .scaled(opts.scale),
+                );
+            }
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(configs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Row>> = (0..configs.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<Row>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cfg) = configs.get(i) else { break };
+                let outcome = Simulation::run(cfg.clone());
+                let row = Row::new(&outcome.config, outcome.metrics.summary());
+                **slot_refs[i].lock().expect("slot lock") = Some(row);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every configuration produced a row"))
+        .collect()
+}
+
+/// Averages a per-row metric over seeds, returning
+/// `(algorithm, robots, mean)` triples ordered by algorithm then robot
+/// count.
+pub fn average_series(rows: &[Row], metric: impl Fn(&Row) -> Option<f64>) -> Vec<(String, usize, f64)> {
+    let mut grouped: Vec<(String, usize, Vec<f64>)> = Vec::new();
+    for row in rows {
+        let Some(v) = metric(row) else { continue };
+        match grouped
+            .iter_mut()
+            .find(|(a, r, _)| *a == row.algorithm && *r == row.robots)
+        {
+            Some((_, _, vs)) => vs.push(v),
+            None => grouped.push((row.algorithm.clone(), row.robots, vec![v])),
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|(a, r, vs)| {
+            let mean = vs.iter().sum::<f64>() / vs.len() as f64;
+            (a, r, mean)
+        })
+        .collect()
+}
+
+/// Builds a paper-style line chart (robot count on x) from sweep rows.
+pub fn chart_from_rows(
+    title: &str,
+    y_label: &str,
+    rows: &[Row],
+    metric: impl Fn(&Row) -> Option<f64> + Copy,
+) -> robonet_viz::chart::LineChart {
+    let mut chart = robonet_viz::chart::LineChart::new(title, "maintenance robots", y_label);
+    let series = average_series(rows, metric);
+    let mut algorithms: Vec<String> = Vec::new();
+    for (a, _, _) in &series {
+        if !algorithms.contains(a) {
+            algorithms.push(a.clone());
+        }
+    }
+    for alg in algorithms {
+        let points: Vec<(f64, f64)> = series
+            .iter()
+            .filter(|(a, _, _)| *a == alg)
+            .map(|&(_, robots, v)| (robots as f64, v))
+            .collect();
+        chart = chart.with_series(robonet_viz::chart::Series::new(alg, points));
+    }
+    chart
+}
+
+/// Prints a figure as an aligned series table: one line per algorithm,
+/// one column per robot count.
+pub fn print_series(
+    title: &str,
+    rows: &[Row],
+    ks: &[usize],
+    metric: impl Fn(&Row) -> Option<f64> + Copy,
+) {
+    println!("{title}");
+    let series = average_series(rows, metric);
+    let mut algorithms: Vec<String> = Vec::new();
+    for (a, _, _) in &series {
+        if !algorithms.contains(a) {
+            algorithms.push(a.clone());
+        }
+    }
+    print!("{:<14}", "algorithm");
+    for k in ks {
+        print!("{:>12}", format!("{} robots", k * k));
+    }
+    println!();
+    for alg in &algorithms {
+        print!("{alg:<14}");
+        for k in ks {
+            let robots = k * k;
+            match series
+                .iter()
+                .find(|(a, r, _)| a == alg && *r == robots)
+            {
+                Some((_, _, v)) => print!("{v:>12.2}"),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robonet_core::metrics::Summary;
+
+    fn row(alg: &str, robots: usize, travel: f64) -> Row {
+        Row {
+            algorithm: alg.into(),
+            robots,
+            seed: 1,
+            summary: Summary {
+                failures_occurred: 10,
+                replacements: 10,
+                avg_travel_per_failure: travel,
+                avg_report_hops: 2.0,
+                avg_request_hops: None,
+                loc_update_tx_per_failure: 100.0,
+                report_delivery_ratio: 1.0,
+                avg_repair_delay: 100.0,
+                p95_repair_delay: 200.0,
+                total_travel: 1000.0,
+                myrobot_accuracy: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn averaging_groups_by_algorithm_and_robots() {
+        let rows = vec![row("fixed", 4, 90.0), row("fixed", 4, 110.0), row("dynamic", 4, 80.0)];
+        let s = average_series(&rows, |r| Some(r.summary.avg_travel_per_failure));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&("fixed".to_string(), 4, 100.0)));
+        assert!(s.contains(&("dynamic".to_string(), 4, 80.0)));
+    }
+
+    #[test]
+    fn chart_builder_covers_all_algorithms() {
+        let rows = vec![row("fixed", 4, 90.0), row("fixed", 9, 95.0), row("dynamic", 4, 80.0)];
+        let svg = chart_from_rows("Figure 2", "m", &rows, |r| {
+            Some(r.summary.avg_travel_per_failure)
+        })
+        .render(640, 420);
+        assert!(svg.contains("fixed"));
+        assert!(svg.contains("dynamic"));
+        assert!(svg.contains("Figure 2"));
+    }
+
+    #[test]
+    fn args_parse() {
+        let opts = SweepOptions::from_args(
+            ["--scale", "8", "--seeds", "1,2", "--ks", "2,3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.scale, 8.0);
+        assert_eq!(opts.seeds, vec![1, 2]);
+        assert_eq!(opts.ks, vec![2, 3]);
+        assert!(SweepOptions::from_args(["--bogus".to_string()].into_iter()).is_err());
+        assert!(
+            SweepOptions::from_args(["--scale".to_string()].into_iter()).is_err(),
+            "missing value"
+        );
+    }
+}

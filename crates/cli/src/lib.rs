@@ -1,0 +1,321 @@
+//! Implementation of the `robonet` command-line interface.
+//!
+//! Kept as a library so argument parsing and command dispatch are unit
+//! testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use robonet_bench::{average_series, sweep, SweepOptions};
+use robonet_core::report::Row;
+use robonet_core::{
+    Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig, Simulation,
+};
+use robonet_des::SimDuration;
+
+/// Prints the usage text to stderr.
+pub fn print_usage() {
+    eprintln!(
+        "robonet — robot-assisted sensor replacement simulator (Mei et al., ICDCS 2006)\n\
+         \n\
+         USAGE:\n\
+         \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
+         \x20                 [--scale F] [--seed N] [--prune F]\n\
+         \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
+         \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
+         \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
+         \n\
+         `--scale F` compresses simulated time F× while preserving all\n\
+         per-failure metrics (default 16; use 1 for the paper's full 64000 s runs)."
+    );
+}
+
+/// Parses and executes `args`, returning the stdout text.
+///
+/// # Errors
+///
+/// Returns a message describing the first invalid argument.
+pub fn run_cli(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "figures" => cmd_figures(rest),
+        "sweep" => cmd_sweep(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(String::new())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses an algorithm name.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name {
+        "fixed" => Ok(Algorithm::Fixed(PartitionKind::Square)),
+        "fixed-hex" => Ok(Algorithm::Fixed(PartitionKind::Hex)),
+        "dynamic" => Ok(Algorithm::Dynamic),
+        "centralized" => Ok(Algorithm::Centralized),
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected fixed, fixed-hex, dynamic or centralized)"
+        )),
+    }
+}
+
+struct RunArgs {
+    alg: Algorithm,
+    k: usize,
+    scale: f64,
+    seed: u64,
+    prune: Option<f64>,
+    dispatch: DispatchPolicy,
+    coverage: Option<f64>,
+    trace: usize,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        alg: Algorithm::Dynamic,
+        k: 2,
+        scale: 16.0,
+        seed: 1,
+        prune: None,
+        dispatch: DispatchPolicy::Nearest,
+        coverage: None,
+        trace: 0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--alg" => out.alg = parse_algorithm(value()?)?,
+            "--k" => out.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
+            "--scale" => {
+                out.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--prune" => {
+                out.prune = Some(value()?.parse().map_err(|e| format!("bad --prune: {e}"))?);
+            }
+            "--dispatch" => {
+                out.dispatch = match value()? {
+                    "nearest" => DispatchPolicy::Nearest,
+                    "nearest-idle" => DispatchPolicy::NearestIdle,
+                    other => return Err(format!("unknown dispatch policy `{other}`")),
+                };
+            }
+            "--coverage" => {
+                out.coverage = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --coverage: {e}"))?,
+                );
+            }
+            "--trace" => {
+                out.trace = value()?.parse().map_err(|e| format!("bad --trace: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_run(args: &[String]) -> Result<String, String> {
+    let parsed = parse_run_args(args)?;
+    let mut cfg = ScenarioConfig::paper(parsed.k, parsed.alg).with_seed(parsed.seed);
+    if parsed.scale > 1.0 {
+        cfg = cfg.scaled(parsed.scale);
+    }
+    cfg.broadcast_prune = parsed.prune;
+    cfg.dispatch = parsed.dispatch;
+    cfg.trace_capacity = parsed.trace;
+    if let Some(period) = parsed.coverage {
+        cfg.coverage_sample = Some(CoverageSampling {
+            period: SimDuration::from_secs(period),
+            ..CoverageSampling::default()
+        });
+    }
+    cfg.validate()?;
+
+    let outcome = Simulation::run(cfg);
+    let m = &outcome.metrics;
+    let s = m.summary();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | {} robots | {} sensors | {:.0} s simulated (scale {}x)",
+        outcome.config.algorithm,
+        outcome.config.n_robots(),
+        outcome.config.n_sensors(),
+        outcome.config.sim_time.as_secs_f64(),
+        parsed.scale,
+    );
+    let _ = writeln!(out, "failures:             {}", s.failures_occurred);
+    let _ = writeln!(out, "replacements:         {}", s.replacements);
+    let _ = writeln!(out, "travel per failure:   {:.1} m", s.avg_travel_per_failure);
+    let _ = writeln!(out, "report hops:          {:.2}", s.avg_report_hops);
+    if let Some(h) = s.avg_request_hops {
+        let _ = writeln!(out, "request hops:         {h:.2}");
+    }
+    let _ = writeln!(
+        out,
+        "update tx / failure:  {:.1}",
+        s.loc_update_tx_per_failure
+    );
+    let _ = writeln!(
+        out,
+        "report delivery:      {:.2}%",
+        s.report_delivery_ratio * 100.0
+    );
+    let _ = writeln!(out, "repair delay:         {:.1} s", s.avg_repair_delay);
+    let _ = writeln!(out, "fleet travel:         {:.0} m", s.total_travel);
+    let _ = writeln!(out, "\ntransmissions by class:\n{}", m.tx);
+    if !outcome.trace.is_empty() {
+        let _ = writeln!(out, "last {} protocol events:", outcome.trace.len());
+        for ev in outcome.trace.events() {
+            let _ = writeln!(out, "  {ev}");
+        }
+    }
+    if !m.coverage_timeline.is_empty() {
+        let _ = writeln!(out, "time_s,coverage,dead");
+        for &(t, cov, dead) in &m.coverage_timeline {
+            let _ = writeln!(out, "{t:.0},{cov:.4},{dead}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_figures(args: &[String]) -> Result<String, String> {
+    let mut opts = SweepOptions::from_args(args.iter().cloned())?;
+    if opts.scale == 1.0 && !args.iter().any(|a| a == "--scale") {
+        opts.scale = 16.0;
+    }
+    let rows = sweep(&opts);
+    let mut out = String::new();
+    for (title, metric) in [
+        (
+            "Figure 2: average traveling distance per failure (m)",
+            (|r: &Row| Some(r.summary.avg_travel_per_failure)) as fn(&Row) -> Option<f64>,
+        ),
+        ("Figure 3a: average hops per failure report", |r: &Row| {
+            Some(r.summary.avg_report_hops)
+        }),
+        (
+            "Figure 3b: average hops per repair request (centralized)",
+            |r: &Row| r.summary.avg_request_hops,
+        ),
+        (
+            "Figure 4: location-update transmissions per failure",
+            |r: &Row| Some(r.summary.loc_update_tx_per_failure),
+        ),
+    ] {
+        let _ = writeln!(out, "{title}");
+        for (alg, robots, v) in average_series(&rows, metric) {
+            let _ = writeln!(out, "  {alg:<12} {robots:>2} robots: {v:>9.2}");
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<String, String> {
+    let mut opts = SweepOptions::from_args(args.iter().cloned())?;
+    if opts.scale == 1.0 && !args.iter().any(|a| a == "--scale") {
+        opts.scale = 16.0;
+    }
+    let rows = sweep(&opts);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", Row::csv_header());
+    for r in &rows {
+        let _ = writeln!(out, "{}", r.to_csv());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn algorithm_names_parse() {
+        assert_eq!(parse_algorithm("dynamic").unwrap(), Algorithm::Dynamic);
+        assert_eq!(
+            parse_algorithm("fixed").unwrap(),
+            Algorithm::Fixed(PartitionKind::Square)
+        );
+        assert_eq!(
+            parse_algorithm("fixed-hex").unwrap(),
+            Algorithm::Fixed(PartitionKind::Hex)
+        );
+        assert_eq!(parse_algorithm("centralized").unwrap(), Algorithm::Centralized);
+        assert!(parse_algorithm("voronoi").is_err());
+    }
+
+    #[test]
+    fn run_args_defaults_and_overrides() {
+        let a = parse_run_args(&args(&[])).unwrap();
+        assert_eq!(a.alg, Algorithm::Dynamic);
+        assert_eq!(a.k, 2);
+        assert_eq!(a.scale, 16.0);
+
+        let a = parse_run_args(&args(&[
+            "--alg",
+            "centralized",
+            "--k",
+            "3",
+            "--seed",
+            "9",
+            "--dispatch",
+            "nearest-idle",
+            "--prune",
+            "0.4",
+        ]))
+        .unwrap();
+        assert_eq!(a.alg, Algorithm::Centralized);
+        assert_eq!(a.k, 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.dispatch, DispatchPolicy::NearestIdle);
+        assert_eq!(a.prune, Some(0.4));
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        assert!(parse_run_args(&args(&["--bogus"])).is_err());
+        assert!(parse_run_args(&args(&["--k"])).is_err(), "missing value");
+        assert!(parse_run_args(&args(&["--dispatch", "magic"])).is_err());
+        assert!(run_cli(&args(&["destroy"])).is_err());
+        assert!(run_cli(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn run_command_executes_a_small_simulation() {
+        let out = run_cli(&args(&["run", "--alg", "dynamic", "--k", "1", "--scale", "64"]))
+            .expect("run succeeds");
+        assert!(out.contains("failures:"));
+        assert!(out.contains("replacements:"));
+        assert!(out.contains("transmissions by class"));
+    }
+
+    #[test]
+    fn sweep_command_emits_csv() {
+        let out = run_cli(&args(&[
+            "sweep", "--scale", "64", "--ks", "1", "--seeds", "1",
+        ]))
+        .expect("sweep succeeds");
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().starts_with("algorithm,robots,seed"));
+        assert_eq!(out.lines().count(), 1 + 3, "header + 3 algorithms");
+    }
+}

@@ -1,0 +1,372 @@
+//! A flow-level (non-packet) model of the three coordination
+//! algorithms, for scalability studies beyond what packet-level
+//! simulation can afford.
+//!
+//! The packet simulator ([`crate::Simulation`]) prices every MAC frame;
+//! this model replaces the network with calibrated closed-form costs
+//! while keeping the *coordination* dynamics exact: the same exponential
+//! failure process, the same FCFS robot queues and kinematics
+//! (`robonet-robot`), the same manager selection rules. Message costs
+//! are computed from geometry:
+//!
+//! - hops ≈ `ceil(distance / (progress × sensor_range))`, with the
+//!   greedy-progress factor calibrated against the packet simulator
+//!   (≈ 0.75 at the paper's density — see the cross-validation test),
+//! - location-update floods cost the population of the relay region
+//!   (subarea for fixed; Voronoi cell plus border band for dynamic),
+//! - detection latency = failure timeout + half a beacon period.
+//!
+//! Use it to extend the paper's robot-count axis (the `scalability`
+//! example runs fleets of up to 100 robots in milliseconds); trust it
+//! only where the cross-validation holds.
+
+use robonet_des::{rng, sampler, NodeId, Scheduler, SimTime};
+use robonet_geom::partition::{HexPartition, Partition, SquarePartition};
+use robonet_geom::voronoi::nearest_site;
+use robonet_geom::{deploy, Point};
+use robonet_robot::{ReplacementTask, RobotState};
+use robonet_wsn::failure::FailureProcess;
+
+use crate::config::{Algorithm, PartitionKind, ScenarioConfig};
+
+/// Greedy geographic routing makes roughly this fraction of the radio
+/// range of forward progress per hop at the paper's deployment density
+/// (calibrated against the packet simulator).
+pub const GREEDY_PROGRESS: f64 = 0.75;
+
+/// Flow-level results, mirroring the packet simulator's [`crate::Summary`]
+/// where the models overlap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastSummary {
+    /// Failures that occurred.
+    pub failures: u64,
+    /// Failures repaired.
+    pub replacements: u64,
+    /// Figure 2: mean travel per failure (m).
+    pub avg_travel_per_failure: f64,
+    /// Figure 3: mean hops per failure report.
+    pub avg_report_hops: f64,
+    /// Figure 3: mean hops per repair request (centralized only).
+    pub avg_request_hops: Option<f64>,
+    /// Figure 4: location-update transmissions per failure.
+    pub loc_update_tx_per_failure: f64,
+    /// Mean dispatch→installation delay (s).
+    pub avg_repair_delay: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Fail { sensor: u32, incarnation: u32 },
+    /// The failure has been detected and the report reaches a manager.
+    Report { sensor: u32 },
+    Arrive { robot: u32, leg: u64 },
+}
+
+/// Runs the flow-level model for `cfg`.
+///
+/// ```
+/// use robonet_core::{fastsim, Algorithm, ScenarioConfig};
+/// // 36 robots, 1800 sensors — milliseconds at flow level.
+/// let cfg = ScenarioConfig::paper(6, Algorithm::Dynamic).scaled(8.0);
+/// let s = fastsim::run(&cfg);
+/// assert!(s.replacements > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run(cfg: &ScenarioConfig) -> FastSummary {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid scenario: {e}");
+    }
+    let bounds = cfg.bounds();
+    let n_sensors = cfg.n_sensors();
+    let n_robots = cfg.n_robots();
+    let sensor_range = cfg.ranges.sensor;
+
+    let mut deploy_rng = rng::stream(cfg.seed, "deploy");
+    let sensors = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
+
+    let partition: Option<Box<dyn Partition>> = match cfg.algorithm {
+        Algorithm::Fixed(PartitionKind::Square) => {
+            Some(Box::new(SquarePartition::new(bounds, cfg.k)))
+        }
+        Algorithm::Fixed(PartitionKind::Hex) => Some(Box::new(HexPartition::new(bounds, cfg.k))),
+        _ => None,
+    };
+    let sensor_subarea: Vec<usize> = match &partition {
+        Some(p) => sensors.iter().map(|&s| p.subarea_of(s)).collect(),
+        None => vec![0; n_sensors],
+    };
+    let subarea_population: Vec<f64> = match &partition {
+        Some(p) => {
+            let mut counts = vec![0f64; p.len()];
+            for &sub in &sensor_subarea {
+                counts[sub] += 1.0;
+            }
+            counts
+        }
+        None => Vec::new(),
+    };
+
+    let mut robot_rng = rng::stream(cfg.seed, "robots");
+    let robot_pos: Vec<Point> = match &partition {
+        Some(p) => (0..n_robots).map(|r| p.center(r)).collect(),
+        None => deploy::uniform(&mut robot_rng, &bounds, n_robots),
+    };
+    let mut robots: Vec<RobotState> = robot_pos
+        .iter()
+        .enumerate()
+        .map(|(r, &loc)| RobotState::new(NodeId::new((n_sensors + r) as u32), loc, cfg.robot_speed))
+        .collect();
+    let mut leg_seq = vec![0u64; n_robots];
+    let manager_loc = bounds.center();
+
+    let mut failure_proc = FailureProcess::new(cfg.mean_lifetime, rng::stream(cfg.seed, "lifetimes"));
+    let mut detect_rng = rng::stream(cfg.seed, "detect");
+    let mut sched: Scheduler<Event> = Scheduler::with_horizon(SimTime::ZERO + cfg.sim_time);
+    let mut incarnation = vec![0u32; n_sensors];
+    let mut alive = vec![true; n_sensors];
+
+    for i in 0..n_sensors {
+        let at = failure_proc.sample_failure_at(SimTime::ZERO);
+        if at <= sched.horizon() {
+            sched.schedule_at(
+                at,
+                Event::Fail {
+                    sensor: i as u32,
+                    incarnation: 0,
+                },
+            );
+        }
+    }
+
+    let hops_for = |dist: f64| -> f64 { (dist / (GREEDY_PROGRESS * sensor_range)).ceil().max(1.0) };
+    let density = n_sensors as f64 / bounds.area();
+
+    let mut out = FastSummary {
+        failures: 0,
+        replacements: 0,
+        avg_travel_per_failure: 0.0,
+        avg_report_hops: 0.0,
+        avg_request_hops: matches!(cfg.algorithm, Algorithm::Centralized).then_some(0.0),
+        loc_update_tx_per_failure: 0.0,
+        avg_repair_delay: 0.0,
+    };
+    let mut travel_sum = 0.0;
+    let mut report_hop_sum = 0.0;
+    let mut request_hop_sum = 0.0;
+    let mut requests = 0u64;
+    let mut update_tx = 0.0;
+    let mut delay_sum = 0.0;
+
+    // Cost of the location updates generated by one leg of travel.
+    let mut leg_update_cost = |robots: &[RobotState], r: usize, leg_dist: f64| {
+        let updates = (leg_dist / cfg.update_threshold).floor() + 1.0; // + arrival
+        match cfg.algorithm {
+            Algorithm::Centralized => {
+                // Unicast to the manager + a one-hop hello, per update.
+                let d = robots[r].last_update_loc.distance(manager_loc);
+                update_tx += updates * (hops_for(d) + 1.0);
+            }
+            Algorithm::Fixed(_) => {
+                update_tx += updates * (subarea_population[r] + 1.0);
+            }
+            Algorithm::Dynamic => {
+                // Cell population ≈ sensors / robots; border band of one
+                // update threshold around the cell perimeter
+                // (~4 × cell side at Voronoi average).
+                let cell = n_sensors as f64 / n_robots as f64;
+                let cell_side = (bounds.area() / n_robots as f64).sqrt();
+                let band = 4.0 * cell_side * cfg.update_threshold * density * 0.5;
+                update_tx += updates * (cell + band + 1.0);
+            }
+        }
+    };
+
+    while let Some(ev) = sched.next_event() {
+        let now = sched.now();
+        match ev {
+            Event::Fail { sensor, incarnation: inc } => {
+                let s = sensor as usize;
+                if incarnation[s] != inc || !alive[s] {
+                    continue;
+                }
+                alive[s] = false;
+                out.failures += 1;
+
+                // Detection: timeout + residual beacon phase.
+                let detect_delay = cfg.failure_timeout()
+                    + sampler::uniform_duration(&mut detect_rng, cfg.beacon_period);
+                sched.schedule_at(now + detect_delay, Event::Report { sensor });
+            }
+            Event::Report { sensor } => {
+                let s = sensor as usize;
+                let failed_loc = sensors[s];
+
+                // Report + dispatch (instant at flow level).
+                let r = match cfg.algorithm {
+                    Algorithm::Centralized => {
+                        report_hop_sum += hops_for(failed_loc.distance(manager_loc));
+                        // Manager picks the robot closest (current pos).
+                        let locs: Vec<Point> =
+                            robots.iter().map(|rb| rb.position_at(now)).collect();
+                        let r = nearest_site(&locs, failed_loc).expect("robots exist");
+                        // The request's first hop uses the manager's
+                        // 250 m radio; any remaining distance is covered
+                        // by sensor relays.
+                        let d = (manager_loc.distance(locs[r]) - cfg.ranges.manager).max(0.0);
+                        request_hop_sum += if d > 0.0 { 1.0 + hops_for(d) } else { 1.0 };
+                        requests += 1;
+                        r
+                    }
+                    Algorithm::Fixed(_) => {
+                        let r = sensor_subarea[s];
+                        report_hop_sum +=
+                            hops_for(robots[r].position_at(now).distance(failed_loc));
+                        r
+                    }
+                    Algorithm::Dynamic => {
+                        let locs: Vec<Point> =
+                            robots.iter().map(|rb| rb.position_at(now)).collect();
+                        let r = nearest_site(&locs, failed_loc).expect("robots exist");
+                        report_hop_sum += hops_for(locs[r].distance(failed_loc));
+                        r
+                    }
+                };
+
+                let task = ReplacementTask {
+                    failed: NodeId::new(sensor),
+                    loc: failed_loc,
+                    dispatched_at: now,
+                };
+                if let Some(leg) = robots[r].enqueue(task, now) {
+                    leg_seq[r] += 1;
+                    leg_update_cost(&robots, r, leg.distance());
+                    robots[r].last_update_loc = leg.to();
+                    sched.schedule_at(
+                        leg.arrival(),
+                        Event::Arrive {
+                            robot: r as u32,
+                            leg: leg_seq[r],
+                        },
+                    );
+                }
+            }
+            Event::Arrive { robot, leg } => {
+                let r = robot as usize;
+                if leg_seq[r] != leg {
+                    continue;
+                }
+                let travel = robots[r]
+                    .current_leg()
+                    .expect("arriving robot has a leg")
+                    .distance();
+                let (task, next) = robots[r].arrive(now);
+                let s = task.failed.index();
+                alive[s] = true;
+                incarnation[s] += 1;
+                out.replacements += 1;
+                travel_sum += travel;
+                delay_sum += now.duration_since(task.dispatched_at).as_secs_f64();
+                let at = failure_proc.sample_failure_at(now);
+                if at <= sched.horizon() {
+                    sched.schedule_at(
+                        at,
+                        Event::Fail {
+                            sensor: s as u32,
+                            incarnation: incarnation[s],
+                        },
+                    );
+                }
+                if let Some(next_leg) = next {
+                    leg_seq[r] += 1;
+                    leg_update_cost(&robots, r, next_leg.distance());
+                    robots[r].last_update_loc = next_leg.to();
+                    sched.schedule_at(
+                        next_leg.arrival(),
+                        Event::Arrive {
+                            robot: r as u32,
+                            leg: leg_seq[r],
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let reports = out.failures.max(1) as f64;
+    let replaced = out.replacements.max(1) as f64;
+    out.avg_travel_per_failure = travel_sum / replaced;
+    out.avg_report_hops = report_hop_sum / reports;
+    if let Some(rq) = out.avg_request_hops.as_mut() {
+        *rq = request_hop_sum / requests.max(1) as f64;
+    }
+    out.loc_update_tx_per_failure = update_tx / replaced;
+    out.avg_repair_delay = delay_sum / replaced;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+
+    #[test]
+    fn cross_validates_against_packet_simulator() {
+        // The flow model must land near the packet simulator for the
+        // figures' primary metrics at a configuration both can run.
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(5)
+            .scaled(16.0);
+        let fast = run(&cfg);
+        let full = crate::Simulation::run(cfg).metrics.summary();
+        let travel_err = (fast.avg_travel_per_failure - full.avg_travel_per_failure).abs()
+            / full.avg_travel_per_failure;
+        assert!(travel_err < 0.15, "travel error {travel_err:.2}");
+        let hop_err = (fast.avg_report_hops - full.avg_report_hops).abs() / full.avg_report_hops;
+        assert!(hop_err < 0.40, "hop error {hop_err:.2}");
+        let upd_err = (fast.loc_update_tx_per_failure - full.loc_update_tx_per_failure).abs()
+            / full.loc_update_tx_per_failure;
+        assert!(upd_err < 0.40, "update-cost error {upd_err:.2}");
+    }
+
+    #[test]
+    fn preserves_figure_orderings() {
+        let run_alg = |alg| {
+            run(&ScenarioConfig::paper(3, alg).with_seed(2).scaled(8.0))
+        };
+        let fixed = run_alg(Algorithm::Fixed(PartitionKind::Square));
+        let dynamic = run_alg(Algorithm::Dynamic);
+        let centralized = run_alg(Algorithm::Centralized);
+        // Fig. 2 ordering.
+        assert!(fixed.avg_travel_per_failure >= dynamic.avg_travel_per_failure * 0.98);
+        // Fig. 4 ordering.
+        assert!(centralized.loc_update_tx_per_failure < fixed.loc_update_tx_per_failure);
+        assert!(fixed.loc_update_tx_per_failure < dynamic.loc_update_tx_per_failure);
+        // Fig. 3: distributed reports are short.
+        assert!(dynamic.avg_report_hops < 5.0);
+    }
+
+    #[test]
+    fn centralized_hops_scale_with_k() {
+        let small = run(&ScenarioConfig::paper(2, Algorithm::Centralized).scaled(8.0));
+        let large = run(&ScenarioConfig::paper(5, Algorithm::Centralized).scaled(8.0));
+        assert!(large.avg_report_hops > small.avg_report_hops * 1.5);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic).with_seed(3).scaled(16.0);
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn large_fleet_runs_fast() {
+        // 100 robots, 5000 sensors — far beyond packet-level reach.
+        let cfg = ScenarioConfig::paper(10, Algorithm::Dynamic).with_seed(1).scaled(8.0);
+        let fast = run(&cfg);
+        assert!(fast.failures > 1000);
+        assert!(fast.replacements as f64 > 0.9 * fast.failures as f64);
+    }
+}

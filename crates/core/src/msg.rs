@@ -1,0 +1,149 @@
+//! Application-layer messages.
+//!
+//! These are the payloads carried by `robonet-radio` frames. Geo-routed
+//! messages embed a [`GeoHeader`] that intermediate nodes update hop by
+//! hop (paper §4.2: the destination's location travels in an IP option
+//! header).
+
+use robonet_des::NodeId;
+use robonet_geom::Point;
+use robonet_net::GeoHeader;
+
+/// An application message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppMsg {
+    /// Periodic one-hop beacon carrying the sender's location — failure
+    /// detection and neighbour-table maintenance.
+    Beacon {
+        /// Sender's location.
+        loc: Point,
+    },
+    /// One-hop unicast from a sensor to the neighbour it picked as its
+    /// guardian, establishing the guardee relationship.
+    GuardianConfirm,
+    /// A failure report travelling from the detecting guardian to a
+    /// manager (the central manager, or the responsible robot).
+    Report {
+        /// The failed sensor.
+        failed: NodeId,
+        /// Where it is.
+        failed_loc: Point,
+        /// Multihop routing state.
+        geo: GeoHeader,
+    },
+    /// A replacement request forwarded by the central manager to the
+    /// chosen robot (centralized algorithm only).
+    Request {
+        /// The failed sensor.
+        failed: NodeId,
+        /// Where it is.
+        failed_loc: Point,
+        /// Multihop routing state.
+        geo: GeoHeader,
+    },
+    /// A moving robot's location update unicast to the central manager.
+    RobotToManagerUpdate {
+        /// The reporting robot.
+        robot: NodeId,
+        /// Its current location.
+        loc: Point,
+        /// Outstanding replacement tasks (current leg included) — lets
+        /// the manager's `NearestIdle` dispatch extension prefer idle
+        /// robots.
+        queue_len: u32,
+        /// Multihop routing state.
+        geo: GeoHeader,
+    },
+    /// A robot location update flooded to sensors (fixed and dynamic
+    /// algorithms). Relay scope depends on the algorithm.
+    RobotFlood {
+        /// The originating robot.
+        robot: NodeId,
+        /// Its current location.
+        loc: Point,
+        /// Flood sequence number (deduplicated per robot).
+        seq: u32,
+        /// The robot's subarea index — relays in the fixed algorithm are
+        /// restricted to sensors of this subarea. `u32::MAX` in the
+        /// dynamic algorithm (no fixed borders).
+        subarea: u32,
+    },
+    /// One-hop robot announcement (on arrival/installation, and
+    /// alongside centralized location updates): lets nearby sensors
+    /// learn the robot's exact position, and tells a freshly installed
+    /// node who the manager is.
+    RobotHello {
+        /// The announcing robot.
+        robot: NodeId,
+        /// Its location.
+        loc: Point,
+        /// Manager identity and location (centralized algorithm).
+        manager: Option<(NodeId, Point)>,
+    },
+}
+
+impl AppMsg {
+    /// Nominal over-the-air size in bytes (header + payload), used for
+    /// air-time computation.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            AppMsg::Beacon { .. } => 32,
+            AppMsg::GuardianConfirm => 28,
+            AppMsg::Report { .. } | AppMsg::Request { .. } => 64,
+            AppMsg::RobotToManagerUpdate { .. } => 56,
+            AppMsg::RobotFlood { .. } => 48,
+            AppMsg::RobotHello { .. } => 48,
+        }
+    }
+
+    /// The embedded routing header, if this is a geo-routed unicast.
+    pub fn geo_mut(&mut self) -> Option<&mut GeoHeader> {
+        match self {
+            AppMsg::Report { geo, .. }
+            | AppMsg::Request { geo, .. }
+            | AppMsg::RobotToManagerUpdate { geo, .. } => Some(geo),
+            _ => None,
+        }
+    }
+
+    /// The embedded routing header, if this is a geo-routed unicast.
+    pub fn geo(&self) -> Option<&GeoHeader> {
+        match self {
+            AppMsg::Report { geo, .. }
+            | AppMsg::Request { geo, .. }
+            | AppMsg::RobotToManagerUpdate { geo, .. } => Some(geo),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_accessors_match_variants() {
+        let mut report = AppMsg::Report {
+            failed: NodeId::new(1),
+            failed_loc: Point::ZERO,
+            geo: GeoHeader::new(NodeId::new(9), Point::new(5.0, 5.0)),
+        };
+        assert!(report.geo().is_some());
+        assert!(report.geo_mut().is_some());
+        let mut beacon = AppMsg::Beacon { loc: Point::ZERO };
+        assert!(beacon.geo().is_none());
+        assert!(beacon.geo_mut().is_none());
+    }
+
+    #[test]
+    fn wire_sizes_nonzero_and_ordered() {
+        let beacon = AppMsg::Beacon { loc: Point::ZERO };
+        let report = AppMsg::Report {
+            failed: NodeId::new(1),
+            failed_loc: Point::ZERO,
+            geo: GeoHeader::new(NodeId::new(9), Point::ZERO),
+        };
+        assert!(beacon.wire_bytes() > 0);
+        assert!(report.wire_bytes() > beacon.wire_bytes());
+    }
+}

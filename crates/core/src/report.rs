@@ -1,0 +1,149 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use crate::config::ScenarioConfig;
+use crate::metrics::Summary;
+
+/// One row of a figure table: a scenario and its summary.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of robots.
+    pub robots: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// The run's summary.
+    pub summary: Summary,
+}
+
+impl Row {
+    /// Builds a row from a config and its summary.
+    pub fn new(cfg: &ScenarioConfig, summary: Summary) -> Self {
+        Row {
+            algorithm: cfg.algorithm.name().to_string(),
+            robots: cfg.n_robots(),
+            seed: cfg.seed,
+            summary,
+        }
+    }
+
+    /// CSV header matching [`Row::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "algorithm,robots,seed,failures,replacements,avg_travel_m,avg_report_hops,\
+         avg_request_hops,loc_update_tx_per_failure,report_delivery_ratio,\
+         avg_repair_delay_s,total_travel_m,myrobot_accuracy"
+    }
+
+    /// Renders the row as a CSV line.
+    pub fn to_csv(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{},{},{},{},{},{:.2},{:.3},{},{:.2},{:.4},{:.1},{:.1},{:.4}",
+            self.algorithm,
+            self.robots,
+            self.seed,
+            s.failures_occurred,
+            s.replacements,
+            s.avg_travel_per_failure,
+            s.avg_report_hops,
+            s.avg_request_hops
+                .map_or_else(|| "".to_string(), |h| format!("{h:.3}")),
+            s.loc_update_tx_per_failure,
+            s.report_delivery_ratio,
+            s.avg_repair_delay,
+            s.total_travel,
+            s.myrobot_accuracy,
+        )
+    }
+}
+
+/// Renders rows as an aligned text table (for terminal output).
+pub fn text_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12} {:>12} {:>13} {:>12}\n",
+        "algorithm",
+        "robots",
+        "seed",
+        "failures",
+        "repaired",
+        "travel(m)",
+        "report-hops",
+        "request-hops",
+        "upd-tx/fail"
+    ));
+    for r in rows {
+        let s = &r.summary;
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12.1} {:>12.2} {:>13} {:>12.1}\n",
+            r.algorithm,
+            r.robots,
+            r.seed,
+            s.failures_occurred,
+            s.replacements,
+            s.avg_travel_per_failure,
+            s.avg_report_hops,
+            s.avg_request_hops
+                .map_or_else(|| "-".to_string(), |h| format!("{h:.2}")),
+            s.loc_update_tx_per_failure,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+
+    fn summary() -> Summary {
+        Summary {
+            failures_occurred: 100,
+            replacements: 98,
+            avg_travel_per_failure: 95.5,
+            avg_report_hops: 2.1,
+            avg_request_hops: Some(1.6),
+            loc_update_tx_per_failure: 42.0,
+            report_delivery_ratio: 1.0,
+            avg_repair_delay: 130.0,
+            p95_repair_delay: 300.0,
+            total_travel: 9359.0,
+            myrobot_accuracy: 0.97,
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_fields() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Centralized);
+        let row = Row::new(&cfg, summary());
+        let line = row.to_csv();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(
+            fields.len(),
+            Row::csv_header().split(',').count(),
+            "row matches header"
+        );
+        assert_eq!(fields[0], "centralized");
+        assert_eq!(fields[1], "4");
+        assert_eq!(fields[7], "1.600", "request hops present");
+    }
+
+    #[test]
+    fn csv_empty_request_hops_for_distributed() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        let mut s = summary();
+        s.avg_request_hops = None;
+        let line = Row::new(&cfg, s).to_csv();
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[7], "", "empty cell, not NaN");
+    }
+
+    #[test]
+    fn text_table_contains_rows() {
+        let cfg = ScenarioConfig::paper(3, Algorithm::Dynamic);
+        let t = text_table(&[Row::new(&cfg, summary())]);
+        assert!(t.contains("dynamic"));
+        assert!(t.contains('9'), "robot count shown");
+        assert!(t.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Structured event tracing.
+//!
+//! A bounded log of the *protocol-level* story of a run — failures,
+//! detections, dispatches, replacements — for debugging coordination
+//! behaviour and for storyline output in tools. Disabled by default
+//! (capacity 0) so figure sweeps pay nothing.
+
+use std::collections::VecDeque;
+
+use robonet_des::NodeId;
+use robonet_geom::Point;
+
+/// One protocol-level event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A sensor's lifetime expired.
+    Failure {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The failed sensor.
+        sensor: NodeId,
+    },
+    /// A guardian noticed a silent guardee and originated a report.
+    Detected {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The detecting guardian.
+        guardian: NodeId,
+        /// The failed node being reported.
+        failed: NodeId,
+    },
+    /// A failure report reached its manager (robot or central manager).
+    ReportDelivered {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Who received it.
+        manager: NodeId,
+        /// The failed node.
+        failed: NodeId,
+        /// Hops the report travelled.
+        hops: u32,
+    },
+    /// A robot accepted a replacement task.
+    Dispatched {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The maintainer robot.
+        robot: NodeId,
+        /// The failed node.
+        failed: NodeId,
+        /// `true` if the robot departed immediately (it was idle).
+        departed: bool,
+    },
+    /// A robot installed a replacement.
+    Replaced {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The maintainer robot.
+        robot: NodeId,
+        /// The revived sensor.
+        sensor: NodeId,
+        /// Metres driven for this task's final leg.
+        travel: f64,
+        /// Where the installation happened.
+        loc: Point,
+    },
+}
+
+impl TraceEvent {
+    /// Event time in seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::Failure { t, .. }
+            | TraceEvent::Detected { t, .. }
+            | TraceEvent::ReportDelivered { t, .. }
+            | TraceEvent::Dispatched { t, .. }
+            | TraceEvent::Replaced { t, .. } => *t,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::Failure { t, sensor } => write!(f, "[{t:9.1}s] {sensor} failed"),
+            TraceEvent::Detected { t, guardian, failed } => {
+                write!(f, "[{t:9.1}s] {guardian} detected silence of {failed}")
+            }
+            TraceEvent::ReportDelivered { t, manager, failed, hops } => {
+                write!(f, "[{t:9.1}s] report of {failed} reached {manager} in {hops} hops")
+            }
+            TraceEvent::Dispatched { t, robot, failed, departed } => write!(
+                f,
+                "[{t:9.1}s] {robot} tasked with {failed}{}",
+                if *departed { ", departing" } else { ", queued" }
+            ),
+            TraceEvent::Replaced { t, robot, sensor, travel, loc } => {
+                write!(f, "[{t:9.1}s] {robot} replaced {sensor} at {loc} after {travel:.0} m")
+            }
+        }
+    }
+}
+
+/// A bounded FIFO of [`TraceEvent`]s; the oldest events are dropped once
+/// `capacity` is reached.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most `capacity` events (0 disables
+    /// recording entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained lifecycle of one node: every event mentioning it.
+    pub fn lifecycle_of(&self, node: NodeId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Failure { sensor, .. } => *sensor == node,
+                TraceEvent::Detected { guardian, failed, .. } => {
+                    *guardian == node || *failed == node
+                }
+                TraceEvent::ReportDelivered { manager, failed, .. } => {
+                    *manager == node || *failed == node
+                }
+                TraceEvent::Dispatched { robot, failed, .. } => {
+                    *robot == node || *failed == node
+                }
+                TraceEvent::Replaced { robot, sensor, .. } => *robot == node || *sensor == node,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, sensor: u32) -> TraceEvent {
+        TraceEvent::Failure {
+            t,
+            sensor: NodeId::new(sensor),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::with_capacity(0);
+        assert!(!tr.is_enabled());
+        tr.push(ev(1.0, 1));
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut tr = Trace::with_capacity(3);
+        for i in 0..5 {
+            tr.push(ev(i as f64, i));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let times: Vec<f64> = tr.events().map(TraceEvent::time).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn lifecycle_filters_by_node() {
+        let mut tr = Trace::with_capacity(16);
+        tr.push(ev(1.0, 7));
+        tr.push(TraceEvent::Detected {
+            t: 2.0,
+            guardian: NodeId::new(3),
+            failed: NodeId::new(7),
+        });
+        tr.push(TraceEvent::Replaced {
+            t: 3.0,
+            robot: NodeId::new(100),
+            sensor: NodeId::new(7),
+            travel: 88.0,
+            loc: Point::new(1.0, 2.0),
+        });
+        tr.push(ev(9.9, 8));
+        assert_eq!(tr.lifecycle_of(NodeId::new(7)).len(), 3);
+        assert_eq!(tr.lifecycle_of(NodeId::new(100)).len(), 1);
+        assert_eq!(tr.lifecycle_of(NodeId::new(42)).len(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = TraceEvent::Replaced {
+            t: 123.456,
+            robot: NodeId::new(200),
+            sensor: NodeId::new(7),
+            travel: 88.2,
+            loc: Point::new(10.0, 20.0),
+        }
+        .to_string();
+        assert!(text.contains("n200"));
+        assert!(text.contains("replaced n7"));
+        assert!(text.contains("88 m"));
+    }
+}

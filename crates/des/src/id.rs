@@ -1,0 +1,65 @@
+//! Identifiers for simulated entities.
+
+use std::fmt;
+
+/// Identifier of a simulated node (sensor, robot, or manager).
+///
+/// Plain `u32` indices keep per-node state in dense `Vec`s; the newtype
+/// prevents mixing node ids with other integers (sequence numbers, hop
+/// counts, ...).
+///
+/// ```
+/// use robonet_des::NodeId;
+/// let ids: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+/// assert_eq!(ids[2].index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index, for use with dense per-node storage.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel for the `robonet` workspace.
+//!
+//! This crate is the substrate every packet-level simulation in the
+//! reproduction of *Replacing Failed Sensor Nodes by Mobile Robots*
+//! (Mei et al., ICDCS 2006) runs on. It provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: nanosecond-resolution simulated time,
+//! - [`EventQueue`]: a stable (FIFO-on-ties) priority queue with O(log n)
+//!   scheduling and lazy cancellation,
+//! - [`Scheduler`]: the queue plus a current-time cursor,
+//! - [`rng`]: reproducible, named random-number streams derived from a
+//!   single root seed,
+//! - [`sampler`]: distribution samplers (exponential lifetimes, uniform
+//!   backoff slots) built on those streams,
+//! - [`NodeId`]: the identifier shared by every simulated entity.
+//!
+//! # Example
+//!
+//! ```
+//! use robonet_des::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::from_secs(2.0), "second");
+//! q.schedule(SimTime::from_secs(1.0), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod id;
+mod queue;
+pub mod rng;
+pub mod sampler;
+mod scheduler;
+mod time;
+
+pub use id::NodeId;
+pub use queue::{EventKey, EventQueue};
+pub use scheduler::Scheduler;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,103 @@
+//! Reproducible named random-number streams.
+//!
+//! Every stochastic component of the simulation (deployment, sensor
+//! lifetimes, MAC backoff, ...) draws from its own stream derived from a
+//! single root seed and a stable label. Components therefore stay
+//! statistically independent *and* reproducible: adding draws to one
+//! stream never perturbs another, so experiments remain comparable across
+//! code changes.
+//!
+//! ```
+//! use robonet_des::rng;
+//!
+//! let mut a = rng::stream(42, "deployment");
+//! let mut b = rng::stream(42, "deployment");
+//! use rand::Rng;
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from a root seed and a stable label.
+///
+/// Uses FNV-1a over the label followed by SplitMix64 finalization, which
+/// decorrelates labels that share prefixes ("node-1" vs "node-10").
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ root;
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// Derives a child seed from a root seed and an integer key (e.g. a node
+/// index), avoiding string formatting in hot paths.
+pub fn derive_seed_u64(root: u64, key: u64) -> u64 {
+    splitmix64(root ^ splitmix64(key.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Creates the named random stream for `label` under `root`.
+pub fn stream(root: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, label))
+}
+
+/// Creates the indexed random stream for `key` under `root`.
+pub fn stream_u64(root: u64, key: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed_u64(root, key))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = stream(7, "mac");
+        let mut b = stream(7, "mac");
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = stream(7, "mac");
+        let mut b = stream(7, "lifetimes");
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_roots_diverge() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn prefix_labels_decorrelated() {
+        // FNV alone would make "node-1" and "node-10" correlated in low
+        // bits; the SplitMix64 finalizer must spread them.
+        let a = derive_seed(0, "node-1");
+        let b = derive_seed(0, "node-10");
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn integer_keys_match_across_calls_and_spread() {
+        assert_eq!(derive_seed_u64(5, 9), derive_seed_u64(5, 9));
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|k| derive_seed_u64(5, k)).collect();
+        assert_eq!(seeds.len(), 1000, "no collisions in small key range");
+    }
+}

@@ -1,0 +1,185 @@
+//! The event queue plus a current-time cursor, with causality enforcement.
+
+use crate::queue::{EventKey, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// An [`EventQueue`] paired with the simulation clock.
+///
+/// The scheduler enforces causality: events may only be scheduled at or
+/// after the current time, and the clock only moves forward. Simulation
+/// drivers own a `Scheduler<E>` for their event enum `E` and dispatch in a
+/// loop:
+///
+/// ```
+/// use robonet_des::{Scheduler, SimDuration, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_after(SimDuration::from_secs(1.0), Ev::Tick(0));
+/// let mut ticks = 0;
+/// while let Some(ev) = sched.next_event() {
+///     match ev {
+///         Ev::Tick(n) if n < 2 => {
+///             ticks += 1;
+///             sched.schedule_after(SimDuration::from_secs(1.0), Ev::Tick(n + 1));
+///         }
+///         Ev::Tick(_) => ticks += 1,
+///     }
+/// }
+/// assert_eq!(ticks, 3);
+/// assert_eq!(sched.now(), SimTime::from_secs(3.0));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler at time zero with no horizon.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Creates a scheduler that stops delivering events after `horizon`.
+    ///
+    /// Events scheduled past the horizon are accepted but never fire; this
+    /// is how a fixed-length simulation run (e.g. the paper's 64000 s) is
+    /// expressed.
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon ([`SimTime::MAX`] if unbounded).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (causality
+    /// violation — always a simulation bug).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {}",
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventKey {
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Advances the clock to the next event and returns it, or `None` when
+    /// the queue is drained or the next event lies past the horizon.
+    pub fn next_event(&mut self) -> Option<E> {
+        match self.queue.peek_time() {
+            Some(t) if t <= self.horizon => {
+                let (t, ev) = self.queue.pop().expect("peeked event exists");
+                self.now = t;
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.queue.popped_count()
+    }
+
+    /// Upper bound on pending events (includes lazily cancelled entries).
+    pub fn pending_upper_bound(&self) -> usize {
+        self.queue.len_upper_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2.0), 2);
+        s.schedule_at(SimTime::from_secs(1.0), 1);
+        assert_eq!(s.next_event(), Some(1));
+        assert_eq!(s.now(), SimTime::from_secs(1.0));
+        assert_eq!(s.next_event(), Some(2));
+        assert_eq!(s.now(), SimTime::from_secs(2.0));
+        assert_eq!(s.next_event(), None);
+        assert_eq!(s.now(), SimTime::from_secs(2.0), "time freezes when drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_the_past_panics() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5.0), 5);
+        s.next_event();
+        s.schedule_at(SimTime::from_secs(1.0), 1);
+    }
+
+    #[test]
+    fn horizon_cuts_off_events() {
+        let mut s = Scheduler::with_horizon(SimTime::from_secs(10.0));
+        s.schedule_at(SimTime::from_secs(9.0), "in");
+        s.schedule_at(SimTime::from_secs(10.0), "edge");
+        s.schedule_at(SimTime::from_secs(11.0), "out");
+        assert_eq!(s.next_event(), Some("in"));
+        assert_eq!(s.next_event(), Some("edge"), "horizon is inclusive");
+        assert_eq!(s.next_event(), None);
+        assert_eq!(s.now(), SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3.0), "first");
+        s.next_event();
+        s.schedule_after(SimDuration::from_secs(2.0), "second");
+        assert_eq!(s.next_event(), Some("second"));
+        assert_eq!(s.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn cancel_through_scheduler() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        let k = s.schedule_after(SimDuration::from_secs(1.0), "never");
+        assert!(s.cancel(k));
+        assert_eq!(s.next_event(), None);
+        assert_eq!(s.delivered_count(), 0);
+    }
+}

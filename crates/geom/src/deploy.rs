@@ -1,0 +1,122 @@
+//! Node deployment (paper §2(a): "randomly uniformly distributed in a
+//! 2-dimensional field").
+
+use rand::Rng;
+
+use crate::point::{Bounds, Point};
+
+/// Samples `n` points independently and uniformly inside `bounds`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use robonet_geom::{deploy::uniform, Bounds};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pts = uniform(&mut rng, &Bounds::square(200.0), 50);
+/// assert_eq!(pts.len(), 50);
+/// assert!(pts.iter().all(|p| Bounds::square(200.0).contains(*p)));
+/// ```
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(bounds.min().x..=bounds.max().x),
+                rng.gen_range(bounds.min().y..=bounds.max().y),
+            )
+        })
+        .collect()
+}
+
+/// Samples `n` points on a jittered grid: near-uniform coverage without
+/// the clumps and voids of pure uniform sampling. Useful for experiments
+/// that need guaranteed initial coverage.
+pub fn jittered_grid<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds, n: usize) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let w = bounds.width() / cols as f64;
+    let h = bounds.height() / rows as f64;
+    let mut out = Vec::with_capacity(n);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if out.len() == n {
+                break 'outer;
+            }
+            out.push(Point::new(
+                bounds.min().x + c as f64 * w + rng.gen_range(0.0..w.max(f64::MIN_POSITIVE)),
+                bounds.min().y + r as f64 * h + rng.gen_range(0.0..h.max(f64::MIN_POSITIVE)),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_points_inside_bounds() {
+        let b = Bounds::new(Point::new(10.0, 20.0), Point::new(30.0, 25.0));
+        let mut r = rng(5);
+        let pts = uniform(&mut r, &b, 500);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| b.contains(*p)));
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let b = Bounds::square(100.0);
+        let a = uniform(&mut rng(9), &b, 20);
+        let c = uniform(&mut rng(9), &b, 20);
+        assert_eq!(a, c);
+        let d = uniform(&mut rng(10), &b, 20);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn uniform_covers_quadrants() {
+        let b = Bounds::square(100.0);
+        let pts = uniform(&mut rng(1), &b, 4000);
+        let c = b.center();
+        let q1 = pts.iter().filter(|p| p.x < c.x && p.y < c.y).count();
+        let q2 = pts.iter().filter(|p| p.x >= c.x && p.y < c.y).count();
+        let q3 = pts.iter().filter(|p| p.x < c.x && p.y >= c.y).count();
+        let q4 = pts.iter().filter(|p| p.x >= c.x && p.y >= c.y).count();
+        for q in [q1, q2, q3, q4] {
+            assert!((q as f64 - 1000.0).abs() < 120.0, "quadrant count {q} far from 1000");
+        }
+    }
+
+    #[test]
+    fn jittered_grid_count_and_bounds() {
+        let b = Bounds::square(50.0);
+        for n in [0, 1, 7, 16, 50] {
+            let pts = jittered_grid(&mut rng(2), &b, n);
+            assert_eq!(pts.len(), n);
+            assert!(pts.iter().all(|p| b.contains(*p)));
+        }
+    }
+
+    #[test]
+    fn jittered_grid_spreads_points() {
+        // Max nearest-neighbour distance should be bounded: no giant void.
+        let b = Bounds::square(100.0);
+        let pts = jittered_grid(&mut rng(3), &b, 100);
+        for p in &pts {
+            let nn = pts
+                .iter()
+                .filter(|q| *q != p)
+                .map(|q| q.distance(*p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nn < 30.0, "point {p} isolated by {nn} m");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Unit-disk connectivity graphs.
+//!
+//! Two sensors can exchange beacons when within radio range of each
+//! other; the resulting unit-disk graph (UDG) is what geographic routing
+//! operates on and what the planarization in [`crate::planar`] filters.
+
+use crate::point::{Bounds, Point};
+use crate::spatial::GridIndex;
+
+/// An undirected unit-disk graph over a set of node positions.
+#[derive(Debug, Clone)]
+pub struct UnitDiskGraph {
+    positions: Vec<Point>,
+    radius: f64,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl UnitDiskGraph {
+    /// Builds the UDG connecting every pair of points within `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite or a point lies
+    /// outside `bounds`.
+    pub fn build(bounds: Bounds, radius: f64, positions: &[Point]) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        let index = GridIndex::build(bounds, radius, positions);
+        let mut adjacency = vec![Vec::new(); positions.len()];
+        for (i, &p) in positions.iter().enumerate() {
+            index.for_each_within(p, radius, |j| {
+                if j != i {
+                    adjacency[i].push(j as u32);
+                }
+            });
+            adjacency[i].sort_unstable();
+        }
+        UnitDiskGraph {
+            positions: positions.to_vec(),
+            radius,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The communication radius the graph was built with.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Position of node `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// All node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Neighbours of node `i`, sorted by index.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adjacency[i]
+    }
+
+    /// Returns `true` if `i` and `j` are connected by an edge.
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adjacency[i].binary_search(&(j as u32)).is_ok()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Returns `true` if every node can reach every other node.
+    ///
+    /// The paper's deployments are dense enough (50 nodes per
+    /// 200 × 200 m² with 63 m range) that disconnection is rare, but
+    /// experiments verify it rather than assume it.
+    pub fn is_connected(&self) -> bool {
+        if self.positions.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.positions.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for &j in &self.adjacency[i] {
+                let j = j as usize;
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == self.positions.len()
+    }
+
+    /// Shortest hop-count from `from` to `to` (BFS), or `None` if
+    /// unreachable. Ground truth for validating geographic routing's hop
+    /// counts in tests.
+    pub fn hop_distance(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.positions.len()];
+        dist[from] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.adjacency[i] {
+                let j = j as usize;
+                if dist[j] == usize::MAX {
+                    dist[j] = dist[i] + 1;
+                    if j == to {
+                        return Some(dist[j]);
+                    }
+                    queue.push_back(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn line_graph() -> UnitDiskGraph {
+        // Chain of 5 nodes 10 m apart, radius 12 connects only adjacent.
+        let pts: Vec<Point> = (0..5).map(|i| p(i as f64 * 10.0, 0.0)).collect();
+        UnitDiskGraph::build(Bounds::square(100.0), 12.0, &pts)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_correct() {
+        let g = line_graph();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        for i in 0..g.len() {
+            for &j in g.neighbors(i) {
+                assert!(g.has_edge(j as usize, i), "edge {i}-{j} not symmetric");
+            }
+        }
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = line_graph();
+        assert!(g.is_connected());
+        let pts = vec![p(0.0, 0.0), p(50.0, 50.0)];
+        let g2 = UnitDiskGraph::build(Bounds::square(100.0), 10.0, &pts);
+        assert!(!g2.is_connected());
+        let empty = UnitDiskGraph::build(Bounds::square(10.0), 1.0, &[]);
+        assert!(empty.is_connected(), "vacuously connected");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn hop_distances() {
+        let g = line_graph();
+        assert_eq!(g.hop_distance(0, 0), Some(0));
+        assert_eq!(g.hop_distance(0, 1), Some(1));
+        assert_eq!(g.hop_distance(0, 4), Some(4));
+        let pts = vec![p(0.0, 0.0), p(50.0, 50.0)];
+        let g2 = UnitDiskGraph::build(Bounds::square(100.0), 10.0, &pts);
+        assert_eq!(g2.hop_distance(0, 1), None);
+    }
+
+    #[test]
+    fn radius_edge_inclusive() {
+        let pts = vec![p(0.0, 0.0), p(10.0, 0.0)];
+        let g = UnitDiskGraph::build(Bounds::square(20.0), 10.0, &pts);
+        assert!(g.has_edge(0, 1), "exactly-at-radius pairs connect");
+    }
+}

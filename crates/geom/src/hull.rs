@@ -1,0 +1,121 @@
+//! Convex hull (Andrew's monotone chain).
+
+use crate::point::Point;
+use crate::segment::{orientation, Orientation};
+
+/// Computes the convex hull of `points` in counter-clockwise order.
+///
+/// Collinear points on hull edges are dropped. Inputs with fewer than
+/// three distinct points return what exists (0, 1 or 2 points).
+///
+/// ```
+/// use robonet_geom::{hull::convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let h = convex_hull(&pts);
+/// assert_eq!(h.len(), 4); // interior point dropped
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("non-finite coordinate")
+            .then(a.y.partial_cmp(&b.y).expect("non-finite coordinate"))
+    });
+    pts.dedup_by(|a, b| a.distance_sq(*b) < 1e-18);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5)];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // CCW: signed area positive.
+        let area: f64 = h
+            .iter()
+            .zip(h.iter().cycle().skip(1))
+            .take(h.len())
+            .map(|(a, b)| a.x * b.y - b.x * a.y)
+            .sum();
+        assert!(area > 0.0);
+    }
+
+    #[test]
+    fn collinear_points_collapse() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 2, "a line of points has a 2-point hull");
+    }
+
+    #[test]
+    fn duplicates_deduped() {
+        let pts = vec![p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[p(1.0, 2.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 2.0), p(3.0, 4.0)]).len(), 2);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Every input point must be inside or on the hull.
+        use crate::polygon::ConvexPolygon;
+        let pts: Vec<Point> = (0..50)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                p(a.sin() * (i % 7) as f64, a.cos() * (i % 5) as f64)
+            })
+            .collect();
+        let h = convex_hull(&pts);
+        let poly = ConvexPolygon::new(h).unwrap();
+        for &q in &pts {
+            assert!(poly.contains(q), "{q} escapes its own hull");
+        }
+    }
+}

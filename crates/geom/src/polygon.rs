@@ -1,0 +1,226 @@
+//! Convex polygons with half-plane clipping — the building block of the
+//! bounded Voronoi diagram (paper Fig. 1).
+
+use crate::point::{Bounds, Point};
+use crate::segment::{orientation, Orientation, EPS};
+
+/// A convex polygon with vertices in counter-clockwise order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a polygon from counter-clockwise vertices.
+    ///
+    /// Returns `None` if fewer than three vertices are supplied or the
+    /// signed area is not positive (clockwise or degenerate input).
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        if vertices.len() < 3 {
+            return None;
+        }
+        let poly = ConvexPolygon { vertices };
+        if poly.area() <= EPS {
+            return None;
+        }
+        Some(poly)
+    }
+
+    /// The full rectangle as a polygon — the starting cell before Voronoi
+    /// clipping.
+    pub fn from_bounds(bounds: &Bounds) -> Self {
+        ConvexPolygon {
+            vertices: bounds.corners().to_vec(),
+        }
+    }
+
+    /// The vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Signed area via the shoelace formula (positive for CCW).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc * 0.5
+    }
+
+    /// The centroid (area-weighted barycentre).
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() <= EPS {
+            // Degenerate: fall back to the vertex average.
+            let inv = 1.0 / n as f64;
+            return Point::new(
+                self.vertices.iter().map(|v| v.x).sum::<f64>() * inv,
+                self.vertices.iter().map(|v| v.y).sum::<f64>() * inv,
+            );
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if orientation(a, b, p) == Orientation::Clockwise {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clips the polygon to the half-plane of points at least as close to
+    /// `site` as to `other` (the perpendicular-bisector half-plane that
+    /// defines Voronoi cells).
+    ///
+    /// Returns `None` if the intersection is empty or degenerate.
+    pub fn clip_to_bisector(&self, site: Point, other: Point) -> Option<ConvexPolygon> {
+        // Keep p where dist(p, site) <= dist(p, other), i.e.
+        // 2 (other - site) · p <= |other|² - |site|².
+        let d = other - site;
+        let c = 0.5 * (other.x * other.x + other.y * other.y - site.x * site.x - site.y * site.y);
+        self.clip_halfplane(d.x, d.y, c)
+    }
+
+    /// Clips to the half-plane `a·x + b·y <= c` (Sutherland–Hodgman step).
+    ///
+    /// Returns `None` if the intersection is empty or degenerate.
+    pub fn clip_halfplane(&self, a: f64, b: f64, c: f64) -> Option<ConvexPolygon> {
+        let inside = |p: Point| a * p.x + b * p.y <= c + EPS;
+        let n = self.vertices.len();
+        let mut out: Vec<Point> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let cur_in = inside(cur);
+            let nxt_in = inside(nxt);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the boundary a·x + b·y = c.
+                let denom = a * (nxt.x - cur.x) + b * (nxt.y - cur.y);
+                if denom.abs() > EPS {
+                    let t = (c - a * cur.x - b * cur.y) / denom;
+                    out.push(cur.lerp(nxt, t.clamp(0.0, 1.0)));
+                }
+            }
+        }
+        ConvexPolygon::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_bounds(&Bounds::square(1.0))
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(sq.contains(Point::new(0.0, 0.0)), "vertices count as inside");
+        assert!(sq.contains(Point::new(0.5, 0.0)), "edges count as inside");
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(0.5, -0.1)));
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(ConvexPolygon::new(vec![Point::ZERO, Point::new(1.0, 0.0)]).is_none());
+        // Clockwise square has negative signed area.
+        let cw = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ];
+        assert!(ConvexPolygon::new(cw).is_none());
+        // Collinear.
+        let line = vec![Point::ZERO, Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        assert!(ConvexPolygon::new(line).is_none());
+    }
+
+    #[test]
+    fn halfplane_clip_cuts_square_in_half() {
+        let sq = unit_square();
+        // Keep x <= 0.5.
+        let half = sq.clip_halfplane(1.0, 0.0, 0.5).unwrap();
+        assert!((half.area() - 0.5).abs() < 1e-9);
+        assert!(half.contains(Point::new(0.25, 0.5)));
+        assert!(!half.contains(Point::new(0.75, 0.5)));
+    }
+
+    #[test]
+    fn halfplane_clip_empty_when_outside() {
+        let sq = unit_square();
+        assert!(sq.clip_halfplane(1.0, 0.0, -1.0).is_none(), "keep x <= -1: empty");
+    }
+
+    #[test]
+    fn halfplane_clip_noop_when_covering() {
+        let sq = unit_square();
+        let full = sq.clip_halfplane(1.0, 0.0, 10.0).unwrap();
+        assert!((full.area() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisector_clip_splits_between_sites() {
+        let sq = unit_square();
+        let left = Point::new(0.25, 0.5);
+        let right = Point::new(0.75, 0.5);
+        let cell = sq.clip_to_bisector(left, right).unwrap();
+        assert!((cell.area() - 0.5).abs() < 1e-9);
+        assert!(cell.contains(Point::new(0.1, 0.5)));
+        assert!(!cell.contains(Point::new(0.9, 0.5)));
+        // Every interior point of the cell is closer to `left`.
+        for &v in cell.vertices() {
+            let inner = v.lerp(cell.centroid(), 0.01);
+            assert!(inner.distance(left) <= inner.distance(right) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn repeated_clips_shrink_monotonically() {
+        let mut poly = unit_square();
+        let mut prev = poly.area();
+        for i in 1..6 {
+            let c = 1.0 - i as f64 * 0.15;
+            poly = poly.clip_halfplane(1.0, 0.0, c).unwrap();
+            let a = poly.area();
+            assert!(a <= prev + 1e-12);
+            prev = a;
+        }
+    }
+}

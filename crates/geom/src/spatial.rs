@@ -1,0 +1,214 @@
+//! A uniform-grid spatial index for fixed-radius neighbour queries.
+//!
+//! Building unit-disk connectivity for 800 sensors with pairwise tests is
+//! O(n²); the grid makes deployment-time neighbour discovery and the
+//! radio medium's "who hears this transmission" query O(1) expected per
+//! node at the paper's densities.
+
+use crate::point::{Bounds, Point};
+
+/// A grid index over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: Bounds,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with buckets of side `cell` metres.
+    ///
+    /// `cell` should be close to the query radius (e.g. the radio range)
+    /// so queries touch at most a 3×3 block of buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite, or if any point lies
+    /// outside `bounds`.
+    pub fn build(bounds: Bounds, cell: f64, points: &[Point]) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell size must be positive");
+        let cols = ((bounds.width() / cell).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell).ceil() as usize).max(1);
+        let mut index = GridIndex {
+            bounds,
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            points: points.to_vec(),
+        };
+        for (i, &p) in points.iter().enumerate() {
+            assert!(bounds.contains(p), "point {p} outside index bounds");
+            let b = index.bucket_of(p);
+            index.buckets[b].push(i as u32);
+        }
+        index
+    }
+
+    /// Moves point `i` to `new_pos`, updating its bucket. Used for robots,
+    /// which change position during the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `new_pos` lies outside the bounds.
+    pub fn update_position(&mut self, i: usize, new_pos: Point) {
+        assert!(self.bounds.contains(new_pos), "point {new_pos} outside bounds");
+        let old_bucket = self.bucket_of(self.points[i]);
+        let new_bucket = self.bucket_of(new_pos);
+        self.points[i] = new_pos;
+        if old_bucket != new_bucket {
+            let idx = i as u32;
+            self.buckets[old_bucket].retain(|&x| x != idx);
+            self.buckets[new_bucket].push(idx);
+        }
+    }
+
+    /// Current position of point `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `visit` with the index of every point within `radius` of
+    /// `center` (excluding none — the caller filters out self-matches).
+    pub fn for_each_within(&self, center: Point, radius: f64, mut visit: impl FnMut(usize)) {
+        let r_sq = radius * radius;
+        let min_cx = self.col_of(center.x - radius);
+        let max_cx = self.col_of(center.x + radius);
+        let min_cy = self.row_of(center.y - radius);
+        let max_cy = self.row_of(center.y + radius);
+        for cy in min_cy..=max_cy {
+            for cx in min_cx..=max_cx {
+                for &i in &self.buckets[cy * self.cols + cx] {
+                    if self.points[i as usize].distance_sq(center) <= r_sq {
+                        visit(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of all points within `radius` of `center`.
+    pub fn within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i| out.push(i));
+        out
+    }
+
+    fn col_of(&self, x: f64) -> usize {
+        let c = ((x - self.bounds.min().x) / self.cell).floor();
+        (c.max(0.0) as usize).min(self.cols - 1)
+    }
+
+    fn row_of(&self, y: f64) -> usize {
+        let r = ((y - self.bounds.min().y) / self.cell).floor();
+        (r.max(0.0) as usize).min(self.rows - 1)
+    }
+
+    fn bucket_of(&self, p: Point) -> usize {
+        self.row_of(p.y) * self.cols + self.col_of(p.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn finds_points_in_radius() {
+        let b = Bounds::square(100.0);
+        let pts = vec![p(10.0, 10.0), p(15.0, 10.0), p(50.0, 50.0), p(10.0, 16.0)];
+        let idx = GridIndex::build(b, 10.0, &pts);
+        let mut hits = idx.within(p(10.0, 10.0), 6.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn radius_boundary_inclusive() {
+        let b = Bounds::square(100.0);
+        let pts = vec![p(0.0, 0.0), p(10.0, 0.0)];
+        let idx = GridIndex::build(b, 5.0, &pts);
+        assert_eq!(idx.within(p(0.0, 0.0), 10.0).len(), 2, "exact radius included");
+        assert_eq!(idx.within(p(0.0, 0.0), 9.999).len(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let b = Bounds::square(200.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| p(rng.gen_range(0.0..=200.0), rng.gen_range(0.0..=200.0)))
+            .collect();
+        let idx = GridIndex::build(b, 63.0, &pts);
+        for probe in 0..20 {
+            let c = pts[probe * 7];
+            let r = 63.0;
+            let mut fast = idx.within(c, r);
+            fast.sort_unstable();
+            let slow: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.distance_sq(c) <= r * r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn update_position_moves_buckets() {
+        let b = Bounds::square(100.0);
+        let pts = vec![p(5.0, 5.0), p(95.0, 95.0)];
+        let mut idx = GridIndex::build(b, 10.0, &pts);
+        assert!(idx.within(p(90.0, 90.0), 10.0).contains(&1));
+        idx.update_position(1, p(5.0, 6.0));
+        assert!(idx.within(p(90.0, 90.0), 10.0).is_empty());
+        let mut near_origin = idx.within(p(5.0, 5.0), 3.0);
+        near_origin.sort_unstable();
+        assert_eq!(near_origin, vec![0, 1]);
+        assert_eq!(idx.position(1), p(5.0, 6.0));
+    }
+
+    #[test]
+    fn edge_of_bounds_queries_clamp() {
+        let b = Bounds::square(100.0);
+        let pts = vec![p(0.0, 0.0), p(100.0, 100.0)];
+        let idx = GridIndex::build(b, 30.0, &pts);
+        // Query centre outside the bounds must not panic and still finds
+        // nearby in-bounds points.
+        assert_eq!(idx.within(p(-5.0, -5.0), 20.0), vec![0]);
+        assert_eq!(idx.within(p(105.0, 105.0), 20.0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside index bounds")]
+    fn out_of_bounds_point_rejected() {
+        let _ = GridIndex::build(Bounds::square(10.0), 1.0, &[p(20.0, 0.0)]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let idx = GridIndex::build(Bounds::square(10.0), 1.0, &[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+}

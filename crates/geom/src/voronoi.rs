@@ -1,0 +1,205 @@
+//! Bounded Voronoi diagrams.
+//!
+//! The dynamic distributed manager algorithm (paper §3.3) implicitly
+//! partitions the field into the Voronoi cells of the robots: every
+//! sensor reports to the closest robot. This module computes those cells
+//! explicitly for analysis, visualisation (Fig. 1) and for the
+//! "who-should-switch" region when a robot moves.
+//!
+//! With at most a few dozen robots, the O(n²) half-plane-clipping
+//! construction is simpler and faster in practice than Fortune's sweep.
+
+use crate::point::{Bounds, Point};
+use crate::polygon::ConvexPolygon;
+
+/// Computes the bounded Voronoi cell of `sites[index]` inside `bounds`.
+///
+/// Returns `None` when the cell is empty — only possible with duplicate
+/// sites or a site outside the bounds.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn voronoi_cell(sites: &[Point], index: usize, bounds: &Bounds) -> Option<ConvexPolygon> {
+    let site = sites[index];
+    let mut cell = ConvexPolygon::from_bounds(bounds);
+    for (j, &other) in sites.iter().enumerate() {
+        if j == index || other.distance_sq(site) == 0.0 {
+            continue;
+        }
+        cell = cell.clip_to_bisector(site, other)?;
+    }
+    Some(cell)
+}
+
+/// Computes all bounded Voronoi cells; `result[i]` is the cell of
+/// `sites[i]` (or `None` if empty, see [`voronoi_cell`]).
+///
+/// ```
+/// use robonet_geom::{Bounds, Point};
+/// use robonet_geom::voronoi::voronoi_cells;
+///
+/// let sites = [Point::new(50.0, 50.0), Point::new(150.0, 50.0)];
+/// let cells = voronoi_cells(&sites, &Bounds::square(200.0));
+/// let total: f64 = cells.iter().flatten().map(|c| c.area()).sum();
+/// assert!((total - 200.0 * 200.0).abs() < 1e-6); // cells tile the field
+/// ```
+pub fn voronoi_cells(sites: &[Point], bounds: &Bounds) -> Vec<Option<ConvexPolygon>> {
+    (0..sites.len())
+        .map(|i| voronoi_cell(sites, i, bounds))
+        .collect()
+}
+
+/// Index of the site nearest to `p`, or `None` for an empty site list.
+///
+/// Ties break toward the lowest index, matching how a sensor keeps its
+/// current `myrobot` unless another robot is *strictly* closer.
+pub fn nearest_site(sites: &[Point], p: Point) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in sites.iter().enumerate() {
+        let d = s.distance_sq(p);
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// The region of points whose nearest site changes when site `moving`
+/// relocates from `sites[moving]` to `new_pos` — the shaded area of the
+/// paper's Fig. 1(b), i.e. where sensors must switch `myrobot`.
+///
+/// Returned as a predicate because the region (a union of half-plane
+/// intersections) is generally non-convex.
+pub fn switch_region_predicate(
+    sites: &[Point],
+    moving: usize,
+    new_pos: Point,
+) -> impl Fn(Point) -> bool + '_ {
+    move |p: Point| {
+        let nearest_with = |moved_to: Point| {
+            let mut best = f64::INFINITY;
+            let mut best_i = usize::MAX;
+            for (i, &s) in sites.iter().enumerate() {
+                let pos = if i == moving { moved_to } else { s };
+                let d = pos.distance_sq(p);
+                if d < best {
+                    best = d;
+                    best_i = i;
+                }
+            }
+            best_i
+        };
+        nearest_with(sites[moving]) != nearest_with(new_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sites_split_evenly() {
+        let b = Bounds::square(100.0);
+        let sites = [Point::new(25.0, 50.0), Point::new(75.0, 50.0)];
+        let cells = voronoi_cells(&sites, &b);
+        let a0 = cells[0].as_ref().unwrap().area();
+        let a1 = cells[1].as_ref().unwrap().area();
+        assert!((a0 - 5000.0).abs() < 1e-6);
+        assert!((a1 - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cells_tile_the_bounds() {
+        let b = Bounds::square(200.0);
+        let sites = [
+            Point::new(30.0, 40.0),
+            Point::new(160.0, 50.0),
+            Point::new(100.0, 150.0),
+            Point::new(50.0, 120.0),
+            Point::new(170.0, 180.0),
+        ];
+        let cells = voronoi_cells(&sites, &b);
+        let total: f64 = cells.iter().flatten().map(|c| c.area()).sum();
+        assert!((total - b.area()).abs() < 1e-6, "total {total} != {}", b.area());
+    }
+
+    #[test]
+    fn cell_contains_its_site_and_no_other() {
+        let b = Bounds::square(200.0);
+        let sites = [
+            Point::new(30.0, 40.0),
+            Point::new(160.0, 50.0),
+            Point::new(100.0, 150.0),
+        ];
+        let cells = voronoi_cells(&sites, &b);
+        for (i, cell) in cells.iter().enumerate() {
+            let cell = cell.as_ref().unwrap();
+            assert!(cell.contains(sites[i]));
+            for (j, &other) in sites.iter().enumerate() {
+                if i != j {
+                    assert!(!cell.contains(other), "site {j} inside cell {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_site_matches_cells() {
+        let b = Bounds::square(200.0);
+        let sites = [
+            Point::new(30.0, 40.0),
+            Point::new(160.0, 50.0),
+            Point::new(100.0, 150.0),
+            Point::new(40.0, 170.0),
+        ];
+        let cells = voronoi_cells(&sites, &b);
+        // Sample a grid; each point's nearest site's cell must contain it.
+        for ix in 0..20 {
+            for iy in 0..20 {
+                let p = Point::new(5.0 + ix as f64 * 10.0, 5.0 + iy as f64 * 10.0);
+                let n = nearest_site(&sites, p).unwrap();
+                assert!(
+                    cells[n].as_ref().unwrap().contains(p),
+                    "{p} not in cell of its nearest site {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_site_empty_and_ties() {
+        assert_eq!(nearest_site(&[], Point::ZERO), None);
+        let sites = [Point::new(-1.0, 0.0), Point::new(1.0, 0.0)];
+        assert_eq!(nearest_site(&sites, Point::ZERO), Some(0), "tie → lowest index");
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let b = Bounds::square(50.0);
+        let cells = voronoi_cells(&[Point::new(10.0, 10.0)], &b);
+        assert!((cells[0].as_ref().unwrap().area() - b.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_sites_do_not_panic() {
+        let b = Bounds::square(50.0);
+        let p = Point::new(10.0, 10.0);
+        let cells = voronoi_cells(&[p, p], &b);
+        // Duplicates share the whole field (clipping skips zero-distance
+        // pairs) — the important property is no panic and no empty total.
+        assert!(cells.iter().any(|c| c.is_some()));
+    }
+
+    #[test]
+    fn switch_region_flags_stolen_points() {
+        let sites = [Point::new(50.0, 50.0), Point::new(150.0, 50.0)];
+        // Robot 0 moves far to the right: points near the old boundary
+        // switch to... robot 0 now owns the right side.
+        let pred = switch_region_predicate(&sites, 0, Point::new(190.0, 50.0));
+        assert!(pred(Point::new(180.0, 50.0)), "right edge switches to mover");
+        assert!(pred(Point::new(60.0, 50.0)), "mover's old home switches away");
+        assert!(!pred(Point::new(150.0, 50.0)), "other site keeps its own spot");
+    }
+}

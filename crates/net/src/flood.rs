@@ -1,0 +1,153 @@
+//! Sequence-numbered flood deduplication.
+//!
+//! Robot location updates in the distributed algorithms are flooded:
+//! "a sensor may receive the same update message multiple times, but it
+//! relays the message to its neighbors only once. This is achieved by
+//! remembering the sequence number of the robot location updates it has
+//! relayed before" (paper §3.2).
+
+use std::collections::HashMap;
+
+use robonet_des::NodeId;
+
+/// Per-origin highest-sequence-number bookkeeping for flooded messages.
+///
+/// Sequence numbers per origin are strictly increasing, so "newer than
+/// anything seen" doubles as "not a duplicate" *and* as staleness
+/// filtering: an out-of-order older location update is useless and is
+/// treated as already seen.
+#[derive(Debug, Clone, Default)]
+pub struct DedupTable {
+    seen: HashMap<NodeId, u32>,
+}
+
+impl DedupTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        DedupTable::default()
+    }
+
+    /// Returns `true` — and records the sequence number — if `(origin,
+    /// seq)` is fresh, i.e. strictly newer than anything previously
+    /// accepted from `origin`. Subsequent calls with the same or older
+    /// `seq` return `false`.
+    pub fn accept(&mut self, origin: NodeId, seq: u32) -> bool {
+        match self.seen.get_mut(&origin) {
+            Some(last) if *last >= seq => false,
+            Some(last) => {
+                *last = seq;
+                true
+            }
+            None => {
+                self.seen.insert(origin, seq);
+                true
+            }
+        }
+    }
+
+    /// Peeks without recording: would `(origin, seq)` be accepted?
+    pub fn is_fresh(&self, origin: NodeId, seq: u32) -> bool {
+        self.seen.get(&origin).is_none_or(|last| *last < seq)
+    }
+
+    /// Highest sequence number accepted from `origin`, if any.
+    pub fn last_seq(&self, origin: NodeId) -> Option<u32> {
+        self.seen.get(&origin).copied()
+    }
+
+    /// Forgets all state (e.g. when a replaced sensor node boots fresh).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+    }
+}
+
+/// A monotonically increasing per-node sequence-number source for
+/// originating flooded messages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqSource {
+    next: u32,
+}
+
+impl SeqSource {
+    /// Creates a source starting at sequence number 1.
+    pub fn new() -> Self {
+        SeqSource { next: 0 }
+    }
+
+    /// Returns the next sequence number (1, 2, 3, ...).
+    pub fn next_seq(&mut self) -> u32 {
+        self.next += 1;
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn first_sighting_accepted_duplicates_rejected() {
+        let mut t = DedupTable::new();
+        assert!(t.accept(n(1), 1));
+        assert!(!t.accept(n(1), 1), "exact duplicate");
+        assert!(t.accept(n(1), 2));
+        assert!(!t.accept(n(1), 1), "older than accepted");
+    }
+
+    #[test]
+    fn origins_are_independent() {
+        let mut t = DedupTable::new();
+        assert!(t.accept(n(1), 5));
+        assert!(t.accept(n(2), 5));
+        assert_eq!(t.last_seq(n(1)), Some(5));
+        assert_eq!(t.last_seq(n(3)), None);
+    }
+
+    #[test]
+    fn is_fresh_does_not_record() {
+        let mut t = DedupTable::new();
+        assert!(t.is_fresh(n(1), 3));
+        assert!(t.is_fresh(n(1), 3), "peeking twice stays fresh");
+        assert!(t.accept(n(1), 3));
+        assert!(!t.is_fresh(n(1), 3));
+        assert!(t.is_fresh(n(1), 4));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = DedupTable::new();
+        t.accept(n(1), 9);
+        t.clear();
+        assert!(t.accept(n(1), 1), "post-clear, old sequence numbers accepted");
+    }
+
+    #[test]
+    fn seq_source_monotonic() {
+        let mut s = SeqSource::new();
+        let a = s.next_seq();
+        let b = s.next_seq();
+        let c = s.next_seq();
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn flood_simulation_each_node_relays_once() {
+        // 10 nodes all hearing each other: origin floods seq 1; every
+        // node accepts once no matter how many copies arrive.
+        let mut tables: Vec<DedupTable> = (0..10).map(|_| DedupTable::new()).collect();
+        let origin = n(0);
+        let mut relays = 0;
+        for _copy in 0..5 {
+            for t in tables.iter_mut() {
+                if t.accept(origin, 1) {
+                    relays += 1;
+                }
+            }
+        }
+        assert_eq!(relays, 10);
+    }
+}

@@ -1,0 +1,251 @@
+//! Beacon-maintained neighbour tables.
+//!
+//! "To forward a packet, a node searches its neighbor table and forwards
+//! the packet to its neighbor closest in geographic distance to the
+//! destination's location" (paper §4.2). Tables are built from received
+//! beacons and location broadcasts, and entries are evicted when a
+//! neighbour's beacons stop (failure detection deletes the failed
+//! neighbour, §4.2(a)).
+
+use std::collections::HashMap;
+
+use robonet_des::{NodeId, SimTime};
+use robonet_geom::Point;
+
+/// What a node knows about one neighbour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborEntry {
+    /// The neighbour's last advertised location.
+    pub loc: Point,
+    /// When the neighbour was last heard from.
+    pub last_heard: SimTime,
+}
+
+/// A node's view of its one-hop neighbourhood.
+///
+/// ```
+/// use robonet_des::{NodeId, SimTime};
+/// use robonet_geom::Point;
+/// use robonet_net::NeighborTable;
+///
+/// let mut table = NeighborTable::new();
+/// table.update(NodeId::new(1), Point::new(30.0, 0.0), SimTime::ZERO);
+/// table.update(NodeId::new(2), Point::new(50.0, 0.0), SimTime::ZERO);
+/// // Greedy forwarding: who is strictly closer to a far target?
+/// let target = Point::new(200.0, 0.0);
+/// let (next, _) = table.closest_to_within(target, 200.0 * 200.0).unwrap();
+/// assert_eq!(next, NodeId::new(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: HashMap<NodeId, NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NeighborTable::default()
+    }
+
+    /// Records hearing `node` at `loc` at time `now` (insert or refresh).
+    pub fn update(&mut self, node: NodeId, loc: Point, now: SimTime) {
+        self.entries.insert(
+            node,
+            NeighborEntry {
+                loc,
+                last_heard: now,
+            },
+        );
+    }
+
+    /// Removes `node` (e.g. after detecting its failure). Returns `true`
+    /// if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.entries.remove(&node).is_some()
+    }
+
+    /// Drops every entry not heard from since `cutoff`. Returns the
+    /// removed node ids.
+    pub fn evict_stale(&mut self, cutoff: SimTime) -> Vec<NodeId> {
+        let stale: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.last_heard < cutoff)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &stale {
+            self.entries.remove(id);
+        }
+        stale
+    }
+
+    /// Looks up a neighbour.
+    pub fn get(&self, node: NodeId) -> Option<&NeighborEntry> {
+        self.entries.get(&node)
+    }
+
+    /// Returns `true` if `node` is a known neighbour.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.contains_key(&node)
+    }
+
+    /// Number of known neighbours.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no neighbours are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborEntry)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// The neighbour whose advertised location is closest to `target`,
+    /// with deterministic tie-breaking by node id.
+    pub fn closest_to(&self, target: Point) -> Option<(NodeId, &NeighborEntry)> {
+        self.iter().min_by(|(a_id, a), (b_id, b)| {
+            a.loc
+                .distance_sq(target)
+                .partial_cmp(&b.loc.distance_sq(target))
+                .expect("non-finite neighbour location")
+                .then(a_id.cmp(b_id))
+        })
+    }
+
+    /// The neighbour closest to `target` among those *strictly* closer
+    /// than `threshold_sq` (squared distance) — the greedy-forwarding
+    /// candidate set.
+    pub fn closest_to_within(
+        &self,
+        target: Point,
+        threshold_sq: f64,
+    ) -> Option<(NodeId, &NeighborEntry)> {
+        self.iter()
+            .filter(|(_, e)| e.loc.distance_sq(target) < threshold_sq)
+            .min_by(|(a_id, a), (b_id, b)| {
+                a.loc
+                    .distance_sq(target)
+                    .partial_cmp(&b.loc.distance_sq(target))
+                    .expect("non-finite neighbour location")
+                    .then(a_id.cmp(b_id))
+            })
+    }
+
+    /// The nearest neighbour to `self_loc` — how a sensor picks its
+    /// guardian ("picks its nearest neighbor as its guardian", §3.1).
+    /// `filter` restricts candidates (e.g. same subarea in the fixed
+    /// algorithm, sensors only).
+    pub fn nearest(
+        &self,
+        self_loc: Point,
+        mut filter: impl FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        self.iter()
+            .filter(|(id, _)| filter(*id))
+            .min_by(|(a_id, a), (b_id, b)| {
+                a.loc
+                    .distance_sq(self_loc)
+                    .partial_cmp(&b.loc.distance_sq(self_loc))
+                    .expect("non-finite neighbour location")
+                    .then(a_id.cmp(b_id))
+            })
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn table() -> NeighborTable {
+        let mut nt = NeighborTable::new();
+        nt.update(NodeId::new(1), p(10.0, 0.0), t(1.0));
+        nt.update(NodeId::new(2), p(20.0, 0.0), t(2.0));
+        nt.update(NodeId::new(3), p(0.0, 30.0), t(3.0));
+        nt
+    }
+
+    #[test]
+    fn update_and_lookup() {
+        let mut nt = table();
+        assert_eq!(nt.len(), 3);
+        assert!(nt.contains(NodeId::new(2)));
+        assert_eq!(nt.get(NodeId::new(1)).unwrap().loc, p(10.0, 0.0));
+        // Refresh moves the location and timestamp.
+        nt.update(NodeId::new(1), p(11.0, 0.0), t(5.0));
+        assert_eq!(nt.len(), 3);
+        let e = nt.get(NodeId::new(1)).unwrap();
+        assert_eq!(e.loc, p(11.0, 0.0));
+        assert_eq!(e.last_heard, t(5.0));
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut nt = table();
+        assert!(nt.remove(NodeId::new(2)));
+        assert!(!nt.remove(NodeId::new(2)));
+        assert_eq!(nt.len(), 2);
+        assert!(!nt.is_empty());
+    }
+
+    #[test]
+    fn evict_stale_drops_old_entries() {
+        let mut nt = table();
+        let mut evicted = nt.evict_stale(t(2.5));
+        evicted.sort_unstable();
+        assert_eq!(evicted, vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(nt.len(), 1);
+        assert!(nt.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn closest_to_target() {
+        let nt = table();
+        let (id, _) = nt.closest_to(p(25.0, 0.0)).unwrap();
+        assert_eq!(id, NodeId::new(2));
+        assert!(NeighborTable::new().closest_to(p(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn greedy_candidate_respects_threshold() {
+        let nt = table();
+        let target = p(100.0, 0.0);
+        // All three are > 70 m from the target; with threshold 75² only
+        // node 2 qualifies (80 m away... 100-20=80 > 75, none qualify).
+        assert!(nt.closest_to_within(target, 75.0 * 75.0).is_none());
+        let (id, _) = nt.closest_to_within(target, 85.0 * 85.0).unwrap();
+        assert_eq!(id, NodeId::new(2));
+    }
+
+    #[test]
+    fn nearest_with_filter() {
+        let nt = table();
+        let me = p(0.0, 0.0);
+        assert_eq!(nt.nearest(me, |_| true), Some(NodeId::new(1)));
+        assert_eq!(
+            nt.nearest(me, |id| id != NodeId::new(1)),
+            Some(NodeId::new(2))
+        );
+        assert_eq!(nt.nearest(me, |_| false), None);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut nt = NeighborTable::new();
+        nt.update(NodeId::new(9), p(10.0, 0.0), t(0.0));
+        nt.update(NodeId::new(4), p(-10.0, 0.0), t(0.0));
+        assert_eq!(nt.nearest(p(0.0, 0.0), |_| true), Some(NodeId::new(4)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Geographic routing headers.
+
+use robonet_des::NodeId;
+use robonet_geom::Point;
+
+/// Forwarding mode of a geographically routed packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouteMode {
+    /// Greedy forwarding toward the destination location.
+    Greedy,
+    /// Perimeter (face-routing) recovery around a routing hole.
+    Perimeter {
+        /// Location of the node where greedy forwarding failed; the
+        /// packet resumes greedy mode as soon as it reaches a node
+        /// strictly closer to the destination than this point.
+        entry: Point,
+        /// The point where the traversal last crossed the line from
+        /// `entry` to the destination — GPSR's face-change state. A new
+        /// face is entered only when an edge crosses that line strictly
+        /// closer to the destination.
+        cross: Point,
+    },
+}
+
+/// The routing header carried by every geographically routed packet
+/// ("each packet contains the destination address in the IP header and
+/// the destination's location in an IP option header", paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoHeader {
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Destination's (last known) location.
+    pub dst_loc: Point,
+    /// Current forwarding mode.
+    pub mode: RouteMode,
+    /// Hops traversed so far (incremented by the forwarding node).
+    pub hops: u32,
+    /// Remaining hop budget; packets are dropped at zero to bound
+    /// perimeter loops on stale state.
+    pub ttl: u32,
+}
+
+impl GeoHeader {
+    /// Default hop budget, generous for the paper's field sizes (an
+    /// 800 × 800 m field is ~25 sensor hops corner to corner).
+    pub const DEFAULT_TTL: u32 = 128;
+
+    /// Creates a fresh greedy-mode header for `dst` at `dst_loc`.
+    pub fn new(dst: NodeId, dst_loc: Point) -> Self {
+        GeoHeader {
+            dst,
+            dst_loc,
+            mode: RouteMode::Greedy,
+            hops: 0,
+            ttl: Self::DEFAULT_TTL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_header_defaults() {
+        let h = GeoHeader::new(NodeId::new(5), Point::new(1.0, 2.0));
+        assert_eq!(h.dst, NodeId::new(5));
+        assert_eq!(h.mode, RouteMode::Greedy);
+        assert_eq!(h.hops, 0);
+        assert_eq!(h.ttl, GeoHeader::DEFAULT_TTL);
+    }
+}

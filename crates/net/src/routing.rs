@@ -1,0 +1,390 @@
+//! Greedy geographic forwarding with face-routing recovery.
+//!
+//! The forwarding rule of paper §4.2: greedy forwarding toward the
+//! destination's location; on reaching a node with no neighbour closer
+//! to the destination (a routing hole), recover by traversing the
+//! Gabriel-graph planarization of the neighbourhood with the right-hand
+//! rule (GPSR \[7\] / GFG \[2\]), resuming greedy as soon as the packet
+//! reaches a node strictly closer to the destination than where recovery
+//! began.
+
+use robonet_des::NodeId;
+use robonet_geom::planar::gabriel_filter;
+use robonet_geom::segment::Segment;
+use robonet_geom::Point;
+
+use crate::neighbor::NeighborTable;
+use crate::packet::{GeoHeader, RouteMode};
+
+/// The outcome of one routing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// The packet reached its destination.
+    Deliver,
+    /// Forward to this neighbour (the header has been updated in place).
+    Forward(NodeId),
+    /// The packet cannot make progress and is dropped.
+    Drop(DropReason),
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Hop budget exhausted (stale locations or a perimeter loop).
+    TtlExpired,
+    /// The node has no neighbours at all.
+    NoNeighbors,
+}
+
+/// Decides the next hop for a packet held by `self_id` at `self_loc`.
+///
+/// `prev_loc` is the location of the neighbour the packet arrived from
+/// (`None` at the originator); the right-hand rule needs it to continue
+/// a face traversal. On `Forward`, the header's mode, hop count and TTL
+/// are updated in place.
+pub fn route(
+    self_id: NodeId,
+    self_loc: Point,
+    table: &NeighborTable,
+    header: &mut GeoHeader,
+    prev_loc: Option<Point>,
+) -> RouteDecision {
+    if header.dst == self_id {
+        return RouteDecision::Deliver;
+    }
+    if header.ttl == 0 {
+        return RouteDecision::Drop(DropReason::TtlExpired);
+    }
+    if table.is_empty() {
+        return RouteDecision::Drop(DropReason::NoNeighbors);
+    }
+
+    // Last-hop shortcut: the destination is a known neighbour (robots
+    // broadcast their location to one-hop neighbours precisely so this
+    // works while they move).
+    if let Some(entry) = table.get(header.dst) {
+        header.dst_loc = entry.loc;
+        return forward(header, header.dst);
+    }
+
+    let my_d_sq = self_loc.distance_sq(header.dst_loc);
+
+    // Perimeter → greedy resume.
+    if let RouteMode::Perimeter { entry, .. } = header.mode {
+        if my_d_sq < entry.distance_sq(header.dst_loc) {
+            header.mode = RouteMode::Greedy;
+        }
+    }
+
+    match header.mode {
+        RouteMode::Greedy => {
+            if let Some((next, _)) = table.closest_to_within(header.dst_loc, my_d_sq) {
+                return forward(header, next);
+            }
+            // Local maximum: enter perimeter mode where greedy failed.
+            header.mode = RouteMode::Perimeter {
+                entry: self_loc,
+                cross: self_loc,
+            };
+            // At mode entry the reference direction is the line toward
+            // the destination, not the incoming edge.
+            perimeter_step(self_loc, table, header, None)
+        }
+        RouteMode::Perimeter { .. } => perimeter_step(self_loc, table, header, prev_loc),
+    }
+}
+
+fn forward(header: &mut GeoHeader, next: NodeId) -> RouteDecision {
+    header.hops += 1;
+    header.ttl -= 1;
+    RouteDecision::Forward(next)
+}
+
+/// One right-hand-rule step on the Gabriel planarization of the local
+/// neighbourhood (GPSR's perimeter forwarding): take the first edge
+/// counterclockwise from the reference direction (the edge the packet
+/// arrived on, or the line toward the destination when entering
+/// recovery), changing face whenever the chosen edge crosses the
+/// entry-to-destination line strictly closer to the destination than the
+/// best crossing so far.
+fn perimeter_step(
+    self_loc: Point,
+    table: &NeighborTable,
+    header: &mut GeoHeader,
+    prev_loc: Option<Point>,
+) -> RouteDecision {
+    let RouteMode::Perimeter { entry, mut cross } = header.mode else {
+        unreachable!("perimeter_step outside perimeter mode");
+    };
+    let neighbors: Vec<(NodeId, Point)> = table.iter().map(|(id, e)| (id, e.loc)).collect();
+    let planar = gabriel_filter(self_loc, &neighbors);
+    let candidates = if planar.is_empty() { &neighbors } else { &planar };
+    if candidates.is_empty() {
+        return RouteDecision::Drop(DropReason::NoNeighbors);
+    }
+
+    let mut ref_angle = match prev_loc {
+        Some(p) => (p - self_loc).angle(),
+        None => (header.dst_loc - self_loc).angle(),
+    };
+    let lp_to_dst = Segment::new(entry, header.dst_loc);
+
+    // Face-change loop: reject an edge that crosses the Lp→D line closer
+    // to the destination, and continue the right-hand scan from it. At
+    // most |candidates| rejections are possible.
+    for _ in 0..=candidates.len() {
+        let Some((next_id, next_loc)) = first_ccw(self_loc, ref_angle, candidates) else {
+            return RouteDecision::Drop(DropReason::NoNeighbors);
+        };
+        let edge = Segment::new(self_loc, next_loc);
+        if let Some(x) = proper_crossing(&edge, &lp_to_dst) {
+            if x.distance_sq(header.dst_loc) + 1e-9 < cross.distance_sq(header.dst_loc) {
+                cross = x;
+                header.mode = RouteMode::Perimeter { entry, cross };
+                ref_angle = (next_loc - self_loc).angle();
+                continue;
+            }
+        }
+        return forward(header, next_id);
+    }
+    // Every edge triggered a face change (numerically pathological);
+    // give up rather than loop.
+    RouteDecision::Drop(DropReason::NoNeighbors)
+}
+
+/// The candidate whose edge is first counterclockwise from `ref_angle`
+/// about `self_loc`; going exactly back along the reference is the move
+/// of last resort.
+fn first_ccw(
+    self_loc: Point,
+    ref_angle: f64,
+    candidates: &[(NodeId, Point)],
+) -> Option<(NodeId, Point)> {
+    let two_pi = std::f64::consts::TAU;
+    let mut best: Option<(f64, NodeId, Point)> = None;
+    for &(id, loc) in candidates {
+        let a = (loc - self_loc).angle();
+        let mut delta = (a - ref_angle).rem_euclid(two_pi);
+        if delta < 1e-9 {
+            delta = two_pi;
+        }
+        match best {
+            Some((bd, bid, _)) if delta > bd || (delta == bd && id >= bid) => {}
+            _ => best = Some((delta, id, loc)),
+        }
+    }
+    best.map(|(_, id, loc)| (id, loc))
+}
+
+/// The crossing point of two segments if they properly intersect
+/// (interiors crossing; touching at the shared origin vertex of a face
+/// edge does not count as progress).
+fn proper_crossing(edge: &Segment, line: &Segment) -> Option<Point> {
+    let (x, t) = edge.line_intersection(line)?;
+    if !(1e-9..=1.0 - 1e-9).contains(&t) {
+        return None;
+    }
+    // Check the crossing lies within the Lp→D segment too.
+    let (_, u) = line.line_intersection(edge)?;
+    if !(-1e-9..=1.0 + 1e-9).contains(&u) {
+        return None;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robonet_des::SimTime;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Builds a full-knowledge routing world from positions and a range:
+    /// node i's table holds every node within `range` of it.
+    struct World {
+        positions: Vec<Point>,
+        tables: Vec<NeighborTable>,
+    }
+
+    impl World {
+        fn new(positions: Vec<Point>, range: f64) -> Self {
+            let tables = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &pi)| {
+                    let mut t = NeighborTable::new();
+                    for (j, &pj) in positions.iter().enumerate() {
+                        if i != j && pi.distance(pj) <= range {
+                            t.update(id(j as u32), pj, SimTime::ZERO);
+                        }
+                    }
+                    t
+                })
+                .collect();
+            World { positions, tables }
+        }
+
+        /// Routes from `src` to `dst`, returning the hop path (node ids)
+        /// or `None` if dropped.
+        fn deliver(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
+            let mut header = GeoHeader::new(id(dst), self.positions[dst as usize]);
+            let mut cur = src;
+            let mut prev: Option<Point> = None;
+            let mut path = vec![src];
+            loop {
+                let decision = route(
+                    id(cur),
+                    self.positions[cur as usize],
+                    &self.tables[cur as usize],
+                    &mut header,
+                    prev,
+                );
+                match decision {
+                    RouteDecision::Deliver => return Some(path),
+                    RouteDecision::Forward(next) => {
+                        prev = Some(self.positions[cur as usize]);
+                        cur = next.as_u32();
+                        path.push(cur);
+                    }
+                    RouteDecision::Drop(_) => return None,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_to_self() {
+        let w = World::new(vec![p(0.0, 0.0)], 10.0);
+        assert_eq!(w.deliver(0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn greedy_chain() {
+        let w = World::new(
+            (0..5).map(|i| p(i as f64 * 50.0, 0.0)).collect(),
+            63.0,
+        );
+        let path = w.deliver(0, 4).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3, 4], "straight greedy path");
+    }
+
+    #[test]
+    fn greedy_prefers_most_progress() {
+        // Two candidate relays; greedy picks the one closest to dst.
+        let w = World::new(
+            vec![p(0.0, 0.0), p(30.0, 0.0), p(55.0, 0.0), p(110.0, 0.0)],
+            63.0,
+        );
+        let path = w.deliver(0, 3).unwrap();
+        assert_eq!(path, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn hop_count_recorded_in_header() {
+        let positions: Vec<Point> = (0..4).map(|i| p(i as f64 * 50.0, 0.0)).collect();
+        let w = World::new(positions.clone(), 63.0);
+        let mut header = GeoHeader::new(id(3), positions[3]);
+        let mut cur = 0u32;
+        let mut prev = None;
+        loop {
+            match route(id(cur), positions[cur as usize], &w.tables[cur as usize], &mut header, prev) {
+                RouteDecision::Forward(n) => {
+                    prev = Some(positions[cur as usize]);
+                    cur = n.as_u32();
+                }
+                RouteDecision::Deliver => break,
+                RouteDecision::Drop(r) => panic!("dropped: {r:?}"),
+            }
+        }
+        assert_eq!(header.hops, 3);
+        assert_eq!(header.ttl, GeoHeader::DEFAULT_TTL - 3);
+    }
+
+    #[test]
+    fn routes_around_a_hole() {
+        // A "C"-shaped wall of nodes: the straight line from source to
+        // destination crosses a void, forcing perimeter recovery.
+        //
+        //   0 --- 1 --- 2
+        //               |
+        //   s    void   3     d  is at the far right, reachable only
+        //               |        via the arc 1-2-3-4.
+        //   5 --- 6 --- 4
+        let positions = vec![
+            p(0.0, 100.0),  // 0
+            p(50.0, 100.0), // 1
+            p(100.0, 100.0),// 2
+            p(100.0, 50.0), // 3
+            p(100.0, 0.0),  // 4
+            p(0.0, 0.0),    // 5
+            p(50.0, 0.0),   // 6
+            p(150.0, 50.0), // 7 = destination
+            p(0.0, 50.0),   // 8 = source (local max w.r.t. 7)
+        ];
+        let w = World::new(positions, 55.0);
+        let path = w.deliver(8, 7).expect("perimeter recovery must deliver");
+        assert!(path.len() > 3, "cannot be direct: {path:?}");
+        assert_eq!(*path.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn disconnected_destination_drops_by_ttl() {
+        let w = World::new(vec![p(0.0, 0.0), p(30.0, 0.0), p(500.0, 0.0)], 63.0);
+        assert_eq!(w.deliver(0, 2), None);
+    }
+
+    #[test]
+    fn isolated_node_drops_no_neighbors() {
+        let positions = vec![p(0.0, 0.0), p(500.0, 0.0)];
+        let w = World::new(positions.clone(), 63.0);
+        let mut header = GeoHeader::new(id(1), positions[1]);
+        let decision = route(id(0), positions[0], &w.tables[0], &mut header, None);
+        assert_eq!(decision, RouteDecision::Drop(DropReason::NoNeighbors));
+    }
+
+    #[test]
+    fn last_hop_shortcut_updates_destination_location() {
+        // The destination's advertised location in the table is fresher
+        // than the packet header (a robot moved); the shortcut must use
+        // the table's version.
+        let mut table = NeighborTable::new();
+        table.update(id(9), p(42.0, 0.0), SimTime::ZERO);
+        let mut header = GeoHeader::new(id(9), p(10.0, 10.0));
+        let decision = route(id(0), p(0.0, 0.0), &table, &mut header, None);
+        assert_eq!(decision, RouteDecision::Forward(id(9)));
+        assert_eq!(header.dst_loc, p(42.0, 0.0));
+    }
+
+    #[test]
+    fn random_connected_network_always_delivers() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = 80;
+            let positions: Vec<Point> = (0..n)
+                .map(|_| p(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))
+                .collect();
+            // Only test when the UDG is connected.
+            let g = robonet_geom::graph::UnitDiskGraph::build(
+                robonet_geom::Bounds::square(200.0),
+                45.0,
+                &positions,
+            );
+            if !g.is_connected() {
+                continue;
+            }
+            let w = World::new(positions, 45.0);
+            for dst in [1u32, n as u32 / 2, n as u32 - 1] {
+                let path = w.deliver(0, dst);
+                assert!(path.is_some(), "seed {seed}: no route 0 → {dst}");
+            }
+        }
+    }
+}

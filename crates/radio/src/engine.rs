@@ -1,0 +1,804 @@
+//! The CSMA/CA MAC engine.
+//!
+//! # Model
+//!
+//! - **Carrier sense**: every node tracks `busy_until`, the latest end
+//!   time of any transmission it can hear. A node contends only when its
+//!   channel is idle.
+//! - **Contention**: before each transmission attempt the node waits
+//!   DIFS plus a uniform number of backoff slots in `[0, CW]`, with CW
+//!   doubling per retry (frame-granular: the whole wait is drawn at once
+//!   rather than freezing per-slot counters — at the paper's traffic
+//!   loads the difference is statistically invisible, and it keeps event
+//!   counts proportional to frames).
+//! - **Collisions**: any two frames overlapping in time at a receiver
+//!   corrupt each other there (no capture effect). A node that is
+//!   transmitting cannot receive (half-duplex).
+//! - **Unicast**: a successfully received unicast frame is acknowledged
+//!   after SIFS. The ACK occupies the channel around the receiver and is
+//!   counted, but is itself delivered reliably — a deliberate
+//!   simplification documented in DESIGN.md (the paper's asymmetric
+//!   ranges make strict symmetric-link ACKs impossible for
+//!   robot-to-sensor hops that the paper itself relies on). Failed
+//!   attempts retry up to the 802.11 long-retry limit.
+//! - **Broadcast**: transmitted once, never acknowledged, as in 802.11.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use robonet_des::{NodeId, SimTime};
+
+use crate::frame::Frame;
+use crate::medium::Medium;
+use crate::params::MacParams;
+use crate::stats::TxStats;
+
+/// Events the engine asks the simulation driver to schedule and feed
+/// back via [`RadioEngine::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioEvent {
+    /// A node's contention wait elapsed; it will transmit if the channel
+    /// is still idle.
+    TryAccess {
+        /// The contending node.
+        node: NodeId,
+    },
+    /// A transmission's air time ended.
+    TxEnd {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// The abstract ACK for transmission `tx` finished; the sender may
+    /// proceed.
+    AckDone {
+        /// Transmission id being acknowledged.
+        tx: u64,
+    },
+    /// The sender of a unicast frame gave up waiting for an ACK.
+    AckTimeout {
+        /// The waiting sender.
+        node: NodeId,
+        /// Generation token guarding against stale timeouts.
+        token: u64,
+    },
+}
+
+/// What the radio layer reports up to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Upcall<P> {
+    /// A frame arrived intact at `to` (for broadcast: one upcall per
+    /// receiver).
+    Delivered {
+        /// Receiving node.
+        to: NodeId,
+        /// The received frame.
+        frame: Frame<P>,
+    },
+    /// The sender finished with a frame: `ok` is `true` on success
+    /// (broadcast frames always complete "ok" once sent).
+    TxComplete {
+        /// The sending node.
+        src: NodeId,
+        /// The frame that completed.
+        frame: Frame<P>,
+        /// Whether the frame was delivered (unicast) or sent (broadcast).
+        ok: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MacState {
+    Idle,
+    WaitingAccess,
+    Transmitting,
+    AwaitAck,
+}
+
+#[derive(Debug)]
+struct MacNode<P> {
+    queue: VecDeque<Frame<P>>,
+    state: MacState,
+    busy_until: SimTime,
+    /// Active transmissions currently arriving at this node.
+    incoming: Vec<u64>,
+    /// Attempt number (0-based) for the head-of-queue frame.
+    attempt: u32,
+    /// Generation token for AckTimeout staleness checks.
+    token: u64,
+}
+
+impl<P> Default for MacNode<P> {
+    fn default() -> Self {
+        MacNode {
+            queue: VecDeque::new(),
+            state: MacState::Idle,
+            busy_until: SimTime::ZERO,
+            incoming: Vec::new(),
+            attempt: 0,
+            token: 0,
+        }
+    }
+}
+
+struct ActiveTx {
+    src: NodeId,
+    /// `(receiver, corrupted)` pairs.
+    receivers: Vec<(NodeId, bool)>,
+}
+
+/// The MAC engine for all nodes sharing one [`Medium`].
+///
+/// The engine is driven by the simulation loop: [`RadioEngine::send`]
+/// enqueues application frames, and every [`RadioEvent`] the engine
+/// schedules (through the `sched` callback) must be fed back to
+/// [`RadioEngine::handle`] at its due time. Deliveries and completions
+/// come out through the `out` buffer.
+pub struct RadioEngine<P> {
+    params: MacParams,
+    medium: Medium,
+    nodes: Vec<MacNode<P>>,
+    active: HashMap<u64, ActiveTx>,
+    /// Sender of each in-flight abstract ACK, keyed by data tx id.
+    pending_acks: HashMap<u64, NodeId>,
+    rng: StdRng,
+    stats: TxStats,
+    next_tx: u64,
+}
+
+impl<P: Clone> RadioEngine<P> {
+    /// Creates an engine over `medium` with `params`, drawing backoff
+    /// (and fading, if the medium has a grey zone) randomness from
+    /// `rng`.
+    pub fn new(medium: Medium, params: MacParams, rng: StdRng) -> Self {
+        let n = medium.len();
+        RadioEngine {
+            params,
+            medium,
+            nodes: (0..n).map(|_| MacNode::default()).collect(),
+            active: HashMap::new(),
+            pending_acks: HashMap::new(),
+            rng,
+            stats: TxStats::new(),
+            next_tx: 0,
+        }
+    }
+
+    /// Immutable access to the medium (positions, classes, liveness).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// Moves a node (robots, while travelling).
+    pub fn set_position(&mut self, node: NodeId, pos: robonet_geom::Point) {
+        self.medium.set_position(node, pos);
+    }
+
+    /// Marks a node failed or repaired. Failing a node flushes its MAC
+    /// queue and detaches it from any in-flight receptions.
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        self.medium.set_alive(node, alive);
+        if !alive {
+            let st = &mut self.nodes[node.index()];
+            st.queue.clear();
+            st.state = MacState::Idle;
+            st.attempt = 0;
+            st.token += 1;
+            // Frames in flight toward this node can no longer be
+            // delivered; mark its receiver entries corrupted.
+            for tx in std::mem::take(&mut st.incoming) {
+                if let Some(active) = self.active.get_mut(&tx) {
+                    for r in active.receivers.iter_mut().filter(|r| r.0 == node) {
+                        r.1 = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transmission statistics so far.
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    /// Returns `true` if `node` has nothing queued or in flight.
+    pub fn is_idle(&self, node: NodeId) -> bool {
+        let st = &self.nodes[node.index()];
+        st.state == MacState::Idle && st.queue.is_empty()
+    }
+
+    /// Enqueues `frame` for transmission from `frame.src`.
+    ///
+    /// Silently ignores sends from dead nodes (the application may race
+    /// a failure event with a scheduled send).
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        frame: Frame<P>,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+    ) {
+        let src = frame.src;
+        if !self.medium.is_alive(src) {
+            return;
+        }
+        self.nodes[src.index()].queue.push_back(frame);
+        if self.nodes[src.index()].state == MacState::Idle {
+            self.begin_access(now, src, sched);
+        }
+    }
+
+    /// Processes a radio event previously scheduled through `sched`,
+    /// pushing deliveries and completions into `out`.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        event: RadioEvent,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+        out: &mut Vec<Upcall<P>>,
+    ) {
+        match event {
+            RadioEvent::TryAccess { node } => self.on_try_access(now, node, sched),
+            RadioEvent::TxEnd { tx } => self.on_tx_end(now, tx, sched, out),
+            RadioEvent::AckDone { tx } => self.on_ack_done(now, tx, sched, out),
+            RadioEvent::AckTimeout { node, token } => {
+                self.on_ack_timeout(now, node, token, sched, out)
+            }
+        }
+    }
+
+    fn begin_access(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+    ) {
+        let cw = self.params.contention_window(self.nodes[node.index()].attempt);
+        let slots = self.rng.gen_range(0..=cw);
+        let st = &mut self.nodes[node.index()];
+        st.state = MacState::WaitingAccess;
+        let idle_at = st.busy_until.max(now);
+        let at = idle_at + self.params.difs + self.params.slot * u64::from(slots);
+        sched(at, RadioEvent::TryAccess { node });
+    }
+
+    fn on_try_access(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+    ) {
+        let st = &self.nodes[node.index()];
+        if st.state != MacState::WaitingAccess || !self.medium.is_alive(node) {
+            return; // stale event (node died or was reset)
+        }
+        if st.busy_until > now {
+            // Channel became busy during our backoff; re-contend once it
+            // frees up.
+            self.begin_access(now, node, sched);
+            return;
+        }
+        self.start_tx(now, node, sched);
+    }
+
+    fn start_tx(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+    ) {
+        let tx = self.next_tx;
+        self.next_tx += 1;
+        let frame = self.nodes[node.index()]
+            .queue
+            .front()
+            .expect("start_tx with empty queue")
+            .clone();
+        let duration = self.params.airtime(frame.bytes);
+        let end = now + duration;
+        self.stats.class_mut(frame.class).data_tx += 1;
+
+        // The sender cannot receive while transmitting: corrupt anything
+        // currently arriving at it.
+        let incoming = std::mem::take(&mut self.nodes[node.index()].incoming);
+        for other in &incoming {
+            self.corrupt_at(*other, node);
+        }
+        self.nodes[node.index()].incoming = incoming;
+
+        let mut receivers: Vec<(NodeId, bool)> = Vec::new();
+        let hearers = self.medium.hearers(node);
+        for h in hearers {
+            // Edge-of-range fading: a weak frame still occupies the
+            // channel (carrier sense) but may fail to lock the receiver.
+            let p_rx = self.medium.reception_prob(node, h);
+            let faded = p_rx < 1.0 && self.rng.gen::<f64>() >= p_rx;
+            let hst = &mut self.nodes[h.index()];
+            hst.busy_until = hst.busy_until.max(end);
+            if faded {
+                continue;
+            }
+            if hst.state == MacState::Transmitting {
+                continue; // half-duplex: cannot receive at all
+            }
+            let collided = !hst.incoming.is_empty();
+            if collided {
+                self.stats.class_mut(frame.class).collisions += 1;
+                let overlapping = hst.incoming.clone();
+                for other in overlapping {
+                    self.corrupt_at(other, h);
+                }
+            }
+            self.nodes[h.index()].incoming.push(tx);
+            receivers.push((h, collided));
+        }
+
+        let st = &mut self.nodes[node.index()];
+        st.state = MacState::Transmitting;
+        st.busy_until = st.busy_until.max(end);
+        self.active.insert(tx, ActiveTx { src: node, receivers });
+        sched(end, RadioEvent::TxEnd { tx });
+    }
+
+    fn corrupt_at(&mut self, tx: u64, receiver: NodeId) {
+        if let Some(active) = self.active.get_mut(&tx) {
+            for r in active.receivers.iter_mut().filter(|r| r.0 == receiver) {
+                r.1 = true;
+            }
+        }
+    }
+
+    fn on_tx_end(
+        &mut self,
+        now: SimTime,
+        tx: u64,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+        out: &mut Vec<Upcall<P>>,
+    ) {
+        let active = self.active.remove(&tx).expect("unknown transmission");
+        let src = active.src;
+        // Detach from receivers and deliver intact copies.
+        let frame = match self.nodes[src.index()].queue.front() {
+            Some(f) => f.clone(),
+            None => {
+                // Sender died mid-transmission and its queue was flushed;
+                // nothing to deliver or complete.
+                for (h, _) in &active.receivers {
+                    self.nodes[h.index()].incoming.retain(|&t| t != tx);
+                }
+                return;
+            }
+        };
+
+        let mut dst_received = false;
+        let mut any_received = false;
+        for &(h, corrupted) in &active.receivers {
+            self.nodes[h.index()].incoming.retain(|&t| t != tx);
+            if corrupted || !self.medium.is_alive(h) {
+                continue;
+            }
+            any_received = true;
+            if frame.dst == Some(h) {
+                dst_received = true;
+            }
+            if frame.dst.is_none() || frame.dst == Some(h) {
+                out.push(Upcall::Delivered {
+                    to: h,
+                    frame: frame.clone(),
+                });
+            }
+        }
+
+        if !self.medium.is_alive(src) {
+            // Sender died exactly at tx end; drop silently.
+            let st = &mut self.nodes[src.index()];
+            st.state = MacState::Idle;
+            return;
+        }
+
+        match frame.dst {
+            None => {
+                // Broadcast: done.
+                if any_received {
+                    self.stats.class_mut(frame.class).delivered += 1;
+                }
+                self.complete_head(now, src, true, out, sched);
+            }
+            Some(_) if dst_received => {
+                // Abstract ACK: occupies the channel around the receiver
+                // for SIFS + ACK air time, then the sender completes.
+                let dst = frame.dst.expect("checked above");
+                self.stats.class_mut(frame.class).ack_tx += 1;
+                let ack_end = now + self.params.sifs + self.params.ack_airtime();
+                let dst_hearers = self.medium.hearers(dst);
+                for h in dst_hearers {
+                    let hst = &mut self.nodes[h.index()];
+                    hst.busy_until = hst.busy_until.max(ack_end);
+                }
+                let sst = &mut self.nodes[src.index()];
+                sst.state = MacState::AwaitAck;
+                sst.busy_until = sst.busy_until.max(ack_end);
+                self.pending_acks.insert(tx, src);
+                sched(ack_end, RadioEvent::AckDone { tx });
+            }
+            Some(_) => {
+                // Destination missed the frame (collision, death, or out
+                // of range): wait out the ACK timeout, then retry.
+                let st = &mut self.nodes[src.index()];
+                st.state = MacState::AwaitAck;
+                st.token += 1;
+                let token = st.token;
+                sched(
+                    now + self.params.ack_timeout(),
+                    RadioEvent::AckTimeout { node: src, token },
+                );
+            }
+        }
+    }
+
+    fn on_ack_done(
+        &mut self,
+        now: SimTime,
+        tx: u64,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+        out: &mut Vec<Upcall<P>>,
+    ) {
+        let Some(src) = self.pending_acks.remove(&tx) else {
+            return; // sender died and was flushed
+        };
+        if !self.medium.is_alive(src) || self.nodes[src.index()].state != MacState::AwaitAck {
+            return;
+        }
+        if let Some(frame) = self.nodes[src.index()].queue.front() {
+            self.stats.class_mut(frame.class).delivered += 1;
+        }
+        self.complete_head(now, src, true, out, sched);
+    }
+
+    fn on_ack_timeout(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        token: u64,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+        out: &mut Vec<Upcall<P>>,
+    ) {
+        let st = &self.nodes[node.index()];
+        if st.state != MacState::AwaitAck || st.token != token || !self.medium.is_alive(node) {
+            return; // stale timeout
+        }
+        let attempt = st.attempt + 1;
+        if attempt >= self.params.max_attempts {
+            if let Some(frame) = self.nodes[node.index()].queue.front() {
+                self.stats.class_mut(frame.class).dropped += 1;
+            }
+            self.complete_head(now, node, false, out, sched);
+        } else {
+            let st = &mut self.nodes[node.index()];
+            st.attempt = attempt;
+            self.begin_access(now, node, sched);
+        }
+    }
+
+    fn complete_head(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        ok: bool,
+        out: &mut Vec<Upcall<P>>,
+        sched: &mut impl FnMut(SimTime, RadioEvent),
+    ) {
+        let st = &mut self.nodes[node.index()];
+        let frame = st.queue.pop_front().expect("complete_head with empty queue");
+        st.attempt = 0;
+        st.state = MacState::Idle;
+        st.token += 1;
+        out.push(Upcall::TxComplete {
+            src: node,
+            frame,
+            ok,
+        });
+        if !self.nodes[node.index()].queue.is_empty() {
+            self.begin_access(now, node, sched);
+        }
+    }
+}
+
+impl<P> std::fmt::Debug for RadioEngine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadioEngine")
+            .field("nodes", &self.nodes.len())
+            .field("active_txs", &self.active.len())
+            .field("total_tx", &self.stats.total_tx())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::TrafficClass;
+    use crate::medium::{NodeClass, RangeTable};
+    use rand::SeedableRng;
+    use robonet_des::Scheduler;
+    use robonet_geom::{Bounds, Point};
+
+    /// Drives the engine until its event queue drains, collecting upcalls.
+    fn run(engine: &mut RadioEngine<&'static str>, sends: Vec<(f64, Frame<&'static str>)>) -> Vec<(SimTime, Upcall<&'static str>)> {
+        #[derive(Debug)]
+        enum Ev {
+            Send(Frame<&'static str>),
+            Radio(RadioEvent),
+        }
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        for (t, f) in sends {
+            sched.schedule_at(SimTime::from_secs(t), Ev::Send(f));
+        }
+        let mut upcalls = Vec::new();
+        let mut buffer = Vec::new();
+        while let Some(ev) = sched.next_event() {
+            let now = sched.now();
+            let mut pending: Vec<(SimTime, RadioEvent)> = Vec::new();
+            {
+                let mut cb = |at: SimTime, e: RadioEvent| pending.push((at, e));
+                match ev {
+                    Ev::Send(f) => engine.send(now, f, &mut cb),
+                    Ev::Radio(r) => engine.handle(now, r, &mut cb, &mut buffer),
+                }
+            }
+            for (at, e) in pending {
+                sched.schedule_at(at, Ev::Radio(e));
+            }
+            for u in buffer.drain(..) {
+                upcalls.push((now, u));
+            }
+        }
+        upcalls
+    }
+
+    fn line_engine(positions: &[(f64, f64)], classes: &[NodeClass]) -> RadioEngine<&'static str> {
+        let pts: Vec<Point> = positions.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let medium = Medium::new(Bounds::square(2000.0), RangeTable::default(), &pts, classes);
+        RadioEngine::new(medium, MacParams::default(), StdRng::seed_from_u64(7))
+    }
+
+    fn frame(src: u32, dst: Option<u32>, class: TrafficClass) -> Frame<&'static str> {
+        Frame {
+            src: NodeId::new(src),
+            dst: dst.map(NodeId::new),
+            bytes: 64,
+            class,
+            payload: "p",
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_range() {
+        let mut e = line_engine(
+            &[(0.0, 0.0), (50.0, 0.0), (60.0, 0.0), (500.0, 0.0)],
+            &[NodeClass::Sensor; 4],
+        );
+        let ups = run(&mut e, vec![(0.0, frame(0, None, TrafficClass::Beacon))]);
+        let delivered: Vec<u32> = ups
+            .iter()
+            .filter_map(|(_, u)| match u {
+                Upcall::Delivered { to, .. } => Some(to.as_u32()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2], "nodes within 63 m hear, 500 m does not");
+        assert!(ups.iter().any(|(_, u)| matches!(
+            u,
+            Upcall::TxComplete { ok: true, .. }
+        )));
+        assert_eq!(e.stats().data_tx(TrafficClass::Beacon), 1);
+        assert_eq!(e.stats().class(TrafficClass::Beacon).ack_tx, 0, "no ACK for broadcast");
+    }
+
+    #[test]
+    fn unicast_delivers_and_acks() {
+        let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
+        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))]);
+        assert!(ups.iter().any(|(_, u)| matches!(
+            u,
+            Upcall::Delivered { to, .. } if to.as_u32() == 1
+        )));
+        assert!(ups.iter().any(|(_, u)| matches!(
+            u,
+            Upcall::TxComplete { ok: true, .. }
+        )));
+        let s = e.stats().class(TrafficClass::FailureReport);
+        assert_eq!(s.data_tx, 1);
+        assert_eq!(s.ack_tx, 1);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn unicast_out_of_range_retries_then_drops() {
+        let mut e = line_engine(&[(0.0, 0.0), (200.0, 0.0)], &[NodeClass::Sensor; 2]);
+        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))]);
+        assert!(ups.iter().any(|(_, u)| matches!(
+            u,
+            Upcall::TxComplete { ok: false, .. }
+        )));
+        let s = e.stats().class(TrafficClass::FailureReport);
+        assert_eq!(s.data_tx, u64::from(MacParams::default().max_attempts));
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.delivered, 0);
+    }
+
+    #[test]
+    fn asymmetric_range_robot_reaches_far_sensor() {
+        let mut e = line_engine(
+            &[(0.0, 0.0), (200.0, 0.0)],
+            &[NodeClass::Robot, NodeClass::Sensor],
+        );
+        // Robot → sensor at 200 m succeeds (250 m range) even though the
+        // sensor could not reply with data at that distance.
+        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::RepairRequest))]);
+        assert!(ups.iter().any(|(_, u)| matches!(
+            u,
+            Upcall::Delivered { to, .. } if to.as_u32() == 1
+        )));
+        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. })));
+    }
+
+    #[test]
+    fn queue_drains_in_order() {
+        let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
+        let mut f1 = frame(0, Some(1), TrafficClass::FailureReport);
+        f1.payload = "first";
+        let mut f2 = frame(0, Some(1), TrafficClass::FailureReport);
+        f2.payload = "second";
+        let ups = run(&mut e, vec![(0.0, f1), (0.0, f2)]);
+        let delivered: Vec<&str> = ups
+            .iter()
+            .filter_map(|(_, u)| match u {
+                Upcall::Delivered { frame, .. } => Some(frame.payload),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec!["first", "second"]);
+        assert_eq!(e.stats().class(TrafficClass::FailureReport).delivered, 2);
+    }
+
+    #[test]
+    fn simultaneous_senders_defer_not_collide() {
+        // Two senders in range of each other contend; the second hears
+        // the first and defers, so both broadcasts deliver.
+        let mut e = line_engine(
+            &[(0.0, 0.0), (30.0, 0.0), (15.0, 10.0)],
+            &[NodeClass::Sensor; 3],
+        );
+        let ups = run(
+            &mut e,
+            vec![
+                (0.0, frame(0, None, TrafficClass::Beacon)),
+                (0.0, frame(1, None, TrafficClass::Beacon)),
+            ],
+        );
+        let delivered_to_2 = ups
+            .iter()
+            .filter(|(_, u)| matches!(u, Upcall::Delivered { to, .. } if to.as_u32() == 2))
+            .count();
+        // Node 2 hears both beacons (senders deferred to each other, with
+        // high probability under different backoff draws).
+        assert_eq!(delivered_to_2, 2);
+        assert_eq!(e.stats().class(TrafficClass::Beacon).collisions, 0);
+    }
+
+    #[test]
+    fn hidden_terminals_collide_at_receiver() {
+        // Senders at 0 and 120 cannot hear each other (63 m range) but
+        // both reach the middle node at 60: a classic hidden-terminal
+        // collision corrupting both frames.
+        let mut e = line_engine(
+            &[(0.0, 0.0), (120.0, 0.0), (60.0, 0.0)],
+            &[NodeClass::Sensor; 3],
+        );
+        let ups = run(
+            &mut e,
+            vec![
+                (0.0, frame(0, None, TrafficClass::Beacon)),
+                (0.0, frame(1, None, TrafficClass::Beacon)),
+            ],
+        );
+        let delivered_to_2 = ups
+            .iter()
+            .filter(|(_, u)| matches!(u, Upcall::Delivered { to, .. } if to.as_u32() == 2))
+            .count();
+        // Both senders draw their backoff independently; the frames can
+        // only avoid collision if their airtimes do not overlap at all.
+        // With identical send times, same CW and 238 µs airtime over a
+        // 620 µs contention spread, overlap is likely but not certain —
+        // assert the *accounting* is consistent rather than the outcome.
+        let collisions = e.stats().class(TrafficClass::Beacon).collisions;
+        assert_eq!(
+            delivered_to_2 == 2,
+            collisions == 0,
+            "either both delivered cleanly or a collision was recorded"
+        );
+        // With this seed the backoffs do overlap.
+        assert!(collisions > 0, "seed chosen to exhibit the collision");
+        assert_eq!(delivered_to_2, 0, "corrupted frames are not delivered");
+    }
+
+    #[test]
+    fn unicast_retry_succeeds_after_collision() {
+        // Hidden terminals with unicast: the data frames collide at the
+        // receiver, but retransmissions (new backoff draws) eventually
+        // get through — delivery ratio stays 100% as the paper observes.
+        let mut e = line_engine(
+            &[(0.0, 0.0), (120.0, 0.0), (60.0, 0.0)],
+            &[NodeClass::Sensor; 3],
+        );
+        let ups = run(
+            &mut e,
+            vec![
+                (0.0, frame(0, Some(2), TrafficClass::FailureReport)),
+                (0.0, frame(1, Some(2), TrafficClass::FailureReport)),
+            ],
+        );
+        let ok = ups
+            .iter()
+            .filter(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. }))
+            .count();
+        assert_eq!(ok, 2, "both unicasts eventually delivered");
+        let s = e.stats().class(TrafficClass::FailureReport);
+        assert_eq!(s.delivered, 2);
+        assert!(s.data_tx > 2, "retransmissions happened");
+    }
+
+    #[test]
+    fn dead_receiver_gets_nothing() {
+        let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
+        e.set_alive(NodeId::new(1), false);
+        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::Beacon))]);
+        assert!(!ups.iter().any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
+        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::TxComplete { ok: false, .. })));
+    }
+
+    #[test]
+    fn dead_sender_send_ignored() {
+        let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
+        e.set_alive(NodeId::new(0), false);
+        let ups = run(&mut e, vec![(0.0, frame(0, None, TrafficClass::Beacon))]);
+        assert!(ups.is_empty());
+        assert_eq!(e.stats().total_tx(), 0);
+        assert!(e.is_idle(NodeId::new(0)));
+    }
+
+    #[test]
+    fn revived_node_participates_again() {
+        let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
+        e.set_alive(NodeId::new(1), false);
+        e.set_alive(NodeId::new(1), true);
+        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::Beacon))]);
+        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
+    }
+
+    #[test]
+    fn throughput_many_beacons_all_complete() {
+        // 20 sensors in a cluster, each beaconing 5 times: every beacon
+        // transmission completes and the channel never deadlocks.
+        let positions: Vec<(f64, f64)> = (0..20)
+            .map(|i| ((i % 5) as f64 * 10.0, (i / 5) as f64 * 10.0))
+            .collect();
+        let mut e = line_engine(&positions, &[NodeClass::Sensor; 20]);
+        let mut sends = Vec::new();
+        for round in 0..5 {
+            for i in 0..20u32 {
+                sends.push((round as f64 * 10.0, frame(i, None, TrafficClass::Beacon)));
+            }
+        }
+        let ups = run(&mut e, sends);
+        let completes = ups
+            .iter()
+            .filter(|(_, u)| matches!(u, Upcall::TxComplete { .. }))
+            .count();
+        assert_eq!(completes, 100);
+        assert_eq!(e.stats().data_tx(TrafficClass::Beacon), 100);
+    }
+}

@@ -1,0 +1,311 @@
+//! The shared wireless medium: node positions, classes and reachability.
+
+use robonet_des::NodeId;
+use robonet_geom::spatial::GridIndex;
+use robonet_geom::{Bounds, Point};
+
+/// The hardware class of a node, which fixes its transmission range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// A static sensor (63 m range in the paper, to save power).
+    Sensor,
+    /// A mobile maintenance robot (250 m range).
+    Robot,
+    /// The static central manager of the centralized algorithm (250 m
+    /// range, same radio as a robot).
+    Manager,
+}
+
+/// Per-class transmission ranges in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeTable {
+    /// Sensor transmission range (paper: 63 m).
+    pub sensor: f64,
+    /// Robot transmission range (paper: 250 m).
+    pub robot: f64,
+    /// Manager transmission range (paper: 250 m).
+    pub manager: f64,
+}
+
+impl Default for RangeTable {
+    fn default() -> Self {
+        RangeTable {
+            sensor: 63.0,
+            robot: 250.0,
+            manager: 250.0,
+        }
+    }
+}
+
+impl RangeTable {
+    /// Range for a node class.
+    pub fn range(&self, class: NodeClass) -> f64 {
+        match class {
+            NodeClass::Sensor => self.sensor,
+            NodeClass::Robot => self.robot,
+            NodeClass::Manager => self.manager,
+        }
+    }
+
+    /// The largest range in the table (used to size spatial-index cells).
+    pub fn max_range(&self) -> f64 {
+        self.sensor.max(self.robot).max(self.manager)
+    }
+}
+
+/// Reception model at the edge of the transmission range.
+///
+/// The paper's Glomosim setup is effectively a fixed-range disk; real
+/// radios have a probabilistic grey zone. Both are supported so the
+/// sensitivity of the results to the disk idealisation can be measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fading {
+    /// Deterministic unit disk (the default; matches the paper).
+    None,
+    /// Reception is certain within `inner × range` and falls off
+    /// linearly to zero probability at the full range.
+    SmoothEdge {
+        /// Fraction of the range that is perfectly reliable, in
+        /// `[0, 1]`.
+        inner: f64,
+    },
+}
+
+impl Fading {
+    /// Probability that a frame sent over `distance` with the given
+    /// `range` is received (interference aside).
+    pub fn reception_prob(self, distance: f64, range: f64) -> f64 {
+        if distance > range {
+            return 0.0;
+        }
+        match self {
+            Fading::None => 1.0,
+            Fading::SmoothEdge { inner } => {
+                let reliable = inner.clamp(0.0, 1.0) * range;
+                if distance <= reliable {
+                    1.0
+                } else {
+                    ((range - distance) / (range - reliable)).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// The unit-disk medium: every node within the *sender's* range hears a
+/// transmission. Ranges are asymmetric between classes exactly as in the
+/// paper (a sensor hears a robot at 250 m, the robot hears that sensor
+/// only within 63 m).
+#[derive(Debug)]
+pub struct Medium {
+    index: GridIndex,
+    classes: Vec<NodeClass>,
+    alive: Vec<bool>,
+    ranges: RangeTable,
+    fading: Fading,
+}
+
+impl Medium {
+    /// Creates a medium for nodes at `positions` with matching `classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or any point lies
+    /// outside `bounds`.
+    pub fn new(
+        bounds: Bounds,
+        ranges: RangeTable,
+        positions: &[Point],
+        classes: &[NodeClass],
+    ) -> Self {
+        assert_eq!(
+            positions.len(),
+            classes.len(),
+            "positions and classes must pair up"
+        );
+        // Cell size near the *smallest* interesting radius keeps sensor
+        // queries (the overwhelming majority) cheap.
+        let cell = ranges.range(NodeClass::Sensor).max(1.0);
+        Medium {
+            index: GridIndex::build(bounds, cell, positions),
+            alive: vec![true; positions.len()],
+            classes: classes.to_vec(),
+            ranges,
+            fading: Fading::None,
+        }
+    }
+
+    /// Sets the edge-of-range reception model (builder style).
+    pub fn with_fading(mut self, fading: Fading) -> Self {
+        self.fading = fading;
+        self
+    }
+
+    /// The configured fading model.
+    pub fn fading(&self) -> Fading {
+        self.fading
+    }
+
+    /// Probability that `dst` receives a frame from `src` at their
+    /// current positions (interference aside).
+    pub fn reception_prob(&self, src: NodeId, dst: NodeId) -> f64 {
+        let d = self.position(src).distance(self.position(dst));
+        self.fading.reception_prob(d, self.tx_range(src))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` if the medium has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Current position of `node`.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.index.position(node.index())
+    }
+
+    /// Moves `node` (robots move while maintaining the network).
+    pub fn set_position(&mut self, node: NodeId, pos: Point) {
+        self.index.update_position(node.index(), pos);
+    }
+
+    /// Class of `node`.
+    pub fn class(&self, node: NodeId) -> NodeClass {
+        self.classes[node.index()]
+    }
+
+    /// Transmission range of `node` in metres.
+    pub fn tx_range(&self, node: NodeId) -> f64 {
+        self.ranges.range(self.classes[node.index()])
+    }
+
+    /// The range table.
+    pub fn ranges(&self) -> RangeTable {
+        self.ranges
+    }
+
+    /// Whether `node` is currently alive. Dead sensors neither transmit
+    /// nor receive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Marks `node` failed or repaired.
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        self.alive[node.index()] = alive;
+    }
+
+    /// Calls `visit` for every *alive* node (other than the sender) that
+    /// hears a transmission from `src` at its current position.
+    pub fn for_each_hearer(&self, src: NodeId, mut visit: impl FnMut(NodeId)) {
+        let pos = self.position(src);
+        let range = self.tx_range(src);
+        self.index.for_each_within(pos, range, |i| {
+            if i != src.index() && self.alive[i] {
+                visit(NodeId::new(i as u32));
+            }
+        });
+    }
+
+    /// Collects the alive hearers of `src` (see [`Medium::for_each_hearer`]).
+    pub fn hearers(&self, src: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_hearer(src, |n| out.push(n));
+        out
+    }
+
+    /// Returns `true` if `dst` is within `src`'s transmission range
+    /// (ignores liveness).
+    pub fn in_range(&self, src: NodeId, dst: NodeId) -> bool {
+        self.position(src).distance(self.position(dst)) <= self.tx_range(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medium() -> Medium {
+        // s0 --- s1 --- r2 laid out on a line; sensor range 63, robot 250.
+        let positions = [
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(200.0, 0.0),
+        ];
+        let classes = [NodeClass::Sensor, NodeClass::Sensor, NodeClass::Robot];
+        Medium::new(Bounds::square(1000.0), RangeTable::default(), &positions, &classes)
+    }
+
+    #[test]
+    fn asymmetric_ranges() {
+        let m = medium();
+        let s0 = NodeId::new(0);
+        let s1 = NodeId::new(1);
+        let r2 = NodeId::new(2);
+        // Robot reaches both sensors (250 m), sensors cannot reach it.
+        assert!(m.in_range(r2, s0));
+        assert!(m.in_range(r2, s1));
+        assert!(!m.in_range(s0, r2));
+        assert!(!m.in_range(s1, r2), "150 m > 63 m sensor range");
+        assert!(m.in_range(s0, s1));
+        assert_eq!(m.hearers(r2), vec![s0, s1]);
+        assert_eq!(m.hearers(s0), vec![s1]);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_hear() {
+        let mut m = medium();
+        m.set_alive(NodeId::new(1), false);
+        assert!(m.hearers(NodeId::new(0)).is_empty());
+        m.set_alive(NodeId::new(1), true);
+        assert_eq!(m.hearers(NodeId::new(0)), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn moving_a_node_changes_reachability() {
+        let mut m = medium();
+        let s0 = NodeId::new(0);
+        let r2 = NodeId::new(2);
+        m.set_position(r2, Point::new(500.0, 0.0));
+        assert!(!m.in_range(r2, s0));
+        assert_eq!(m.position(r2), Point::new(500.0, 0.0));
+        m.set_position(r2, Point::new(40.0, 0.0));
+        assert!(m.in_range(s0, r2), "robot moved into sensor range");
+    }
+
+    #[test]
+    fn fading_models() {
+        assert_eq!(Fading::None.reception_prob(62.9, 63.0), 1.0);
+        assert_eq!(Fading::None.reception_prob(63.1, 63.0), 0.0);
+        let f = Fading::SmoothEdge { inner: 0.5 };
+        assert_eq!(f.reception_prob(30.0, 63.0), 1.0, "inside reliable core");
+        assert_eq!(f.reception_prob(63.0, 63.0), 0.0, "zero at the edge");
+        let mid = f.reception_prob(47.25, 63.0);
+        assert!((mid - 0.5).abs() < 1e-9, "linear middle: {mid}");
+        assert_eq!(f.reception_prob(100.0, 63.0), 0.0);
+    }
+
+    #[test]
+    fn medium_reception_prob_uses_positions() {
+        let m = medium().with_fading(Fading::SmoothEdge { inner: 0.5 });
+        // s0 to s1 at 50 m of 63 m: inside the grey zone.
+        let p = m.reception_prob(NodeId::new(0), NodeId::new(1));
+        assert!(p > 0.0 && p < 1.0, "grey zone probability {p}");
+        assert_eq!(m.fading(), Fading::SmoothEdge { inner: 0.5 });
+    }
+
+    #[test]
+    fn class_and_range_lookup() {
+        let m = medium();
+        assert_eq!(m.class(NodeId::new(0)), NodeClass::Sensor);
+        assert_eq!(m.class(NodeId::new(2)), NodeClass::Robot);
+        assert_eq!(m.tx_range(NodeId::new(0)), 63.0);
+        assert_eq!(m.tx_range(NodeId::new(2)), 250.0);
+        assert_eq!(m.ranges().max_range(), 250.0);
+        assert_eq!(m.len(), 3);
+    }
+}

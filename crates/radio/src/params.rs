@@ -1,0 +1,135 @@
+//! MAC and PHY timing parameters.
+
+use robonet_des::SimDuration;
+
+/// IEEE 802.11(b)-style MAC parameters.
+///
+/// Defaults follow the paper's setup (§4.1: "the link layer uses IEEE
+/// 802.11, and the radio model has a nominal bit-rate of 11 Mbps") with
+/// standard 802.11b DSSS timing constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacParams {
+    /// Nominal channel bit-rate in bits per second (11 Mbps).
+    pub bitrate_bps: u64,
+    /// Backoff slot time (20 µs for 802.11b).
+    pub slot: SimDuration,
+    /// Short inter-frame space, data→ACK gap (10 µs).
+    pub sifs: SimDuration,
+    /// Distributed inter-frame space before contention (50 µs).
+    pub difs: SimDuration,
+    /// PHY preamble + PLCP header time prepended to every frame (192 µs
+    /// long preamble).
+    pub phy_overhead: SimDuration,
+    /// Minimum contention window (slots); backoff is uniform in
+    /// `[0, cw]`.
+    pub cw_min: u32,
+    /// Maximum contention window (slots) after exponential growth.
+    pub cw_max: u32,
+    /// Maximum transmission attempts for a unicast frame before it is
+    /// dropped (7, the 802.11 long-retry limit).
+    pub max_attempts: u32,
+    /// ACK frame size in bytes (14).
+    pub ack_bytes: u32,
+}
+
+impl Default for MacParams {
+    fn default() -> Self {
+        MacParams {
+            bitrate_bps: 11_000_000,
+            slot: SimDuration::from_micros(20),
+            sifs: SimDuration::from_micros(10),
+            difs: SimDuration::from_micros(50),
+            phy_overhead: SimDuration::from_micros(192),
+            cw_min: 31,
+            cw_max: 1023,
+            max_attempts: 7,
+            ack_bytes: 14,
+        }
+    }
+}
+
+impl MacParams {
+    /// Air time of a frame of `bytes` payload-plus-header bytes,
+    /// including PHY overhead.
+    ///
+    /// ```
+    /// use robonet_radio::MacParams;
+    /// let p = MacParams::default();
+    /// // 1375 bytes = 11000 bits = 1 ms of payload at 11 Mbps, plus the
+    /// // 192 µs preamble.
+    /// assert_eq!(p.airtime(1375).as_nanos(), 1_192_000);
+    /// ```
+    pub fn airtime(&self, bytes: u32) -> SimDuration {
+        let bits = u64::from(bytes) * 8;
+        // Round up to whole nanoseconds.
+        let nanos = (bits * 1_000_000_000).div_ceil(self.bitrate_bps);
+        self.phy_overhead + SimDuration::from_nanos(nanos)
+    }
+
+    /// Air time of an ACK frame.
+    pub fn ack_airtime(&self) -> SimDuration {
+        self.airtime(self.ack_bytes)
+    }
+
+    /// Contention window for the given (0-based) attempt number:
+    /// `cw_min` doubling per retry, capped at `cw_max`.
+    pub fn contention_window(&self, attempt: u32) -> u32 {
+        let mut cw = self.cw_min;
+        for _ in 0..attempt {
+            cw = ((cw + 1) * 2 - 1).min(self.cw_max);
+            if cw == self.cw_max {
+                break;
+            }
+        }
+        cw
+    }
+
+    /// How long a sender waits for an ACK before declaring the attempt
+    /// failed: SIFS + ACK air time + one slot of margin.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs + self.ack_airtime() + self.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_scales_with_bytes() {
+        let p = MacParams::default();
+        // 1375 bytes = 11000 bits = exactly 1 ms at 11 Mbps.
+        let t = p.airtime(1375);
+        assert_eq!(
+            t.as_nanos(),
+            p.phy_overhead.as_nanos() + 1_000_000,
+            "1375 B should be 1 ms of payload time"
+        );
+        assert!(p.airtime(100) < p.airtime(200));
+        assert_eq!(p.airtime(0), p.phy_overhead, "zero payload still costs preamble");
+    }
+
+    #[test]
+    fn contention_window_doubles_and_caps() {
+        let p = MacParams::default();
+        assert_eq!(p.contention_window(0), 31);
+        assert_eq!(p.contention_window(1), 63);
+        assert_eq!(p.contention_window(2), 127);
+        assert_eq!(p.contention_window(5), 1023);
+        assert_eq!(p.contention_window(50), 1023, "capped");
+    }
+
+    #[test]
+    fn ack_timeout_covers_ack() {
+        let p = MacParams::default();
+        assert!(p.ack_timeout() > p.sifs + p.ack_airtime());
+    }
+
+    #[test]
+    fn defaults_match_80211b() {
+        let p = MacParams::default();
+        assert_eq!(p.bitrate_bps, 11_000_000);
+        assert_eq!(p.slot, SimDuration::from_micros(20));
+        assert_eq!(p.max_attempts, 7);
+    }
+}

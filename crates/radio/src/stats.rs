@@ -1,0 +1,130 @@
+//! Transmission accounting.
+//!
+//! The paper's messaging-overhead metric "is measured as the number of
+//! wireless transmissions incurred" (§2); these counters are that
+//! number, broken down by traffic class.
+
+use crate::frame::TrafficClass;
+
+/// Counters for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Data-frame transmissions, *including* retransmissions and relays
+    /// (every time energy leaves an antenna it counts once).
+    pub data_tx: u64,
+    /// ACK transmissions.
+    pub ack_tx: u64,
+    /// Frames successfully delivered (unicast: to its destination;
+    /// broadcast: counted once per frame with at least one receiver).
+    pub delivered: u64,
+    /// Unicast frames dropped after exhausting retries.
+    pub dropped: u64,
+    /// Receptions corrupted by a collision.
+    pub collisions: u64,
+}
+
+/// Per-class transmission statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxStats {
+    classes: [ClassStats; TrafficClass::ALL.len()],
+}
+
+impl TxStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        TxStats::default()
+    }
+
+    /// Counters for `class`.
+    pub fn class(&self, class: TrafficClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// Mutable counters for `class`.
+    pub fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
+        &mut self.classes[class.index()]
+    }
+
+    /// Total transmissions (data + ACK) across all classes.
+    pub fn total_tx(&self) -> u64 {
+        self.classes.iter().map(|c| c.data_tx + c.ack_tx).sum()
+    }
+
+    /// Total data transmissions for `class` (the Figure 3/4 metric).
+    pub fn data_tx(&self, class: TrafficClass) -> u64 {
+        self.class(class).data_tx
+    }
+
+    /// Delivery ratio over unicast frames of `class`:
+    /// delivered / (delivered + dropped). `None` when nothing was sent.
+    pub fn delivery_ratio(&self, class: TrafficClass) -> Option<f64> {
+        let c = self.class(class);
+        let attempts = c.delivered + c.dropped;
+        if attempts == 0 {
+            None
+        } else {
+            Some(c.delivered as f64 / attempts as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for TxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "class", "data_tx", "ack_tx", "delivered", "dropped", "collisions"
+        )?;
+        for class in TrafficClass::ALL {
+            let c = self.class(class);
+            if c.data_tx + c.ack_tx + c.delivered + c.dropped + c.collisions == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>10} {:>10} {:>8} {:>10}",
+                class.to_string(),
+                c.data_tx,
+                c.ack_tx,
+                c.delivered,
+                c.dropped,
+                c.collisions
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_class() {
+        let mut s = TxStats::new();
+        s.class_mut(TrafficClass::Beacon).data_tx += 3;
+        s.class_mut(TrafficClass::FailureReport).data_tx += 2;
+        s.class_mut(TrafficClass::FailureReport).ack_tx += 2;
+        assert_eq!(s.data_tx(TrafficClass::Beacon), 3);
+        assert_eq!(s.data_tx(TrafficClass::FailureReport), 2);
+        assert_eq!(s.total_tx(), 7);
+    }
+
+    #[test]
+    fn delivery_ratio_cases() {
+        let mut s = TxStats::new();
+        assert_eq!(s.delivery_ratio(TrafficClass::Beacon), None);
+        s.class_mut(TrafficClass::FailureReport).delivered = 9;
+        s.class_mut(TrafficClass::FailureReport).dropped = 1;
+        assert_eq!(s.delivery_ratio(TrafficClass::FailureReport), Some(0.9));
+    }
+
+    #[test]
+    fn display_skips_empty_rows() {
+        let mut s = TxStats::new();
+        s.class_mut(TrafficClass::Beacon).data_tx = 1;
+        let text = s.to_string();
+        assert!(text.contains("beacon"));
+        assert!(!text.contains("repair-request"));
+    }
+}

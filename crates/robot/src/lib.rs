@@ -1,0 +1,25 @@
+//! Mobile maintenance robots for the `robonet` workspace.
+//!
+//! Models the robot side of *Replacing Failed Sensor Nodes by Mobile
+//! Robots* (Mei et al., ICDCS 2006):
+//!
+//! - constant-speed straight-line motion ([`motion::Leg`]) at the
+//!   paper's 1 m/s (the speed of a Pioneer 3DX, §4.1),
+//! - the location-update threshold: "the robot updates its location
+//!   whenever it moves away from the last updated location by a distance
+//!   threshold" of 20 m (§4.2),
+//! - a first-come-first-serve replacement queue ("a robot queues such
+//!   requests and handles the failures in a first-come-first-serve
+//!   fashion", §3.1) — [`RobotState`],
+//! - a motion-energy model ([`energy::EnergyModel`]) following the
+//!   Pioneer 3DX measurements of Mei et al. \[9\], so motion overhead can
+//!   be reported in joules as well as metres.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod motion;
+mod state;
+
+pub use state::{ReplacementTask, RobotState};

@@ -1,0 +1,233 @@
+//! Line charts in the style of the paper's Figures 2–4: a metric on the
+//! y-axis against the number of maintenance robots on the x-axis, one
+//! series per algorithm.
+
+use crate::svg::{Svg, PALETTE};
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in any order; they are plotted sorted by x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A titled line chart with axes, ticks, markers and a legend.
+#[derive(Debug, Clone, Default)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    y_from_zero: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_from_zero: true,
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Starts the y-axis at the data minimum instead of zero.
+    pub fn tight_y(mut self) -> Self {
+        self.y_from_zero = false;
+        self
+    }
+
+    /// Renders to an SVG string of the given pixel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is too small to hold the plot margins.
+    pub fn render(&self, width: u32, height: u32) -> String {
+        assert!(width >= 160 && height >= 120, "chart size too small");
+        let (ml, mr, mt, mb) = (64.0, 16.0, 36.0, 48.0);
+        let pw = f64::from(width) - ml - mr;
+        let ph = f64::from(height) - mt - mb;
+
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        let (x_min, x_max) = bounds(&xs, false);
+        let (y_min, y_max) = bounds(&ys, self.y_from_zero);
+        let sx = move |x: f64| ml + (x - x_min) / (x_max - x_min).max(1e-12) * pw;
+        let sy = move |y: f64| mt + ph - (y - y_min) / (y_max - y_min).max(1e-12) * ph;
+
+        let mut doc = Svg::new(width, height);
+        // Frame and title.
+        doc.rect(ml, mt, pw, ph, "none", Some("#333333"));
+        doc.text(
+            f64::from(width) / 2.0,
+            mt - 12.0,
+            14.0,
+            "middle",
+            "#111111",
+            &self.title,
+        );
+        // Ticks and grid.
+        for i in 0..=4 {
+            let fy = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+            let y = sy(fy);
+            doc.line(ml, y, ml + pw, y, "#dddddd", 0.6);
+            doc.text(ml - 6.0, y + 4.0, 11.0, "end", "#333333", &format_tick(fy));
+        }
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+            let x = sx(fx);
+            doc.line(x, mt + ph, x, mt + ph + 4.0, "#333333", 1.0);
+            doc.text(
+                x,
+                mt + ph + 18.0,
+                11.0,
+                "middle",
+                "#333333",
+                &format_tick(fx),
+            );
+        }
+        doc.text(
+            ml + pw / 2.0,
+            f64::from(height) - 10.0,
+            12.0,
+            "middle",
+            "#111111",
+            &self.x_label,
+        );
+        doc.text(14.0, mt + 12.0, 12.0, "start", "#111111", &self.y_label);
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut pts: Vec<(f64, f64)> = s.points.clone();
+            pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+            let mapped: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (sx(x), sy(y))).collect();
+            doc.polyline(&mapped, color, 2.0);
+            for &(x, y) in &mapped {
+                doc.circle(x, y, 3.2, color);
+            }
+            // Legend entry.
+            let ly = mt + 14.0 + 16.0 * i as f64;
+            doc.line(ml + pw - 86.0, ly - 4.0, ml + pw - 66.0, ly - 4.0, color, 2.0);
+            doc.text(ml + pw - 60.0, ly, 11.0, "start", "#111111", &s.label);
+        }
+        doc.finish()
+    }
+}
+
+fn bounds(values: &[f64], from_zero: bool) -> (f64, f64) {
+    let mut min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    if from_zero {
+        min = min.min(0.0);
+    }
+    if (max - min).abs() < 1e-9 {
+        max = min + 1.0;
+    }
+    // A little headroom above the data.
+    (min, max + (max - min) * 0.05)
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("t", "x", "y")
+            .with_series(Series::new("a", vec![(4.0, 100.0), (16.0, 110.0), (9.0, 105.0)]))
+            .with_series(Series::new("b", vec![(4.0, 90.0), (9.0, 92.0), (16.0, 95.0)]))
+    }
+
+    #[test]
+    fn renders_series_and_legend() {
+        let svg = chart().render(640, 420);
+        assert!(svg.contains("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        // One marker per point.
+        assert!(svg.matches("<circle").count() >= 6);
+    }
+
+    #[test]
+    fn points_plotted_in_x_order() {
+        // The unsorted input (4, 16, 9) must render as a monotone-x
+        // polyline.
+        let svg = chart().render(640, 420);
+        let poly = svg.split("<polyline").nth(1).expect("series polyline");
+        let pts_attr = poly.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        let xs: Vec<f64> = pts_attr
+            .split(' ')
+            .map(|p| p.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "x not sorted: {xs:?}");
+    }
+
+    #[test]
+    fn empty_chart_still_valid() {
+        let svg = LineChart::new("empty", "x", "y").render(320, 200);
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = chart().render(10, 10);
+    }
+
+    #[test]
+    fn tight_y_omits_zero() {
+        // With y from 95..110, a zero-based chart puts the tick "0.00"
+        // on the axis; tight_y must not.
+        let c = LineChart::new("t", "x", "y")
+            .with_series(Series::new("a", vec![(1.0, 95.0), (2.0, 110.0)]));
+        let zero_based = c.clone().render(640, 420);
+        let tight = c.tight_y().render(640, 420);
+        assert!(zero_based.contains(">0.00<"));
+        assert!(!tight.contains(">0.00<"));
+    }
+}

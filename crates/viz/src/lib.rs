@@ -1,0 +1,25 @@
+//! SVG rendering for `robonet` experiments.
+//!
+//! Dependency-free SVG generation used to turn experiment output into
+//! figures: line charts in the style of the paper's Figures 2–4
+//! ([`chart`]), and field maps showing deployments, Voronoi cells and
+//! robot trajectories ([`map`]). The [`svg`] module provides the small
+//! typed document builder both are built on.
+//!
+//! ```
+//! use robonet_viz::chart::{LineChart, Series};
+//!
+//! let chart = LineChart::new("travel per failure (m)", "robots", "metres")
+//!     .with_series(Series::new("fixed", vec![(4.0, 104.2), (9.0, 105.4), (16.0, 102.9)]))
+//!     .with_series(Series::new("dynamic", vec![(4.0, 104.0), (9.0, 102.6), (16.0, 101.7)]));
+//! let svg = chart.render(640, 420);
+//! assert!(svg.contains("<svg"));
+//! assert!(svg.contains("fixed"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod map;
+pub mod svg;

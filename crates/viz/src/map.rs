@@ -1,0 +1,124 @@
+//! Field maps: deployments, Voronoi cells, robot trajectories.
+
+use robonet_geom::{Bounds, ConvexPolygon, Point};
+
+use crate::svg::{Svg, PALETTE};
+
+/// A field-map renderer that projects world coordinates (metres) onto a
+/// square SVG canvas.
+#[derive(Debug)]
+pub struct FieldMap {
+    bounds: Bounds,
+    size: u32,
+    doc: Svg,
+}
+
+impl FieldMap {
+    /// Creates a map of `bounds` rendered at `size × size` pixels.
+    pub fn new(bounds: Bounds, size: u32) -> Self {
+        let mut doc = Svg::new(size, size);
+        doc.rect(0.0, 0.0, f64::from(size), f64::from(size), "#fafafa", Some("#333333"));
+        FieldMap { bounds, size, doc }
+    }
+
+    fn project(&self, p: Point) -> (f64, f64) {
+        let s = f64::from(self.size);
+        (
+            (p.x - self.bounds.min().x) / self.bounds.width() * s,
+            // SVG y grows downward; the field's y grows upward.
+            s - (p.y - self.bounds.min().y) / self.bounds.height() * s,
+        )
+    }
+
+    /// Draws sensors as small dots; dead sensors are drawn hollow red.
+    pub fn sensors(&mut self, positions: &[Point], alive: &[bool]) {
+        for (i, &p) in positions.iter().enumerate() {
+            let (x, y) = self.project(p);
+            if alive.get(i).copied().unwrap_or(true) {
+                self.doc.circle(x, y, 2.0, "#607d8b");
+            } else {
+                self.doc.circle(x, y, 3.0, "#d62728");
+            }
+        }
+    }
+
+    /// Draws robots as numbered squares.
+    pub fn robots(&mut self, positions: &[Point]) {
+        for (i, &p) in positions.iter().enumerate() {
+            let (x, y) = self.project(p);
+            let color = PALETTE[i % PALETTE.len()];
+            self.doc.rect(x - 5.0, y - 5.0, 10.0, 10.0, color, Some("#111111"));
+            self.doc
+                .text(x + 7.0, y - 7.0, 11.0, "start", "#111111", &format!("R{}", i + 1));
+        }
+    }
+
+    /// Overlays convex cells (e.g. a Voronoi partition) as translucent
+    /// fills.
+    pub fn cells(&mut self, cells: &[Option<ConvexPolygon>]) {
+        for (i, cell) in cells.iter().enumerate() {
+            let Some(cell) = cell else { continue };
+            let pts: Vec<(f64, f64)> = cell.vertices().iter().map(|&v| self.project(v)).collect();
+            let color = PALETTE[i % PALETTE.len()];
+            self.doc
+                .polygon(&pts, &format!("{color}22"), color);
+        }
+    }
+
+    /// Draws a travelled path as a polyline.
+    pub fn trajectory(&mut self, waypoints: &[Point], color_index: usize) {
+        let pts: Vec<(f64, f64)> = waypoints.iter().map(|&p| self.project(p)).collect();
+        self.doc
+            .polyline(&pts, PALETTE[color_index % PALETTE.len()], 1.4);
+    }
+
+    /// Finishes the SVG document.
+    pub fn finish(self) -> String {
+        self.doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robonet_geom::voronoi::voronoi_cells;
+
+    fn field() -> Bounds {
+        Bounds::square(400.0)
+    }
+
+    #[test]
+    fn full_map_renders() {
+        let sensors = vec![Point::new(10.0, 10.0), Point::new(200.0, 300.0)];
+        let robots = vec![Point::new(100.0, 100.0), Point::new(300.0, 300.0)];
+        let cells = voronoi_cells(&robots, &field());
+        let mut map = FieldMap::new(field(), 600);
+        map.cells(&cells);
+        map.sensors(&sensors, &[true, false]);
+        map.robots(&robots);
+        map.trajectory(&[Point::new(100.0, 100.0), Point::new(150.0, 180.0)], 0);
+        let svg = map.finish();
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("R1"));
+        assert!(svg.contains("R2"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn projection_flips_y() {
+        let map = FieldMap::new(field(), 400);
+        let (x0, y0) = map.project(Point::new(0.0, 0.0));
+        let (x1, y1) = map.project(Point::new(400.0, 400.0));
+        assert_eq!((x0, y0), (0.0, 400.0), "field origin is bottom-left");
+        assert_eq!((x1, y1), (400.0, 0.0), "field max is top-right");
+    }
+
+    #[test]
+    fn dead_sensors_marked_distinctly() {
+        let mut map = FieldMap::new(field(), 200);
+        map.sensors(&[Point::new(10.0, 10.0)], &[false]);
+        let svg = map.finish();
+        assert!(svg.contains("#d62728"), "dead sensor colour present");
+    }
+}

@@ -1,0 +1,167 @@
+//! A minimal typed SVG document builder.
+//!
+//! Covers exactly the primitives the charts and maps need; everything is
+//! emitted with escaped text and fixed-precision coordinates so output
+//! is deterministic and diff-friendly.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl Svg {
+    /// Creates an empty document with the given pixel size.
+    pub fn new(width: u32, height: u32) -> Self {
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// A straight line.
+    #[allow(clippy::many_single_char_names)]
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
+        );
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: String = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{pts}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#,
+        );
+    }
+
+    /// An axis-aligned rectangle with optional stroke.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(r#" stroke="{s}" stroke-width="1""#))
+            .unwrap_or_default();
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"{stroke_attr}/>"#,
+        );
+    }
+
+    /// A closed polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, stroke: &str) {
+        if points.len() < 3 {
+            return;
+        }
+        let pts: String = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            self.body,
+            r#"<polygon points="{pts}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#,
+        );
+    }
+
+    /// Text anchored at `(x, y)`; `anchor` is `start`, `middle` or
+    /// `end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-family="sans-serif" font-size="{size:.1}" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            escape(content),
+        );
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}"><rect width="{w}" height="{h}" fill="white"/>{body}</svg>"#,
+            w = self.width,
+            h = self.height,
+            body = self.body,
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// A qualitative colour cycle that stays readable on white.
+pub const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_valid() {
+        let svg = Svg::new(100, 50).finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains(r#"width="100""#));
+        assert!(svg.contains(r#"height="50""#));
+    }
+
+    #[test]
+    fn primitives_render() {
+        let mut s = Svg::new(10, 10);
+        s.line(0.0, 0.0, 1.0, 1.0, "#000", 1.0);
+        s.circle(5.0, 5.0, 2.0, "#123456");
+        s.rect(1.0, 1.0, 2.0, 2.0, "none", Some("#abc"));
+        s.polyline(&[(0.0, 0.0), (1.0, 2.0)], "#f00", 1.5);
+        s.polygon(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)], "#eee", "#999");
+        s.text(3.0, 3.0, 12.0, "middle", "#000", "hi");
+        let out = s.finish();
+        for tag in ["<line", "<circle", "<rect", "<polyline", "<polygon", "<text"] {
+            assert!(out.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut s = Svg::new(10, 10);
+        s.text(0.0, 0.0, 10.0, "start", "#000", "a<b & c>d");
+        let out = s.finish();
+        assert!(out.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!out.contains("a<b"));
+    }
+
+    #[test]
+    fn degenerate_shapes_skipped() {
+        let mut s = Svg::new(10, 10);
+        s.polyline(&[], "#000", 1.0);
+        s.polygon(&[(0.0, 0.0), (1.0, 1.0)], "#000", "#000");
+        let out = s.finish();
+        assert!(!out.contains("<polyline"));
+        assert!(!out.contains("<polygon"));
+    }
+}

@@ -1,0 +1,106 @@
+//! The sensor failure process.
+//!
+//! Paper §2(a): "The lifetime of a node is limited, and follows an
+//! exponential distribution with an expected value of T". After a failed
+//! node is replaced, the fresh node draws a fresh lifetime.
+
+use rand::rngs::StdRng;
+
+use robonet_des::{sampler, SimDuration, SimTime};
+
+/// Draws independent exponential lifetimes for sensor nodes.
+#[derive(Debug)]
+pub struct FailureProcess {
+    mean: SimDuration,
+    rng: StdRng,
+}
+
+impl FailureProcess {
+    /// Creates a process with the given mean lifetime (the paper uses
+    /// T = 16000 s) drawing from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    pub fn new(mean: SimDuration, rng: StdRng) -> Self {
+        assert!(mean > SimDuration::ZERO, "mean lifetime must be positive");
+        FailureProcess { mean, rng }
+    }
+
+    /// The mean lifetime.
+    pub fn mean(&self) -> SimDuration {
+        self.mean
+    }
+
+    /// Samples the remaining lifetime of a node born (or replaced) now.
+    pub fn sample_lifetime(&mut self) -> SimDuration {
+        sampler::exponential_duration(&mut self.rng, self.mean)
+    }
+
+    /// The absolute failure time of a node born at `birth`.
+    pub fn sample_failure_at(&mut self, birth: SimTime) -> SimTime {
+        birth + self.sample_lifetime()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn process(seed: u64) -> FailureProcess {
+        FailureProcess::new(SimDuration::from_secs(16_000.0), StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn lifetimes_average_to_mean() {
+        let mut p = process(1);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| p.sample_lifetime().as_secs_f64()).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 16_000.0).abs() / 16_000.0 < 0.03,
+            "empirical mean {mean}"
+        );
+    }
+
+    #[test]
+    fn failure_time_is_after_birth() {
+        let mut p = process(2);
+        let birth = SimTime::from_secs(100.0);
+        for _ in 0..100 {
+            assert!(p.sample_failure_at(birth) >= birth);
+        }
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = process(3);
+        let mut b = process(3);
+        for _ in 0..10 {
+            assert_eq!(a.sample_lifetime(), b.sample_lifetime());
+        }
+    }
+
+    #[test]
+    fn expected_failures_in_sim_window() {
+        // With T = 16000 s and a 64000 s window, a continuously replaced
+        // node slot fails ~4 times on average. Simulate 2000 slots.
+        let mut p = process(4);
+        let horizon = 64_000.0;
+        let slots = 2000;
+        let mut failures = 0u64;
+        for _ in 0..slots {
+            let mut t = 0.0;
+            loop {
+                t += p.sample_lifetime().as_secs_f64();
+                if t > horizon {
+                    break;
+                }
+                failures += 1;
+            }
+        }
+        let per_slot = failures as f64 / slots as f64;
+        assert!((per_slot - 4.0).abs() < 0.2, "failures per slot {per_slot}");
+    }
+}

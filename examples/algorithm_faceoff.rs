@@ -1,0 +1,61 @@
+//! Head-to-head comparison of the three coordination algorithms — a
+//! compressed version of the paper's whole evaluation in one command.
+//!
+//!     cargo run --release --example algorithm_faceoff -- [scale]
+//!
+//! Runs 4/9/16 robots × {fixed, dynamic, centralized} and prints the
+//! three figures' series plus a CSV dump. Default time compression is
+//! 16× (≈ a minute); pass `1` for the paper's full runs.
+
+use robonet::core::report::{text_table, Row};
+use robonet::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(16.0);
+    let algorithms = [
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Dynamic,
+        Algorithm::Centralized,
+    ];
+    let mut rows = Vec::new();
+    for k in [2usize, 3, 4] {
+        for alg in algorithms {
+            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(scale);
+            eprintln!("running {} with {} robots...", alg, cfg.n_robots());
+            let outcome = Simulation::run(cfg);
+            rows.push(Row::new(&outcome.config, outcome.metrics.summary()));
+        }
+    }
+
+    println!("{}", text_table(&rows));
+    println!("CSV:");
+    println!("{}", Row::csv_header());
+    for r in &rows {
+        println!("{}", r.to_csv());
+    }
+
+    // The paper's conclusions, checked live:
+    for robots in [4usize, 9, 16] {
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.algorithm == name && r.robots == robots)
+                .expect("row exists")
+        };
+        let fixed = get("fixed");
+        let dynamic = get("dynamic");
+        let central = get("centralized");
+        println!(
+            "{robots} robots: motion fixed {:.1} vs dynamic {:.1} vs centralized {:.1} m; \
+             update-tx centralized {:.0} ≪ fixed {:.0} ≤ dynamic {:.0}",
+            fixed.summary.avg_travel_per_failure,
+            dynamic.summary.avg_travel_per_failure,
+            central.summary.avg_travel_per_failure,
+            central.summary.loc_update_tx_per_failure,
+            fixed.summary.loc_update_tx_per_failure,
+            dynamic.summary.loc_update_tx_per_failure,
+        );
+    }
+}

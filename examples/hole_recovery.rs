@@ -1,0 +1,135 @@
+//! Demonstrates geographic routing recovering around a coverage hole
+//! with GPSR-style perimeter (face) routing — the mechanism that keeps
+//! failure reports flowing when greedy forwarding hits a void
+//! (paper §4.2: "recovering from holes is possible using approaches
+//! such as GFG or GPSR, using planar subgraphs to route around holes").
+//!
+//!     cargo run --release --example hole_recovery
+
+use rand::SeedableRng;
+
+use robonet::des::{NodeId, SimTime};
+use robonet::geom::graph::UnitDiskGraph;
+use robonet::geom::{deploy, Bounds, Point};
+use robonet::net::{route, GeoHeader, NeighborTable, RouteDecision, RouteMode};
+
+/// Builds each node's neighbour table from the unit-disk graph (what
+/// beaconing would establish).
+fn tables(g: &UnitDiskGraph) -> Vec<NeighborTable> {
+    (0..g.len())
+        .map(|i| {
+            let mut t = NeighborTable::new();
+            for &j in g.neighbors(i) {
+                t.update(
+                    NodeId::new(j),
+                    g.position(j as usize),
+                    SimTime::ZERO,
+                );
+            }
+            t
+        })
+        .collect()
+}
+
+fn trace_route(g: &UnitDiskGraph, tables: &[NeighborTable], src: usize, dst: usize) {
+    let mut header = GeoHeader::new(NodeId::new(dst as u32), g.position(dst));
+    let mut cur = src;
+    let mut prev: Option<Point> = None;
+    let mut perimeter_hops = 0u32;
+    print!("  route: {src}");
+    loop {
+        match route(
+            NodeId::new(cur as u32),
+            g.position(cur),
+            &tables[cur],
+            &mut header,
+            prev,
+        ) {
+            RouteDecision::Deliver => {
+                println!("  -> delivered");
+                break;
+            }
+            RouteDecision::Forward(next) => {
+                if matches!(header.mode, RouteMode::Perimeter { .. }) {
+                    perimeter_hops += 1;
+                    print!(" ~{next}");
+                } else {
+                    print!(" ->{next}");
+                }
+                prev = Some(g.position(cur));
+                cur = next.index();
+            }
+            RouteDecision::Drop(reason) => {
+                println!("  -> DROPPED ({reason:?})");
+                break;
+            }
+        }
+    }
+    println!(
+        "  {} hops total, {} in perimeter (recovery) mode",
+        header.hops, perimeter_hops
+    );
+}
+
+fn main() {
+    let bounds = Bounds::square(400.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    // Deploy densely, then carve a large circular void in the middle —
+    // the kind of hole a cluster of failed sensors would leave.
+    let all = deploy::uniform(&mut rng, &bounds, 420);
+    let hole_center = Point::new(200.0, 200.0);
+    let positions: Vec<Point> = all
+        .into_iter()
+        .filter(|p| p.distance(hole_center) > 130.0)
+        .collect();
+    let g = UnitDiskGraph::build(bounds, 46.0, &positions);
+    println!(
+        "{} sensors around a 130 m void (46 m radio range); network connected: {}",
+        g.len(),
+        g.is_connected()
+    );
+    let t = tables(&g);
+
+    // Pick a west-side source and an east-side destination so the
+    // straight line crosses the void.
+    let src = (0..g.len())
+        .filter(|&i| g.position(i).x < 60.0 && (g.position(i).y - 200.0).abs() < 60.0)
+        .min_by(|&a, &b| {
+            g.position(a)
+                .x
+                .partial_cmp(&g.position(b).x)
+                .expect("finite")
+        })
+        .expect("a west-side node exists");
+    let dst = (0..g.len())
+        .filter(|&i| g.position(i).x > 340.0 && (g.position(i).y - 200.0).abs() < 60.0)
+        .max_by(|&a, &b| {
+            g.position(a)
+                .x
+                .partial_cmp(&g.position(b).x)
+                .expect("finite")
+        })
+        .expect("an east-side node exists");
+
+    println!(
+        "routing across the void: {} at {} -> {} at {}",
+        src,
+        g.position(src),
+        dst,
+        g.position(dst)
+    );
+    trace_route(&g, &t, src, dst);
+
+    // And a control route that does not cross the hole.
+    let dst2 = (0..g.len())
+        .filter(|&i| g.position(i).x < 100.0 && g.position(i).y > 330.0)
+        .min_by(|&a, &b| {
+            g.position(a)
+                .y
+                .partial_cmp(&g.position(b).y)
+                .expect("finite")
+        })
+        .expect("a north-west node exists");
+    println!("control route along the west edge: {src} -> {dst2}");
+    trace_route(&g, &t, src, dst2);
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run one small scenario end to end and print every metric
+//! the paper's evaluation cares about.
+//!
+//!     cargo run --release --example quickstart
+//!
+//! Uses 4 robots / 200 sensors with 16× time compression so it finishes
+//! in seconds; pass `--full` for the paper's real 64000 s run.
+
+use robonet::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { 1.0 } else { 16.0 };
+    let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+        .with_seed(42)
+        .scaled(scale);
+
+    println!(
+        "Field: {:.0} x {:.0} m, {} sensors, {} robots, algorithm: {}",
+        cfg.side(),
+        cfg.side(),
+        cfg.n_sensors(),
+        cfg.n_robots(),
+        cfg.algorithm
+    );
+    println!(
+        "Simulating {:.0} s of operation (mean sensor lifetime {:.0} s)...",
+        cfg.sim_time.as_secs_f64(),
+        cfg.mean_lifetime.as_secs_f64()
+    );
+
+    let outcome = Simulation::run(cfg);
+    let m = &outcome.metrics;
+    let s = m.summary();
+
+    println!();
+    println!("=== outcome ===");
+    println!("events processed:             {}", outcome.events_processed);
+    println!("sensor failures:              {}", s.failures_occurred);
+    println!("replacements completed:       {}", s.replacements);
+    println!("avg travel per failure:       {:.1} m   (Figure 2 metric)", s.avg_travel_per_failure);
+    println!("avg failure-report hops:      {:.2}     (Figure 3 metric)", s.avg_report_hops);
+    println!("loc-update tx per failure:    {:.1}     (Figure 4 metric)", s.loc_update_tx_per_failure);
+    println!("report delivery ratio:        {:.2}%", s.report_delivery_ratio * 100.0);
+    println!("avg repair delay:             {:.1} s", s.avg_repair_delay);
+    println!("myrobot accuracy:             {:.2}%", s.myrobot_accuracy * 100.0);
+    println!();
+    println!("robot odometers (m): {:?}", m.robot_odometers.iter().map(|d| d.round()).collect::<Vec<_>>());
+    println!("tasks per robot:     {:?}", m.tasks_per_robot);
+    println!();
+    println!("=== MAC-level transmissions by traffic class ===");
+    print!("{}", m.tx);
+
+    // Energy view of the motion overhead (robot crate).
+    let model = robonet::robot::energy::EnergyModel::default();
+    let total: f64 = m.robot_odometers.iter().sum();
+    println!();
+    println!(
+        "fleet motion energy at 1 m/s: {:.1} kJ for {:.1} km travelled",
+        model.travel_energy(total, 1.0) / 1000.0,
+        total / 1000.0
+    );
+}

@@ -1,0 +1,132 @@
+//! Regenerates the paper's Figure 1 as an SVG: the Voronoi partition of
+//! five robots, before and after robot R1 moves to a failure, with the
+//! myrobot-switch region (the shaded area of Fig. 1(b)) highlighted.
+//!
+//!     cargo run --release --example voronoi_figure
+//!
+//! Writes `voronoi_figure.svg` to the current directory.
+
+use std::fmt::Write as _;
+
+use robonet::geom::voronoi::{switch_region_predicate, voronoi_cells};
+use robonet::geom::{Bounds, ConvexPolygon, Point};
+
+fn polygon_path(poly: &ConvexPolygon) -> String {
+    let mut d = String::new();
+    for (i, v) in poly.vertices().iter().enumerate() {
+        let cmd = if i == 0 { 'M' } else { 'L' };
+        let _ = write!(d, "{cmd}{:.1},{:.1} ", v.x, v.y);
+    }
+    d.push('Z');
+    d
+}
+
+fn main() {
+    let bounds = Bounds::square(500.0);
+    // Five robots roughly like the paper's sketch.
+    let robots = [
+        Point::new(110.0, 130.0), // R1
+        Point::new(120.0, 380.0), // R2
+        Point::new(330.0, 420.0), // R3
+        Point::new(400.0, 180.0), // R4
+        Point::new(260.0, 260.0), // R5
+    ];
+    // The failure S that R1 drives to (inside R1's cell).
+    let failure = Point::new(200.0, 90.0);
+
+    let before = voronoi_cells(&robots, &bounds);
+    let mut after_sites = robots;
+    after_sites[0] = failure;
+    let after = voronoi_cells(&after_sites, &bounds);
+    let switches = switch_region_predicate(&robots, 0, failure);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="1040" height="540" viewBox="0 0 1040 540">"##
+    );
+    let palette = ["#dbeafe", "#dcfce7", "#fef9c3", "#fde2e2", "#ede9fe"];
+
+    for (panel, cells) in [(0.0, &before), (520.0, &after)] {
+        let _ = write!(svg, r##"<g transform="translate({},20)">"##, panel + 20.0);
+        for (i, cell) in cells.iter().enumerate() {
+            if let Some(c) = cell {
+                let _ = write!(
+                    svg,
+                    r##"<path d="{}" fill="{}" stroke="#334155" stroke-width="1.5"/>"##,
+                    polygon_path(c),
+                    palette[i % palette.len()]
+                );
+            }
+        }
+        // Shade the switch region on the "after" panel by sampling.
+        if panel > 0.0 {
+            for ix in 0..100 {
+                for iy in 0..100 {
+                    let p = Point::new(ix as f64 * 5.0 + 2.5, iy as f64 * 5.0 + 2.5);
+                    if switches(p) {
+                        let _ = write!(
+                            svg,
+                            r##"<rect x="{:.1}" y="{:.1}" width="5" height="5" fill="#475569" opacity="0.35"/>"##,
+                            p.x - 2.5,
+                            p.y - 2.5
+                        );
+                    }
+                }
+            }
+        }
+        let sites = if panel > 0.0 { &after_sites } else { &robots };
+        for (i, r) in sites.iter().enumerate() {
+            let _ = write!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="7" fill="#0f172a"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="16" fill="#0f172a">R{}</text>"##,
+                r.x,
+                r.y,
+                r.x + 10.0,
+                r.y - 8.0,
+                i + 1
+            );
+        }
+        if panel == 0.0 {
+            let _ = write!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="12" height="12" fill="#dc2626"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="16" fill="#dc2626">S</text>"##,
+                failure.x - 6.0,
+                failure.y - 6.0,
+                failure.x + 12.0,
+                failure.y - 8.0
+            );
+        }
+        svg.push_str("</g>");
+    }
+    let _ = write!(
+        svg,
+        r##"<text x="130" y="535" font-family="sans-serif" font-size="16">(a) original Voronoi partition; failure at S</text>"##
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="620" y="535" font-family="sans-serif" font-size="16">(b) after R1 moves to S; shaded: myrobot switch region</text>"##
+    );
+    svg.push_str("</svg>");
+
+    let path = "voronoi_figure.svg";
+    std::fs::write(path, &svg).expect("write SVG");
+
+    // Also report the geometry quantitatively.
+    let total: f64 = before.iter().flatten().map(|c| c.area()).sum();
+    println!("five robots partition {:.0} m² (field {:.0} m²)", total, bounds.area());
+    let mut switched = 0usize;
+    let samples = 200 * 200;
+    for ix in 0..200 {
+        for iy in 0..200 {
+            if switches(Point::new(ix as f64 * 2.5 + 1.25, iy as f64 * 2.5 + 1.25)) {
+                switched += 1;
+            }
+        }
+    }
+    println!(
+        "myrobot switch region: {:.1}% of the field must relay/adopt after R1's move",
+        100.0 * switched as f64 / samples as f64
+    );
+    println!("wrote {path}");
+}

@@ -1,0 +1,128 @@
+//! Adversarial scenarios: conditions the protocol must survive even
+//! though the paper assumes them away or never exercises them.
+
+use robonet::des::SimDuration;
+use robonet::prelude::*;
+
+/// Very short lifetimes: many concurrent failures, guardians dying
+/// while holding undelivered reports, robots always saturated. The
+/// paper's §2 assumption ("the probability of both a guardian and a
+/// corresponding guardee fail close in time is small") is deliberately
+/// violated here — the system must degrade gracefully, not deadlock or
+/// panic.
+#[test]
+fn survives_failure_storm() {
+    let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+        .with_seed(13)
+        .scaled(32.0);
+    cfg.mean_lifetime = SimDuration::from_secs(150.0); // vs 500 s scaled norm
+    let o = Simulation::run(cfg);
+    let m = &o.metrics;
+    // Dead nodes cannot re-fail until repaired, so the storm is
+    // self-limiting; still several hundred failures in 2000 s.
+    assert!(m.failures_occurred > 300, "storm really happened: {}", m.failures_occurred);
+    // Guardians die with their guardees often now, so some failures go
+    // unreported — but the majority must still be repaired.
+    assert!(
+        m.replacements as f64 > 0.5 * m.failures_occurred as f64,
+        "repaired {}/{} under storm",
+        m.replacements,
+        m.failures_occurred
+    );
+}
+
+/// One robot, failures across the whole field: the FCFS queue is
+/// saturated; every queued failure must still be served in order.
+#[test]
+fn single_saturated_robot_drains_queue() {
+    let mut cfg = ScenarioConfig::paper(1, Algorithm::Centralized)
+        .with_seed(21)
+        .scaled(32.0);
+    cfg.mean_lifetime = SimDuration::from_secs(250.0);
+    let o = Simulation::run(cfg);
+    assert!(o.metrics.replacements > 50);
+    // Queueing shows up as repair delay far above the pure travel time.
+    let s = o.metrics.summary();
+    assert!(
+        s.avg_repair_delay > s.avg_travel_per_failure / o.config.robot_speed,
+        "delay {} should exceed raw travel time",
+        s.avg_repair_delay
+    );
+}
+
+/// Sparse network: half the paper's density. Geographic routing leans
+/// on perimeter recovery; delivery degrades but must not collapse.
+#[test]
+fn sparse_network_still_functions() {
+    let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+        .with_seed(8)
+        .scaled(32.0);
+    cfg.sensors_per_robot = 25;
+    let o = Simulation::run(cfg);
+    let s = o.metrics.summary();
+    assert!(
+        s.replacements as f64 > 0.6 * s.failures_occurred as f64,
+        "repaired {}/{} at half density",
+        s.replacements,
+        s.failures_occurred
+    );
+}
+
+/// Broadcast pruning (the §6 future-work optimisation) must cut
+/// location-update traffic without breaking repair.
+#[test]
+fn broadcast_pruning_trades_messages_not_correctness() {
+    let base = ScenarioConfig::paper(2, Algorithm::Dynamic)
+        .with_seed(31)
+        .scaled(32.0);
+    let mut pruned = base.clone();
+    pruned.broadcast_prune = Some(0.3);
+
+    let o_base = Simulation::run(base);
+    let o_pruned = Simulation::run(pruned);
+    let s_base = o_base.metrics.summary();
+    let s_pruned = o_pruned.metrics.summary();
+    assert!(
+        s_pruned.loc_update_tx_per_failure < 0.8 * s_base.loc_update_tx_per_failure,
+        "pruning should cut update traffic: {} vs {}",
+        s_pruned.loc_update_tx_per_failure,
+        s_base.loc_update_tx_per_failure
+    );
+    // Pruning is lossy (that is the trade-off the paper's §6 asks to
+    // study) but repair must stay close to the unpruned run.
+    let base_ratio = s_base.replacements as f64 / s_base.failures_occurred as f64;
+    let pruned_ratio = s_pruned.replacements as f64 / s_pruned.failures_occurred as f64;
+    assert!(
+        pruned_ratio > 0.85 * base_ratio,
+        "repair must survive pruning: {pruned_ratio:.2} vs base {base_ratio:.2}"
+    );
+}
+
+/// A tiny deployment (one robot, a handful of sensors) where the
+/// guardian graph is a single chain — edge cases in guardian
+/// re-selection dominate.
+#[test]
+fn tiny_deployment_edge_case() {
+    let mut cfg = ScenarioConfig::paper(1, Algorithm::Dynamic)
+        .with_seed(2)
+        .scaled(32.0);
+    cfg.sensors_per_robot = 8;
+    let o = Simulation::run(cfg);
+    // Nothing to assert beyond liveness and basic accounting coherence.
+    assert!(o.metrics.failures_occurred > 0);
+    assert!(o.metrics.replacements <= o.metrics.failures_occurred + o.metrics.spurious_replacements);
+}
+
+/// Hex-partitioned fixed algorithm end to end (exercises the offset
+/// partition in the full protocol, not just unit tests).
+#[test]
+fn fixed_hex_partition_runs() {
+    let o = Simulation::run(
+        ScenarioConfig::paper(2, Algorithm::Fixed(PartitionKind::Hex))
+            .with_seed(17)
+            .scaled(32.0),
+    );
+    let s = o.metrics.summary();
+    assert!(s.replacements as f64 > 0.8 * s.failures_occurred as f64);
+    assert_eq!(s.myrobot_accuracy, 1.0, "fixed assignment never drifts");
+}
