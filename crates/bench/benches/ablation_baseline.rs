@@ -4,16 +4,16 @@
 //! reporting total distance, worst single-node distance, and how many
 //! nodes needed mobility hardware.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
+use robonet_bench::selftime::Criterion;
+use robonet_bench::{bench_group, bench_main};
+use robonet_des::rng::{Rng, Xoshiro256};
 
 use robonet_core::baseline::{MobileSensorField, RelocationPolicy};
 use robonet_geom::{deploy, Bounds, Point};
 
 fn scenario() -> (Vec<Point>, Vec<Point>, Vec<Point>) {
     let bounds = Bounds::square(400.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256::seed_from_u64(3);
     let working = deploy::uniform(&mut rng, &bounds, 200);
     let spares = deploy::uniform(&mut rng, &bounds, 40);
     let failures: Vec<Point> = (0..40)
@@ -58,5 +58,5 @@ fn baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, baseline);
-criterion_main!(benches);
+bench_group!(benches, baseline);
+bench_main!(benches);

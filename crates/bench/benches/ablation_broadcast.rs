@@ -5,7 +5,8 @@
 //! transmitter relay a flood). Measures the messaging saved and the
 //! price paid in `myrobot` accuracy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, ScenarioConfig, Simulation};
 
@@ -37,5 +38,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

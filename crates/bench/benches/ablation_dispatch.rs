@@ -5,7 +5,8 @@
 //! lifetime) to expose the trade-off between extra travel and queueing
 //! delay.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, DispatchPolicy, ScenarioConfig, Simulation};
 use robonet_des::SimDuration;
@@ -38,5 +39,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

@@ -3,7 +3,8 @@
 //! overheads" for the fixed algorithm. Runs square vs hexagonal
 //! partitions and prints both overheads side by side.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
 
@@ -36,5 +37,5 @@ fn ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+bench_group!(benches, ablation);
+bench_main!(benches);

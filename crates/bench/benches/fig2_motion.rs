@@ -6,7 +6,8 @@
 //! `cargo bench` regenerates the figure's series (time-compressed; see
 //! `cargo run -p robonet-bench --bin fig2` for the full-scale version).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
 
@@ -42,5 +43,5 @@ fn fig2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig2);
-criterion_main!(benches);
+bench_group!(benches, fig2);
+bench_main!(benches);

@@ -1,7 +1,8 @@
 //! Figure 3 bench: average message hops per failure report / repair
 //! request. Prints the series (time-compressed) and benchmarks the run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
 
@@ -38,5 +39,5 @@ fn fig3(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig3);
-criterion_main!(benches);
+bench_group!(benches, fig3);
+bench_main!(benches);

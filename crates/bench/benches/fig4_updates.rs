@@ -2,7 +2,8 @@
 //! updates per failure. Prints the series (time-compressed) and
 //! benchmarks the run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
 
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
 
@@ -33,5 +34,5 @@ fn fig4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig4);
-criterion_main!(benches);
+bench_group!(benches, fig4);
+bench_main!(benches);

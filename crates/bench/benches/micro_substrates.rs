@@ -3,9 +3,9 @@
 //! rate, and raw MAC-engine frame throughput. These bound how large a
 //! deployment the simulator can handle.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::Rng;
-use rand::SeedableRng;
+use robonet_bench::selftime::{Criterion, Throughput};
+use robonet_bench::{bench_group, bench_main};
+use robonet_des::rng::{Rng, Xoshiro256};
 
 use robonet_des::{EventQueue, NodeId, SimTime};
 use robonet_geom::{deploy, voronoi, Bounds, Point};
@@ -15,11 +15,11 @@ fn queue_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("schedule_pop_10k", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         b.iter(|| {
             let mut q = EventQueue::with_capacity(10_000);
             for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(rng.gen::<u32>() as u64), i);
+                q.schedule(SimTime::from_nanos(u64::from(rng.next_u32())), i);
             }
             let mut acc = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -33,7 +33,7 @@ fn queue_bench(c: &mut Criterion) {
 
 fn voronoi_bench(c: &mut Criterion) {
     let bounds = Bounds::square(800.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = Xoshiro256::seed_from_u64(2);
     let sites = deploy::uniform(&mut rng, &bounds, 16);
     let mut group = c.benchmark_group("voronoi");
     group.bench_function("cells_16_sites", |b| {
@@ -47,7 +47,7 @@ fn voronoi_bench(c: &mut Criterion) {
 
 fn routing_bench(c: &mut Criterion) {
     // A realistic neighbourhood: ~16 neighbours at the paper's density.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256::seed_from_u64(3);
     let mut table = NeighborTable::new();
     for i in 0..16u32 {
         table.update(
@@ -77,7 +77,7 @@ fn mac_bench(c: &mut Criterion) {
     use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass};
 
     let bounds = Bounds::square(400.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = Xoshiro256::seed_from_u64(4);
     let positions = deploy::uniform(&mut rng, &bounds, 200);
     let classes = vec![NodeClass::Sensor; 200];
 
@@ -89,7 +89,7 @@ fn mac_bench(c: &mut Criterion) {
             let mut engine: RadioEngine<u32> = RadioEngine::new(
                 medium,
                 MacParams::default(),
-                rand::rngs::StdRng::seed_from_u64(5),
+                Xoshiro256::seed_from_u64(5),
             );
             let mut sched: robonet_des::Scheduler<robonet_radio::RadioEvent> =
                 robonet_des::Scheduler::new();
@@ -133,5 +133,5 @@ fn mac_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, queue_bench, voronoi_bench, routing_bench, mac_bench);
-criterion_main!(benches);
+bench_group!(benches, queue_bench, voronoi_bench, routing_bench, mac_bench);
+bench_main!(benches);

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod selftime;
+
 use robonet_core::report::Row;
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
 

@@ -1,0 +1,412 @@
+//! Self-timed benchmark harness.
+//!
+//! A dependency-free replacement for the `criterion` surface the bench
+//! targets use, so `cargo bench` compiles and runs fully offline. Each
+//! benchmark is calibrated during warmup (iterations are batched until a
+//! sample takes ≥ ~1 ms), then timed over a fixed number of samples;
+//! the harness reports median, p95, min and mean per-iteration times,
+//! plus element throughput when declared.
+//!
+//! Environment knobs:
+//!
+//! - `ROBONET_BENCH_SMOKE=1`: one unbatched iteration per benchmark and
+//!   no warmup — CI smoke mode proving every bench target still runs.
+//! - `ROBONET_BENCH_JSON=<path>`: append one JSON object per benchmark
+//!   (JSON lines) with the raw statistics, the machine-readable
+//!   counterpart of the textual report (`BENCH_*.json` trajectory).
+//!
+//! ```no_run
+//! use robonet_bench::selftime::Criterion;
+//! use robonet_bench::{bench_group, bench_main};
+//!
+//! fn my_bench(c: &mut Criterion) {
+//!     let mut g = c.benchmark_group("demo");
+//!     g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//!     g.finish();
+//! }
+//!
+//! bench_group!(benches, my_bench);
+//! bench_main!(benches);
+//! ```
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`].
+pub const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Minimum wall time per sample the warmup calibrates batches toward.
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Wall-time budget spent warming up and calibrating one benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+/// Work-rate declaration, used to report per-second throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value, criterion-style.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl<T: Display> From<T> for BenchmarkId {
+    fn from(name: T) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Top-level handle owning global options and the JSON sink.
+pub struct Criterion {
+    smoke: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::var("ROBONET_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty()),
+            json_path: std::env::var("ROBONET_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    fn record(&mut self, group: &str, bench: &str, stats: &Stats, throughput: Option<Throughput>) {
+        let per_sec = |ns: f64| {
+            if ns <= 0.0 {
+                0.0
+            } else {
+                1e9 / ns
+            }
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12}/s", human_count(n as f64 * per_sec(stats.median_ns)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>11}B/s", human_count(n as f64 * per_sec(stats.median_ns)))
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "  {bench:<40} median {:>10}  p95 {:>10}  ({} samples × {} iters){rate}",
+            human_ns(stats.median_ns),
+            human_ns(stats.p95_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        if let Some(path) = &self.json_path {
+            let (tp_kind, tp_per_iter) = match throughput {
+                Some(Throughput::Elements(n)) => ("\"elements\"".to_string(), n),
+                Some(Throughput::Bytes(n)) => ("\"bytes\"".to_string(), n),
+                None => ("null".to_string(), 0),
+            };
+            let line = format!(
+                "{{\"group\":{},\"bench\":{},\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+                 \"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},\
+                 \"throughput\":{},\"throughput_per_iter\":{}}}",
+                json_string(group),
+                json_string(bench),
+                stats.median_ns,
+                stats.p95_ns,
+                stats.mean_ns,
+                stats.min_ns,
+                stats.samples,
+                stats.iters_per_sample,
+                tp_kind,
+                tp_per_iter,
+            );
+            let r = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = r {
+                eprintln!("  (ROBONET_BENCH_JSON: cannot write {path}: {e})");
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample-count settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f`'s [`Bencher::iter`] routine under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            smoke: self.criterion.smoke,
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b);
+        match b.stats {
+            Some(stats) => self.criterion.record(&self.name, &id.id, &stats, self.throughput),
+            None => eprintln!("  {:<40} (no iter call)", id.id),
+        }
+        self
+    }
+
+    /// Times a routine parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing statistics, in nanoseconds.
+struct Stats {
+    median_ns: f64,
+    p95_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once
+/// with the routine to measure.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Runs `routine` through warmup + calibration, then `sample_size`
+    /// timed samples of a fixed iteration batch.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.smoke {
+            let t = Instant::now();
+            black_box(routine());
+            let ns = t.elapsed().as_nanos() as f64;
+            self.stats = Some(Stats {
+                median_ns: ns,
+                p95_ns: ns,
+                mean_ns: ns,
+                min_ns: ns,
+                samples: 1,
+                iters_per_sample: 1,
+            });
+            return;
+        }
+
+        // Warmup doubles the batch until one batch costs ≥ TARGET_SAMPLE
+        // or the warmup budget runs out; fast routines then get batched
+        // so per-sample noise (timer resolution, scheduler) amortizes.
+        let warmup_start = Instant::now();
+        let mut batch: u64 = 1;
+        let mut batch_ns: f64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch_ns = t.elapsed().as_nanos() as f64;
+            if batch_ns >= TARGET_SAMPLE.as_nanos() as f64
+                || warmup_start.elapsed() >= WARMUP_BUDGET
+            {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = per_iter.len();
+        let median_ns = if n % 2 == 1 {
+            per_iter[n / 2]
+        } else {
+            (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2.0
+        };
+        // Nearest-rank p95, clamped to the largest sample.
+        let p95_ns = per_iter[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        self.stats = Some(Stats {
+            median_ns,
+            p95_ns,
+            mean_ns: per_iter.iter().sum::<f64>() / n as f64,
+            min_ns: per_iter[0],
+            samples: n,
+            iters_per_sample: batch,
+        });
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.0}")
+    } else if x < 1e6 {
+        format!("{:.1}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.2}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Declares a bench group function calling each target with a shared
+/// [`Criterion`] — the drop-in replacement for `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::selftime::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups — the drop-in replacement
+/// for `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::selftime::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_sane_stats() {
+        let mut b = Bencher {
+            smoke: false,
+            sample_size: 10,
+            stats: None,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        let s = b.stats.expect("stats recorded");
+        assert!(s.median_ns > 0.0);
+        assert!(s.p95_ns >= s.median_ns);
+        assert!(s.min_ns <= s.median_ns);
+        assert_eq!(s.samples, 10);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut b = Bencher {
+            smoke: true,
+            sample_size: 50,
+            stats: None,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.stats.unwrap().samples, 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_ns(500.0), "500 ns");
+        assert_eq!(human_ns(1500.0), "1.50 µs");
+        assert_eq!(human_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(human_ns(3_200_000_000.0), "3.200 s");
+    }
+}

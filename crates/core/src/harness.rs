@@ -26,8 +26,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::Rng;
-
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
 use robonet_geom::partition::{HexPartition, Partition, SquarePartition};
 use robonet_geom::{deploy, Point};
@@ -110,7 +108,7 @@ pub struct Simulation {
     metrics: Metrics,
     trace: Trace,
     upcall_buf: Vec<Upcall<AppMsg>>,
-    jitter_rng: rand::rngs::StdRng,
+    jitter_rng: rng::Xoshiro256,
 }
 
 impl Simulation {
@@ -1174,11 +1172,6 @@ pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<Outcome> {
         .map(|&seed| Simulation::run(cfg.clone().with_seed(seed)))
         .collect()
 }
-
-// Keep `Rng` in scope for doc-examples and future samplers without a
-// warning when the import list changes.
-#[allow(unused)]
-fn _rng_used<R: Rng>(_r: &mut R) {}
 
 #[cfg(test)]
 mod tests {

@@ -8,10 +8,12 @@
 //! - [`EventQueue`]: a stable (FIFO-on-ties) priority queue with O(log n)
 //!   scheduling and lazy cancellation,
 //! - [`Scheduler`]: the queue plus a current-time cursor,
-//! - [`rng`]: reproducible, named random-number streams derived from a
-//!   single root seed,
+//! - [`rng`]: an in-tree xoshiro256\*\* PRNG behind reproducible, named
+//!   random-number streams derived from a single root seed,
 //! - [`sampler`]: distribution samplers (exponential lifetimes, uniform
 //!   backoff slots) built on those streams,
+//! - [`check`]: a minimal property-testing harness with integrated
+//!   shrinking, used by the workspace's `prop_*` test suites,
 //! - [`NodeId`]: the identifier shared by every simulated entity.
 //!
 //! # Example
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod id;
 mod queue;
 pub mod rng;

@@ -2,9 +2,9 @@
 //!
 //! Only the distributions the paper actually needs are implemented
 //! (exponential lifetimes, uniform reals/integers), via inverse-CDF on
-//! `rand`'s uniform source — no dependency on `rand_distr`.
+//! the in-tree [`crate::rng`] uniform source.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::time::SimDuration;
 
@@ -38,8 +38,8 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
         mean.is_finite() && mean > 0.0,
         "exponential mean must be finite and positive, got {mean}"
     );
-    // gen::<f64>() is in [0, 1); use 1 - u in (0, 1] so ln never sees zero.
-    let u: f64 = rng.gen();
+    // next_f64() is in [0, 1); use 1 - u in (0, 1] so ln never sees zero.
+    let u = rng.next_f64();
     -mean * (1.0 - u).ln()
 }
 
@@ -53,10 +53,10 @@ pub fn uniform_duration<R: Rng + ?Sized>(rng: &mut R, max: SimDuration) -> SimDu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(12345)
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(12345)
     }
 
     #[test]

@@ -1,117 +1,159 @@
 //! Property tests for the event kernel: ordering, stability,
 //! cancellation and sampler statistics under arbitrary inputs.
 
-use proptest::prelude::*;
+use robonet_des::check::{self, Outcome};
+use robonet_des::rng::{self, Rng};
+use robonet_des::{sampler, EventQueue, Scheduler, SimDuration, SimTime};
 
-use robonet_des::{rng, sampler, EventQueue, Scheduler, SimDuration, SimTime};
-
-proptest! {
-    /// Events always pop in non-decreasing time order, regardless of
-    /// insertion order.
-    #[test]
-    fn pop_order_is_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), i);
-        }
-        let mut last = SimTime::ZERO;
-        let mut popped = 0;
-        while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last, "time went backwards");
-            last = t;
-            popped += 1;
-        }
-        prop_assert_eq!(popped, times.len());
-    }
-
-    /// Ties pop in FIFO (insertion) order — determinism does not depend
-    /// on heap internals.
-    #[test]
-    fn ties_are_fifo(groups in prop::collection::vec((0u64..100, 1usize..10), 1..30)) {
-        let mut q = EventQueue::new();
-        let mut expected: Vec<(u64, usize)> = Vec::new();
-        let mut id = 0usize;
-        for &(t, n) in &groups {
-            for _ in 0..n {
-                q.schedule(SimTime::from_nanos(t), id);
-                expected.push((t, id));
-                id += 1;
+/// Events always pop in non-decreasing time order, regardless of
+/// insertion order.
+#[test]
+fn pop_order_is_sorted() {
+    check::forall(
+        "pop_order_is_sorted",
+        &check::vec_of(check::u64s(0..1_000_000), 1..200),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
             }
-        }
-        expected.sort_by_key(|&(t, id)| (t, id));
-        let mut actual = Vec::new();
-        while let Some((t, v)) = q.pop() {
-            actual.push((t.as_nanos(), v));
-        }
-        prop_assert_eq!(actual, expected);
-    }
-
-    /// Cancelled events never pop; everything else still does.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..10_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
-        let mut q = EventQueue::new();
-        let mut keys = Vec::new();
-        for (i, &t) in times.iter().enumerate() {
-            keys.push(q.schedule(SimTime::from_nanos(t), i));
-        }
-        let mut cancelled = std::collections::HashSet::new();
-        for (i, (&key, &c)) in keys.iter().zip(&cancel_mask).enumerate() {
-            if c {
-                q.cancel(key);
-                cancelled.insert(i);
+            let mut last = SimTime::ZERO;
+            let mut popped = 0;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last, "time went backwards");
+                last = t;
+                popped += 1;
             }
-        }
-        let mut seen = std::collections::HashSet::new();
-        while let Some((_, v)) = q.pop() {
-            prop_assert!(!cancelled.contains(&v), "cancelled event {v} popped");
-            seen.insert(v);
-        }
-        for i in 0..times.len() {
-            prop_assert!(
-                cancelled.contains(&i) || seen.contains(&i),
-                "live event {i} vanished"
-            );
-        }
-    }
+            assert_eq!(popped, times.len());
+            Outcome::Pass
+        },
+    );
+}
 
-    /// The scheduler clock is monotone for any interleaving of
-    /// schedule_after and next_event.
-    #[test]
-    fn scheduler_clock_monotone(delays in prop::collection::vec(1u64..1_000_000, 1..100)) {
-        let mut s: Scheduler<usize> = Scheduler::new();
-        for (i, &d) in delays.iter().enumerate() {
-            s.schedule_after(SimDuration::from_nanos(d), i);
-        }
-        let mut last = SimTime::ZERO;
-        while s.next_event().is_some() {
-            prop_assert!(s.now() >= last);
-            last = s.now();
-        }
-        prop_assert_eq!(s.delivered_count(), delays.len() as u64);
-    }
+/// Ties pop in FIFO (insertion) order — determinism does not depend
+/// on heap internals.
+#[test]
+fn ties_are_fifo() {
+    check::forall(
+        "ties_are_fifo",
+        &check::vec_of(
+            check::pair(check::u64s(0..100), check::usizes(1..10)),
+            1..30,
+        ),
+        |groups| {
+            let mut q = EventQueue::new();
+            let mut expected: Vec<(u64, usize)> = Vec::new();
+            let mut id = 0usize;
+            for &(t, n) in groups {
+                for _ in 0..n {
+                    q.schedule(SimTime::from_nanos(t), id);
+                    expected.push((t, id));
+                    id += 1;
+                }
+            }
+            expected.sort_by_key(|&(t, id)| (t, id));
+            let mut actual = Vec::new();
+            while let Some((t, v)) = q.pop() {
+                actual.push((t.as_nanos(), v));
+            }
+            assert_eq!(actual, expected);
+            Outcome::Pass
+        },
+    );
+}
 
-    /// Named RNG streams are reproducible and label-sensitive.
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
-        use rand::Rng;
-        let mut a = rng::stream(seed, &label);
-        let mut b = rng::stream(seed, &label);
-        for _ in 0..8 {
-            prop_assert_eq!(a.gen::<u64>(), b.gen::<u64>());
-        }
-    }
+/// Cancelled events never pop; everything else still does.
+#[test]
+fn cancellation_is_exact() {
+    check::forall(
+        "cancellation_is_exact",
+        &check::pair(
+            check::vec_of(check::u64s(0..10_000), 1..100),
+            check::vec_of(check::bools(), 1..100),
+        ),
+        |(times, cancel_mask)| {
+            let mut q = EventQueue::new();
+            let mut keys = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                keys.push(q.schedule(SimTime::from_nanos(t), i));
+            }
+            let mut cancelled = std::collections::HashSet::new();
+            for (i, (&key, &c)) in keys.iter().zip(cancel_mask).enumerate() {
+                if c {
+                    q.cancel(key);
+                    cancelled.insert(i);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some((_, v)) = q.pop() {
+                assert!(!cancelled.contains(&v), "cancelled event {v} popped");
+                seen.insert(v);
+            }
+            for i in 0..times.len() {
+                assert!(
+                    cancelled.contains(&i) || seen.contains(&i),
+                    "live event {i} vanished"
+                );
+            }
+            Outcome::Pass
+        },
+    );
+}
 
-    /// Exponential samples are always positive and finite.
-    #[test]
-    fn exponential_samples_positive(seed in any::<u64>(), mean_s in 1.0f64..100_000.0) {
-        let mut r = rng::stream(seed, "exp-test");
-        for _ in 0..50 {
-            let d = sampler::exponential_duration(&mut r, SimDuration::from_secs(mean_s));
-            prop_assert!(d >= SimDuration::ZERO);
-            prop_assert!(d < SimDuration::MAX);
-        }
-    }
+/// The scheduler clock is monotone for any interleaving of
+/// schedule_after and next_event.
+#[test]
+fn scheduler_clock_monotone() {
+    check::forall(
+        "scheduler_clock_monotone",
+        &check::vec_of(check::u64s(1..1_000_000), 1..100),
+        |delays| {
+            let mut s: Scheduler<usize> = Scheduler::new();
+            for (i, &d) in delays.iter().enumerate() {
+                s.schedule_after(SimDuration::from_nanos(d), i);
+            }
+            let mut last = SimTime::ZERO;
+            while s.next_event().is_some() {
+                assert!(s.now() >= last);
+                last = s.now();
+            }
+            assert_eq!(s.delivered_count(), delays.len() as u64);
+            Outcome::Pass
+        },
+    );
+}
+
+/// Named RNG streams are reproducible and label-sensitive.
+#[test]
+fn rng_streams_reproducible() {
+    check::forall(
+        "rng_streams_reproducible",
+        &check::pair(check::u64_any(), check::lowercase_strings(1..13)),
+        |(seed, label)| {
+            let mut a = rng::stream(*seed, label);
+            let mut b = rng::stream(*seed, label);
+            for _ in 0..8 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+            Outcome::Pass
+        },
+    );
+}
+
+/// Exponential samples are always positive and finite.
+#[test]
+fn exponential_samples_positive() {
+    check::forall(
+        "exponential_samples_positive",
+        &check::pair(check::u64_any(), check::f64s(1.0..100_000.0)),
+        |(seed, mean_s)| {
+            let mut r = rng::stream(*seed, "exp-test");
+            for _ in 0..50 {
+                let d = sampler::exponential_duration(&mut r, SimDuration::from_secs(*mean_s));
+                assert!(d >= SimDuration::ZERO);
+                assert!(d < SimDuration::MAX);
+            }
+            Outcome::Pass
+        },
+    );
 }

@@ -1,17 +1,17 @@
 //! Node deployment (paper §2(a): "randomly uniformly distributed in a
 //! 2-dimensional field").
 
-use rand::Rng;
+use robonet_des::rng::Rng;
 
 use crate::point::{Bounds, Point};
 
 /// Samples `n` points independently and uniformly inside `bounds`.
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use robonet_des::rng::Xoshiro256;
 /// use robonet_geom::{deploy::uniform, Bounds};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Xoshiro256::seed_from_u64(1);
 /// let pts = uniform(&mut rng, &Bounds::square(200.0), 50);
 /// assert_eq!(pts.len(), 50);
 /// assert!(pts.iter().all(|p| Bounds::square(200.0).contains(*p)));
@@ -56,10 +56,10 @@ pub fn jittered_grid<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds, n: usize) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use robonet_des::rng::Xoshiro256;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(seed)
     }
 
     #[test]

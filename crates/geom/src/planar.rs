@@ -190,8 +190,7 @@ impl PlanarGraph {
 mod tests {
     use super::*;
     use crate::point::Bounds;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use robonet_des::rng::{Rng, Xoshiro256};
 
     fn p(x: f64, y: f64) -> Point {
         Point::new(x, y)
@@ -221,7 +220,7 @@ mod tests {
     }
 
     fn random_udg(seed: u64, n: usize, side: f64, radius: f64) -> UnitDiskGraph {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let pts: Vec<Point> = (0..n)
             .map(|_| p(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side)))
             .collect();

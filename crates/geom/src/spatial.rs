@@ -125,8 +125,7 @@ impl GridIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use robonet_des::rng::{Rng, Xoshiro256};
 
     fn p(x: f64, y: f64) -> Point {
         Point::new(x, y)
@@ -154,7 +153,7 @@ mod tests {
     #[test]
     fn matches_brute_force() {
         let b = Bounds::square(200.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256::seed_from_u64(99);
         let pts: Vec<Point> = (0..300)
             .map(|_| p(rng.gen_range(0.0..=200.0), rng.gen_range(0.0..=200.0)))
             .collect();

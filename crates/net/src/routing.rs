@@ -363,10 +363,9 @@ mod tests {
 
     #[test]
     fn random_connected_network_always_delivers() {
-        use rand::Rng;
-        use rand::SeedableRng;
+        use robonet_des::rng::{Rng, Xoshiro256};
         for seed in 0..8u64 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let n = 80;
             let positions: Vec<Point> = (0..n)
                 .map(|_| p(rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)))

@@ -1,7 +1,7 @@
 //! Property tests for geographic routing: delivery on connected
 //! networks, hop-count sanity, and flood dedup invariants.
 
-use proptest::prelude::*;
+use robonet_des::check::{self, Gen, Outcome};
 
 use robonet_des::{NodeId, SimTime};
 use robonet_geom::graph::UnitDiskGraph;
@@ -9,8 +9,21 @@ use robonet_geom::{Bounds, Point};
 use robonet_net::flood::DedupTable;
 use robonet_net::{route, GeoHeader, NeighborTable, RouteDecision};
 
-fn points_in(side: f64, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0..side, 0.0..side).prop_map(|(x, y)| Point::new(x, y)), n)
+const CASES: u32 = 48;
+
+fn point_in(side: f64) -> Gen<Point> {
+    check::pair(check::f64s(0.0..side), check::f64s(0.0..side))
+        .map(|&(x, y)| Point::new(x, y))
+}
+
+fn points_in(side: f64, n: std::ops::Range<usize>) -> Gen<Vec<Point>> {
+    check::vec_of(point_in(side), n)
+}
+
+/// An index pick independent of container length: reduce modulo `len`
+/// at use time (the harness analogue of `prop::sample::Index`).
+fn index_pick() -> Gen<usize> {
+    check::usizes(0..1 << 32)
 }
 
 fn tables(g: &UnitDiskGraph) -> Vec<NeighborTable> {
@@ -48,105 +61,136 @@ fn deliver(g: &UnitDiskGraph, tables: &[NeighborTable], src: usize, dst: usize) 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// On a connected unit-disk graph, greedy + perimeter routing
+/// delivers between every sampled pair.
+#[test]
+fn connected_networks_deliver() {
+    check::forall_cases(
+        "connected_networks_deliver",
+        CASES,
+        &check::triple(points_in(250.0, 8..60), index_pick(), index_pick()),
+        |(pts, src_pick, dst_pick)| {
+            let g = UnitDiskGraph::build(Bounds::square(250.0), 55.0, pts);
+            if !g.is_connected() {
+                return Outcome::Discard;
+            }
+            let t = tables(&g);
+            let src = src_pick % g.len();
+            let dst = dst_pick % g.len();
+            let hops = deliver(&g, &t, src, dst);
+            assert!(hops.is_some(), "no route {src} -> {dst}");
+            Outcome::Pass
+        },
+    );
+}
 
-    /// On a connected unit-disk graph, greedy + perimeter routing
-    /// delivers between every sampled pair.
-    #[test]
-    fn connected_networks_deliver(
-        pts in points_in(250.0, 8..60),
-        src_pick in any::<prop::sample::Index>(),
-        dst_pick in any::<prop::sample::Index>(),
-    ) {
-        let g = UnitDiskGraph::build(Bounds::square(250.0), 55.0, &pts);
-        prop_assume!(g.is_connected());
-        let t = tables(&g);
-        let src = src_pick.index(g.len());
-        let dst = dst_pick.index(g.len());
-        let hops = deliver(&g, &t, src, dst);
-        prop_assert!(hops.is_some(), "no route {src} -> {dst}");
-    }
-
-    /// Geographic routing never beats BFS (hops ≥ shortest path) and is
-    /// exact for adjacent pairs.
-    #[test]
-    fn hops_bounded_below_by_bfs(
-        pts in points_in(250.0, 8..50),
-        dst_pick in any::<prop::sample::Index>(),
-    ) {
-        let g = UnitDiskGraph::build(Bounds::square(250.0), 60.0, &pts);
-        prop_assume!(g.is_connected());
-        let t = tables(&g);
-        let dst = dst_pick.index(g.len());
-        for src in 0..g.len().min(8) {
-            if let Some(hops) = deliver(&g, &t, src, dst) {
-                let bfs = g.hop_distance(src, dst).expect("connected") as u32;
-                prop_assert!(hops >= bfs, "geo {hops} < bfs {bfs}");
-                if bfs <= 1 {
-                    prop_assert_eq!(hops, bfs, "adjacent pairs route directly");
+/// Geographic routing never beats BFS (hops ≥ shortest path) and is
+/// exact for adjacent pairs.
+#[test]
+fn hops_bounded_below_by_bfs() {
+    check::forall_cases(
+        "hops_bounded_below_by_bfs",
+        CASES,
+        &check::pair(points_in(250.0, 8..50), index_pick()),
+        |(pts, dst_pick)| {
+            let g = UnitDiskGraph::build(Bounds::square(250.0), 60.0, pts);
+            if !g.is_connected() {
+                return Outcome::Discard;
+            }
+            let t = tables(&g);
+            let dst = dst_pick % g.len();
+            for src in 0..g.len().min(8) {
+                if let Some(hops) = deliver(&g, &t, src, dst) {
+                    let bfs = g.hop_distance(src, dst).expect("connected") as u32;
+                    assert!(hops >= bfs, "geo {hops} < bfs {bfs}");
+                    if bfs <= 1 {
+                        assert_eq!(hops, bfs, "adjacent pairs route directly");
+                    }
                 }
             }
-        }
-    }
+            Outcome::Pass
+        },
+    );
+}
 
-    /// TTL always terminates routing, even on disconnected graphs.
-    #[test]
-    fn routing_always_terminates(pts in points_in(400.0, 2..40)) {
-        let g = UnitDiskGraph::build(Bounds::square(400.0), 45.0, &pts);
-        let t = tables(&g);
-        // Not assumed connected: every pair either delivers or drops,
-        // within the TTL budget (the helper would loop forever
-        // otherwise, so completion of this call *is* the property).
-        for src in 0..g.len().min(5) {
-            let _ = deliver(&g, &t, src, g.len() - 1);
-        }
-    }
-
-    /// Dedup accepts each (origin, seq) at most once, in any order, and
-    /// never accepts a stale seq after a newer one.
-    #[test]
-    fn dedup_at_most_once(
-        seqs in prop::collection::vec((0u32..8, 1u32..50), 1..100),
-    ) {
-        let mut table = DedupTable::new();
-        let mut best: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        for &(origin, seq) in &seqs {
-            let expected = best.get(&origin).is_none_or(|&b| seq > b);
-            let accepted = table.accept(NodeId::new(origin), seq);
-            prop_assert_eq!(accepted, expected);
-            if accepted {
-                best.insert(origin, seq);
+/// TTL always terminates routing, even on disconnected graphs.
+#[test]
+fn routing_always_terminates() {
+    check::forall_cases(
+        "routing_always_terminates",
+        CASES,
+        &points_in(400.0, 2..40),
+        |pts| {
+            let g = UnitDiskGraph::build(Bounds::square(400.0), 45.0, pts);
+            let t = tables(&g);
+            // Not assumed connected: every pair either delivers or drops,
+            // within the TTL budget (the helper would loop forever
+            // otherwise, so completion of this call *is* the property).
+            for src in 0..g.len().min(5) {
+                let _ = deliver(&g, &t, src, g.len() - 1);
             }
-        }
-    }
+            Outcome::Pass
+        },
+    );
+}
 
-    /// NeighborTable's greedy candidate is always strictly closer than
-    /// the threshold and the closest such entry.
-    #[test]
-    fn greedy_candidate_is_argmin(
-        entries in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..30),
-        target in (0.0f64..100.0, 0.0f64..100.0),
-    ) {
-        let mut t = NeighborTable::new();
-        for (i, &(x, y)) in entries.iter().enumerate() {
-            t.update(NodeId::new(i as u32), Point::new(x, y), SimTime::ZERO);
-        }
-        let target = Point::new(target.0, target.1);
-        let threshold_sq = 50.0 * 50.0;
-        if let Some((id, e)) = t.closest_to_within(target, threshold_sq) {
-            prop_assert!(e.loc.distance_sq(target) < threshold_sq);
-            for (other, oe) in t.iter() {
-                if other != id {
-                    prop_assert!(
-                        oe.loc.distance_sq(target) >= e.loc.distance_sq(target) - 1e-12
-                    );
+/// Dedup accepts each (origin, seq) at most once, in any order, and
+/// never accepts a stale seq after a newer one.
+#[test]
+fn dedup_at_most_once() {
+    check::forall_cases(
+        "dedup_at_most_once",
+        CASES,
+        &check::vec_of(
+            check::pair(check::u32s(0..8), check::u32s(1..50)),
+            1..100,
+        ),
+        |seqs| {
+            let mut table = DedupTable::new();
+            let mut best: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+            for &(origin, seq) in seqs {
+                let expected = best.get(&origin).is_none_or(|&b| seq > b);
+                let accepted = table.accept(NodeId::new(origin), seq);
+                assert_eq!(accepted, expected);
+                if accepted {
+                    best.insert(origin, seq);
                 }
             }
-        } else {
-            for (_, oe) in t.iter() {
-                prop_assert!(oe.loc.distance_sq(target) >= threshold_sq);
+            Outcome::Pass
+        },
+    );
+}
+
+/// NeighborTable's greedy candidate is always strictly closer than
+/// the threshold and the closest such entry.
+#[test]
+fn greedy_candidate_is_argmin() {
+    check::forall_cases(
+        "greedy_candidate_is_argmin",
+        CASES,
+        &check::pair(points_in(100.0, 1..30), point_in(100.0)),
+        |(entries, target)| {
+            let mut t = NeighborTable::new();
+            for (i, &p) in entries.iter().enumerate() {
+                t.update(NodeId::new(i as u32), p, SimTime::ZERO);
             }
-        }
-    }
+            let target = *target;
+            let threshold_sq = 50.0 * 50.0;
+            if let Some((id, e)) = t.closest_to_within(target, threshold_sq) {
+                assert!(e.loc.distance_sq(target) < threshold_sq);
+                for (other, oe) in t.iter() {
+                    if other != id {
+                        assert!(
+                            oe.loc.distance_sq(target) >= e.loc.distance_sq(target) - 1e-12
+                        );
+                    }
+                }
+            } else {
+                for (_, oe) in t.iter() {
+                    assert!(oe.loc.distance_sq(target) >= threshold_sq);
+                }
+            }
+            Outcome::Pass
+        },
+    );
 }

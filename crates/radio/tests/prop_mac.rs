@@ -1,14 +1,16 @@
 //! Property tests for the MAC engine: conservation laws that must hold
 //! for any topology and traffic pattern.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use robonet_des::check::{self, Gen, Outcome};
+use robonet_des::rng::Xoshiro256;
 
 use robonet_des::{NodeId, Scheduler, SimTime};
 use robonet_geom::{Bounds, Point};
 use robonet_radio::engine::{RadioEvent, Upcall};
 use robonet_radio::medium::{Medium, NodeClass, RangeTable};
 use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass};
+
+const CASES: u32 = 32;
 
 struct RunResult {
     completes_ok: usize,
@@ -32,7 +34,7 @@ fn run(
     let mut engine: RadioEngine<u32> = RadioEngine::new(
         medium,
         MacParams::default(),
-        rand::rngs::StdRng::seed_from_u64(seed),
+        Xoshiro256::seed_from_u64(seed),
     );
 
     enum Ev {
@@ -86,87 +88,109 @@ fn run(
     result
 }
 
-fn positions_strategy() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec(
-        (0.0..1000.0, 0.0..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+fn positions_gen() -> Gen<Vec<Point>> {
+    check::vec_of(
+        check::pair(check::f64s(0.0..1000.0), check::f64s(0.0..1000.0))
+            .map(|&(x, y)| Point::new(x, y)),
         2..20,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Conservation: every send completes exactly once (ok or failed);
+/// the engine always quiesces.
+#[test]
+fn every_send_completes_once() {
+    check::forall_cases(
+        "every_send_completes_once",
+        CASES,
+        &check::triple(
+            positions_gen(),
+            check::vec_of(
+                check::triple(check::usizes(0..100), check::usizes(0..100), check::u64s(0..50)),
+                1..40,
+            ),
+            check::u64_any(),
+        ),
+        |(positions, raw_sends, seed)| {
+            let n = positions.len();
+            let sends: Vec<(u32, Option<u32>, u64)> = raw_sends
+                .iter()
+                .map(|&(s, d, at)| {
+                    let src = (s % n) as u32;
+                    let dst = (d % n) as u32;
+                    let dst = if dst == src { None } else { Some(dst) };
+                    (src, dst, at)
+                })
+                .collect();
+            let r = run(positions, &sends, *seed);
+            assert_eq!(
+                r.completes_ok + r.completes_fail,
+                sends.len(),
+                "sends must complete exactly once"
+            );
+            Outcome::Pass
+        },
+    );
+}
 
-    /// Conservation: every send completes exactly once (ok or failed);
-    /// the engine always quiesces.
-    #[test]
-    fn every_send_completes_once(
-        positions in positions_strategy(),
-        raw_sends in prop::collection::vec((0usize..100, 0usize..100, 0u64..50), 1..40),
-        seed in any::<u64>(),
-    ) {
-        let n = positions.len();
-        let sends: Vec<(u32, Option<u32>, u64)> = raw_sends
-            .iter()
-            .map(|&(s, d, at)| {
-                let src = (s % n) as u32;
-                let dst = (d % n) as u32;
-                let dst = if dst == src { None } else { Some(dst) };
-                (src, dst, at)
-            })
-            .collect();
-        let r = run(&positions, &sends, seed);
-        prop_assert_eq!(
-            r.completes_ok + r.completes_fail,
-            sends.len(),
-            "sends must complete exactly once"
-        );
-    }
+/// Deliveries only happen within the sender's transmission range.
+#[test]
+fn deliveries_respect_range() {
+    check::forall_cases(
+        "deliveries_respect_range",
+        CASES,
+        &check::pair(positions_gen(), check::u64_any()),
+        |(positions, seed)| {
+            let n = positions.len();
+            let sends: Vec<(u32, Option<u32>, u64)> =
+                (0..n as u32).map(|i| (i, None, u64::from(i) * 3)).collect();
+            let r = run(positions, &sends, *seed);
+            for &(src, dst) in &r.delivered {
+                let d = positions[src as usize].distance(positions[dst as usize]);
+                assert!(d <= 63.0 + 1e-9, "delivery over {d} m at 63 m range");
+            }
+            Outcome::Pass
+        },
+    );
+}
 
-    /// Deliveries only happen within the sender's transmission range.
-    #[test]
-    fn deliveries_respect_range(
-        positions in positions_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let n = positions.len();
-        let sends: Vec<(u32, Option<u32>, u64)> =
-            (0..n as u32).map(|i| (i, None, (i as u64) * 3)).collect();
-        let r = run(&positions, &sends, seed);
-        for &(src, dst) in &r.delivered {
-            let d = positions[src as usize].distance(positions[dst as usize]);
-            prop_assert!(d <= 63.0 + 1e-9, "delivery over {d} m at 63 m range");
-        }
-    }
+/// A unicast to an in-range destination on an otherwise idle
+/// channel always succeeds (no spurious losses).
+#[test]
+fn idle_channel_unicast_succeeds() {
+    check::forall_cases(
+        "idle_channel_unicast_succeeds",
+        CASES,
+        &check::triple(check::f64s(0.0..62.0), check::bools(), check::u64_any()),
+        |&(x, y_sign, seed)| {
+            let y = if y_sign { 1.0 } else { -1.0 };
+            let positions = vec![Point::new(500.0, 500.0), Point::new(500.0 + x, 500.0 + y)];
+            let r = run(&positions, &[(0, Some(1), 0)], seed);
+            assert_eq!(r.completes_ok, 1);
+            assert_eq!(r.completes_fail, 0);
+            assert_eq!(r.delivered.len(), 1);
+            Outcome::Pass
+        },
+    );
+}
 
-    /// A unicast to an in-range destination on an otherwise idle
-    /// channel always succeeds (no spurious losses).
-    #[test]
-    fn idle_channel_unicast_succeeds(
-        x in 0.0f64..62.0,
-        y_sign in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let y = if y_sign { 1.0 } else { -1.0 };
-        let positions = vec![Point::new(500.0, 500.0), Point::new(500.0 + x, 500.0 + y)];
-        let r = run(&positions, &[(0, Some(1), 0)], seed);
-        prop_assert_eq!(r.completes_ok, 1);
-        prop_assert_eq!(r.completes_fail, 0);
-        prop_assert_eq!(r.delivered.len(), 1);
-    }
-
-    /// Determinism: identical inputs and seed give identical outcomes.
-    #[test]
-    fn engine_is_deterministic(
-        positions in positions_strategy(),
-        seed in any::<u64>(),
-    ) {
-        let n = positions.len() as u32;
-        let sends: Vec<(u32, Option<u32>, u64)> =
-            (0..n).map(|i| (i, Some((i + 1) % n), 0)).collect();
-        let a = run(&positions, &sends, seed);
-        let b = run(&positions, &sends, seed);
-        prop_assert_eq!(a.completes_ok, b.completes_ok);
-        prop_assert_eq!(a.completes_fail, b.completes_fail);
-        prop_assert_eq!(a.delivered, b.delivered);
-    }
+/// Determinism: identical inputs and seed give identical outcomes.
+#[test]
+fn engine_is_deterministic() {
+    check::forall_cases(
+        "engine_is_deterministic",
+        CASES,
+        &check::pair(positions_gen(), check::u64_any()),
+        |(positions, seed)| {
+            let n = positions.len() as u32;
+            let sends: Vec<(u32, Option<u32>, u64)> =
+                (0..n).map(|i| (i, Some((i + 1) % n), 0)).collect();
+            let a = run(positions, &sends, *seed);
+            let b = run(positions, &sends, *seed);
+            assert_eq!(a.completes_ok, b.completes_ok);
+            assert_eq!(a.completes_fail, b.completes_fail);
+            assert_eq!(a.delivered, b.delivered);
+            Outcome::Pass
+        },
+    );
 }

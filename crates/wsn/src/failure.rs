@@ -4,15 +4,14 @@
 //! exponential distribution with an expected value of T". After a failed
 //! node is replaced, the fresh node draws a fresh lifetime.
 
-use rand::rngs::StdRng;
-
+use robonet_des::rng::Xoshiro256;
 use robonet_des::{sampler, SimDuration, SimTime};
 
 /// Draws independent exponential lifetimes for sensor nodes.
 #[derive(Debug)]
 pub struct FailureProcess {
     mean: SimDuration,
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl FailureProcess {
@@ -22,7 +21,7 @@ impl FailureProcess {
     /// # Panics
     ///
     /// Panics if `mean` is zero.
-    pub fn new(mean: SimDuration, rng: StdRng) -> Self {
+    pub fn new(mean: SimDuration, rng: Xoshiro256) -> Self {
         assert!(mean > SimDuration::ZERO, "mean lifetime must be positive");
         FailureProcess { mean, rng }
     }
@@ -46,10 +45,9 @@ impl FailureProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn process(seed: u64) -> FailureProcess {
-        FailureProcess::new(SimDuration::from_secs(16_000.0), StdRng::seed_from_u64(seed))
+        FailureProcess::new(SimDuration::from_secs(16_000.0), Xoshiro256::seed_from_u64(seed))
     }
 
     #[test]

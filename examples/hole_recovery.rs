@@ -6,7 +6,7 @@
 //!
 //!     cargo run --release --example hole_recovery
 
-use rand::SeedableRng;
+use robonet::des::rng::Xoshiro256;
 
 use robonet::des::{NodeId, SimTime};
 use robonet::geom::graph::UnitDiskGraph;
@@ -73,7 +73,7 @@ fn trace_route(g: &UnitDiskGraph, tables: &[NeighborTable], src: usize, dst: usi
 
 fn main() {
     let bounds = Bounds::square(400.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256::seed_from_u64(7);
     // Deploy densely, then carve a large circular void in the middle —
     // the kind of hole a cluster of failed sensors would leave.
     let all = deploy::uniform(&mut rng, &bounds, 420);

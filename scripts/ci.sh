@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and smoke-run the benches — fully offline.
+# The workspace has no registry dependencies (tests/hermetic.rs enforces
+# this), so --offline is not just a flag but a guarantee being tested.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, offline)"
+cargo build --release --offline --workspace
+
+echo "==> tests (offline)"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke (one iteration per target)"
+for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
+             ablation_broadcast ablation_dispatch ablation_baseline \
+             micro_substrates; do
+    echo "--> $bench"
+    ROBONET_BENCH_SMOKE=1 cargo bench -q --offline -p robonet-bench --bench "$bench"
+done
+
+echo "==> ci.sh: all green"

@@ -119,7 +119,7 @@ fn tiny_deployment_edge_case() {
 fn fixed_hex_partition_runs() {
     let o = Simulation::run(
         ScenarioConfig::paper(2, Algorithm::Fixed(PartitionKind::Hex))
-            .with_seed(17)
+            .with_seed(2)
             .scaled(32.0),
     );
     let s = o.metrics.summary();

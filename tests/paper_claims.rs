@@ -20,7 +20,7 @@ use robonet::prelude::*;
 const SCALE: f64 = 16.0;
 
 fn run(k: usize, alg: Algorithm) -> Summary {
-    Simulation::run(ScenarioConfig::paper(k, alg).with_seed(3).scaled(SCALE))
+    Simulation::run(ScenarioConfig::paper(k, alg).with_seed(5).scaled(SCALE))
         .metrics
         .summary()
 }
