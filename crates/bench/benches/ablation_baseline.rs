@@ -51,7 +51,9 @@ fn baseline(c: &mut Criterion) {
          travelling ~100 m per failure — run `--bin fig2` for the full numbers)"
     );
     let mut group = c.benchmark_group("ablation_baseline");
-    group.bench_function("direct", |b| b.iter(|| run_policy(RelocationPolicy::Direct)));
+    group.bench_function("direct", |b| {
+        b.iter(|| run_policy(RelocationPolicy::Direct))
+    });
     group.bench_function("cascaded", |b| {
         b.iter(|| run_policy(RelocationPolicy::Cascaded))
     });

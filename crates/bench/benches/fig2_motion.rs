@@ -33,11 +33,9 @@ fn fig2(c: &mut Criterion) {
                 outcome.metrics.summary().avg_travel_per_failure,
                 outcome.metrics.replacements
             );
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), robots),
-                &cfg,
-                |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
+                b.iter(|| Simulation::run(cfg.clone()).metrics.replacements)
+            });
         }
     }
     group.finish();

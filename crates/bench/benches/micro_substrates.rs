@@ -86,11 +86,8 @@ fn mac_bench(c: &mut Criterion) {
     group.bench_function("broadcast_round_200_nodes", |b| {
         b.iter(|| {
             let medium = Medium::new(bounds, RangeTable::default(), &positions, &classes);
-            let mut engine: RadioEngine<u32> = RadioEngine::new(
-                medium,
-                MacParams::default(),
-                Xoshiro256::seed_from_u64(5),
-            );
+            let mut engine: RadioEngine<u32> =
+                RadioEngine::new(medium, MacParams::default(), Xoshiro256::seed_from_u64(5));
             let mut sched: robonet_des::Scheduler<robonet_radio::RadioEvent> =
                 robonet_des::Scheduler::new();
             {
@@ -133,5 +130,11 @@ fn mac_bench(c: &mut Criterion) {
     group.finish();
 }
 
-bench_group!(benches, queue_bench, voronoi_bench, routing_bench, mac_bench);
+bench_group!(
+    benches,
+    queue_bench,
+    voronoi_bench,
+    routing_bench,
+    mac_bench
+);
 bench_main!(benches);

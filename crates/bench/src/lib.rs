@@ -12,19 +12,20 @@
 pub mod selftime;
 
 use robonet_core::report::Row;
-use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+use robonet_core::{coord, Algorithm, ScenarioConfig, Simulation};
 
 /// The robot-count axis of the paper's figures: k² for k ∈ {2, 3, 4},
 /// i.e. 4, 9 and 16 robots ("we choose square numbers to make area
 /// partition easy", §4.3.1).
 pub const PAPER_KS: [usize; 3] = [2, 3, 4];
 
-/// The three algorithms in the order the figures list them.
-pub const PAPER_ALGORITHMS: [Algorithm; 3] = [
-    Algorithm::Fixed(PartitionKind::Square),
-    Algorithm::Dynamic,
-    Algorithm::Centralized,
-];
+/// The figure algorithms in the order the figures list them, resolved
+/// through the coordination registry ([`coord::figure_algorithms`]) —
+/// registering a new figure algorithm automatically adds it to every
+/// sweep.
+pub fn paper_algorithms() -> Vec<Algorithm> {
+    coord::figure_algorithms().map(|e| e.algorithm).collect()
+}
 
 /// Options for a figure sweep.
 #[derive(Debug, Clone)]
@@ -47,7 +48,7 @@ impl Default for SweepOptions {
             scale: 1.0,
             seeds: vec![1],
             ks: PAPER_KS.to_vec(),
-            algorithms: PAPER_ALGORITHMS.to_vec(),
+            algorithms: paper_algorithms(),
         }
     }
 }
@@ -69,9 +70,7 @@ impl SweepOptions {
             };
             match flag.as_str() {
                 "--scale" => {
-                    opts.scale = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    opts.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 }
                 "--seeds" => {
                     opts.seeds = value()?
@@ -144,7 +143,10 @@ pub fn sweep(opts: &SweepOptions) -> Vec<Row> {
 /// Averages a per-row metric over seeds, returning
 /// `(algorithm, robots, mean)` triples ordered by algorithm then robot
 /// count.
-pub fn average_series(rows: &[Row], metric: impl Fn(&Row) -> Option<f64>) -> Vec<(String, usize, f64)> {
+pub fn average_series(
+    rows: &[Row],
+    metric: impl Fn(&Row) -> Option<f64>,
+) -> Vec<(String, usize, f64)> {
     let mut grouped: Vec<(String, usize, Vec<f64>)> = Vec::new();
     for row in rows {
         let Some(v) = metric(row) else { continue };
@@ -216,10 +218,7 @@ pub fn print_series(
         print!("{alg:<14}");
         for k in ks {
             let robots = k * k;
-            match series
-                .iter()
-                .find(|(a, r, _)| a == alg && *r == robots)
-            {
+            match series.iter().find(|(a, r, _)| a == alg && *r == robots) {
                 Some((_, _, v)) => print!("{v:>12.2}"),
                 None => print!("{:>12}", "-"),
             }
@@ -256,7 +255,11 @@ mod tests {
 
     #[test]
     fn averaging_groups_by_algorithm_and_robots() {
-        let rows = vec![row("fixed", 4, 90.0), row("fixed", 4, 110.0), row("dynamic", 4, 80.0)];
+        let rows = vec![
+            row("fixed", 4, 90.0),
+            row("fixed", 4, 110.0),
+            row("dynamic", 4, 80.0),
+        ];
         let s = average_series(&rows, |r| Some(r.summary.avg_travel_per_failure));
         assert_eq!(s.len(), 2);
         assert!(s.contains(&("fixed".to_string(), 4, 100.0)));
@@ -265,7 +268,11 @@ mod tests {
 
     #[test]
     fn chart_builder_covers_all_algorithms() {
-        let rows = vec![row("fixed", 4, 90.0), row("fixed", 9, 95.0), row("dynamic", 4, 80.0)];
+        let rows = vec![
+            row("fixed", 4, 90.0),
+            row("fixed", 9, 95.0),
+            row("dynamic", 4, 80.0),
+        ];
         let svg = chart_from_rows("Figure 2", "m", &rows, |r| {
             Some(r.summary.avg_travel_per_failure)
         })
@@ -273,6 +280,12 @@ mod tests {
         assert!(svg.contains("fixed"));
         assert!(svg.contains("dynamic"));
         assert!(svg.contains("Figure 2"));
+    }
+
+    #[test]
+    fn paper_algorithms_follow_figure_order() {
+        let names: Vec<&str> = paper_algorithms().iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["fixed", "dynamic", "centralized"]);
     }
 
     #[test]

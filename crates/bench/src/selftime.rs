@@ -114,10 +114,16 @@ impl Criterion {
         };
         let rate = match throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  {:>12}/s", human_count(n as f64 * per_sec(stats.median_ns)))
+                format!(
+                    "  {:>12}/s",
+                    human_count(n as f64 * per_sec(stats.median_ns))
+                )
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  {:>11}B/s", human_count(n as f64 * per_sec(stats.median_ns)))
+                format!(
+                    "  {:>11}B/s",
+                    human_count(n as f64 * per_sec(stats.median_ns))
+                )
             }
             None => String::new(),
         };
@@ -196,7 +202,9 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b);
         match b.stats {
-            Some(stats) => self.criterion.record(&self.name, &id.id, &stats, self.throughput),
+            Some(stats) => self
+                .criterion
+                .record(&self.name, &id.id, &stats, self.throughput),
             None => eprintln!("  {:<40} (no iter call)", id.id),
         }
         self

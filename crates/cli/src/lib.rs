@@ -10,9 +10,7 @@ use std::fmt::Write as _;
 
 use robonet_bench::{average_series, sweep, SweepOptions};
 use robonet_core::report::Row;
-use robonet_core::{
-    Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig, Simulation,
-};
+use robonet_core::{Algorithm, CoverageSampling, DispatchPolicy, ScenarioConfig, Simulation};
 use robonet_des::SimDuration;
 
 /// Prints the usage text to stderr.
@@ -53,17 +51,17 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     }
 }
 
-/// Parses an algorithm name.
+/// Parses an algorithm name by resolving it through the coordination
+/// registry ([`robonet_core::coord::registry`]) — the same table that
+/// defines [`Algorithm::name`], so the two can never drift apart.
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    match name {
-        "fixed" => Ok(Algorithm::Fixed(PartitionKind::Square)),
-        "fixed-hex" => Ok(Algorithm::Fixed(PartitionKind::Hex)),
-        "dynamic" => Ok(Algorithm::Dynamic),
-        "centralized" => Ok(Algorithm::Centralized),
-        other => Err(format!(
-            "unknown algorithm `{other}` (expected fixed, fixed-hex, dynamic or centralized)"
-        )),
-    }
+    Algorithm::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = robonet_core::coord::names().collect();
+        format!(
+            "unknown algorithm `{name}` (expected one of: {})",
+            known.join(", ")
+        )
+    })
 }
 
 struct RunArgs {
@@ -160,7 +158,11 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     );
     let _ = writeln!(out, "failures:             {}", s.failures_occurred);
     let _ = writeln!(out, "replacements:         {}", s.replacements);
-    let _ = writeln!(out, "travel per failure:   {:.1} m", s.avg_travel_per_failure);
+    let _ = writeln!(
+        out,
+        "travel per failure:   {:.1} m",
+        s.avg_travel_per_failure
+    );
     let _ = writeln!(out, "report hops:          {:.2}", s.avg_report_hops);
     if let Some(h) = s.avg_request_hops {
         let _ = writeln!(out, "request hops:         {h:.2}");
@@ -243,6 +245,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use robonet_core::PartitionKind;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -259,8 +262,35 @@ mod tests {
             parse_algorithm("fixed-hex").unwrap(),
             Algorithm::Fixed(PartitionKind::Hex)
         );
-        assert_eq!(parse_algorithm("centralized").unwrap(), Algorithm::Centralized);
+        assert_eq!(
+            parse_algorithm("centralized").unwrap(),
+            Algorithm::Centralized
+        );
         assert!(parse_algorithm("voronoi").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_every_registered_algorithm() {
+        for entry in robonet_core::coord::registry() {
+            let alg = entry.algorithm;
+            assert_eq!(
+                parse_algorithm(alg.name()),
+                Ok(alg),
+                "parse(name({alg:?})) must round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_error_lists_registered_names() {
+        let err = parse_algorithm("voronoi").unwrap_err();
+        for entry in robonet_core::coord::registry() {
+            assert!(
+                err.contains(entry.name),
+                "error should mention `{}`: {err}",
+                entry.name
+            );
+        }
     }
 
     #[test]
@@ -301,8 +331,10 @@ mod tests {
 
     #[test]
     fn run_command_executes_a_small_simulation() {
-        let out = run_cli(&args(&["run", "--alg", "dynamic", "--k", "1", "--scale", "64"]))
-            .expect("run succeeds");
+        let out = run_cli(&args(&[
+            "run", "--alg", "dynamic", "--k", "1", "--scale", "64",
+        ]))
+        .expect("run succeeds");
         assert!(out.contains("failures:"));
         assert!(out.contains("replacements:"));
         assert!(out.contains("transmissions by class"));

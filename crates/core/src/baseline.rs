@@ -187,7 +187,9 @@ mod tests {
     #[test]
     fn cascade_bounds_single_node_distance() {
         let mut f = line_field();
-        let plan = f.fill_hole(p(0.0, 0.0), RelocationPolicy::Cascaded).unwrap();
+        let plan = f
+            .fill_hole(p(0.0, 0.0), RelocationPolicy::Cascaded)
+            .unwrap();
         assert!(plan.movers() > 1, "cascade uses intermediate sensors");
         assert!(
             plan.max_single_move() < 120.0,

@@ -21,14 +21,18 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// Short machine-friendly name for CSV output.
+    /// Short machine-friendly name for CSV output and CLI parsing,
+    /// resolved through the coordination registry
+    /// ([`crate::coord::registry`]) so names live in exactly one table.
     pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Centralized => "centralized",
-            Algorithm::Fixed(PartitionKind::Square) => "fixed",
-            Algorithm::Fixed(PartitionKind::Hex) => "fixed-hex",
-            Algorithm::Dynamic => "dynamic",
-        }
+        crate::coord::coordinator_for(self).name()
+    }
+
+    /// Parses a machine name back to an algorithm via the same
+    /// registry table: `Algorithm::parse(a.name()) == Some(a)` for
+    /// every registered algorithm.
+    pub fn parse(name: &str) -> Option<Self> {
+        crate::coord::by_name(name).map(|e| e.algorithm)
     }
 }
 
@@ -235,8 +239,15 @@ impl ScenarioConfig {
         if self.sensors_per_robot == 0 {
             return Err("need at least one sensor per robot".into());
         }
+        // One robot per partition cell: catch a mismatched fleet here
+        // with a clear message instead of an index fault deep inside
+        // world construction.
+        crate::coord::validate_fleet(crate::coord::coordinator_for(self.algorithm), self)?;
         if !(self.robot_speed.is_finite() && self.robot_speed > 0.0) {
-            return Err(format!("robot speed must be positive, got {}", self.robot_speed));
+            return Err(format!(
+                "robot speed must be positive, got {}",
+                self.robot_speed
+            ));
         }
         if self.update_threshold <= 0.0 {
             return Err("update threshold must be positive".into());
@@ -292,8 +303,7 @@ mod tests {
     #[test]
     fn scaling_preserves_failure_expectation() {
         let c = ScenarioConfig::paper(2, Algorithm::Dynamic).scaled(8.0);
-        let expected_failures_per_sensor =
-            c.sim_time.as_secs_f64() / c.mean_lifetime.as_secs_f64();
+        let expected_failures_per_sensor = c.sim_time.as_secs_f64() / c.mean_lifetime.as_secs_f64();
         assert!((expected_failures_per_sensor - 4.0).abs() < 1e-9);
         assert!(c.validate().is_ok());
     }

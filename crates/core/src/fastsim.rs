@@ -21,13 +21,13 @@
 //! only where the cross-validation holds.
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimTime};
-use robonet_geom::partition::{HexPartition, Partition, SquarePartition};
-use robonet_geom::voronoi::nearest_site;
+use robonet_geom::partition::Partition;
 use robonet_geom::{deploy, Point};
 use robonet_robot::{ReplacementTask, RobotState};
 use robonet_wsn::failure::FailureProcess;
 
-use crate::config::{Algorithm, PartitionKind, ScenarioConfig};
+use crate::config::ScenarioConfig;
+use crate::coord::{self, FlowCtx};
 
 /// Greedy geographic routing makes roughly this fraction of the radio
 /// range of forward progress per hop at the paper's deployment density
@@ -56,10 +56,18 @@ pub struct FastSummary {
 
 #[derive(Debug)]
 enum Event {
-    Fail { sensor: u32, incarnation: u32 },
+    Fail {
+        sensor: u32,
+        incarnation: u32,
+    },
     /// The failure has been detected and the report reaches a manager.
-    Report { sensor: u32 },
-    Arrive { robot: u32, leg: u64 },
+    Report {
+        sensor: u32,
+    },
+    Arrive {
+        robot: u32,
+        leg: u64,
+    },
 }
 
 /// Runs the flow-level model for `cfg`.
@@ -79,6 +87,7 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     if let Err(e) = cfg.validate() {
         panic!("invalid scenario: {e}");
     }
+    let coordinator = coord::coordinator_for(cfg.algorithm);
     let bounds = cfg.bounds();
     let n_sensors = cfg.n_sensors();
     let n_robots = cfg.n_robots();
@@ -87,13 +96,7 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     let mut deploy_rng = rng::stream(cfg.seed, "deploy");
     let sensors = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
 
-    let partition: Option<Box<dyn Partition>> = match cfg.algorithm {
-        Algorithm::Fixed(PartitionKind::Square) => {
-            Some(Box::new(SquarePartition::new(bounds, cfg.k)))
-        }
-        Algorithm::Fixed(PartitionKind::Hex) => Some(Box::new(HexPartition::new(bounds, cfg.k))),
-        _ => None,
-    };
+    let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
     let sensor_subarea: Vec<usize> = match &partition {
         Some(p) => sensors.iter().map(|&s| p.subarea_of(s)).collect(),
         None => vec![0; n_sensors],
@@ -110,10 +113,12 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     };
 
     let mut robot_rng = rng::stream(cfg.seed, "robots");
-    let robot_pos: Vec<Point> = match &partition {
-        Some(p) => (0..n_robots).map(|r| p.center(r)).collect(),
-        None => deploy::uniform(&mut robot_rng, &bounds, n_robots),
-    };
+    let robot_pos: Vec<Point> = coordinator.initial_robot_positions(
+        partition.as_deref(),
+        &bounds,
+        n_robots,
+        &mut robot_rng,
+    );
     let mut robots: Vec<RobotState> = robot_pos
         .iter()
         .enumerate()
@@ -122,7 +127,8 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     let mut leg_seq = vec![0u64; n_robots];
     let manager_loc = bounds.center();
 
-    let mut failure_proc = FailureProcess::new(cfg.mean_lifetime, rng::stream(cfg.seed, "lifetimes"));
+    let mut failure_proc =
+        FailureProcess::new(cfg.mean_lifetime, rng::stream(cfg.seed, "lifetimes"));
     let mut detect_rng = rng::stream(cfg.seed, "detect");
     let mut sched: Scheduler<Event> = Scheduler::with_horizon(SimTime::ZERO + cfg.sim_time);
     let mut incarnation = vec![0u32; n_sensors];
@@ -141,15 +147,27 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
         }
     }
 
-    let hops_for = |dist: f64| -> f64 { (dist / (GREEDY_PROGRESS * sensor_range)).ceil().max(1.0) };
     let density = n_sensors as f64 / bounds.area();
+    // The closed-form message costs live in the coordinator's flow
+    // hooks; this context hands them the precomputed geometry facts.
+    let flow = FlowCtx {
+        manager_loc,
+        manager_range: cfg.ranges.manager,
+        hop_unit: GREEDY_PROGRESS * sensor_range,
+        n_sensors,
+        n_robots,
+        area: bounds.area(),
+        density,
+        update_threshold: cfg.update_threshold,
+        subarea_population: &subarea_population,
+    };
 
     let mut out = FastSummary {
         failures: 0,
         replacements: 0,
         avg_travel_per_failure: 0.0,
         avg_report_hops: 0.0,
-        avg_request_hops: matches!(cfg.algorithm, Algorithm::Centralized).then_some(0.0),
+        avg_request_hops: coordinator.uses_manager().then_some(0.0),
         loc_update_tx_per_failure: 0.0,
         avg_repair_delay: 0.0,
     };
@@ -163,31 +181,16 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     // Cost of the location updates generated by one leg of travel.
     let mut leg_update_cost = |robots: &[RobotState], r: usize, leg_dist: f64| {
         let updates = (leg_dist / cfg.update_threshold).floor() + 1.0; // + arrival
-        match cfg.algorithm {
-            Algorithm::Centralized => {
-                // Unicast to the manager + a one-hop hello, per update.
-                let d = robots[r].last_update_loc.distance(manager_loc);
-                update_tx += updates * (hops_for(d) + 1.0);
-            }
-            Algorithm::Fixed(_) => {
-                update_tx += updates * (subarea_population[r] + 1.0);
-            }
-            Algorithm::Dynamic => {
-                // Cell population ≈ sensors / robots; border band of one
-                // update threshold around the cell perimeter
-                // (~4 × cell side at Voronoi average).
-                let cell = n_sensors as f64 / n_robots as f64;
-                let cell_side = (bounds.area() / n_robots as f64).sqrt();
-                let band = 4.0 * cell_side * cfg.update_threshold * density * 0.5;
-                update_tx += updates * (cell + band + 1.0);
-            }
-        }
+        update_tx += updates * coordinator.flow_update_cost(&flow, r, robots[r].last_update_loc);
     };
 
     while let Some(ev) = sched.next_event() {
         let now = sched.now();
         match ev {
-            Event::Fail { sensor, incarnation: inc } => {
+            Event::Fail {
+                sensor,
+                incarnation: inc,
+            } => {
                 let s = sensor as usize;
                 if incarnation[s] != inc || !alive[s] {
                     continue;
@@ -204,36 +207,17 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
                 let s = sensor as usize;
                 let failed_loc = sensors[s];
 
-                // Report + dispatch (instant at flow level).
-                let r = match cfg.algorithm {
-                    Algorithm::Centralized => {
-                        report_hop_sum += hops_for(failed_loc.distance(manager_loc));
-                        // Manager picks the robot closest (current pos).
-                        let locs: Vec<Point> =
-                            robots.iter().map(|rb| rb.position_at(now)).collect();
-                        let r = nearest_site(&locs, failed_loc).expect("robots exist");
-                        // The request's first hop uses the manager's
-                        // 250 m radio; any remaining distance is covered
-                        // by sensor relays.
-                        let d = (manager_loc.distance(locs[r]) - cfg.ranges.manager).max(0.0);
-                        request_hop_sum += if d > 0.0 { 1.0 + hops_for(d) } else { 1.0 };
-                        requests += 1;
-                        r
-                    }
-                    Algorithm::Fixed(_) => {
-                        let r = sensor_subarea[s];
-                        report_hop_sum +=
-                            hops_for(robots[r].position_at(now).distance(failed_loc));
-                        r
-                    }
-                    Algorithm::Dynamic => {
-                        let locs: Vec<Point> =
-                            robots.iter().map(|rb| rb.position_at(now)).collect();
-                        let r = nearest_site(&locs, failed_loc).expect("robots exist");
-                        report_hop_sum += hops_for(locs[r].distance(failed_loc));
-                        r
-                    }
-                };
+                // Report + dispatch (instant at flow level): the
+                // coordinator selects the robot and prices the report
+                // (and request) legs.
+                let locs: Vec<Point> = robots.iter().map(|rb| rb.position_at(now)).collect();
+                let fd = coordinator.flow_report(&flow, failed_loc, sensor_subarea[s], &locs);
+                report_hop_sum += fd.report_hops;
+                if let Some(rq) = fd.request_hops {
+                    request_hop_sum += rq;
+                    requests += 1;
+                }
+                let r = fd.robot;
 
                 let task = ReplacementTask {
                     failed: NodeId::new(sensor),
@@ -310,7 +294,7 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Algorithm;
+    use crate::config::{Algorithm, PartitionKind};
 
     #[test]
     fn cross_validates_against_packet_simulator() {
@@ -333,9 +317,7 @@ mod tests {
 
     #[test]
     fn preserves_figure_orderings() {
-        let run_alg = |alg| {
-            run(&ScenarioConfig::paper(3, alg).with_seed(2).scaled(8.0))
-        };
+        let run_alg = |alg| run(&ScenarioConfig::paper(3, alg).with_seed(2).scaled(8.0));
         let fixed = run_alg(Algorithm::Fixed(PartitionKind::Square));
         let dynamic = run_alg(Algorithm::Dynamic);
         let centralized = run_alg(Algorithm::Centralized);
@@ -357,14 +339,18 @@ mod tests {
 
     #[test]
     fn is_deterministic() {
-        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic).with_seed(3).scaled(16.0);
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(3)
+            .scaled(16.0);
         assert_eq!(run(&cfg), run(&cfg));
     }
 
     #[test]
     fn large_fleet_runs_fast() {
         // 100 robots, 5000 sensors — far beyond packet-level reach.
-        let cfg = ScenarioConfig::paper(10, Algorithm::Dynamic).with_seed(1).scaled(8.0);
+        let cfg = ScenarioConfig::paper(10, Algorithm::Dynamic)
+            .with_seed(1)
+            .scaled(8.0);
         let fast = run(&cfg);
         assert!(fast.failures > 1000);
         assert!(fast.replacements as f64 > 0.9 * fast.failures as f64);

@@ -27,7 +27,7 @@
 use std::collections::{HashMap, HashSet};
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
-use robonet_geom::partition::{HexPartition, Partition, SquarePartition};
+use robonet_geom::partition::Partition;
 use robonet_geom::{deploy, Point};
 use robonet_net::{route, GeoHeader, NeighborTable, RouteDecision};
 use robonet_radio::engine::{RadioEvent, Upcall};
@@ -37,7 +37,8 @@ use robonet_robot::{ReplacementTask, RobotState};
 use robonet_wsn::failure::FailureProcess;
 use robonet_wsn::{GuardianEvent, SensorState};
 
-use crate::config::{Algorithm, DispatchPolicy, PartitionKind, ScenarioConfig};
+use crate::config::ScenarioConfig;
+use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
 use crate::trace::{Trace, TraceEvent};
@@ -60,19 +61,36 @@ pub struct Outcome {
 enum Event {
     Radio(RadioEvent),
     /// Sensor beacon + detection duties, every beacon period.
-    SensorTick { sensor: u32 },
+    SensorTick {
+        sensor: u32,
+    },
     /// Robot/manager beacon, every beacon period.
-    AgentTick { node: u32 },
+    AgentTick {
+        node: u32,
+    },
     /// A sensor's exponential lifetime expired.
-    Fail { sensor: u32, incarnation: u32 },
+    Fail {
+        sensor: u32,
+        incarnation: u32,
+    },
     /// A robot reached the failure it was driving to.
-    RobotArrive { robot: u32, leg: u64 },
+    RobotArrive {
+        robot: u32,
+        leg: u64,
+    },
     /// A moving robot crossed a 20 m update-threshold point.
-    RobotUpdatePoint { robot: u32, leg: u64 },
+    RobotUpdatePoint {
+        robot: u32,
+        leg: u64,
+    },
     /// Initial robot location announcement (counted as Init traffic).
-    InitAnnounce { robot: u32 },
+    InitAnnounce {
+        robot: u32,
+    },
     /// A flood relay released after its desynchronisation jitter.
-    RelaySend { frame: Frame<AppMsg> },
+    RelaySend {
+        frame: Frame<AppMsg>,
+    },
     /// Periodic coverage sample (only when enabled).
     CoverageSample,
 }
@@ -93,6 +111,9 @@ struct ManagerView {
 /// [`Simulation::run`] convenience wrapper.
 pub struct Simulation {
     cfg: ScenarioConfig,
+    /// The coordination policy (resolved once from `cfg.algorithm`;
+    /// every algorithm-specific decision goes through it).
+    coord: &'static dyn Coordinator,
     sched: Scheduler<Event>,
     radio: RadioEngine<AppMsg>,
     sensors: Vec<SensorState>,
@@ -121,6 +142,7 @@ impl Simulation {
         if let Err(e) = cfg.validate() {
             panic!("invalid scenario: {e}");
         }
+        let coordinator = coord::coordinator_for(cfg.algorithm);
         let bounds = cfg.bounds();
         let n_sensors = cfg.n_sensors();
         let n_robots = cfg.n_robots();
@@ -129,26 +151,20 @@ impl Simulation {
         let mut deploy_rng = rng::stream(cfg.seed, "deploy");
         let sensor_pos = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
 
-        let partition: Option<Box<dyn Partition>> = match cfg.algorithm {
-            Algorithm::Fixed(PartitionKind::Square) => {
-                Some(Box::new(SquarePartition::new(bounds, cfg.k)))
-            }
-            Algorithm::Fixed(PartitionKind::Hex) => {
-                Some(Box::new(HexPartition::new(bounds, cfg.k)))
-            }
-            _ => None,
-        };
+        let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
 
+        // Fixed: robots sit at the subarea centres (§3.2); the initial
+        // drive there is part of initialization and not a per-failure
+        // cost. Partition-free algorithms deploy uniformly.
         let mut robot_rng = rng::stream(cfg.seed, "robots");
-        let robot_pos: Vec<Point> = match &partition {
-            // Fixed: robots sit at the subarea centres (§3.2); the
-            // initial drive there is part of initialization and not a
-            // per-failure cost.
-            Some(p) => (0..n_robots).map(|r| p.center(r)).collect(),
-            None => deploy::uniform(&mut robot_rng, &bounds, n_robots),
-        };
+        let robot_pos: Vec<Point> = coordinator.initial_robot_positions(
+            partition.as_deref(),
+            &bounds,
+            n_robots,
+            &mut robot_rng,
+        );
 
-        let centralized = matches!(cfg.algorithm, Algorithm::Centralized);
+        let centralized = coordinator.uses_manager();
         let manager_node = NodeId::new((n_sensors + n_robots) as u32);
         let manager_loc = bounds.center();
 
@@ -160,8 +176,7 @@ impl Simulation {
             positions.push(manager_loc);
             classes.push(NodeClass::Manager);
         }
-        let medium =
-            Medium::new(bounds, cfg.ranges, &positions, &classes).with_fading(cfg.fading);
+        let medium = Medium::new(bounds, cfg.ranges, &positions, &classes).with_fading(cfg.fading);
         let radio = RadioEngine::new(medium, cfg.mac.clone(), rng::stream(cfg.seed, "mac"));
 
         // --- Protocol state ---------------------------------------------
@@ -174,31 +189,25 @@ impl Simulation {
             .enumerate()
             .map(|(i, &loc)| SensorState::new(NodeId::new(i as u32), loc))
             .collect();
+        // Post-initialization role knowledge (§3.1 invariant): each
+        // sensor learns who it reports to from the coordinator.
+        let seed_ctx = CoordCtx {
+            partition: partition.as_deref(),
+            n_sensors,
+            n_robots,
+            manager: centralized.then_some((manager_node, manager_loc)),
+            update_threshold: cfg.update_threshold,
+        };
         for (i, s) in sensors.iter_mut().enumerate() {
-            match cfg.algorithm {
-                Algorithm::Centralized => {
-                    s.manager = Some((manager_node, manager_loc));
-                }
-                Algorithm::Fixed(_) => {
-                    let sub = sensor_subarea[i] as usize;
-                    let robot = NodeId::new((n_sensors + sub) as u32);
-                    s.myrobot = Some((robot, robot_pos[sub]));
-                }
-                Algorithm::Dynamic => {
-                    // The init flood gives every sensor all robots'
-                    // starting positions; `myrobot` becomes the closest
-                    // (§3.3).
-                    for (r, &loc) in robot_pos.iter().enumerate() {
-                        s.consider_robot(NodeId::new((n_sensors + r) as u32), loc);
-                    }
-                }
-            }
+            coordinator.seed_initial_role(s, sensor_subarea[i], &robot_pos, &seed_ctx);
         }
 
         let robots: Vec<RobotState> = robot_pos
             .iter()
             .enumerate()
-            .map(|(r, &loc)| RobotState::new(NodeId::new((n_sensors + r) as u32), loc, cfg.robot_speed))
+            .map(|(r, &loc)| {
+                RobotState::new(NodeId::new((n_sensors + r) as u32), loc, cfg.robot_speed)
+            })
             .collect();
 
         let manager = centralized.then(|| ManagerView {
@@ -217,7 +226,10 @@ impl Simulation {
 
         for i in 0..n_sensors {
             let phase = sampler::uniform_duration(&mut phase_rng, cfg.beacon_period);
-            sched.schedule_at(SimTime::ZERO + phase, Event::SensorTick { sensor: i as u32 });
+            sched.schedule_at(
+                SimTime::ZERO + phase,
+                Event::SensorTick { sensor: i as u32 },
+            );
             let fail_at = failure_proc.sample_failure_at(SimTime::ZERO);
             if fail_at <= sched.horizon() {
                 sched.schedule_at(
@@ -240,7 +252,10 @@ impl Simulation {
             // Initial announcement (paper §3.1/§3.2 initialization),
             // counted under the Init traffic class.
             let jitter = sampler::uniform_duration(&mut phase_rng, SimDuration::from_secs(2.0));
-            sched.schedule_at(SimTime::ZERO + jitter, Event::InitAnnounce { robot: r as u32 });
+            sched.schedule_at(
+                SimTime::ZERO + jitter,
+                Event::InitAnnounce { robot: r as u32 },
+            );
         }
         if centralized {
             let phase = sampler::uniform_duration(&mut phase_rng, cfg.beacon_period);
@@ -259,6 +274,7 @@ impl Simulation {
         let cfg_seed_trace = cfg.trace_capacity;
         Simulation {
             cfg,
+            coord: coordinator,
             sched,
             radio,
             incarnation: vec![0; n_sensors],
@@ -309,7 +325,7 @@ impl Simulation {
     /// robot right now (1.0 for the centralized algorithm, which has no
     /// `myrobot` concept).
     fn myrobot_accuracy(&self) -> f64 {
-        if matches!(self.cfg.algorithm, Algorithm::Centralized) {
+        if !self.coord.uses_myrobot() {
             return 1.0;
         }
         let now = self.sched.now();
@@ -321,12 +337,10 @@ impl Simulation {
                 continue;
             }
             total += 1;
-            let truth = match self.cfg.algorithm {
-                // Fixed: the correct manager is the subarea robot.
-                Algorithm::Fixed(_) => self.sensor_subarea[s.id.index()] as usize,
-                _ => robonet_geom::voronoi::nearest_site(&robot_locs, s.loc)
-                    .expect("robots exist"),
-            };
+            let truth = self
+                .coord
+                .myrobot_truth(s.loc, self.sensor_subarea[s.id.index()], &robot_locs)
+                .expect("myrobot algorithms define a ground truth");
             if let Some((robot, _)) = s.myrobot {
                 if robot.index() == self.sensors.len() + truth {
                     correct += 1;
@@ -347,7 +361,10 @@ impl Simulation {
             Event::Radio(rev) => self.on_radio(now, rev),
             Event::SensorTick { sensor } => self.on_sensor_tick(now, sensor as usize),
             Event::AgentTick { node } => self.on_agent_tick(now, node),
-            Event::Fail { sensor, incarnation } => self.on_fail(now, sensor as usize, incarnation),
+            Event::Fail {
+                sensor,
+                incarnation,
+            } => self.on_fail(now, sensor as usize, incarnation),
             Event::RobotArrive { robot, leg } => self.on_robot_arrive(now, robot as usize, leg),
             Event::RobotUpdatePoint { robot, leg } => {
                 self.on_robot_update_point(now, robot as usize, leg)
@@ -411,8 +428,10 @@ impl Simulation {
     // --- Periodic node duties ----------------------------------------------
 
     fn on_sensor_tick(&mut self, now: SimTime, s: usize) {
-        self.sched
-            .schedule_after(self.cfg.beacon_period, Event::SensorTick { sensor: s as u32 });
+        self.sched.schedule_after(
+            self.cfg.beacon_period,
+            Event::SensorTick { sensor: s as u32 },
+        );
         if !self.sensors[s].alive {
             return;
         }
@@ -465,7 +484,7 @@ impl Simulation {
     fn pick_and_confirm_guardian(&mut self, now: SimTime, s: usize) {
         let n_sensors = self.sensors.len();
         let my_sub = self.sensor_subarea[s];
-        let is_fixed = matches!(self.cfg.algorithm, Algorithm::Fixed(_));
+        let is_fixed = self.coord.guardian_requires_same_subarea();
         // Guardians must be sensors; in the fixed algorithm the pair must
         // share a subarea (§3.2). Sensors are static, so subarea can be
         // looked up from deployment data.
@@ -511,7 +530,12 @@ impl Simulation {
     fn agent_position(&self, now: SimTime, id: NodeId) -> Point {
         match self.robot_index(id) {
             Some(r) => self.robots[r].position_at(now),
-            None => self.manager.as_ref().expect("manager beacons only when present").loc,
+            None => {
+                self.manager
+                    .as_ref()
+                    .expect("manager beacons only when present")
+                    .loc
+            }
         }
     }
 
@@ -534,14 +558,7 @@ impl Simulation {
 
     fn send_failure_report(&mut self, now: SimTime, guardian: usize, failed: NodeId) {
         let failed_loc = self.sensors[failed.index()].loc;
-        let (dst, dst_loc) = match self.cfg.algorithm {
-            Algorithm::Centralized => self.sensors[guardian]
-                .manager
-                .expect("centralized sensors know the manager"),
-            _ => self.sensors[guardian]
-                .myrobot
-                .expect("distributed sensors know their robot"),
-        };
+        let (dst, dst_loc) = self.coord.report_target(&self.sensors[guardian]);
         self.metrics.reports_sent += 1;
         if self.trace.is_enabled() {
             self.trace.push(TraceEvent::Detected {
@@ -578,7 +595,13 @@ impl Simulation {
         let at_loc = self.node_position(now, at);
         let mut hdr = *msg.geo().expect("route_and_send requires a geo header");
         let decision = if at.index() < self.sensors.len() {
-            route(at, at_loc, &self.sensors[at.index()].neighbors, &mut hdr, prev_loc)
+            route(
+                at,
+                at_loc,
+                &self.sensors[at.index()].neighbors,
+                &mut hdr,
+                prev_loc,
+            )
         } else {
             let table = self.oracle_table(now, at);
             route(at, at_loc, &table, &mut hdr, prev_loc)
@@ -657,12 +680,17 @@ impl Simulation {
                     self.sensors[to.index()].add_guardee(frame.src, now);
                 }
             }
-            AppMsg::RobotHello { robot, loc, manager } => {
-                self.on_robot_hello(now, to, frame.src, robot, loc, manager)
-            }
-            AppMsg::RobotFlood { robot, loc, seq, subarea } => {
-                self.on_robot_flood(now, to, &frame, robot, loc, seq, subarea)
-            }
+            AppMsg::RobotHello {
+                robot,
+                loc,
+                manager,
+            } => self.on_robot_hello(now, to, frame.src, robot, loc, manager),
+            AppMsg::RobotFlood {
+                robot,
+                loc,
+                seq,
+                subarea,
+            } => self.on_robot_flood(now, to, &frame, robot, loc, seq, subarea),
             ref geo_msg @ (AppMsg::Report { .. }
             | AppMsg::Request { .. }
             | AppMsg::RobotToManagerUpdate { .. }) => {
@@ -720,29 +748,18 @@ impl Simulation {
             return;
         }
         self.hear_guarded(now, to, src, loc);
-        let sensor_loc = self.sensors[to.index()].loc;
         if !self.sensors[to.index()].alive {
             return;
         }
-        match self.cfg.algorithm {
-            Algorithm::Centralized => {
-                if self.sensors[to.index()].manager.is_none() {
-                    self.sensors[to.index()].manager = manager;
-                }
-            }
-            Algorithm::Fixed(_) => {
-                // Adopt only the own-subarea robot (relevant for freshly
-                // installed replacements).
-                if let (Some(p), Some(r)) = (&self.partition, self.robot_index(robot)) {
-                    if p.subarea_of(sensor_loc) == r {
-                        self.sensors[to.index()].myrobot = Some((robot, loc));
-                    }
-                }
-            }
-            Algorithm::Dynamic => {
-                self.sensors[to.index()].consider_robot(robot, loc);
-            }
-        }
+        let ctx = CoordCtx {
+            partition: self.partition.as_deref(),
+            n_sensors: self.sensors.len(),
+            n_robots: self.robots.len(),
+            manager: self.manager.as_ref().map(|m| (m.id, m.loc)),
+            update_threshold: self.cfg.update_threshold,
+        };
+        self.coord
+            .on_robot_hello(&mut self.sensors[to.index()], robot, loc, manager, &ctx);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -767,34 +784,22 @@ impl Simulation {
             return; // relay at most once per (robot, seq) — §3.2
         }
         let s_loc = self.sensors[to.index()].loc;
-        let mut relay = match self.cfg.algorithm {
-            Algorithm::Fixed(_) => {
-                if self.sensor_subarea[to.index()] == subarea {
-                    self.sensors[to.index()].myrobot = Some((robot, loc));
-                    true
-                } else {
-                    false
-                }
-            }
-            Algorithm::Dynamic => {
-                let adopted = self.sensors[to.index()].consider_robot(robot, loc);
-                // Border band: even a non-adopting sensor relays when a
-                // radio neighbour might need to switch (the shaded region
-                // of the paper's Fig. 1(b)). One update threshold of
-                // slack suffices: a robot moves at most that far between
-                // floods, so only sensors within it of the bisector can
-                // be affected.
-                let band = self.cfg.update_threshold;
-                let near_border = match self.sensors[to.index()].myrobot {
-                    Some((_, my_loc)) => {
-                        s_loc.distance(loc) < s_loc.distance(my_loc) + band
-                    }
-                    None => true,
-                };
-                adopted || near_border
-            }
-            Algorithm::Centralized => false, // floods are not used
+        let ctx = CoordCtx {
+            partition: self.partition.as_deref(),
+            n_sensors: self.sensors.len(),
+            n_robots: self.robots.len(),
+            manager: self.manager.as_ref().map(|m| (m.id, m.loc)),
+            update_threshold: self.cfg.update_threshold,
         };
+        let my_sub = self.sensor_subarea[to.index()];
+        let mut relay = self.coord.accept_flood(
+            &mut self.sensors[to.index()],
+            robot,
+            loc,
+            subarea,
+            my_sub,
+            &ctx,
+        );
         // §6 future-work optimisation: border-retransmit self-pruning —
         // a sensor deep inside the transmitter's coverage adds little
         // new area by relaying, so only the outer ring (beyond
@@ -807,7 +812,12 @@ impl Simulation {
             }
         }
         if relay {
-            let msg = AppMsg::RobotFlood { robot, loc, seq, subarea };
+            let msg = AppMsg::RobotFlood {
+                robot,
+                loc,
+                seq,
+                subarea,
+            };
             let bytes = msg.wire_bytes();
             let relay_frame = Frame {
                 src: to,
@@ -821,10 +831,8 @@ impl Simulation {
             // window and the relays collide en masse (the classic
             // broadcast-storm problem; flooding implementations jitter
             // exactly like this).
-            let jitter = sampler::uniform_duration(
-                &mut self.jitter_rng,
-                SimDuration::from_millis(50),
-            );
+            let jitter =
+                sampler::uniform_duration(&mut self.jitter_rng, SimDuration::from_millis(50));
             self.sched
                 .schedule_after(jitter, Event::RelaySend { frame: relay_frame });
         }
@@ -833,7 +841,11 @@ impl Simulation {
     /// A geo-routed message reached its destination.
     fn handle_final(&mut self, now: SimTime, at: NodeId, msg: AppMsg) {
         match msg {
-            AppMsg::Report { failed, failed_loc, geo } => {
+            AppMsg::Report {
+                failed,
+                failed_loc,
+                geo,
+            } => {
                 self.metrics.reports_delivered += 1;
                 self.metrics.report_hops.push(geo.hops);
                 if self.trace.is_enabled() {
@@ -844,23 +856,29 @@ impl Simulation {
                         hops: geo.hops,
                     });
                 }
-                match self.cfg.algorithm {
-                    Algorithm::Centralized => self.manager_dispatch(now, failed, failed_loc),
-                    _ => {
-                        if let Some(r) = self.robot_index(at) {
-                            self.robot_enqueue(now, r, failed, failed_loc);
-                        }
-                    }
+                if self.coord.dispatch_via_manager() {
+                    self.manager_dispatch(now, failed, failed_loc);
+                } else if let Some(r) = self.robot_index(at) {
+                    self.robot_enqueue(now, r, failed, failed_loc);
                 }
             }
-            AppMsg::Request { failed, failed_loc, geo } => {
+            AppMsg::Request {
+                failed,
+                failed_loc,
+                geo,
+            } => {
                 self.metrics.requests_delivered += 1;
                 self.metrics.request_hops.push(geo.hops);
                 if let Some(r) = self.robot_index(at) {
                     self.robot_enqueue(now, r, failed, failed_loc);
                 }
             }
-            AppMsg::RobotToManagerUpdate { robot, loc, queue_len, .. } => {
+            AppMsg::RobotToManagerUpdate {
+                robot,
+                loc,
+                queue_len,
+                ..
+            } => {
                 let r = self.robot_index(robot);
                 if let (Some(m), Some(r)) = (self.manager.as_mut(), r) {
                     m.robot_locs[r] = loc;
@@ -883,29 +901,14 @@ impl Simulation {
             }
         }
         manager.last_dispatch.insert(failed.as_u32(), now);
-        let nearest_among = |pred: &dyn Fn(usize) -> bool| {
-            manager
-                .robot_locs
-                .iter()
-                .enumerate()
-                .filter(|(r, _)| pred(*r))
-                .min_by(|(_, a), (_, b)| {
-                    a.distance_sq(failed_loc)
-                        .partial_cmp(&b.distance_sq(failed_loc))
-                        .expect("finite positions")
-                })
-                .map(|(r, _)| r)
+        let fleet = FleetView {
+            robot_locs: &manager.robot_locs,
+            robot_queues: &manager.robot_queues,
         };
-        let best_robot = match self.cfg.dispatch {
-            DispatchPolicy::Nearest => nearest_among(&|_| true),
-            // Prefer an idle robot (by its last report); fall back to
-            // the overall nearest when the whole fleet is busy.
-            DispatchPolicy::NearestIdle => {
-                let queues = &manager.robot_queues;
-                nearest_among(&|r| queues[r] == 0).or_else(|| nearest_among(&|_| true))
-            }
-        }
-        .expect("at least one robot");
+        let best_robot = self
+            .coord
+            .choose_dispatch_robot(&fleet, failed_loc, self.cfg.dispatch)
+            .expect("manager algorithms choose a robot");
         let robot_node = self.robots[best_robot].id;
         let robot_loc = manager.robot_locs[best_robot];
         let manager_id = manager.id;
@@ -991,10 +994,14 @@ impl Simulation {
             // Install the replacement: same identity and location, fresh
             // protocol state, fresh exponential lifetime (§2(a), §2(d)).
             self.sensors[s].reset_for_replacement();
-            if matches!(self.cfg.algorithm, Algorithm::Centralized) {
-                let m = self.manager.as_ref().expect("manager exists");
-                self.sensors[s].manager = Some((m.id, m.loc));
-            }
+            let ctx = CoordCtx {
+                partition: self.partition.as_deref(),
+                n_sensors: self.sensors.len(),
+                n_robots: self.robots.len(),
+                manager: self.manager.as_ref().map(|m| (m.id, m.loc)),
+                update_threshold: self.cfg.update_threshold,
+            };
+            self.coord.seed_replacement(&mut self.sensors[s], &ctx);
             self.radio.set_alive(task.failed, true);
             self.incarnation[s] += 1;
             let fail_at = self.failure_proc.sample_failure_at(now);
@@ -1056,8 +1063,8 @@ impl Simulation {
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, loc);
         let seq = self.robots[r].next_seq();
-        match self.cfg.algorithm {
-            Algorithm::Centralized => {
+        match self.coord.location_announcement(r) {
+            Announcement::ManagerUnicast => {
                 let m = self.manager.as_ref().expect("manager exists");
                 let (m_id, m_loc) = (m.id, m.loc);
                 // Unicast to the manager via geographic routing...
@@ -1089,31 +1096,12 @@ impl Simulation {
                     },
                 );
             }
-            Algorithm::Fixed(_) => {
+            Announcement::Flood { subarea } => {
                 let msg = AppMsg::RobotFlood {
                     robot: robot_node,
                     loc,
                     seq,
-                    subarea: r as u32,
-                };
-                let bytes = msg.wire_bytes();
-                self.radio_send(
-                    now,
-                    Frame {
-                        src: robot_node,
-                        dst: None,
-                        bytes,
-                        class,
-                        payload: msg,
-                    },
-                );
-            }
-            Algorithm::Dynamic => {
-                let msg = AppMsg::RobotFlood {
-                    robot: robot_node,
-                    loc,
-                    seq,
-                    subarea: u32::MAX,
+                    subarea,
                 };
                 let bytes = msg.wire_bytes();
                 self.radio_send(
@@ -1182,18 +1170,28 @@ mod tests {
     /// (4000 s sim, 1000 s lifetimes → ~4 failures per sensor slot,
     /// robot utilisation preserved by speed scaling).
     fn small(algorithm: Algorithm) -> ScenarioConfig {
-        ScenarioConfig::paper(2, algorithm).with_seed(11).scaled(16.0)
+        ScenarioConfig::paper(2, algorithm)
+            .with_seed(11)
+            .scaled(16.0)
     }
 
     fn check_common(outcome: &Outcome) {
         let m = &outcome.metrics;
-        assert!(m.failures_occurred > 100, "failures: {}", m.failures_occurred);
+        assert!(
+            m.failures_occurred > 100,
+            "failures: {}",
+            m.failures_occurred
+        );
         // The overwhelming majority of failures get repaired.
         let repaired = m.replacements as f64 / m.failures_occurred as f64;
         assert!(repaired > 0.85, "repair ratio {repaired}");
         // Reports arrive essentially always (paper: 100% delivery).
         let s = outcome.metrics.summary();
-        assert!(s.report_delivery_ratio > 0.95, "delivery {}", s.report_delivery_ratio);
+        assert!(
+            s.report_delivery_ratio > 0.95,
+            "delivery {}",
+            s.report_delivery_ratio
+        );
         // Average traveling distance per failure is O(100 m) for the
         // 200 m-per-robot geometry.
         assert!(
@@ -1206,8 +1204,14 @@ mod tests {
     #[test]
     #[ignore = "diagnostic dump"]
     fn debug_dump() {
-        let scale: f64 = std::env::var("DUMP_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(32.0);
-        let k: usize = std::env::var("DUMP_K").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+        let scale: f64 = std::env::var("DUMP_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32.0);
+        let k: usize = std::env::var("DUMP_K")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
         for alg in [
             Algorithm::Centralized,
             Algorithm::Fixed(PartitionKind::Square),
@@ -1268,7 +1272,11 @@ mod tests {
         assert!(s.avg_report_hops < 5.0, "report hops {}", s.avg_report_hops);
         // Fixed floods the subarea on every 20 m of motion: far more
         // location-update transmissions than centralized.
-        assert!(s.loc_update_tx_per_failure > 30.0, "updates {}", s.loc_update_tx_per_failure);
+        assert!(
+            s.loc_update_tx_per_failure > 30.0,
+            "updates {}",
+            s.loc_update_tx_per_failure
+        );
     }
 
     #[test]
@@ -1318,8 +1326,14 @@ mod tests {
         let mut cfg = small(Algorithm::Centralized);
         cfg.trace_capacity = 500;
         let traced = Simulation::run(cfg);
-        assert_eq!(plain.metrics.failures_occurred, traced.metrics.failures_occurred);
-        assert_eq!(plain.metrics.travel_per_task, traced.metrics.travel_per_task);
+        assert_eq!(
+            plain.metrics.failures_occurred,
+            traced.metrics.failures_occurred
+        );
+        assert_eq!(
+            plain.metrics.travel_per_task,
+            traced.metrics.travel_per_task
+        );
         assert_eq!(plain.events_processed, traced.events_processed);
         assert_eq!(traced.trace.len(), 500, "ring buffer filled to capacity");
         assert!(traced.trace.dropped() > 0);

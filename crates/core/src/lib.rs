@@ -42,6 +42,7 @@
 
 pub mod baseline;
 mod config;
+pub mod coord;
 pub mod fastsim;
 pub mod harness;
 pub mod metrics;

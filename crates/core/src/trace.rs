@@ -83,19 +83,45 @@ impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceEvent::Failure { t, sensor } => write!(f, "[{t:9.1}s] {sensor} failed"),
-            TraceEvent::Detected { t, guardian, failed } => {
+            TraceEvent::Detected {
+                t,
+                guardian,
+                failed,
+            } => {
                 write!(f, "[{t:9.1}s] {guardian} detected silence of {failed}")
             }
-            TraceEvent::ReportDelivered { t, manager, failed, hops } => {
-                write!(f, "[{t:9.1}s] report of {failed} reached {manager} in {hops} hops")
+            TraceEvent::ReportDelivered {
+                t,
+                manager,
+                failed,
+                hops,
+            } => {
+                write!(
+                    f,
+                    "[{t:9.1}s] report of {failed} reached {manager} in {hops} hops"
+                )
             }
-            TraceEvent::Dispatched { t, robot, failed, departed } => write!(
+            TraceEvent::Dispatched {
+                t,
+                robot,
+                failed,
+                departed,
+            } => write!(
                 f,
                 "[{t:9.1}s] {robot} tasked with {failed}{}",
                 if *departed { ", departing" } else { ", queued" }
             ),
-            TraceEvent::Replaced { t, robot, sensor, travel, loc } => {
-                write!(f, "[{t:9.1}s] {robot} replaced {sensor} at {loc} after {travel:.0} m")
+            TraceEvent::Replaced {
+                t,
+                robot,
+                sensor,
+                travel,
+                loc,
+            } => {
+                write!(
+                    f,
+                    "[{t:9.1}s] {robot} replaced {sensor} at {loc} after {travel:.0} m"
+                )
             }
         }
     }
@@ -164,15 +190,13 @@ impl Trace {
             .iter()
             .filter(|e| match e {
                 TraceEvent::Failure { sensor, .. } => *sensor == node,
-                TraceEvent::Detected { guardian, failed, .. } => {
-                    *guardian == node || *failed == node
-                }
-                TraceEvent::ReportDelivered { manager, failed, .. } => {
-                    *manager == node || *failed == node
-                }
-                TraceEvent::Dispatched { robot, failed, .. } => {
-                    *robot == node || *failed == node
-                }
+                TraceEvent::Detected {
+                    guardian, failed, ..
+                } => *guardian == node || *failed == node,
+                TraceEvent::ReportDelivered {
+                    manager, failed, ..
+                } => *manager == node || *failed == node,
+                TraceEvent::Dispatched { robot, failed, .. } => *robot == node || *failed == node,
                 TraceEvent::Replaced { robot, sensor, .. } => *robot == node || *sensor == node,
             })
             .collect()

@@ -1,0 +1,248 @@
+//! Coordination parity between the packet-level harness and the
+//! flow-level model.
+//!
+//! Both simulators build their worlds from the same named RNG streams
+//! (`"deploy"`, `"robots"`) and drive the same `dyn Coordinator`, so
+//! for every registered algorithm the *coordination decisions* must
+//! agree: the initial `myrobot`/manager assignment installed at world
+//! construction, and the robot that ends up handling a scripted
+//! failure. These tests reconstruct the shared world with the public
+//! primitives and cross-check the packet-level hooks
+//! (`seed_initial_role`, `report_target`, `choose_dispatch_robot`)
+//! against the flow-level hook (`flow_report`). A drift in either
+//! simulator's construction recipe or either hook family fails here.
+
+use robonet_core::coord::{self, CoordCtx, Coordinator, FleetView, FlowCtx};
+use robonet_core::fastsim::GREEDY_PROGRESS;
+use robonet_core::{DispatchPolicy, ScenarioConfig};
+use robonet_des::{rng, NodeId};
+use robonet_geom::partition::Partition;
+use robonet_geom::{deploy, Point};
+use robonet_wsn::SensorState;
+
+/// The shared world both simulators construct for `cfg`.
+struct World {
+    sensor_pos: Vec<Point>,
+    partition: Option<Box<dyn Partition>>,
+    robot_pos: Vec<Point>,
+    /// `u32::MAX` when the algorithm has no partition (harness
+    /// convention; the flow model uses 0 — both mean "unused").
+    sensor_subarea: Vec<u32>,
+    manager_node: NodeId,
+    manager_loc: Point,
+}
+
+fn build_world(coordinator: &dyn Coordinator, cfg: &ScenarioConfig) -> World {
+    let bounds = cfg.bounds();
+    let n_sensors = cfg.n_sensors();
+    let n_robots = cfg.n_robots();
+    let mut deploy_rng = rng::stream(cfg.seed, "deploy");
+    let sensor_pos = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
+    let partition = coordinator.build_partition(bounds, cfg.k);
+    let mut robot_rng = rng::stream(cfg.seed, "robots");
+    let robot_pos = coordinator.initial_robot_positions(
+        partition.as_deref(),
+        &bounds,
+        n_robots,
+        &mut robot_rng,
+    );
+    let sensor_subarea: Vec<u32> = match &partition {
+        Some(p) => sensor_pos.iter().map(|&s| p.subarea_of(s) as u32).collect(),
+        None => vec![u32::MAX; n_sensors],
+    };
+    World {
+        sensor_pos,
+        partition,
+        robot_pos,
+        sensor_subarea,
+        manager_node: NodeId::new((n_sensors + n_robots) as u32),
+        manager_loc: bounds.center(),
+    }
+}
+
+/// Seeds post-initialization role knowledge exactly as the harness
+/// does in `Simulation::new`.
+fn seed_sensors(
+    coordinator: &dyn Coordinator,
+    cfg: &ScenarioConfig,
+    w: &World,
+) -> Vec<SensorState> {
+    let ctx = CoordCtx {
+        partition: w.partition.as_deref(),
+        n_sensors: cfg.n_sensors(),
+        n_robots: cfg.n_robots(),
+        manager: coordinator
+            .uses_manager()
+            .then_some((w.manager_node, w.manager_loc)),
+        update_threshold: cfg.update_threshold,
+    };
+    let mut sensors: Vec<SensorState> = w
+        .sensor_pos
+        .iter()
+        .enumerate()
+        .map(|(i, &loc)| SensorState::new(NodeId::new(i as u32), loc))
+        .collect();
+    for (i, s) in sensors.iter_mut().enumerate() {
+        coordinator.seed_initial_role(s, w.sensor_subarea[i], &w.robot_pos, &ctx);
+    }
+    sensors
+}
+
+/// Builds the flow-level geometry context exactly as `fastsim::run`
+/// does.
+fn flow_ctx<'a>(cfg: &ScenarioConfig, w: &World, subarea_population: &'a [f64]) -> FlowCtx<'a> {
+    let bounds = cfg.bounds();
+    FlowCtx {
+        manager_loc: w.manager_loc,
+        manager_range: cfg.ranges.manager,
+        hop_unit: GREEDY_PROGRESS * cfg.ranges.sensor,
+        n_sensors: cfg.n_sensors(),
+        n_robots: cfg.n_robots(),
+        area: bounds.area(),
+        density: cfg.n_sensors() as f64 / bounds.area(),
+        update_threshold: cfg.update_threshold,
+        subarea_population,
+    }
+}
+
+fn subarea_population(w: &World) -> Vec<f64> {
+    match &w.partition {
+        Some(p) => {
+            let mut counts = vec![0f64; p.len()];
+            for &sub in &w.sensor_subarea {
+                counts[sub as usize] += 1.0;
+            }
+            counts
+        }
+        None => Vec::new(),
+    }
+}
+
+/// A handful of scripted failure victims spread across the id space.
+fn scripted_failures(n_sensors: usize) -> [usize; 5] {
+    [
+        0,
+        n_sensors / 3,
+        n_sensors / 2,
+        2 * n_sensors / 3,
+        n_sensors - 1,
+    ]
+}
+
+#[test]
+fn initial_role_assignment_matches_between_simulators() {
+    for entry in coord::registry() {
+        let coordinator = entry.coordinator;
+        let cfg = ScenarioConfig::paper(2, entry.algorithm).with_seed(9);
+        let w = build_world(coordinator, &cfg);
+        let sensors = seed_sensors(coordinator, &cfg, &w);
+
+        for (i, s) in sensors.iter().enumerate() {
+            if coordinator.uses_manager() {
+                assert_eq!(
+                    s.manager,
+                    Some((w.manager_node, w.manager_loc)),
+                    "{}: sensor {i} must know the manager after initialization",
+                    entry.name
+                );
+            }
+            let truth =
+                coordinator.myrobot_truth(w.sensor_pos[i], w.sensor_subarea[i], &w.robot_pos);
+            match truth {
+                Some(r) => {
+                    let (id, loc) = s.myrobot.unwrap_or_else(|| {
+                        panic!("{}: sensor {i} must have a myrobot", entry.name)
+                    });
+                    assert_eq!(
+                        id.index() - cfg.n_sensors(),
+                        r,
+                        "{}: sensor {i} seeded with a robot the truth hook disagrees with",
+                        entry.name
+                    );
+                    assert_eq!(
+                        loc, w.robot_pos[r],
+                        "{}: sensor {i} knows a stale robot location at t=0",
+                        entry.name
+                    );
+                }
+                None => {
+                    assert!(
+                        !coordinator.uses_myrobot(),
+                        "{}: truth hook returned None for a myrobot algorithm",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scripted_failure_dispatches_to_the_same_robot_in_both_simulators() {
+    for entry in coord::registry() {
+        let coordinator = entry.coordinator;
+        let cfg = ScenarioConfig::paper(2, entry.algorithm).with_seed(9);
+        let w = build_world(coordinator, &cfg);
+        let sensors = seed_sensors(coordinator, &cfg, &w);
+        let pop = subarea_population(&w);
+        let flow = flow_ctx(&cfg, &w, &pop);
+        // All robots idle at their initial positions, as at t=0.
+        let fleet = FleetView {
+            robot_locs: &w.robot_pos,
+            robot_queues: &vec![0u32; cfg.n_robots()],
+        };
+
+        for s in scripted_failures(cfg.n_sensors()) {
+            let failed_loc = w.sensor_pos[s];
+            // Packet level: the report goes to `report_target`; manager
+            // algorithms then pick the maintainer via
+            // `choose_dispatch_robot`, distributed ones enqueue at the
+            // targeted robot directly.
+            let packet_robot = if coordinator.dispatch_via_manager() {
+                let (target, target_loc) = coordinator.report_target(&sensors[s]);
+                assert_eq!(
+                    target, w.manager_node,
+                    "{}: report goes to the manager",
+                    entry.name
+                );
+                assert_eq!(
+                    target_loc, w.manager_loc,
+                    "{}: manager location",
+                    entry.name
+                );
+                coordinator
+                    .choose_dispatch_robot(&fleet, failed_loc, DispatchPolicy::Nearest)
+                    .expect("manager algorithms choose a robot")
+            } else {
+                let (target, _) = coordinator.report_target(&sensors[s]);
+                target.index() - cfg.n_sensors()
+            };
+
+            // Flow level: one call prices the report and picks the robot
+            // (`fastsim` passes subarea 0 when there is no partition).
+            let flow_subarea = if w.partition.is_some() {
+                w.sensor_subarea[s] as usize
+            } else {
+                0
+            };
+            let fd = coordinator.flow_report(&flow, failed_loc, flow_subarea, &w.robot_pos);
+
+            assert_eq!(
+                fd.robot, packet_robot,
+                "{}: sensor {s} dispatches to different robots in the two simulators",
+                entry.name
+            );
+            assert_eq!(
+                fd.request_hops.is_some(),
+                coordinator.uses_manager(),
+                "{}: a separate repair-request leg exists iff there is a manager",
+                entry.name
+            );
+            assert!(
+                fd.report_hops >= 1.0,
+                "{}: reports cost at least one hop",
+                entry.name
+            );
+        }
+    }
+}

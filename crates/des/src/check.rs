@@ -89,19 +89,17 @@ impl<T: 'static> Shrinkable<T> {
         let shrink = self.shrink;
         Shrinkable {
             value,
-            shrink: Rc::new(move || {
-                shrink()
-                    .into_iter()
-                    .map(|c| c.map(Rc::clone(&f)))
-                    .collect()
-            }),
+            shrink: Rc::new(move || shrink().into_iter().map(|c| c.map(Rc::clone(&f))).collect()),
         }
     }
 }
 
+/// A generator's boxed sampling function.
+type RunFn<T> = Rc<dyn Fn(&mut Xoshiro256) -> Shrinkable<T>>;
+
 /// A generator of shrinkable random values.
 pub struct Gen<T> {
-    run: Rc<dyn Fn(&mut Xoshiro256) -> Shrinkable<T>>,
+    run: RunFn<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -189,7 +187,8 @@ pub fn usizes(range: Range<usize>) -> Gen<usize> {
 }
 
 fn shrink_f64_toward(low: f64, v: f64) -> Vec<f64> {
-    if !(v > low) {
+    // Nothing to do unless strictly above `low` (NaN shrinks to nothing).
+    if v.partial_cmp(&low) != Some(std::cmp::Ordering::Greater) {
         return Vec::new();
     }
     let mut out = vec![low];
@@ -334,20 +333,14 @@ pub fn triple<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
 }
 
 /// Quadruples of independent draws.
-pub fn quad<
-    A: Clone + 'static,
-    B: Clone + 'static,
-    C: Clone + 'static,
-    D: Clone + 'static,
->(
+pub fn quad<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
     a: Gen<A>,
     b: Gen<B>,
     c: Gen<C>,
     d: Gen<D>,
 ) -> Gen<(A, B, C, D)> {
-    pair(pair(a, b), pair(c, d)).map(|((a, b), (c, d))| {
-        (a.clone(), b.clone(), c.clone(), d.clone())
-    })
+    pair(pair(a, b), pair(c, d))
+        .map(|((a, b), (c, d))| (a.clone(), b.clone(), c.clone(), d.clone()))
 }
 
 // ---------------------------------------------------------------------
@@ -406,11 +399,7 @@ fn env_u64(name: &str) -> Option<u64> {
 /// Checks `prop` against [`DEFAULT_CASES`] generated cases (or
 /// `ROBONET_CHECK_CASES`), panicking with a shrunk counterexample and
 /// the replay seed on failure.
-pub fn forall<T: Clone + Debug + 'static>(
-    name: &str,
-    gen: &Gen<T>,
-    prop: impl Fn(&T) -> Outcome,
-) {
+pub fn forall<T: Clone + Debug + 'static>(name: &str, gen: &Gen<T>, prop: impl Fn(&T) -> Outcome) {
     forall_cases(name, DEFAULT_CASES, gen, prop)
 }
 

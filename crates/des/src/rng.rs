@@ -416,7 +416,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        let fixed = xs.iter().enumerate().filter(|&(i, &v)| i as u32 == v).count();
+        let fixed = xs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i as u32 == v)
+            .count();
         assert!(fixed < 15, "{fixed} fixed points suggests a broken shuffle");
     }
 

@@ -17,7 +17,10 @@ use crate::time::SimDuration;
 ///
 /// Panics if `mean` is zero.
 pub fn exponential_duration<R: Rng + ?Sized>(rng: &mut R, mean: SimDuration) -> SimDuration {
-    assert!(mean > SimDuration::ZERO, "exponential mean must be positive");
+    assert!(
+        mean > SimDuration::ZERO,
+        "exponential mean must be positive"
+    );
     let x = exponential(rng, mean.as_secs_f64());
     // Cap at SimDuration::MAX rather than overflow for astronomically
     // unlikely draws.

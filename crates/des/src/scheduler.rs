@@ -140,7 +140,11 @@ mod tests {
         assert_eq!(s.next_event(), Some(2));
         assert_eq!(s.now(), SimTime::from_secs(2.0));
         assert_eq!(s.next_event(), None);
-        assert_eq!(s.now(), SimTime::from_secs(2.0), "time freezes when drained");
+        assert_eq!(
+            s.now(),
+            SimTime::from_secs(2.0),
+            "time freezes when drained"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ mod tests {
         let q3 = pts.iter().filter(|p| p.x < c.x && p.y >= c.y).count();
         let q4 = pts.iter().filter(|p| p.x >= c.x && p.y >= c.y).count();
         for q in [q1, q2, q3, q4] {
-            assert!((q as f64 - 1000.0).abs() < 120.0, "quadrant count {q} far from 1000");
+            assert!(
+                (q as f64 - 1000.0).abs() < 120.0,
+                "quadrant count {q} far from 1000"
+            );
         }
     }
 

@@ -23,7 +23,10 @@ impl UnitDiskGraph {
     /// Panics if `radius` is not positive and finite or a point lies
     /// outside `bounds`.
     pub fn build(bounds: Bounds, radius: f64, positions: &[Point]) -> Self {
-        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive"
+        );
         let index = GridIndex::build(bounds, radius, positions);
         let mut adjacency = vec![Vec::new(); positions.len()];
         for (i, &p) in positions.iter().enumerate() {

@@ -69,7 +69,13 @@ mod tests {
 
     #[test]
     fn square_hull() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+        ];
         let h = convex_hull(&pts);
         assert_eq!(h.len(), 4);
         // CCW: signed area positive.

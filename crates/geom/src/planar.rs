@@ -200,17 +200,32 @@ mod tests {
     fn gabriel_edge_tests() {
         let u = p(0.0, 0.0);
         let v = p(10.0, 0.0);
-        assert!(!gabriel_edge_survives(u, v, p(5.0, 1.0)), "witness in disk kills");
-        assert!(gabriel_edge_survives(u, v, p(5.0, 5.0)), "on circle survives");
-        assert!(gabriel_edge_survives(u, v, p(0.0, 10.0)), "outside survives");
+        assert!(
+            !gabriel_edge_survives(u, v, p(5.0, 1.0)),
+            "witness in disk kills"
+        );
+        assert!(
+            gabriel_edge_survives(u, v, p(5.0, 5.0)),
+            "on circle survives"
+        );
+        assert!(
+            gabriel_edge_survives(u, v, p(0.0, 10.0)),
+            "outside survives"
+        );
     }
 
     #[test]
     fn rng_edge_tests() {
         let u = p(0.0, 0.0);
         let v = p(10.0, 0.0);
-        assert!(!rng_edge_survives(u, v, p(5.0, 2.0)), "witness in lune kills");
-        assert!(rng_edge_survives(u, v, p(5.0, 9.5)), "outside lune survives");
+        assert!(
+            !rng_edge_survives(u, v, p(5.0, 2.0)),
+            "witness in lune kills"
+        );
+        assert!(
+            rng_edge_survives(u, v, p(5.0, 9.5)),
+            "outside lune survives"
+        );
         // In the lune but outside the Gabriel disk: the RNG test removes
         // strictly more edges per witness than the Gabriel test, which is
         // why RNG ⊆ GG as edge sets.
@@ -236,7 +251,11 @@ mod tests {
             }
             let gg = PlanarGraph::build(&g, PlanarRule::Gabriel);
             assert!(gg.is_connected(), "seed {seed}: GG disconnected");
-            assert_eq!(gg.crossings(g.positions()), 0, "seed {seed}: GG has crossings");
+            assert_eq!(
+                gg.crossings(g.positions()),
+                0,
+                "seed {seed}: GG has crossings"
+            );
             assert!(gg.edge_count() <= g.edge_count());
         }
     }
@@ -307,7 +326,11 @@ mod tests {
         let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 8.0)];
         let g = UnitDiskGraph::build(Bounds::square(20.0), 15.0, &pts);
         let gg = PlanarGraph::build(&g, PlanarRule::Gabriel);
-        assert_eq!(gg.edge_count(), 3, "no vertex of a fat triangle is inside an edge-disk");
+        assert_eq!(
+            gg.edge_count(),
+            3,
+            "no vertex of a fat triangle is inside an edge-disk"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Point {
     ///
     /// Used to place a moving robot along its current leg of travel.
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Returns `true` if both coordinates are finite.

@@ -150,7 +150,10 @@ mod tests {
     fn containment() {
         let sq = unit_square();
         assert!(sq.contains(Point::new(0.5, 0.5)));
-        assert!(sq.contains(Point::new(0.0, 0.0)), "vertices count as inside");
+        assert!(
+            sq.contains(Point::new(0.0, 0.0)),
+            "vertices count as inside"
+        );
         assert!(sq.contains(Point::new(0.5, 0.0)), "edges count as inside");
         assert!(!sq.contains(Point::new(1.5, 0.5)));
         assert!(!sq.contains(Point::new(0.5, -0.1)));
@@ -185,7 +188,10 @@ mod tests {
     #[test]
     fn halfplane_clip_empty_when_outside() {
         let sq = unit_square();
-        assert!(sq.clip_halfplane(1.0, 0.0, -1.0).is_none(), "keep x <= -1: empty");
+        assert!(
+            sq.clip_halfplane(1.0, 0.0, -1.0).is_none(),
+            "keep x <= -1: empty"
+        );
     }
 
     #[test]

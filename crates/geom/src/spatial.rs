@@ -55,7 +55,10 @@ impl GridIndex {
     ///
     /// Panics if `i` is out of range or `new_pos` lies outside the bounds.
     pub fn update_position(&mut self, i: usize, new_pos: Point) {
-        assert!(self.bounds.contains(new_pos), "point {new_pos} outside bounds");
+        assert!(
+            self.bounds.contains(new_pos),
+            "point {new_pos} outside bounds"
+        );
         let old_bucket = self.bucket_of(self.points[i]);
         let new_bucket = self.bucket_of(new_pos);
         self.points[i] = new_pos;
@@ -146,7 +149,11 @@ mod tests {
         let b = Bounds::square(100.0);
         let pts = vec![p(0.0, 0.0), p(10.0, 0.0)];
         let idx = GridIndex::build(b, 5.0, &pts);
-        assert_eq!(idx.within(p(0.0, 0.0), 10.0).len(), 2, "exact radius included");
+        assert_eq!(
+            idx.within(p(0.0, 0.0), 10.0).len(),
+            2,
+            "exact radius included"
+        );
         assert_eq!(idx.within(p(0.0, 0.0), 9.999).len(), 1);
     }
 

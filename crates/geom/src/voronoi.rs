@@ -122,7 +122,11 @@ mod tests {
         ];
         let cells = voronoi_cells(&sites, &b);
         let total: f64 = cells.iter().flatten().map(|c| c.area()).sum();
-        assert!((total - b.area()).abs() < 1e-6, "total {total} != {}", b.area());
+        assert!(
+            (total - b.area()).abs() < 1e-6,
+            "total {total} != {}",
+            b.area()
+        );
     }
 
     #[test]
@@ -172,7 +176,11 @@ mod tests {
     fn nearest_site_empty_and_ties() {
         assert_eq!(nearest_site(&[], Point::ZERO), None);
         let sites = [Point::new(-1.0, 0.0), Point::new(1.0, 0.0)];
-        assert_eq!(nearest_site(&sites, Point::ZERO), Some(0), "tie → lowest index");
+        assert_eq!(
+            nearest_site(&sites, Point::ZERO),
+            Some(0),
+            "tie → lowest index"
+        );
     }
 
     #[test]
@@ -198,8 +206,17 @@ mod tests {
         // Robot 0 moves far to the right: points near the old boundary
         // switch to... robot 0 now owns the right side.
         let pred = switch_region_predicate(&sites, 0, Point::new(190.0, 50.0));
-        assert!(pred(Point::new(180.0, 50.0)), "right edge switches to mover");
-        assert!(pred(Point::new(60.0, 50.0)), "mover's old home switches away");
-        assert!(!pred(Point::new(150.0, 50.0)), "other site keeps its own spot");
+        assert!(
+            pred(Point::new(180.0, 50.0)),
+            "right edge switches to mover"
+        );
+        assert!(
+            pred(Point::new(60.0, 50.0)),
+            "mover's old home switches away"
+        );
+        assert!(
+            !pred(Point::new(150.0, 50.0)),
+            "other site keeps its own spot"
+        );
     }
 }

@@ -11,8 +11,7 @@ use robonet_geom::voronoi::{nearest_site, voronoi_cells};
 use robonet_geom::{Bounds, ConvexPolygon, Point};
 
 fn point_in(side: f64) -> Gen<Point> {
-    check::pair(check::f64s(0.0..side), check::f64s(0.0..side))
-        .map(|&(x, y)| Point::new(x, y))
+    check::pair(check::f64s(0.0..side), check::f64s(0.0..side)).map(|&(x, y)| Point::new(x, y))
 }
 
 fn points_in(side: f64, n: std::ops::Range<usize>) -> Gen<Vec<Point>> {
@@ -22,21 +21,27 @@ fn points_in(side: f64, n: std::ops::Range<usize>) -> Gen<Vec<Point>> {
 /// Voronoi cells tile the bounds: total area equals the field area.
 #[test]
 fn voronoi_cells_tile_the_field() {
-    check::forall("voronoi_cells_tile_the_field", &points_in(500.0, 1..12), |sites| {
-        let b = Bounds::square(500.0);
-        let cells = voronoi_cells(sites, &b);
-        let total: f64 = cells.iter().flatten().map(ConvexPolygon::area).sum();
-        // Duplicate sites can make cells overlap; restrict to distinct.
-        let mut distinct = sites.clone();
-        distinct.sort_by(|a, b| {
-            a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap())
-        });
-        distinct.dedup_by(|a, b| a.distance_sq(*b) < 1e-12);
-        if distinct.len() == sites.len() {
-            assert!((total - b.area()).abs() < 1e-3, "total {total}");
-        }
-        Outcome::Pass
-    });
+    check::forall(
+        "voronoi_cells_tile_the_field",
+        &points_in(500.0, 1..12),
+        |sites| {
+            let b = Bounds::square(500.0);
+            let cells = voronoi_cells(sites, &b);
+            let total: f64 = cells.iter().flatten().map(ConvexPolygon::area).sum();
+            // Duplicate sites can make cells overlap; restrict to distinct.
+            let mut distinct = sites.clone();
+            distinct.sort_by(|a, b| {
+                a.x.partial_cmp(&b.x)
+                    .unwrap()
+                    .then(a.y.partial_cmp(&b.y).unwrap())
+            });
+            distinct.dedup_by(|a, b| a.distance_sq(*b) < 1e-12);
+            if distinct.len() == sites.len() {
+                assert!((total - b.area()).abs() < 1e-3, "total {total}");
+            }
+            Outcome::Pass
+        },
+    );
 }
 
 /// Any point inside a Voronoi cell is (weakly) closest to that cell's

@@ -122,7 +122,10 @@ mod tests {
         let mut t = DedupTable::new();
         t.accept(n(1), 9);
         t.clear();
-        assert!(t.accept(n(1), 1), "post-clear, old sequence numbers accepted");
+        assert!(
+            t.accept(n(1), 1),
+            "post-clear, old sequence numbers accepted"
+        );
     }
 
     #[test]

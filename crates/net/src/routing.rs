@@ -118,7 +118,11 @@ fn perimeter_step(
     };
     let neighbors: Vec<(NodeId, Point)> = table.iter().map(|(id, e)| (id, e.loc)).collect();
     let planar = gabriel_filter(self_loc, &neighbors);
-    let candidates = if planar.is_empty() { &neighbors } else { &planar };
+    let candidates = if planar.is_empty() {
+        &neighbors
+    } else {
+        &planar
+    };
     if candidates.is_empty() {
         return RouteDecision::Drop(DropReason::NoNeighbors);
     }
@@ -266,10 +270,7 @@ mod tests {
 
     #[test]
     fn greedy_chain() {
-        let w = World::new(
-            (0..5).map(|i| p(i as f64 * 50.0, 0.0)).collect(),
-            63.0,
-        );
+        let w = World::new((0..5).map(|i| p(i as f64 * 50.0, 0.0)).collect(), 63.0);
         let path = w.deliver(0, 4).unwrap();
         assert_eq!(path, vec![0, 1, 2, 3, 4], "straight greedy path");
     }
@@ -293,7 +294,13 @@ mod tests {
         let mut cur = 0u32;
         let mut prev = None;
         loop {
-            match route(id(cur), positions[cur as usize], &w.tables[cur as usize], &mut header, prev) {
+            match route(
+                id(cur),
+                positions[cur as usize],
+                &w.tables[cur as usize],
+                &mut header,
+                prev,
+            ) {
                 RouteDecision::Forward(n) => {
                     prev = Some(positions[cur as usize]);
                     cur = n.as_u32();
@@ -317,15 +324,15 @@ mod tests {
         //               |        via the arc 1-2-3-4.
         //   5 --- 6 --- 4
         let positions = vec![
-            p(0.0, 100.0),  // 0
-            p(50.0, 100.0), // 1
-            p(100.0, 100.0),// 2
-            p(100.0, 50.0), // 3
-            p(100.0, 0.0),  // 4
-            p(0.0, 0.0),    // 5
-            p(50.0, 0.0),   // 6
-            p(150.0, 50.0), // 7 = destination
-            p(0.0, 50.0),   // 8 = source (local max w.r.t. 7)
+            p(0.0, 100.0),   // 0
+            p(50.0, 100.0),  // 1
+            p(100.0, 100.0), // 2
+            p(100.0, 50.0),  // 3
+            p(100.0, 0.0),   // 4
+            p(0.0, 0.0),     // 5
+            p(50.0, 0.0),    // 6
+            p(150.0, 50.0),  // 7 = destination
+            p(0.0, 50.0),    // 8 = source (local max w.r.t. 7)
         ];
         let w = World::new(positions, 55.0);
         let path = w.deliver(8, 7).expect("perimeter recovery must deliver");

@@ -121,14 +121,24 @@ mod tests {
     fn straight_line_trace() {
         let positions: Vec<Point> = (0..4).map(|i| p(i as f64 * 50.0, 0.0)).collect();
         let tables = tables_from_positions(&positions, 63.0);
-        let t = trace_route(&tables, |id| positions[id.index()], NodeId::new(0), NodeId::new(3));
+        let t = trace_route(
+            &tables,
+            |id| positions[id.index()],
+            NodeId::new(0),
+            NodeId::new(3),
+        );
         assert!(t.delivered);
         assert_eq!(t.hops(), 3);
         assert_eq!(t.perimeter_hops, 0);
         assert_eq!(t.stretch(3), Some(1.0));
         assert_eq!(
             t.path,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -136,7 +146,12 @@ mod tests {
     fn failed_trace_reports_no_delivery() {
         let positions = vec![p(0.0, 0.0), p(500.0, 0.0)];
         let tables = tables_from_positions(&positions, 63.0);
-        let t = trace_route(&tables, |id| positions[id.index()], NodeId::new(0), NodeId::new(1));
+        let t = trace_route(
+            &tables,
+            |id| positions[id.index()],
+            NodeId::new(0),
+            NodeId::new(1),
+        );
         assert!(!t.delivered);
         assert_eq!(t.stretch(1), None);
     }
@@ -145,7 +160,12 @@ mod tests {
     fn stretch_handles_zero_reference() {
         let positions = vec![p(0.0, 0.0)];
         let tables = tables_from_positions(&positions, 63.0);
-        let t = trace_route(&tables, |id| positions[id.index()], NodeId::new(0), NodeId::new(0));
+        let t = trace_route(
+            &tables,
+            |id| positions[id.index()],
+            NodeId::new(0),
+            NodeId::new(0),
+        );
         assert!(t.delivered);
         assert_eq!(t.hops(), 0);
         assert_eq!(t.stretch(0), None);

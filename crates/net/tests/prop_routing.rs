@@ -12,8 +12,7 @@ use robonet_net::{route, GeoHeader, NeighborTable, RouteDecision};
 const CASES: u32 = 48;
 
 fn point_in(side: f64) -> Gen<Point> {
-    check::pair(check::f64s(0.0..side), check::f64s(0.0..side))
-        .map(|&(x, y)| Point::new(x, y))
+    check::pair(check::f64s(0.0..side), check::f64s(0.0..side)).map(|&(x, y)| Point::new(x, y))
 }
 
 fn points_in(side: f64, n: std::ops::Range<usize>) -> Gen<Vec<Point>> {
@@ -141,10 +140,7 @@ fn dedup_at_most_once() {
     check::forall_cases(
         "dedup_at_most_once",
         CASES,
-        &check::vec_of(
-            check::pair(check::u32s(0..8), check::u32s(1..50)),
-            1..100,
-        ),
+        &check::vec_of(check::pair(check::u32s(0..8), check::u32s(1..50)), 1..100),
         |seqs| {
             let mut table = DedupTable::new();
             let mut best: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
@@ -180,9 +176,7 @@ fn greedy_candidate_is_argmin() {
                 assert!(e.loc.distance_sq(target) < threshold_sq);
                 for (other, oe) in t.iter() {
                     if other != id {
-                        assert!(
-                            oe.loc.distance_sq(target) >= e.loc.distance_sq(target) - 1e-12
-                        );
+                        assert!(oe.loc.distance_sq(target) >= e.loc.distance_sq(target) - 1e-12);
                     }
                 }
             } else {

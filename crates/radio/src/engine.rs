@@ -252,7 +252,9 @@ impl<P: Clone> RadioEngine<P> {
         node: NodeId,
         sched: &mut impl FnMut(SimTime, RadioEvent),
     ) {
-        let cw = self.params.contention_window(self.nodes[node.index()].attempt);
+        let cw = self
+            .params
+            .contention_window(self.nodes[node.index()].attempt);
         let slots = self.rng.gen_range(0..=cw);
         let st = &mut self.nodes[node.index()];
         st.state = MacState::WaitingAccess;
@@ -335,7 +337,13 @@ impl<P: Clone> RadioEngine<P> {
         let st = &mut self.nodes[node.index()];
         st.state = MacState::Transmitting;
         st.busy_until = st.busy_until.max(end);
-        self.active.insert(tx, ActiveTx { src: node, receivers });
+        self.active.insert(
+            tx,
+            ActiveTx {
+                src: node,
+                receivers,
+            },
+        );
         sched(end, RadioEvent::TxEnd { tx });
     }
 
@@ -488,7 +496,10 @@ impl<P: Clone> RadioEngine<P> {
         sched: &mut impl FnMut(SimTime, RadioEvent),
     ) {
         let st = &mut self.nodes[node.index()];
-        let frame = st.queue.pop_front().expect("complete_head with empty queue");
+        let frame = st
+            .queue
+            .pop_front()
+            .expect("complete_head with empty queue");
         st.attempt = 0;
         st.state = MacState::Idle;
         st.token += 1;
@@ -522,7 +533,10 @@ mod tests {
     use robonet_geom::{Bounds, Point};
 
     /// Drives the engine until its event queue drains, collecting upcalls.
-    fn run(engine: &mut RadioEngine<&'static str>, sends: Vec<(f64, Frame<&'static str>)>) -> Vec<(SimTime, Upcall<&'static str>)> {
+    fn run(
+        engine: &mut RadioEngine<&'static str>,
+        sends: Vec<(f64, Frame<&'static str>)>,
+    ) -> Vec<(SimTime, Upcall<&'static str>)> {
         #[derive(Debug)]
         enum Ev {
             Send(Frame<&'static str>),
@@ -565,7 +579,11 @@ mod tests {
     ) -> RadioEngine<&'static str> {
         let pts: Vec<Point> = positions.iter().map(|&(x, y)| Point::new(x, y)).collect();
         let medium = Medium::new(Bounds::square(2000.0), RangeTable::default(), &pts, classes);
-        RadioEngine::new(medium, MacParams::default(), Xoshiro256::seed_from_u64(seed))
+        RadioEngine::new(
+            medium,
+            MacParams::default(),
+            Xoshiro256::seed_from_u64(seed),
+        )
     }
 
     /// Finds a seed for which the two hidden-terminal senders' backoff
@@ -616,27 +634,36 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(delivered, vec![1, 2], "nodes within 63 m hear, 500 m does not");
-        assert!(ups.iter().any(|(_, u)| matches!(
-            u,
-            Upcall::TxComplete { ok: true, .. }
-        )));
+        assert_eq!(
+            delivered,
+            vec![1, 2],
+            "nodes within 63 m hear, 500 m does not"
+        );
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. })));
         assert_eq!(e.stats().data_tx(TrafficClass::Beacon), 1);
-        assert_eq!(e.stats().class(TrafficClass::Beacon).ack_tx, 0, "no ACK for broadcast");
+        assert_eq!(
+            e.stats().class(TrafficClass::Beacon).ack_tx,
+            0,
+            "no ACK for broadcast"
+        );
     }
 
     #[test]
     fn unicast_delivers_and_acks() {
         let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
-        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))]);
+        let ups = run(
+            &mut e,
+            vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))],
+        );
         assert!(ups.iter().any(|(_, u)| matches!(
             u,
             Upcall::Delivered { to, .. } if to.as_u32() == 1
         )));
-        assert!(ups.iter().any(|(_, u)| matches!(
-            u,
-            Upcall::TxComplete { ok: true, .. }
-        )));
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. })));
         let s = e.stats().class(TrafficClass::FailureReport);
         assert_eq!(s.data_tx, 1);
         assert_eq!(s.ack_tx, 1);
@@ -647,11 +674,13 @@ mod tests {
     #[test]
     fn unicast_out_of_range_retries_then_drops() {
         let mut e = line_engine(&[(0.0, 0.0), (200.0, 0.0)], &[NodeClass::Sensor; 2]);
-        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))]);
-        assert!(ups.iter().any(|(_, u)| matches!(
-            u,
-            Upcall::TxComplete { ok: false, .. }
-        )));
+        let ups = run(
+            &mut e,
+            vec![(0.0, frame(0, Some(1), TrafficClass::FailureReport))],
+        );
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::TxComplete { ok: false, .. })));
         let s = e.stats().class(TrafficClass::FailureReport);
         assert_eq!(s.data_tx, u64::from(MacParams::default().max_attempts));
         assert_eq!(s.dropped, 1);
@@ -666,12 +695,17 @@ mod tests {
         );
         // Robot → sensor at 200 m succeeds (250 m range) even though the
         // sensor could not reply with data at that distance.
-        let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::RepairRequest))]);
+        let ups = run(
+            &mut e,
+            vec![(0.0, frame(0, Some(1), TrafficClass::RepairRequest))],
+        );
         assert!(ups.iter().any(|(_, u)| matches!(
             u,
             Upcall::Delivered { to, .. } if to.as_u32() == 1
         )));
-        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. })));
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::TxComplete { ok: true, .. })));
     }
 
     #[test]
@@ -787,8 +821,12 @@ mod tests {
         let mut e = line_engine(&[(0.0, 0.0), (40.0, 0.0)], &[NodeClass::Sensor; 2]);
         e.set_alive(NodeId::new(1), false);
         let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::Beacon))]);
-        assert!(!ups.iter().any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
-        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::TxComplete { ok: false, .. })));
+        assert!(!ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::TxComplete { ok: false, .. })));
     }
 
     #[test]
@@ -807,7 +845,9 @@ mod tests {
         e.set_alive(NodeId::new(1), false);
         e.set_alive(NodeId::new(1), true);
         let ups = run(&mut e, vec![(0.0, frame(0, Some(1), TrafficClass::Beacon))]);
-        assert!(ups.iter().any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
+        assert!(ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::Delivered { .. })));
     }
 
     #[test]

@@ -237,7 +237,12 @@ mod tests {
             Point::new(200.0, 0.0),
         ];
         let classes = [NodeClass::Sensor, NodeClass::Sensor, NodeClass::Robot];
-        Medium::new(Bounds::square(1000.0), RangeTable::default(), &positions, &classes)
+        Medium::new(
+            Bounds::square(1000.0),
+            RangeTable::default(),
+            &positions,
+            &classes,
+        )
     }
 
     #[test]

@@ -106,7 +106,11 @@ mod tests {
             "1375 B should be 1 ms of payload time"
         );
         assert!(p.airtime(100) < p.airtime(200));
-        assert_eq!(p.airtime(0), p.phy_overhead, "zero payload still costs preamble");
+        assert_eq!(
+            p.airtime(0),
+            p.phy_overhead,
+            "zero payload still costs preamble"
+        );
     }
 
     #[test]

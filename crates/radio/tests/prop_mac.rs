@@ -106,7 +106,11 @@ fn every_send_completes_once() {
         &check::triple(
             positions_gen(),
             check::vec_of(
-                check::triple(check::usizes(0..100), check::usizes(0..100), check::u64s(0..50)),
+                check::triple(
+                    check::usizes(0..100),
+                    check::usizes(0..100),
+                    check::u64s(0..50),
+                ),
                 1..40,
             ),
             check::u64_any(),

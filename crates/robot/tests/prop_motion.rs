@@ -8,8 +8,7 @@ use robonet_robot::motion::Leg;
 use robonet_robot::{ReplacementTask, RobotState};
 
 fn point() -> Gen<Point> {
-    check::pair(check::f64s(0.0..1000.0), check::f64s(0.0..1000.0))
-        .map(|&(x, y)| Point::new(x, y))
+    check::pair(check::f64s(0.0..1000.0), check::f64s(0.0..1000.0)).map(|&(x, y)| Point::new(x, y))
 }
 
 /// The invariant checked by [`leg_position_monotone`], factored out so

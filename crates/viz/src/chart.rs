@@ -138,7 +138,14 @@ impl LineChart {
             }
             // Legend entry.
             let ly = mt + 14.0 + 16.0 * i as f64;
-            doc.line(ml + pw - 86.0, ly - 4.0, ml + pw - 66.0, ly - 4.0, color, 2.0);
+            doc.line(
+                ml + pw - 86.0,
+                ly - 4.0,
+                ml + pw - 66.0,
+                ly - 4.0,
+                color,
+                2.0,
+            );
             doc.text(ml + pw - 60.0, ly, 11.0, "start", "#111111", &s.label);
         }
         doc.finish()
@@ -177,8 +184,14 @@ mod tests {
 
     fn chart() -> LineChart {
         LineChart::new("t", "x", "y")
-            .with_series(Series::new("a", vec![(4.0, 100.0), (16.0, 110.0), (9.0, 105.0)]))
-            .with_series(Series::new("b", vec![(4.0, 90.0), (9.0, 92.0), (16.0, 95.0)]))
+            .with_series(Series::new(
+                "a",
+                vec![(4.0, 100.0), (16.0, 110.0), (9.0, 105.0)],
+            ))
+            .with_series(Series::new(
+                "b",
+                vec![(4.0, 90.0), (9.0, 92.0), (16.0, 95.0)],
+            ))
     }
 
     #[test]
@@ -198,7 +211,13 @@ mod tests {
         // polyline.
         let svg = chart().render(640, 420);
         let poly = svg.split("<polyline").nth(1).expect("series polyline");
-        let pts_attr = poly.split("points=\"").nth(1).unwrap().split('"').next().unwrap();
+        let pts_attr = poly
+            .split("points=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
         let xs: Vec<f64> = pts_attr
             .split(' ')
             .map(|p| p.split(',').next().unwrap().parse().unwrap())

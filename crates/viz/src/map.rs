@@ -17,7 +17,14 @@ impl FieldMap {
     /// Creates a map of `bounds` rendered at `size × size` pixels.
     pub fn new(bounds: Bounds, size: u32) -> Self {
         let mut doc = Svg::new(size, size);
-        doc.rect(0.0, 0.0, f64::from(size), f64::from(size), "#fafafa", Some("#333333"));
+        doc.rect(
+            0.0,
+            0.0,
+            f64::from(size),
+            f64::from(size),
+            "#fafafa",
+            Some("#333333"),
+        );
         FieldMap { bounds, size, doc }
     }
 
@@ -47,9 +54,16 @@ impl FieldMap {
         for (i, &p) in positions.iter().enumerate() {
             let (x, y) = self.project(p);
             let color = PALETTE[i % PALETTE.len()];
-            self.doc.rect(x - 5.0, y - 5.0, 10.0, 10.0, color, Some("#111111"));
             self.doc
-                .text(x + 7.0, y - 7.0, 11.0, "start", "#111111", &format!("R{}", i + 1));
+                .rect(x - 5.0, y - 5.0, 10.0, 10.0, color, Some("#111111"));
+            self.doc.text(
+                x + 7.0,
+                y - 7.0,
+                11.0,
+                "start",
+                "#111111",
+                &format!("R{}", i + 1),
+            );
         }
     }
 
@@ -60,8 +74,7 @@ impl FieldMap {
             let Some(cell) = cell else { continue };
             let pts: Vec<(f64, f64)> = cell.vertices().iter().map(|&v| self.project(v)).collect();
             let color = PALETTE[i % PALETTE.len()];
-            self.doc
-                .polygon(&pts, &format!("{color}22"), color);
+            self.doc.polygon(&pts, &format!("{color}22"), color);
         }
     }
 

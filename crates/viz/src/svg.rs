@@ -141,7 +141,14 @@ mod tests {
         s.polygon(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)], "#eee", "#999");
         s.text(3.0, 3.0, 12.0, "middle", "#000", "hi");
         let out = s.finish();
-        for tag in ["<line", "<circle", "<rect", "<polyline", "<polygon", "<text"] {
+        for tag in [
+            "<line",
+            "<circle",
+            "<rect",
+            "<polyline",
+            "<polygon",
+            "<text",
+        ] {
             assert!(out.contains(tag), "missing {tag}");
         }
     }

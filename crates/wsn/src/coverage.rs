@@ -26,7 +26,11 @@ pub fn coverage_fraction(
     sensing_range: f64,
     resolution: usize,
 ) -> f64 {
-    assert_eq!(sensors.len(), alive.len(), "sensors and alive flags must pair up");
+    assert_eq!(
+        sensors.len(),
+        alive.len(),
+        "sensors and alive flags must pair up"
+    );
     assert!(resolution > 0, "resolution must be positive");
     assert!(
         sensing_range.is_finite() && sensing_range > 0.0,
@@ -69,7 +73,11 @@ pub fn coverage_holes(
     sensing_range: f64,
     resolution: usize,
 ) -> Vec<Point> {
-    assert_eq!(sensors.len(), alive.len(), "sensors and alive flags must pair up");
+    assert_eq!(
+        sensors.len(),
+        alive.len(),
+        "sensors and alive flags must pair up"
+    );
     let alive_points: Vec<Point> = sensors
         .iter()
         .zip(alive)
@@ -79,7 +87,11 @@ pub fn coverage_holes(
     let index = if alive_points.is_empty() {
         None
     } else {
-        Some(GridIndex::build(*bounds, sensing_range.max(1.0), &alive_points))
+        Some(GridIndex::build(
+            *bounds,
+            sensing_range.max(1.0),
+            &alive_points,
+        ))
     };
     let mut holes = Vec::new();
     for iy in 0..resolution {

@@ -47,7 +47,10 @@ mod tests {
     use super::*;
 
     fn process(seed: u64) -> FailureProcess {
-        FailureProcess::new(SimDuration::from_secs(16_000.0), Xoshiro256::seed_from_u64(seed))
+        FailureProcess::new(
+            SimDuration::from_secs(16_000.0),
+            Xoshiro256::seed_from_u64(seed),
+        )
     }
 
     #[test]

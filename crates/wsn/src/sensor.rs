@@ -126,7 +126,9 @@ impl SensorState {
     /// Returns `true` if a silent guardee should be reported now — i.e.
     /// it has not already been reported within the retry window.
     pub fn should_report(&self, guardee: NodeId, now: SimTime) -> bool {
-        self.reported_until.get(&guardee).is_none_or(|&until| now >= until)
+        self.reported_until
+            .get(&guardee)
+            .is_none_or(|&until| now >= until)
     }
 
     /// Records that `guardee`'s failure was reported; it will not be
@@ -318,13 +320,19 @@ mod tests {
     #[test]
     fn myrobot_is_always_the_closest_known_robot() {
         let mut s = SensorState::new(n(0), p(0.0, 0.0));
-        assert!(s.consider_robot(n(100), p(100.0, 0.0)), "first robot adopted");
+        assert!(
+            s.consider_robot(n(100), p(100.0, 0.0)),
+            "first robot adopted"
+        );
         assert!(
             !s.consider_robot(n(101), p(200.0, 0.0)),
             "farther robot: myrobot unchanged and update irrelevant"
         );
         assert_eq!(s.myrobot.unwrap().0, n(100));
-        assert!(s.consider_robot(n(101), p(50.0, 0.0)), "closer robot adopted");
+        assert!(
+            s.consider_robot(n(101), p(50.0, 0.0)),
+            "closer robot adopted"
+        );
         assert_eq!(s.myrobot.unwrap().0, n(101));
         // When my robot recedes, a previously heard closer robot takes
         // over *immediately* — the receding update is still relevant

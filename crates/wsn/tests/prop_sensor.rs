@@ -8,8 +8,7 @@ use robonet_wsn::coverage::coverage_fraction;
 use robonet_wsn::SensorState;
 
 fn point() -> Gen<Point> {
-    check::pair(check::f64s(0.0..500.0), check::f64s(0.0..500.0))
-        .map(|&(x, y)| Point::new(x, y))
+    check::pair(check::f64s(0.0..500.0), check::f64s(0.0..500.0)).map(|&(x, y)| Point::new(x, y))
 }
 
 /// The chosen guardian is the nearest neighbour among candidates —

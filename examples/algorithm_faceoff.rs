@@ -7,6 +7,7 @@
 //! three figures' series plus a CSV dump. Default time compression is
 //! 16× (≈ a minute); pass `1` for the paper's full runs.
 
+use robonet::core::coord;
 use robonet::core::report::{text_table, Row};
 use robonet::prelude::*;
 
@@ -15,16 +16,15 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(16.0);
-    let algorithms = [
-        Algorithm::Fixed(PartitionKind::Square),
-        Algorithm::Dynamic,
-        Algorithm::Centralized,
-    ];
+    // The three figure algorithms, in figure order, straight from the
+    // coordination registry — registering a fourth joins the faceoff.
     let mut rows = Vec::new();
     for k in [2usize, 3, 4] {
-        for alg in algorithms {
-            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(scale);
-            eprintln!("running {} with {} robots...", alg, cfg.n_robots());
+        for entry in coord::figure_algorithms() {
+            let cfg = ScenarioConfig::paper(k, entry.algorithm)
+                .with_seed(1)
+                .scaled(scale);
+            eprintln!("running {} with {} robots...", entry.name, cfg.n_robots());
             let outcome = Simulation::run(cfg);
             rows.push(Row::new(&outcome.config, outcome.metrics.summary()));
         }

@@ -40,7 +40,9 @@ fn main() {
     let mut down: Vec<u32> = Vec::new();
     for ev in outcome.trace.events() {
         match ev {
-            TraceEvent::Replaced { robot, loc, sensor, .. } => {
+            TraceEvent::Replaced {
+                robot, loc, sensor, ..
+            } => {
                 routes.entry(robot.as_u32()).or_default().push(*loc);
                 down.retain(|s| *s != sensor.as_u32());
             }
@@ -60,7 +62,9 @@ fn main() {
     let mut map = FieldMap::new(bounds, 760);
     map.cells(&voronoi_cells(&finals, &bounds));
     map.sensors(&sensors, &alive);
-    for (i, (_, route)) in routes.iter().collect::<std::collections::BTreeMap<_, _>>()
+    for (i, (_, route)) in routes
+        .iter()
+        .collect::<std::collections::BTreeMap<_, _>>()
         .into_iter()
         .enumerate()
     {

@@ -20,11 +20,7 @@ fn tables(g: &UnitDiskGraph) -> Vec<NeighborTable> {
         .map(|i| {
             let mut t = NeighborTable::new();
             for &j in g.neighbors(i) {
-                t.update(
-                    NodeId::new(j),
-                    g.position(j as usize),
-                    SimTime::ZERO,
-                );
+                t.update(NodeId::new(j), g.position(j as usize), SimTime::ZERO);
             }
             t
         })

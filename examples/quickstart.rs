@@ -38,14 +38,35 @@ fn main() {
     println!("events processed:             {}", outcome.events_processed);
     println!("sensor failures:              {}", s.failures_occurred);
     println!("replacements completed:       {}", s.replacements);
-    println!("avg travel per failure:       {:.1} m   (Figure 2 metric)", s.avg_travel_per_failure);
-    println!("avg failure-report hops:      {:.2}     (Figure 3 metric)", s.avg_report_hops);
-    println!("loc-update tx per failure:    {:.1}     (Figure 4 metric)", s.loc_update_tx_per_failure);
-    println!("report delivery ratio:        {:.2}%", s.report_delivery_ratio * 100.0);
+    println!(
+        "avg travel per failure:       {:.1} m   (Figure 2 metric)",
+        s.avg_travel_per_failure
+    );
+    println!(
+        "avg failure-report hops:      {:.2}     (Figure 3 metric)",
+        s.avg_report_hops
+    );
+    println!(
+        "loc-update tx per failure:    {:.1}     (Figure 4 metric)",
+        s.loc_update_tx_per_failure
+    );
+    println!(
+        "report delivery ratio:        {:.2}%",
+        s.report_delivery_ratio * 100.0
+    );
     println!("avg repair delay:             {:.1} s", s.avg_repair_delay);
-    println!("myrobot accuracy:             {:.2}%", s.myrobot_accuracy * 100.0);
+    println!(
+        "myrobot accuracy:             {:.2}%",
+        s.myrobot_accuracy * 100.0
+    );
     println!();
-    println!("robot odometers (m): {:?}", m.robot_odometers.iter().map(|d| d.round()).collect::<Vec<_>>());
+    println!(
+        "robot odometers (m): {:?}",
+        m.robot_odometers
+            .iter()
+            .map(|d| d.round())
+            .collect::<Vec<_>>()
+    );
     println!("tasks per robot:     {:?}", m.tasks_per_robot);
     println!();
     println!("=== MAC-level transmissions by traffic class ===");

@@ -10,39 +10,34 @@
 //! increases with the sensor network area" — keep holding, and where do
 //! the crossovers land?
 
-use robonet::core::fastsim;
+use robonet::core::{coord, fastsim};
 use robonet::prelude::*;
 
 fn main() {
+    // Every registered algorithm (including the fixed-hex extension
+    // the paper's figures skip) — one row per (k, algorithm), so the
+    // table grows with the coordination registry.
     println!(
-        "{:<6} {:>8} | {:>22} | {:>26} | {:>24}",
-        "k", "robots", "report hops (C/F/D)", "upd tx per failure (C/F/D)", "travel m (C/F/D)"
+        "{:<6} {:>8}  {:<14} {:>12} {:>16} {:>10}",
+        "k", "robots", "algorithm", "report hops", "upd tx/failure", "travel m"
     );
     for k in [2usize, 3, 4, 6, 8, 10] {
-        let mut cells = Vec::new();
-        for alg in [
-            Algorithm::Centralized,
-            Algorithm::Fixed(PartitionKind::Square),
-            Algorithm::Dynamic,
-        ] {
-            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(8.0);
-            cells.push(fastsim::run(&cfg));
+        for entry in coord::registry() {
+            let cfg = ScenarioConfig::paper(k, entry.algorithm)
+                .with_seed(1)
+                .scaled(8.0);
+            let s = fastsim::run(&cfg);
+            println!(
+                "{:<6} {:>8}  {:<14} {:>12.1} {:>16.1} {:>10.1}",
+                k,
+                k * k,
+                entry.name,
+                s.avg_report_hops,
+                s.loc_update_tx_per_failure,
+                s.avg_travel_per_failure,
+            );
         }
-        let (c, f, d) = (&cells[0], &cells[1], &cells[2]);
-        println!(
-            "{:<6} {:>8} | {:>6.1} {:>6.1} {:>7.1} | {:>8.1} {:>8.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}",
-            k,
-            k * k,
-            c.avg_report_hops,
-            f.avg_report_hops,
-            d.avg_report_hops,
-            c.loc_update_tx_per_failure,
-            f.loc_update_tx_per_failure,
-            d.loc_update_tx_per_failure,
-            c.avg_travel_per_failure,
-            f.avg_travel_per_failure,
-            d.avg_travel_per_failure,
-        );
+        println!();
     }
     println!();
     println!(

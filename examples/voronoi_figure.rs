@@ -114,7 +114,11 @@ fn main() {
 
     // Also report the geometry quantitatively.
     let total: f64 = before.iter().flatten().map(|c| c.area()).sum();
-    println!("five robots partition {:.0} m² (field {:.0} m²)", total, bounds.area());
+    println!(
+        "five robots partition {:.0} m² (field {:.0} m²)",
+        total,
+        bounds.area()
+    );
     let mut switched = 0usize;
     let samples = 200 * 200;
     for ix in 0..200 {

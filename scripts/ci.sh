@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> rustfmt (check only)"
+cargo fmt --check
+
+echo "==> clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> build (release, offline)"
 cargo build --release --offline --workspace
 

@@ -54,5 +54,8 @@ fn runs_do_not_leak_state_into_each_other() {
     let _ = summary(Algorithm::Centralized, 1);
     let _ = summary(Algorithm::Fixed(PartitionKind::Square), 2);
     let second = summary(Algorithm::Dynamic, 7);
-    assert_eq!(first, second, "interleaved runs must not perturb each other");
+    assert_eq!(
+        first, second,
+        "interleaved runs must not perturb each other"
+    );
 }

@@ -45,7 +45,10 @@ fn robot_count_one_works() {
     ] {
         let cfg = ScenarioConfig::paper(1, alg).with_seed(5).scaled(32.0);
         let o = Simulation::run(cfg);
-        assert!(o.metrics.replacements > 0, "{alg}: no replacements with 1 robot");
+        assert!(
+            o.metrics.replacements > 0,
+            "{alg}: no replacements with 1 robot"
+        );
         assert_eq!(o.metrics.robot_odometers.len(), 1);
     }
 }

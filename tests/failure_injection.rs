@@ -20,7 +20,11 @@ fn survives_failure_storm() {
     let m = &o.metrics;
     // Dead nodes cannot re-fail until repaired, so the storm is
     // self-limiting; still several hundred failures in 2000 s.
-    assert!(m.failures_occurred > 300, "storm really happened: {}", m.failures_occurred);
+    assert!(
+        m.failures_occurred > 300,
+        "storm really happened: {}",
+        m.failures_occurred
+    );
     // Guardians die with their guardees often now, so some failures go
     // unreported — but the majority must still be repaired.
     assert!(
@@ -110,7 +114,9 @@ fn tiny_deployment_edge_case() {
     let o = Simulation::run(cfg);
     // Nothing to assert beyond liveness and basic accounting coherence.
     assert!(o.metrics.failures_occurred > 0);
-    assert!(o.metrics.replacements <= o.metrics.failures_occurred + o.metrics.spurious_replacements);
+    assert!(
+        o.metrics.replacements <= o.metrics.failures_occurred + o.metrics.spurious_replacements
+    );
 }
 
 /// Hex-partitioned fixed algorithm end to end (exercises the offset

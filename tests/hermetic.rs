@@ -41,8 +41,8 @@ fn is_dependency_section(header: &str) -> bool {
 /// crate (which would itself be a registry dependency). Returns
 /// `(section, name, value)` triples for every dependency entry.
 fn dependencies(manifest: &Path) -> Vec<(String, String, String)> {
-    let text = fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let text =
+        fs::read_to_string(manifest).unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
     let mut deps = Vec::new();
     let mut section = String::new();
     for raw in text.lines() {
@@ -108,7 +108,8 @@ fn retired_registry_crates_stay_gone() {
         for banned in ["rand", "proptest", "criterion", "rand_xoshiro"] {
             for (section, name, _) in dependencies(&manifest) {
                 assert_ne!(
-                    name, banned,
+                    name,
+                    banned,
                     "{}: [{}] reintroduces `{}`",
                     manifest.display(),
                     section,
@@ -135,8 +136,7 @@ fn retired_registry_crates_stay_gone() {
 #[test]
 fn bench_targets_declared() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let text = fs::read_to_string(root.join("crates/bench/Cargo.toml"))
-        .expect("bench manifest");
+    let text = fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
     let count = text.matches("[[bench]]").count();
     assert_eq!(count, 8, "expected 8 bench targets, found {count}");
 }

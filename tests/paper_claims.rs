@@ -34,7 +34,10 @@ fn claim_a_motion_overhead_ordering() {
     // Dynamic tracks centralized closely...
     let rel = (dynamic.avg_travel_per_failure - centralized.avg_travel_per_failure).abs()
         / centralized.avg_travel_per_failure;
-    assert!(rel < 0.10, "dynamic vs centralized motion differ by {rel:.2}");
+    assert!(
+        rel < 0.10,
+        "dynamic vs centralized motion differ by {rel:.2}"
+    );
     // ... and fixed does not beat either by a meaningful margin (the
     // paper has fixed strictly worst; at one seed we allow noise).
     assert!(
@@ -153,7 +156,10 @@ fn partition_shape_makes_negligible_difference() {
     let sq = avg(PartitionKind::Square);
     let hex = avg(PartitionKind::Hex);
     let rel = (sq - hex).abs() / sq;
-    assert!(rel < 0.15, "square {sq:.1} vs hex {hex:.1} travel differ by {rel:.2}");
+    assert!(
+        rel < 0.15,
+        "square {sq:.1} vs hex {hex:.1} travel differ by {rel:.2}"
+    );
 }
 
 #[test]
