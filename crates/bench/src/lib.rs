@@ -249,6 +249,7 @@ mod tests {
                 p95_repair_delay: 200.0,
                 total_travel: 1000.0,
                 myrobot_accuracy: 1.0,
+                packets_dropped: Default::default(),
             },
         }
     }

@@ -9,8 +9,12 @@
 use std::fmt::Write as _;
 
 use robonet_bench::{average_series, sweep, SweepOptions};
+use robonet_core::obs::json::ObjectWriter;
 use robonet_core::report::Row;
-use robonet_core::{Algorithm, CoverageSampling, DispatchPolicy, ScenarioConfig, Simulation};
+use robonet_core::{
+    Algorithm, CoverageSampling, DispatchPolicy, JsonlSink, Outcome, ScenarioConfig, Simulation,
+    TraceAggregate,
+};
 use robonet_des::SimDuration;
 
 /// Prints the usage text to stderr.
@@ -22,11 +26,17 @@ pub fn print_usage() {
          \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
          \x20                 [--scale F] [--seed N] [--prune F]\n\
          \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
+         \x20                 [--trace N] [--trace-out FILE]\n\
+         \x20 robonet stats   <run.jsonl>\n\
          \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
          \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
          \n\
          `--scale F` compresses simulated time F× while preserving all\n\
-         per-failure metrics (default 16; use 1 for the paper's full 64000 s runs)."
+         per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
+         `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
+         and writes a run manifest (config, seed, counters) next to it;\n\
+         `robonet stats` aggregates such a file back into the per-failure\n\
+         overhead table without re-running the simulation."
     );
 }
 
@@ -41,6 +51,7 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     };
     match command.as_str() {
         "run" => cmd_run(rest),
+        "stats" => cmd_stats(rest),
         "figures" => cmd_figures(rest),
         "sweep" => cmd_sweep(rest),
         "help" | "--help" | "-h" => {
@@ -73,6 +84,7 @@ struct RunArgs {
     dispatch: DispatchPolicy,
     coverage: Option<f64>,
     trace: usize,
+    trace_out: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -85,6 +97,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         dispatch: DispatchPolicy::Nearest,
         coverage: None,
         trace: 0,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -120,6 +133,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--trace" => {
                 out.trace = value()?.parse().map_err(|e| format!("bad --trace: {e}"))?;
             }
+            "--trace-out" => out.trace_out = Some(value()?.to_string()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -143,7 +157,15 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     }
     cfg.validate()?;
 
-    let outcome = Simulation::run(cfg);
+    let outcome = match &parsed.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            let sink = JsonlSink::new(std::io::BufWriter::new(file));
+            Simulation::with_sink(cfg, Box::new(sink)).run_to_completion()
+        }
+        None => Simulation::run(cfg),
+    };
     let m = &outcome.metrics;
     let s = m.summary();
     let mut out = String::new();
@@ -179,7 +201,24 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     );
     let _ = writeln!(out, "repair delay:         {:.1} s", s.avg_repair_delay);
     let _ = writeln!(out, "fleet travel:         {:.0} m", s.total_travel);
+    let d = &s.packets_dropped;
+    let _ = writeln!(
+        out,
+        "dropped packets:      {} (ttl {}, no-neighbor {}, mac {})",
+        d.total(),
+        d.ttl_expired,
+        d.no_neighbors,
+        d.mac_give_up
+    );
+    let _ = writeln!(out, "profile:              {}", outcome.profile);
     let _ = writeln!(out, "\ntransmissions by class:\n{}", m.tx);
+    if let Some(path) = &parsed.trace_out {
+        let manifest = manifest_path_for(path);
+        std::fs::write(&manifest, run_manifest_json(&outcome))
+            .map_err(|e| format!("cannot write manifest `{manifest}`: {e}"))?;
+        let _ = writeln!(out, "\ntrace written:        {path}");
+        let _ = writeln!(out, "manifest written:     {manifest}");
+    }
     if !outcome.trace.is_empty() {
         let _ = writeln!(out, "last {} protocol events:", outcome.trace.len());
         for ev in outcome.trace.events() {
@@ -192,6 +231,84 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
             let _ = writeln!(out, "{t:.0},{cov:.4},{dead}");
         }
     }
+    Ok(out)
+}
+
+/// `run.jsonl` → `run.manifest.json` (any other name just gains the
+/// `.manifest.json` suffix).
+fn manifest_path_for(trace_path: &str) -> String {
+    let stem = trace_path.strip_suffix(".jsonl").unwrap_or(trace_path);
+    format!("{stem}.manifest.json")
+}
+
+/// One JSON object describing a traced run: the scenario knobs that
+/// produced the artifact, the headline summary figures, and the full
+/// per-subsystem counter snapshot.
+fn run_manifest_json(outcome: &Outcome) -> String {
+    let cfg = &outcome.config;
+    let s = outcome.metrics.summary();
+    let mut summary = ObjectWriter::new();
+    summary.field_u64("failures", s.failures_occurred);
+    summary.field_u64("replacements", s.replacements);
+    summary.field_f64("avg_travel_per_failure", s.avg_travel_per_failure);
+    summary.field_f64("avg_report_hops", s.avg_report_hops);
+    summary.field_f64("total_travel", s.total_travel);
+    summary.field_u64("packets_dropped", s.packets_dropped.total());
+    let mut w = ObjectWriter::new();
+    w.field_str("algorithm", cfg.algorithm.name());
+    w.field_u64("seed", cfg.seed);
+    w.field_u64("k", cfg.k as u64);
+    w.field_u64("robots", cfg.n_robots() as u64);
+    w.field_u64("sensors", cfg.n_sensors() as u64);
+    w.field_f64("sim_time_s", cfg.sim_time.as_secs_f64());
+    w.field_raw("summary", &summary.finish());
+    w.field_raw("counters", &outcome.metrics.counters.counters_json());
+    let mut json = w.finish();
+    json.push('\n');
+    json
+}
+
+/// `robonet stats <run.jsonl>`: re-derives the paper's per-failure
+/// overhead table from a trace artifact, without re-running. Travel and
+/// hop averages match the producing run's output exactly; the repair
+/// delay is reconstructed from event timestamps and is approximate.
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let [path] = args else {
+        return Err("usage: robonet stats <run.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let agg = TraceAggregate::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} events from {path}", agg.events);
+    let _ = writeln!(out, "failures:             {}", agg.failures);
+    let _ = writeln!(out, "replacements:         {}", agg.replacements);
+    let _ = writeln!(
+        out,
+        "travel per failure:   {:.1} m",
+        agg.avg_travel_per_failure()
+    );
+    let _ = writeln!(out, "report hops:          {:.2}", agg.avg_report_hops());
+    let _ = writeln!(
+        out,
+        "repair delay:         {:.1} s (reconstructed)",
+        agg.avg_repair_delay()
+    );
+    let _ = writeln!(out, "fleet travel:         {:.0} m", agg.total_travel());
+    let d = &agg.drops;
+    let _ = writeln!(
+        out,
+        "dropped packets:      {} (ttl {}, no-neighbor {}, mac {})",
+        d.total(),
+        d.ttl_expired,
+        d.no_neighbors,
+        d.mac_give_up
+    );
+    let _ = writeln!(out, "loc-update floods:    {}", agg.loc_update_floods);
+    let _ = writeln!(
+        out,
+        "robot legs:           {} started, {} completed",
+        agg.legs_started, agg.legs_ended
+    );
     Ok(out)
 }
 

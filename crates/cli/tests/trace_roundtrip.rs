@@ -1,0 +1,84 @@
+//! End-to-end check of the trace artifact pipeline: `robonet run
+//! --trace-out` → JSONL + manifest on disk → `robonet stats` printing
+//! the same per-failure figures the run itself reported.
+
+use robonet_cli::run_cli;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn trace_out_and_stats_round_trip() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let trace = dir.join("roundtrip.jsonl");
+    let trace_s = trace.to_str().expect("utf-8 tmpdir");
+
+    let run_out = run_cli(&args(&[
+        "run",
+        "--alg",
+        "dynamic",
+        "--k",
+        "1",
+        "--scale",
+        "64",
+        "--seed",
+        "7",
+        "--trace-out",
+        trace_s,
+    ]))
+    .expect("traced run succeeds");
+    assert!(run_out.contains("trace written:"));
+    assert!(run_out.contains("dropped packets:"));
+
+    // Every artifact line is one well-formed JSON object.
+    let text = std::fs::read_to_string(&trace).expect("trace file exists");
+    assert!(!text.is_empty());
+    for (i, line) in text.lines().enumerate() {
+        robonet_core::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: bad JSON: {e:?}", i + 1));
+    }
+
+    // The manifest sits next to the trace and parses as one object.
+    let manifest = dir.join("roundtrip.manifest.json");
+    let mtext = std::fs::read_to_string(&manifest).expect("manifest exists");
+    let m = robonet_core::obs::json::parse(mtext.trim()).expect("manifest parses");
+    assert_eq!(m.get("algorithm").and_then(|v| v.as_str()), Some("dynamic"));
+    assert_eq!(m.get("seed").and_then(|v| v.as_u64()), Some(7));
+    assert!(m.get("counters").is_some(), "counter snapshot present");
+
+    // `stats` reproduces the run's own headline lines verbatim — the
+    // averages are recomputed from the artifact yet bit-identical.
+    let stats_out = run_cli(&args(&["stats", trace_s])).expect("stats succeeds");
+    for key in [
+        "failures:",
+        "replacements:",
+        "travel per failure:",
+        "report hops:",
+    ] {
+        let from_run = run_out
+            .lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("run output missing `{key}`"));
+        let from_stats = stats_out
+            .lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("stats output missing `{key}`"));
+        assert_eq!(from_run, from_stats, "`{key}` line must match exactly");
+    }
+}
+
+#[test]
+fn stats_rejects_missing_and_malformed_input() {
+    assert!(run_cli(&args(&["stats"])).is_err(), "usage error");
+    assert!(
+        run_cli(&args(&["stats", "/nonexistent/no.jsonl"])).is_err(),
+        "missing file"
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"ev\":\"not_a_kind\",\"t\":0.0}\n").unwrap();
+    let err = run_cli(&args(&["stats", bad.to_str().unwrap()])).unwrap_err();
+    assert!(err.contains("line 1"), "error locates the line: {err}");
+}

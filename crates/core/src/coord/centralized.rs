@@ -28,6 +28,10 @@ impl Coordinator for Centralized {
          to the closest robot (§3.1)"
     }
 
+    fn obs_namespace(&self) -> &'static str {
+        "coord.centralized"
+    }
+
     fn uses_manager(&self) -> bool {
         true
     }

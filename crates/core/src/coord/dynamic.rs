@@ -30,6 +30,10 @@ impl Coordinator for Dynamic {
          closest robot, tracked via scoped floods (§3.3)"
     }
 
+    fn obs_namespace(&self) -> &'static str {
+        "coord.dynamic"
+    }
+
     fn seed_initial_role(
         &self,
         sensor: &mut SensorState,

@@ -57,6 +57,13 @@ impl Coordinator for Fixed {
         }
     }
 
+    fn obs_namespace(&self) -> &'static str {
+        match self.kind {
+            PartitionKind::Square => "coord.fixed",
+            PartitionKind::Hex => "coord.fixed-hex",
+        }
+    }
+
     fn build_partition(&self, bounds: Bounds, k: usize) -> Option<Box<dyn Partition>> {
         Some(match self.kind {
             PartitionKind::Square => Box::new(SquarePartition::new(bounds, k)),

@@ -163,6 +163,12 @@ pub trait Coordinator: std::fmt::Debug + Sync {
     /// One-line description for help text and docs.
     fn describe(&self) -> &'static str;
 
+    /// Metrics-registry namespace for this coordinator's counters
+    /// (`coord.<name>`). A literal rather than derived from
+    /// [`Coordinator::name`] so counter recording stays
+    /// allocation-free.
+    fn obs_namespace(&self) -> &'static str;
+
     // --- World construction -------------------------------------------
 
     /// Whether a static central manager node exists.
@@ -496,6 +502,9 @@ mod tests {
         }
         fn describe(&self) -> &'static str {
             "test-only: one cell too many"
+        }
+        fn obs_namespace(&self) -> &'static str {
+            "coord.lopsided"
         }
         fn build_partition(&self, bounds: Bounds, k: usize) -> Option<Box<dyn Partition>> {
             Some(Box::new(robonet_geom::partition::SquarePartition::new(

@@ -28,6 +28,8 @@ use robonet_wsn::failure::FailureProcess;
 
 use crate::config::ScenarioConfig;
 use crate::coord::{self, FlowCtx};
+use crate::obs::{EventSink, NullSink};
+use crate::trace::TraceEvent;
 
 /// Greedy geographic routing makes roughly this fraction of the radio
 /// range of forward progress per hop at the paper's deployment density
@@ -84,9 +86,23 @@ enum Event {
 ///
 /// Panics if the configuration is invalid.
 pub fn run(cfg: &ScenarioConfig) -> FastSummary {
+    run_with_sink(cfg, &mut NullSink)
+}
+
+/// Runs the flow-level model, streaming coarse-grained trace events
+/// (`Failure`, `Dispatched`, `RobotLegStarted`/`Ended`, `Replaced`)
+/// into `sink`. Packet-level events (`Detected`, `ReportDelivered`,
+/// `PacketDropped`, `LocUpdateFlooded`) never appear — the flow model
+/// has no packets.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSummary {
     if let Err(e) = cfg.validate() {
         panic!("invalid scenario: {e}");
     }
+    let sink_enabled = sink.is_enabled();
     let coordinator = coord::coordinator_for(cfg.algorithm);
     let bounds = cfg.bounds();
     let n_sensors = cfg.n_sensors();
@@ -197,6 +213,12 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
                 }
                 alive[s] = false;
                 out.failures += 1;
+                if sink_enabled {
+                    sink.record(&TraceEvent::Failure {
+                        t: now.as_secs_f64(),
+                        sensor: NodeId::new(sensor),
+                    });
+                }
 
                 // Detection: timeout + residual beacon phase.
                 let detect_delay = cfg.failure_timeout()
@@ -224,8 +246,26 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
                     loc: failed_loc,
                     dispatched_at: now,
                 };
-                if let Some(leg) = robots[r].enqueue(task, now) {
+                let leg = robots[r].enqueue(task, now);
+                if sink_enabled {
+                    sink.record(&TraceEvent::Dispatched {
+                        t: now.as_secs_f64(),
+                        robot: robots[r].id,
+                        failed: NodeId::new(sensor),
+                        departed: leg.is_some(),
+                    });
+                }
+                if let Some(leg) = leg {
                     leg_seq[r] += 1;
+                    if sink_enabled {
+                        sink.record(&TraceEvent::RobotLegStarted {
+                            t: leg.start().as_secs_f64(),
+                            robot: robots[r].id,
+                            failed: NodeId::new(sensor),
+                            from: leg.from(),
+                            to: leg.to(),
+                        });
+                    }
                     leg_update_cost(&robots, r, leg.distance());
                     robots[r].last_update_loc = leg.to();
                     sched.schedule_at(
@@ -247,6 +287,20 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
                     .expect("arriving robot has a leg")
                     .distance();
                 let (task, next) = robots[r].arrive(now);
+                if sink_enabled {
+                    sink.record(&TraceEvent::RobotLegEnded {
+                        t: now.as_secs_f64(),
+                        robot: robots[r].id,
+                        travel,
+                    });
+                    sink.record(&TraceEvent::Replaced {
+                        t: now.as_secs_f64(),
+                        robot: robots[r].id,
+                        sensor: task.failed,
+                        travel,
+                        loc: task.loc,
+                    });
+                }
                 let s = task.failed.index();
                 alive[s] = true;
                 incarnation[s] += 1;
@@ -265,6 +319,18 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
                 }
                 if let Some(next_leg) = next {
                     leg_seq[r] += 1;
+                    if sink_enabled {
+                        sink.record(&TraceEvent::RobotLegStarted {
+                            t: next_leg.start().as_secs_f64(),
+                            robot: robots[r].id,
+                            failed: robots[r]
+                                .current_task()
+                                .expect("departing robot has a task")
+                                .failed,
+                            from: next_leg.from(),
+                            to: next_leg.to(),
+                        });
+                    }
                     leg_update_cost(&robots, r, next_leg.distance());
                     robots[r].last_update_loc = next_leg.to();
                     sched.schedule_at(
@@ -288,6 +354,7 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     }
     out.loc_update_tx_per_failure = update_tx / replaced;
     out.avg_repair_delay = delay_sum / replaced;
+    sink.finish();
     out
 }
 
@@ -343,6 +410,34 @@ mod tests {
             .with_seed(3)
             .scaled(16.0);
         assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn sink_captures_flow_story_without_changing_results() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(3)
+            .scaled(16.0);
+        let plain = run(&cfg);
+        let mut sink = crate::obs::RingSink::with_capacity(1_000_000);
+        let traced = run_with_sink(&cfg, &mut sink);
+        assert_eq!(plain, traced, "observing the run must not change it");
+        let trace = sink.take_trace().expect("ring sink holds a trace");
+        let replaced = trace
+            .events()
+            .filter(|e| matches!(e, TraceEvent::Replaced { .. }))
+            .count();
+        assert_eq!(replaced as u64, traced.replacements);
+        let legs_started = trace
+            .events()
+            .filter(|e| matches!(e, TraceEvent::RobotLegStarted { .. }))
+            .count();
+        let legs_ended = trace
+            .events()
+            .filter(|e| matches!(e, TraceEvent::RobotLegEnded { .. }))
+            .count();
+        // Legs in flight when the horizon closes never arrive.
+        assert!(legs_started >= legs_ended, "{legs_started} < {legs_ended}");
+        assert_eq!(legs_ended, replaced, "flow legs end at a replacement");
     }
 
     #[test]

@@ -41,7 +41,8 @@ use crate::config::ScenarioConfig;
 use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
-use crate::trace::{Trace, TraceEvent};
+use crate::obs::{EventSink, NullSink, RingSink, TeeSink};
+use crate::trace::{DropReason, Trace, TraceEvent};
 
 /// Result of a completed run.
 #[derive(Debug)]
@@ -51,10 +52,14 @@ pub struct Outcome {
     /// Collected metrics.
     pub metrics: Metrics,
     /// Protocol-level event trace (empty unless
-    /// [`ScenarioConfig::trace_capacity`] is set).
+    /// [`ScenarioConfig::trace_capacity`] is set or an external ring
+    /// sink was attached).
     pub trace: Trace,
     /// Total events the kernel delivered (simulation cost indicator).
     pub events_processed: u64,
+    /// Wall-clock phase profile of the scheduler (diagnostic only;
+    /// varies run to run and never feeds back into results).
+    pub profile: robonet_des::SchedulerProfile,
 }
 
 #[derive(Debug)]
@@ -127,7 +132,10 @@ pub struct Simulation {
     sensor_subarea: Vec<u32>,
     failure_proc: FailureProcess,
     metrics: Metrics,
-    trace: Trace,
+    sink: Box<dyn EventSink>,
+    /// Cached `sink.is_enabled()` — checked before constructing any
+    /// event so disabled runs pay nothing.
+    sink_enabled: bool,
     upcall_buf: Vec<Upcall<AppMsg>>,
     jitter_rng: rng::Xoshiro256,
 }
@@ -139,6 +147,18 @@ impl Simulation {
     ///
     /// Panics if the configuration fails [`ScenarioConfig::validate`].
     pub fn new(cfg: ScenarioConfig) -> Self {
+        Self::with_sink_opt(cfg, None)
+    }
+
+    /// Like [`Simulation::new`], but additionally streams every event
+    /// into `sink` (e.g. a [`JsonlSink`](crate::obs::JsonlSink) writing
+    /// a `--trace-out` artifact). The in-memory ring configured by
+    /// [`ScenarioConfig::trace_capacity`] still works alongside it.
+    pub fn with_sink(cfg: ScenarioConfig, sink: Box<dyn EventSink>) -> Self {
+        Self::with_sink_opt(cfg, Some(sink))
+    }
+
+    fn with_sink_opt(cfg: ScenarioConfig, extra: Option<Box<dyn EventSink>>) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid scenario: {e}");
         }
@@ -271,7 +291,15 @@ impl Simulation {
         }
 
         let cfg_seed = cfg.seed;
-        let cfg_seed_trace = cfg.trace_capacity;
+        let ring: Option<Box<dyn EventSink>> = (cfg.trace_capacity > 0)
+            .then(|| Box::new(RingSink::with_capacity(cfg.trace_capacity)) as Box<dyn EventSink>);
+        let sink: Box<dyn EventSink> = match (ring, extra) {
+            (Some(ring), Some(extra)) => Box::new(TeeSink::new().with(ring).with(extra)),
+            (Some(ring), None) => ring,
+            (None, Some(extra)) => extra,
+            (None, None) => Box::new(NullSink),
+        };
+        let sink_enabled = sink.is_enabled();
         Simulation {
             cfg,
             coord: coordinator,
@@ -288,7 +316,8 @@ impl Simulation {
             sensor_subarea,
             failure_proc,
             metrics: Metrics::default(),
-            trace: Trace::with_capacity(cfg_seed_trace),
+            sink,
+            sink_enabled,
             upcall_buf: Vec::new(),
             jitter_rng: rng::stream(cfg_seed, "jitter"),
         }
@@ -313,11 +342,74 @@ impl Simulation {
         self.metrics.tasks_per_robot = self.robot_tasks_done.clone();
         self.metrics.myrobot_accuracy = self.myrobot_accuracy();
         self.metrics.tx = self.radio.stats().clone();
+        self.snapshot_registry();
+        self.sink.finish();
+        let trace = self.sink.take_trace().unwrap_or_default();
         Outcome {
             config: self.cfg,
             metrics: self.metrics,
-            trace: self.trace,
+            trace,
             events_processed: self.sched.delivered_count(),
+            profile: self.sched.profile(),
+        }
+    }
+
+    /// Populates the per-subsystem counter/histogram registry from the
+    /// run's raw metrics. Done once at the end of the run — subsystems
+    /// keep their cheap dedicated counters on the hot path, and the
+    /// registry is the uniform externally-visible snapshot of them.
+    fn snapshot_registry(&mut self) {
+        let m = &mut self.metrics;
+        let c = &mut m.counters;
+
+        let ns = self.coord.obs_namespace();
+        c.set(ns, "reports_sent", m.reports_sent);
+        c.set(ns, "reports_delivered", m.reports_delivered);
+        c.set(ns, "requests_sent", m.requests_sent);
+        c.set(ns, "requests_delivered", m.requests_delivered);
+        c.set(ns, "replacements", m.replacements);
+        c.set(ns, "spurious_replacements", m.spurious_replacements);
+        c.set(ns, "failures_occurred", m.failures_occurred);
+
+        c.set(
+            "net.routing",
+            "drops.ttl_expired",
+            m.packets_dropped.ttl_expired,
+        );
+        c.set(
+            "net.routing",
+            "drops.no_neighbors",
+            m.packets_dropped.no_neighbors,
+        );
+        c.set("radio.mac", "drops.give_up", m.packets_dropped.mac_give_up);
+
+        let t = m.tx.totals();
+        c.set("radio.mac", "data_tx", t.data_tx);
+        c.set("radio.mac", "ack_tx", t.ack_tx);
+        c.set("radio.mac", "delivered", t.delivered);
+        c.set("radio.mac", "dropped", t.dropped);
+        c.set("radio.mac", "collisions", t.collisions);
+
+        let profile = self.sched.profile();
+        c.set(
+            "des.scheduler",
+            "events_dispatched",
+            profile.events_dispatched,
+        );
+        c.set(
+            "des.scheduler",
+            "queue_high_water",
+            profile.queue_high_water as u64,
+        );
+
+        for &hops in &m.report_hops {
+            c.observe("net.routing", "report_hops", f64::from(hops));
+        }
+        for &travel in &m.travel_per_task {
+            c.observe("robot.fleet", "travel_m", travel);
+        }
+        for &delay in &m.repair_delay {
+            c.observe("robot.fleet", "repair_delay_s", delay);
         }
     }
 
@@ -548,8 +640,8 @@ impl Simulation {
         self.sensors[s].alive = false;
         self.radio.set_alive(self.sensors[s].id, false);
         self.metrics.failures_occurred += 1;
-        if self.trace.is_enabled() {
-            self.trace.push(TraceEvent::Failure {
+        if self.sink_enabled {
+            self.sink.record(&TraceEvent::Failure {
                 t: now.as_secs_f64(),
                 sensor: self.sensors[s].id,
             });
@@ -560,8 +652,8 @@ impl Simulation {
         let failed_loc = self.sensors[failed.index()].loc;
         let (dst, dst_loc) = self.coord.report_target(&self.sensors[guardian]);
         self.metrics.reports_sent += 1;
-        if self.trace.is_enabled() {
-            self.trace.push(TraceEvent::Detected {
+        if self.sink_enabled {
+            self.sink.record(&TraceEvent::Detected {
                 t: now.as_secs_f64(),
                 guardian: self.sensors[guardian].id,
                 failed,
@@ -622,8 +714,16 @@ impl Simulation {
                     },
                 );
             }
-            RouteDecision::Drop(_) => {
-                self.metrics.packets_dropped += 1;
+            RouteDecision::Drop(why) => {
+                let reason = DropReason::from(why);
+                self.metrics.packets_dropped.record(reason);
+                if self.sink_enabled {
+                    self.sink.record(&TraceEvent::PacketDropped {
+                        t: now.as_secs_f64(),
+                        at,
+                        reason,
+                    });
+                }
             }
         }
     }
@@ -848,8 +948,8 @@ impl Simulation {
             } => {
                 self.metrics.reports_delivered += 1;
                 self.metrics.report_hops.push(geo.hops);
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::ReportDelivered {
+                if self.sink_enabled {
+                    self.sink.record(&TraceEvent::ReportDelivered {
                         t: now.as_secs_f64(),
                         manager: at,
                         failed,
@@ -931,8 +1031,8 @@ impl Simulation {
             dispatched_at: now,
         };
         let leg = self.robots[r].enqueue(task, now);
-        if self.trace.is_enabled() {
-            self.trace.push(TraceEvent::Dispatched {
+        if self.sink_enabled {
+            self.sink.record(&TraceEvent::Dispatched {
                 t: now.as_secs_f64(),
                 robot: self.robots[r].id,
                 failed,
@@ -947,6 +1047,18 @@ impl Simulation {
     fn start_leg(&mut self, r: usize, leg: robonet_robot::motion::Leg) {
         self.robot_leg_seq[r] += 1;
         let seq = self.robot_leg_seq[r];
+        if self.sink_enabled {
+            self.sink.record(&TraceEvent::RobotLegStarted {
+                t: leg.start().as_secs_f64(),
+                robot: self.robots[r].id,
+                failed: self.robots[r]
+                    .current_task()
+                    .expect("departing robot has a task")
+                    .failed,
+                from: leg.from(),
+                to: leg.to(),
+            });
+        }
         self.sched.schedule_at(
             leg.arrival(),
             Event::RobotArrive {
@@ -986,6 +1098,13 @@ impl Simulation {
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, task.loc);
         self.robot_pending[r].remove(&task.failed.as_u32());
+        if self.sink_enabled {
+            self.sink.record(&TraceEvent::RobotLegEnded {
+                t: now.as_secs_f64(),
+                robot: robot_node,
+                travel,
+            });
+        }
 
         let s = task.failed.index();
         if self.sensors[s].alive {
@@ -1017,8 +1136,8 @@ impl Simulation {
             self.metrics.replacements += 1;
             self.robot_tasks_done[r] += 1;
             self.metrics.travel_per_task.push(travel);
-            if self.trace.is_enabled() {
-                self.trace.push(TraceEvent::Replaced {
+            if self.sink_enabled {
+                self.sink.record(&TraceEvent::Replaced {
                     t: now.as_secs_f64(),
                     robot: robot_node,
                     sensor: task.failed,
@@ -1097,6 +1216,13 @@ impl Simulation {
                 );
             }
             Announcement::Flood { subarea } => {
+                if self.sink_enabled && class == TrafficClass::LocationUpdate {
+                    self.sink.record(&TraceEvent::LocUpdateFlooded {
+                        t: now.as_secs_f64(),
+                        robot: robot_node,
+                        seq: u64::from(seq),
+                    });
+                }
                 let msg = AppMsg::RobotFlood {
                     robot: robot_node,
                     loc,
@@ -1133,7 +1259,14 @@ impl Simulation {
             self.sensors[src.index()].neighbors.remove(next);
         }
         if !self.radio.medium().is_alive(src) {
-            self.metrics.packets_dropped += 1;
+            self.metrics.packets_dropped.record(DropReason::MacGiveUp);
+            if self.sink_enabled {
+                self.sink.record(&TraceEvent::PacketDropped {
+                    t: now.as_secs_f64(),
+                    at: src,
+                    reason: DropReason::MacGiveUp,
+                });
+            }
             return;
         }
         self.route_and_send(now, src, frame.payload, frame.class, None);

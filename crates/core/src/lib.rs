@@ -47,9 +47,11 @@ pub mod fastsim;
 pub mod harness;
 pub mod metrics;
 pub mod msg;
+pub mod obs;
 pub mod report;
 pub mod trace;
 
 pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
 pub use harness::{Outcome, Simulation};
-pub use metrics::{Metrics, Summary};
+pub use metrics::{DropBreakdown, Metrics, Summary};
+pub use obs::{EventSink, JsonlSink, MetricsRegistry, NullSink, RingSink, TeeSink, TraceAggregate};

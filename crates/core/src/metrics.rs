@@ -2,6 +2,50 @@
 
 use robonet_radio::{TrafficClass, TxStats};
 
+use crate::obs::MetricsRegistry;
+use crate::trace::DropReason;
+
+/// Packet losses split by [`DropReason`] — the per-reason view of what
+/// used to be one lumped `packets_dropped` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropBreakdown {
+    /// Drops because the hop budget ran out.
+    pub ttl_expired: u64,
+    /// Drops because a node on the path had no usable neighbours.
+    pub no_neighbors: u64,
+    /// Drops because the MAC exhausted its retransmission attempts.
+    pub mac_give_up: u64,
+}
+
+impl DropBreakdown {
+    /// Total drops across all reasons (the old lumped counter).
+    pub fn total(&self) -> u64 {
+        self.ttl_expired + self.no_neighbors + self.mac_give_up
+    }
+
+    /// Increments the count for `reason`.
+    pub fn record(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::TtlExpired => self.ttl_expired += 1,
+            DropReason::NoNeighbors => self.no_neighbors += 1,
+            DropReason::MacGiveUp => self.mac_give_up += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DropBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (ttl {}, no-neighbor {}, mac {})",
+            self.total(),
+            self.ttl_expired,
+            self.no_neighbors,
+            self.mac_give_up
+        )
+    }
+}
+
 /// Raw counters and samples collected during one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -20,8 +64,9 @@ pub struct Metrics {
     /// Robot arrivals at nodes that turned out to be alive (false
     /// detections).
     pub spurious_replacements: u64,
-    /// Geo-routed packets dropped (TTL, no neighbours, MAC give-up).
-    pub packets_dropped: u64,
+    /// Packets dropped, broken down by reason (TTL, no neighbours, MAC
+    /// give-up).
+    pub packets_dropped: DropBreakdown,
     /// Distance of the leg that served each completed replacement, in
     /// metres — Figure 2's samples.
     pub travel_per_task: Vec<f64>,
@@ -45,6 +90,10 @@ pub struct Metrics {
     /// sensors)` — populated only when the scenario enables
     /// [`coverage sampling`](crate::config::CoverageSampling).
     pub coverage_timeline: Vec<(f64, f64, u32)>,
+    /// End-of-run snapshot of the per-subsystem counter/histogram
+    /// registry (`des.scheduler.*`, `radio.mac.*`, `net.routing.*`,
+    /// `coord.<algorithm>.*`) — the run manifest embeds this.
+    pub counters: MetricsRegistry,
 }
 
 /// Sample mean, or `None` for an empty slice.
@@ -169,6 +218,7 @@ impl Metrics {
             p95_repair_delay: percentile(&self.repair_delay, 0.95).unwrap_or(0.0),
             total_travel: self.robot_odometers.iter().sum(),
             myrobot_accuracy: self.myrobot_accuracy,
+            packets_dropped: self.packets_dropped,
         }
     }
 }
@@ -200,6 +250,8 @@ pub struct Summary {
     /// End-of-run fraction of sensors pointing at their true closest
     /// robot.
     pub myrobot_accuracy: f64,
+    /// Packets lost, by reason.
+    pub packets_dropped: DropBreakdown,
 }
 
 #[cfg(test)]
@@ -271,6 +323,25 @@ mod tests {
     #[should_panic(expected = "percentile must be in")]
     fn percentile_rejects_bad_p() {
         let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn drop_breakdown_records_and_totals() {
+        let mut d = DropBreakdown::default();
+        d.record(DropReason::TtlExpired);
+        d.record(DropReason::TtlExpired);
+        d.record(DropReason::NoNeighbors);
+        d.record(DropReason::MacGiveUp);
+        assert_eq!(d.ttl_expired, 2);
+        assert_eq!(d.no_neighbors, 1);
+        assert_eq!(d.mac_give_up, 1);
+        assert_eq!(d.total(), 4);
+        assert_eq!(d.to_string(), "4 (ttl 2, no-neighbor 1, mac 1)");
+        let m = Metrics {
+            packets_dropped: d,
+            ..Metrics::default()
+        };
+        assert_eq!(m.summary().packets_dropped, d, "breakdown reaches Summary");
     }
 
     #[test]

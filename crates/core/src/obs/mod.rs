@@ -1,0 +1,43 @@
+//! Observability: event sinks, metrics registry, and run artifacts.
+//!
+//! This module is the one place the simulation's three observation
+//! channels meet:
+//!
+//! - **Events** — protocol-level [`TraceEvent`](crate::trace::TraceEvent)s
+//!   flow into an [`EventSink`]. [`NullSink`] keeps disabled runs
+//!   zero-cost, [`RingSink`] is the classic bounded in-memory trace,
+//!   [`JsonlSink`] streams line-delimited JSON to a writer (the
+//!   `robonet run --trace-out` artifact), and [`TeeSink`] fans out to
+//!   several sinks at once.
+//! - **Metrics** — a [`MetricsRegistry`] of `subsystem.name` counters
+//!   and log2 [`Log2Histogram`]s, snapshotted at the end of a run and
+//!   embedded in the run manifest.
+//! - **Profiling** — wall-clock phase numbers from
+//!   [`robonet_des::SchedulerProfile`], surfaced by the CLI.
+//!
+//! [`TraceAggregate`] closes the loop: it re-reads a JSONL artifact and
+//! reproduces the paper's per-failure overhead table (`robonet stats`)
+//! without re-running the simulation.
+//!
+//! # Naming convention
+//!
+//! Counters are `subsystem.name` with lowercase dotted segments; the
+//! subsystem is the crate-level component that observed the fact
+//! (`des.scheduler`, `radio.mac`, `net.routing`, `coord.<algorithm>`,
+//! `robot.fleet`), and the name may itself be dotted for families such
+//! as `drops.ttl_expired`.
+//!
+//! Everything here is hand-rolled (see [`json`]) — no new dependencies.
+
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod stats;
+
+pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use sink::{
+    event_from_jsonl, event_to_jsonl, EventSink, JsonlSink, NullSink, RingSink, TeeSink,
+};
+pub use stats::{DropCounts, TraceAggregate};
+
+pub use crate::trace::DropReason;

@@ -1,0 +1,520 @@
+//! Event sinks: where [`TraceEvent`]s go.
+//!
+//! The simulation emits events through one `&mut dyn EventSink`;
+//! implementations decide what happens to them — nothing
+//! ([`NullSink`]), a bounded in-memory ring ([`RingSink`], today's
+//! [`Trace`]), a streamed JSONL artifact ([`JsonlSink`]), or several of
+//! those at once ([`TeeSink`]).
+
+use std::io::Write;
+
+use robonet_des::NodeId;
+use robonet_geom::Point;
+
+use super::json::{JsonValue, ObjectWriter};
+use crate::trace::{DropReason, Trace, TraceEvent};
+
+/// A consumer of simulation events.
+///
+/// `is_enabled` lets emitters skip constructing events entirely when
+/// nobody is listening — the zero-cost path seed-pinned figure sweeps
+/// rely on.
+pub trait EventSink {
+    /// Whether this sink wants events at all. Emitters may (and do)
+    /// skip event construction when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output; called once at the end of a run.
+    fn finish(&mut self) {}
+
+    /// Surrenders an in-memory [`Trace`] if this sink (or one of its
+    /// children) kept one, for embedding into the run's `Outcome`.
+    fn take_trace(&mut self) -> Option<Trace> {
+        None
+    }
+}
+
+/// Discards everything; `is_enabled` is `false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Keeps the last `capacity` events in memory — the classic [`Trace`]
+/// behind the sink interface.
+#[derive(Debug, Default, Clone)]
+pub struct RingSink {
+    trace: Trace,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events (0 disables).
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingSink {
+            trace: Trace::with_capacity(capacity),
+        }
+    }
+
+    /// Read access to the ring.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl EventSink for RingSink {
+    fn is_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.trace.push(event.clone());
+    }
+
+    fn take_trace(&mut self) -> Option<Trace> {
+        Some(std::mem::take(&mut self.trace))
+    }
+}
+
+/// Streams every event as one line of JSON to a writer.
+///
+/// # Panics
+///
+/// Write failures panic: the sink records a run artifact the caller
+/// asked for, and silently truncating it would corrupt downstream
+/// aggregation (`robonet stats`).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    events_written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`; every recorded event becomes one JSONL line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            events_written: 0,
+        }
+    }
+
+    /// Number of lines written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events_written
+    }
+
+    /// Unwraps the inner writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        self.writer.flush().expect("flush trace output");
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = event_to_jsonl(event);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("write trace event");
+        self.events_written += 1;
+    }
+
+    fn finish(&mut self) {
+        self.writer.flush().expect("flush trace output");
+    }
+}
+
+/// Fans events out to several sinks.
+#[derive(Default)]
+pub struct TeeSink {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// An empty tee (disabled until a sink is added).
+    pub fn new() -> Self {
+        TeeSink::default()
+    }
+
+    /// Adds a downstream sink.
+    pub fn push(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder-style [`TeeSink::push`].
+    pub fn with(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.push(sink);
+        self
+    }
+}
+
+impl EventSink for TeeSink {
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        for sink in &mut self.sinks {
+            if sink.is_enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<Trace> {
+        self.sinks.iter_mut().find_map(|s| s.take_trace())
+    }
+}
+
+/// Serializes one event as a flat JSON object (no trailing newline).
+///
+/// The schema is part of the artifact contract documented in DESIGN.md:
+/// every line carries `"ev"` (snake_case event kind) and `"t"` (sim
+/// seconds); node ids are raw `u32`s; coordinates are unpacked into
+/// scalar fields so lines stay flat.
+pub fn event_to_jsonl(event: &TraceEvent) -> String {
+    let mut w = ObjectWriter::new();
+    match event {
+        TraceEvent::Failure { t, sensor } => {
+            w.field_str("ev", "failure");
+            w.field_f64("t", *t);
+            w.field_u64("sensor", u64::from(sensor.as_u32()));
+        }
+        TraceEvent::Detected {
+            t,
+            guardian,
+            failed,
+        } => {
+            w.field_str("ev", "detected");
+            w.field_f64("t", *t);
+            w.field_u64("guardian", u64::from(guardian.as_u32()));
+            w.field_u64("failed", u64::from(failed.as_u32()));
+        }
+        TraceEvent::ReportDelivered {
+            t,
+            manager,
+            failed,
+            hops,
+        } => {
+            w.field_str("ev", "report_delivered");
+            w.field_f64("t", *t);
+            w.field_u64("manager", u64::from(manager.as_u32()));
+            w.field_u64("failed", u64::from(failed.as_u32()));
+            w.field_u64("hops", u64::from(*hops));
+        }
+        TraceEvent::Dispatched {
+            t,
+            robot,
+            failed,
+            departed,
+        } => {
+            w.field_str("ev", "dispatched");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_u64("failed", u64::from(failed.as_u32()));
+            w.field_bool("departed", *departed);
+        }
+        TraceEvent::Replaced {
+            t,
+            robot,
+            sensor,
+            travel,
+            loc,
+        } => {
+            w.field_str("ev", "replaced");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_u64("sensor", u64::from(sensor.as_u32()));
+            w.field_f64("travel", *travel);
+            w.field_f64("x", loc.x);
+            w.field_f64("y", loc.y);
+        }
+        TraceEvent::PacketDropped { t, at, reason } => {
+            w.field_str("ev", "packet_dropped");
+            w.field_f64("t", *t);
+            w.field_u64("at", u64::from(at.as_u32()));
+            w.field_str("reason", reason.label());
+        }
+        TraceEvent::LocUpdateFlooded { t, robot, seq } => {
+            w.field_str("ev", "loc_update_flooded");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_u64("seq", *seq);
+        }
+        TraceEvent::RobotLegStarted {
+            t,
+            robot,
+            failed,
+            from,
+            to,
+        } => {
+            w.field_str("ev", "robot_leg_started");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_u64("failed", u64::from(failed.as_u32()));
+            w.field_f64("from_x", from.x);
+            w.field_f64("from_y", from.y);
+            w.field_f64("to_x", to.x);
+            w.field_f64("to_y", to.y);
+        }
+        TraceEvent::RobotLegEnded { t, robot, travel } => {
+            w.field_str("ev", "robot_leg_ended");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_f64("travel", *travel);
+        }
+    }
+    w.finish()
+}
+
+fn node(v: &JsonValue, key: &str) -> Result<NodeId, String> {
+    let raw = v
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))?;
+    u32::try_from(raw)
+        .map(NodeId::new)
+        .map_err(|_| format!("field '{key}' out of NodeId range"))
+}
+
+fn num(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn uint(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+///
+/// The inverse of [`event_to_jsonl`]; `robonet stats` uses it to rebuild
+/// a run's story from the artifact.
+pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
+    let v = super::json::parse(line).map_err(|e| e.to_string())?;
+    let kind = v
+        .get("ev")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'ev' field")?;
+    let t = num(&v, "t")?;
+    match kind {
+        "failure" => Ok(TraceEvent::Failure {
+            t,
+            sensor: node(&v, "sensor")?,
+        }),
+        "detected" => Ok(TraceEvent::Detected {
+            t,
+            guardian: node(&v, "guardian")?,
+            failed: node(&v, "failed")?,
+        }),
+        "report_delivered" => Ok(TraceEvent::ReportDelivered {
+            t,
+            manager: node(&v, "manager")?,
+            failed: node(&v, "failed")?,
+            hops: u32::try_from(uint(&v, "hops")?).map_err(|_| "hops out of range")?,
+        }),
+        "dispatched" => Ok(TraceEvent::Dispatched {
+            t,
+            robot: node(&v, "robot")?,
+            failed: node(&v, "failed")?,
+            departed: matches!(v.get("departed"), Some(JsonValue::Bool(true))),
+        }),
+        "replaced" => Ok(TraceEvent::Replaced {
+            t,
+            robot: node(&v, "robot")?,
+            sensor: node(&v, "sensor")?,
+            travel: num(&v, "travel")?,
+            loc: Point::new(num(&v, "x")?, num(&v, "y")?),
+        }),
+        "packet_dropped" => {
+            let label = v
+                .get("reason")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing 'reason' field")?;
+            Ok(TraceEvent::PacketDropped {
+                t,
+                at: node(&v, "at")?,
+                reason: DropReason::from_label(label)
+                    .ok_or_else(|| format!("unknown drop reason '{label}'"))?,
+            })
+        }
+        "loc_update_flooded" => Ok(TraceEvent::LocUpdateFlooded {
+            t,
+            robot: node(&v, "robot")?,
+            seq: uint(&v, "seq")?,
+        }),
+        "robot_leg_started" => Ok(TraceEvent::RobotLegStarted {
+            t,
+            robot: node(&v, "robot")?,
+            failed: node(&v, "failed")?,
+            from: Point::new(num(&v, "from_x")?, num(&v, "from_y")?),
+            to: Point::new(num(&v, "to_x")?, num(&v, "to_y")?),
+        }),
+        "robot_leg_ended" => Ok(TraceEvent::RobotLegEnded {
+            t,
+            robot: node(&v, "robot")?,
+            travel: num(&v, "travel")?,
+        }),
+        other => Err(format!("unknown event kind '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_event_kinds() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Failure {
+                t: 1.5,
+                sensor: NodeId::new(5),
+            },
+            TraceEvent::Detected {
+                t: 2.0,
+                guardian: NodeId::new(3),
+                failed: NodeId::new(5),
+            },
+            TraceEvent::ReportDelivered {
+                t: 2.5,
+                manager: NodeId::new(200),
+                failed: NodeId::new(5),
+                hops: 3,
+            },
+            TraceEvent::Dispatched {
+                t: 2.6,
+                robot: NodeId::new(200),
+                failed: NodeId::new(5),
+                departed: true,
+            },
+            TraceEvent::Replaced {
+                t: 60.0,
+                robot: NodeId::new(200),
+                sensor: NodeId::new(5),
+                travel: 88.24744186046512,
+                loc: Point::new(10.5, -20.25),
+            },
+            TraceEvent::PacketDropped {
+                t: 3.0,
+                at: NodeId::new(17),
+                reason: DropReason::TtlExpired,
+            },
+            TraceEvent::LocUpdateFlooded {
+                t: 4.0,
+                robot: NodeId::new(201),
+                seq: 9,
+            },
+            TraceEvent::RobotLegStarted {
+                t: 2.6,
+                robot: NodeId::new(200),
+                failed: NodeId::new(5),
+                from: Point::new(0.0, 0.0),
+                to: Point::new(10.5, -20.25),
+            },
+            TraceEvent::RobotLegEnded {
+                t: 60.0,
+                robot: NodeId::new(200),
+                travel: 88.24744186046512,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for ev in all_event_kinds() {
+            let line = event_to_jsonl(&ev);
+            let back = event_from_jsonl(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line was: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in all_event_kinds() {
+            sink.record(&ev);
+        }
+        sink.finish();
+        assert_eq!(sink.events_written(), all_event_kinds().len() as u64);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), all_event_kinds().len());
+        for line in lines {
+            event_from_jsonl(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        assert!(!sink.is_enabled());
+        sink.record(&TraceEvent::Failure {
+            t: 0.0,
+            sensor: NodeId::new(0),
+        });
+        assert!(sink.take_trace().is_none());
+    }
+
+    #[test]
+    fn ring_sink_retains_and_surrenders_trace() {
+        let mut sink = RingSink::with_capacity(2);
+        assert!(sink.is_enabled());
+        for ev in all_event_kinds().into_iter().take(3) {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.trace().len(), 2);
+        assert_eq!(sink.trace().dropped(), 1);
+        let trace = sink.take_trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(sink.trace().len(), 0, "take_trace leaves an empty ring");
+    }
+
+    #[test]
+    fn tee_fans_out_and_reports_enabled() {
+        let mut tee = TeeSink::new();
+        assert!(!tee.is_enabled(), "empty tee is disabled");
+        tee.push(Box::new(NullSink));
+        assert!(!tee.is_enabled(), "all-null tee is still disabled");
+        tee.push(Box::new(RingSink::with_capacity(8)));
+        tee.push(Box::new(JsonlSink::new(Vec::new())));
+        assert!(tee.is_enabled());
+        for ev in all_event_kinds() {
+            tee.record(&ev);
+        }
+        tee.finish();
+        let trace = tee.take_trace().expect("ring child keeps a trace");
+        assert_eq!(trace.len(), 8.min(all_event_kinds().len()));
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_fields_are_rejected() {
+        assert!(event_from_jsonl(r#"{"ev":"warp","t":1.0}"#).is_err());
+        assert!(event_from_jsonl(r#"{"t":1.0}"#).is_err());
+        assert!(event_from_jsonl(r#"{"ev":"failure"}"#).is_err());
+        assert!(event_from_jsonl(r#"{"ev":"failure","t":1.0,"sensor":-3}"#).is_err());
+        assert!(
+            event_from_jsonl(r#"{"ev":"packet_dropped","t":1.0,"at":1,"reason":"gremlins"}"#)
+                .is_err()
+        );
+        assert!(event_from_jsonl("not json at all").is_err());
+    }
+}

@@ -31,14 +31,15 @@ impl Row {
     pub fn csv_header() -> &'static str {
         "algorithm,robots,seed,failures,replacements,avg_travel_m,avg_report_hops,\
          avg_request_hops,loc_update_tx_per_failure,report_delivery_ratio,\
-         avg_repair_delay_s,total_travel_m,myrobot_accuracy"
+         avg_repair_delay_s,total_travel_m,myrobot_accuracy,\
+         dropped_ttl,dropped_no_neighbor,dropped_mac"
     }
 
     /// Renders the row as a CSV line.
     pub fn to_csv(&self) -> String {
         let s = &self.summary;
         format!(
-            "{},{},{},{},{},{:.2},{:.3},{},{:.2},{:.4},{:.1},{:.1},{:.4}",
+            "{},{},{},{},{},{:.2},{:.3},{},{:.2},{:.4},{:.1},{:.1},{:.4},{},{},{}",
             self.algorithm,
             self.robots,
             self.seed,
@@ -53,6 +54,9 @@ impl Row {
             s.avg_repair_delay,
             s.total_travel,
             s.myrobot_accuracy,
+            s.packets_dropped.ttl_expired,
+            s.packets_dropped.no_neighbors,
+            s.packets_dropped.mac_give_up,
         )
     }
 }
@@ -61,7 +65,7 @@ impl Row {
 pub fn text_table(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12} {:>12} {:>13} {:>12}\n",
+        "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12} {:>12} {:>13} {:>12} {:>20}\n",
         "algorithm",
         "robots",
         "seed",
@@ -70,12 +74,14 @@ pub fn text_table(rows: &[Row]) -> String {
         "travel(m)",
         "report-hops",
         "request-hops",
-        "upd-tx/fail"
+        "upd-tx/fail",
+        "drops(ttl/nbr/mac)"
     ));
     for r in rows {
         let s = &r.summary;
+        let d = &s.packets_dropped;
         out.push_str(&format!(
-            "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12.1} {:>12.2} {:>13} {:>12.1}\n",
+            "{:<12} {:>7} {:>6} {:>10} {:>9} {:>12.1} {:>12.2} {:>13} {:>12.1} {:>20}\n",
             r.algorithm,
             r.robots,
             r.seed,
@@ -86,6 +92,13 @@ pub fn text_table(rows: &[Row]) -> String {
             s.avg_request_hops
                 .map_or_else(|| "-".to_string(), |h| format!("{h:.2}")),
             s.loc_update_tx_per_failure,
+            format!(
+                "{}({}/{}/{})",
+                d.total(),
+                d.ttl_expired,
+                d.no_neighbors,
+                d.mac_give_up
+            ),
         ));
     }
     out
@@ -109,6 +122,11 @@ mod tests {
             p95_repair_delay: 300.0,
             total_travel: 9359.0,
             myrobot_accuracy: 0.97,
+            packets_dropped: crate::metrics::DropBreakdown {
+                ttl_expired: 3,
+                no_neighbors: 1,
+                mac_give_up: 2,
+            },
         }
     }
 
@@ -136,6 +154,41 @@ mod tests {
         let line = Row::new(&cfg, s).to_csv();
         let fields: Vec<&str> = line.split(',').collect();
         assert_eq!(fields[7], "", "empty cell, not NaN");
+    }
+
+    /// Schema-drift guard: the header's field count must match every
+    /// rendered line's field count across all three algorithms —
+    /// including the distributed ones, whose empty `avg_request_hops`
+    /// cell is the classic way a column silently goes missing.
+    #[test]
+    fn csv_header_matches_every_algorithm_row() {
+        let header_fields = Row::csv_header().split(',').count();
+        for alg in [
+            Algorithm::Centralized,
+            Algorithm::Fixed(crate::config::PartitionKind::Square),
+            Algorithm::Dynamic,
+        ] {
+            let cfg = ScenarioConfig::paper(2, alg);
+            let mut s = summary();
+            if !matches!(alg, Algorithm::Centralized) {
+                s.avg_request_hops = None;
+            }
+            let line = Row::new(&cfg, s).to_csv();
+            assert_eq!(
+                line.split(',').count(),
+                header_fields,
+                "{alg}: row field count drifted from header"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_includes_drop_breakdown() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Centralized);
+        let line = Row::new(&cfg, summary()).to_csv();
+        let fields: Vec<&str> = line.split(',').collect();
+        let n = fields.len();
+        assert_eq!(&fields[n - 3..], &["3", "1", "2"], "ttl/no-neighbor/mac");
     }
 
     #[test]

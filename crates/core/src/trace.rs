@@ -10,6 +10,57 @@ use std::collections::VecDeque;
 use robonet_des::NodeId;
 use robonet_geom::Point;
 
+/// Why a packet never reached its destination.
+///
+/// Extends the network layer's routing-only reasons with the MAC-level
+/// give-up (retries exhausted), so drop accounting covers every loss
+/// site in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Hop budget exhausted (stale locations or a perimeter loop).
+    TtlExpired,
+    /// A node on the path had no usable neighbours.
+    NoNeighbors,
+    /// The MAC gave up after exhausting retransmission attempts.
+    MacGiveUp,
+}
+
+impl DropReason {
+    /// Stable snake_case label used in JSONL artifacts and counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::NoNeighbors => "no_neighbors",
+            DropReason::MacGiveUp => "mac_give_up",
+        }
+    }
+
+    /// Parses a [`DropReason::label`] back (for artifact ingestion).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "ttl_expired" => Some(DropReason::TtlExpired),
+            "no_neighbors" => Some(DropReason::NoNeighbors),
+            "mac_give_up" => Some(DropReason::MacGiveUp),
+            _ => None,
+        }
+    }
+}
+
+impl From<robonet_net::DropReason> for DropReason {
+    fn from(r: robonet_net::DropReason) -> Self {
+        match r {
+            robonet_net::DropReason::TtlExpired => DropReason::TtlExpired,
+            robonet_net::DropReason::NoNeighbors => DropReason::NoNeighbors,
+        }
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One protocol-level event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -64,6 +115,46 @@ pub enum TraceEvent {
         /// Where the installation happened.
         loc: Point,
     },
+    /// A packet was lost in flight (routing dead end or MAC give-up).
+    PacketDropped {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The node holding the packet when it was dropped.
+        at: NodeId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A robot flooded a location update through its subarea (§3.2).
+    LocUpdateFlooded {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The announcing robot.
+        robot: NodeId,
+        /// The update's dedup sequence number.
+        seq: u64,
+    },
+    /// A robot started driving one leg of a replacement task.
+    RobotLegStarted {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The maintainer robot.
+        robot: NodeId,
+        /// The failed node this leg serves.
+        failed: NodeId,
+        /// Departure point.
+        from: Point,
+        /// Destination point.
+        to: Point,
+    },
+    /// A robot finished a leg (arrived at its destination).
+    RobotLegEnded {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The maintainer robot.
+        robot: NodeId,
+        /// Metres driven on this leg.
+        travel: f64,
+    },
 }
 
 impl TraceEvent {
@@ -74,7 +165,11 @@ impl TraceEvent {
             | TraceEvent::Detected { t, .. }
             | TraceEvent::ReportDelivered { t, .. }
             | TraceEvent::Dispatched { t, .. }
-            | TraceEvent::Replaced { t, .. } => *t,
+            | TraceEvent::Replaced { t, .. }
+            | TraceEvent::PacketDropped { t, .. }
+            | TraceEvent::LocUpdateFlooded { t, .. }
+            | TraceEvent::RobotLegStarted { t, .. }
+            | TraceEvent::RobotLegEnded { t, .. } => *t,
         }
     }
 }
@@ -123,6 +218,24 @@ impl std::fmt::Display for TraceEvent {
                     "[{t:9.1}s] {robot} replaced {sensor} at {loc} after {travel:.0} m"
                 )
             }
+            TraceEvent::PacketDropped { t, at, reason } => {
+                write!(f, "[{t:9.1}s] packet dropped at {at} ({reason})")
+            }
+            TraceEvent::LocUpdateFlooded { t, robot, seq } => {
+                write!(f, "[{t:9.1}s] {robot} flooded location update #{seq}")
+            }
+            TraceEvent::RobotLegStarted {
+                t,
+                robot,
+                failed,
+                from,
+                to,
+            } => {
+                write!(f, "[{t:9.1}s] {robot} departs {from} -> {to} for {failed}")
+            }
+            TraceEvent::RobotLegEnded { t, robot, travel } => {
+                write!(f, "[{t:9.1}s] {robot} arrived after {travel:.0} m")
+            }
         }
     }
 }
@@ -141,7 +254,10 @@ impl Trace {
     /// recording entirely).
     pub fn with_capacity(capacity: usize) -> Self {
         Trace {
-            events: VecDeque::with_capacity(capacity.min(4096)),
+            // Reserve the full bound: the ring really does fill up to
+            // `capacity` before evicting, and an under-reserved VecDeque
+            // would reallocate mid-run.
+            events: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
         }
@@ -198,6 +314,12 @@ impl Trace {
                 } => *manager == node || *failed == node,
                 TraceEvent::Dispatched { robot, failed, .. } => *robot == node || *failed == node,
                 TraceEvent::Replaced { robot, sensor, .. } => *robot == node || *sensor == node,
+                TraceEvent::PacketDropped { at, .. } => *at == node,
+                TraceEvent::LocUpdateFlooded { robot, .. } => *robot == node,
+                TraceEvent::RobotLegStarted { robot, failed, .. } => {
+                    *robot == node || *failed == node
+                }
+                TraceEvent::RobotLegEnded { robot, .. } => *robot == node,
             })
             .collect()
     }
@@ -233,6 +355,38 @@ mod tests {
         assert_eq!(tr.dropped(), 2);
         let times: Vec<f64> = tr.events().map(TraceEvent::time).collect();
         assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn large_capacity_preallocates_fully() {
+        // Regression: with_capacity used to clamp the reservation at 4096
+        // even though the ring legitimately grows to `capacity`.
+        let capacity = 10_000;
+        let mut tr = Trace::with_capacity(capacity);
+        assert!(tr.events.capacity() >= capacity);
+        let before = tr.events.capacity();
+        for i in 0..capacity + 5 {
+            tr.push(ev(i as f64, i as u32));
+        }
+        assert_eq!(tr.len(), capacity);
+        assert_eq!(tr.dropped(), 5);
+        assert_eq!(
+            tr.events.capacity(),
+            before,
+            "filling to capacity must not reallocate"
+        );
+    }
+
+    #[test]
+    fn drop_reason_labels_round_trip() {
+        for reason in [
+            DropReason::TtlExpired,
+            DropReason::NoNeighbors,
+            DropReason::MacGiveUp,
+        ] {
+            assert_eq!(DropReason::from_label(reason.label()), Some(reason));
+        }
+        assert_eq!(DropReason::from_label("cosmic_rays"), None);
     }
 
     #[test]

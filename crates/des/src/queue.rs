@@ -67,6 +67,7 @@ pub struct EventQueue<E> {
     cancelled: HashSet<u64>,
     next_seq: u64,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -77,6 +78,7 @@ impl<E> EventQueue<E> {
             cancelled: HashSet::new(),
             next_seq: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -87,6 +89,7 @@ impl<E> EventQueue<E> {
             cancelled: HashSet::new(),
             next_seq: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -96,6 +99,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
         EventKey(seq)
     }
 
@@ -153,6 +159,12 @@ impl<E> EventQueue<E> {
     /// Total number of events popped so far (simulation statistics).
     pub fn popped_count(&self) -> u64 {
         self.popped
+    }
+
+    /// Largest number of heap entries ever pending at once (including
+    /// lazily cancelled ones) — the queue's memory high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -232,6 +244,21 @@ mod tests {
         assert!(!q.is_empty());
         assert_eq!(q.pop(), Some((t(2.0), "b")));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        q.schedule(t(3.0), 3);
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(t(4.0), 4);
+        // Peak was 3; dropping to 2 must not lower the mark.
+        assert_eq!(q.high_water(), 3);
     }
 
     #[test]

@@ -36,6 +36,61 @@ pub struct Scheduler<E> {
     queue: EventQueue<E>,
     now: SimTime,
     horizon: SimTime,
+    started: std::time::Instant,
+}
+
+/// Wall-clock phase profile of a scheduler, captured via
+/// [`Scheduler::profile`] at the end of a run.
+///
+/// Everything here is diagnostic: wall-clock fields vary between runs of
+/// the same seed and must never feed back into simulation behaviour or
+/// into deterministic result types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerProfile {
+    /// Events dispatched through [`Scheduler::next_event`].
+    pub events_dispatched: u64,
+    /// Peak number of queued entries (including lazily cancelled ones).
+    pub queue_high_water: usize,
+    /// Simulated seconds covered (current clock reading).
+    pub sim_seconds: f64,
+    /// Wall-clock seconds since the scheduler was created.
+    pub wall_seconds: f64,
+}
+
+impl SchedulerProfile {
+    /// Simulation speed-up: simulated seconds per wall-clock second.
+    /// Returns 0.0 when no wall time has been observed.
+    pub fn sim_seconds_per_wall_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_seconds / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Event throughput: events dispatched per wall-clock second.
+    /// Returns 0.0 when no wall time has been observed.
+    pub fn events_per_wall_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_dispatched as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events, queue high-water {}, {:.1} sim-s in {:.3} wall-s ({:.0}x real time)",
+            self.events_dispatched,
+            self.queue_high_water,
+            self.sim_seconds,
+            self.wall_seconds,
+            self.sim_seconds_per_wall_second(),
+        )
+    }
 }
 
 impl<E> Default for Scheduler<E> {
@@ -51,6 +106,7 @@ impl<E> Scheduler<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             horizon: SimTime::MAX,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -64,6 +120,7 @@ impl<E> Scheduler<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             horizon,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -124,6 +181,17 @@ impl<E> Scheduler<E> {
     pub fn pending_upper_bound(&self) -> usize {
         self.queue.len_upper_bound()
     }
+
+    /// Snapshots the wall-clock phase profile: events dispatched, queue
+    /// high-water mark, and sim-seconds per wall-second since creation.
+    pub fn profile(&self) -> SchedulerProfile {
+        SchedulerProfile {
+            events_dispatched: self.queue.popped_count(),
+            queue_high_water: self.queue.high_water(),
+            sim_seconds: self.now.as_secs_f64(),
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +244,26 @@ mod tests {
         s.schedule_after(SimDuration::from_secs(2.0), "second");
         assert_eq!(s.next_event(), Some("second"));
         assert_eq!(s.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn profile_reports_dispatch_and_occupancy() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1.0), 1);
+        s.schedule_at(SimTime::from_secs(2.0), 2);
+        s.next_event();
+        let p = s.profile();
+        assert_eq!(p.events_dispatched, 1);
+        assert_eq!(p.queue_high_water, 2);
+        assert_eq!(p.sim_seconds, 1.0);
+        assert!(p.wall_seconds >= 0.0);
+        // Zero-wall-time guard paths never divide by zero.
+        let frozen = SchedulerProfile {
+            wall_seconds: 0.0,
+            ..p
+        };
+        assert_eq!(frozen.sim_seconds_per_wall_second(), 0.0);
+        assert_eq!(frozen.events_per_wall_second(), 0.0);
     }
 
     #[test]

@@ -55,6 +55,20 @@ impl TxStats {
         self.class(class).data_tx
     }
 
+    /// Counters summed over every traffic class — the shape observability
+    /// snapshots want when attributing MAC activity to one subsystem.
+    pub fn totals(&self) -> ClassStats {
+        let mut t = ClassStats::default();
+        for c in &self.classes {
+            t.data_tx += c.data_tx;
+            t.ack_tx += c.ack_tx;
+            t.delivered += c.delivered;
+            t.dropped += c.dropped;
+            t.collisions += c.collisions;
+        }
+        t
+    }
+
     /// Delivery ratio over unicast frames of `class`:
     /// delivered / (delivered + dropped). `None` when nothing was sent.
     pub fn delivery_ratio(&self, class: TrafficClass) -> Option<f64> {
@@ -108,6 +122,22 @@ mod tests {
         assert_eq!(s.data_tx(TrafficClass::Beacon), 3);
         assert_eq!(s.data_tx(TrafficClass::FailureReport), 2);
         assert_eq!(s.total_tx(), 7);
+    }
+
+    #[test]
+    fn totals_sum_across_classes() {
+        let mut s = TxStats::new();
+        s.class_mut(TrafficClass::Beacon).data_tx = 3;
+        s.class_mut(TrafficClass::Beacon).collisions = 1;
+        s.class_mut(TrafficClass::FailureReport).data_tx = 2;
+        s.class_mut(TrafficClass::FailureReport).ack_tx = 2;
+        s.class_mut(TrafficClass::FailureReport).delivered = 2;
+        let t = s.totals();
+        assert_eq!(t.data_tx, 5);
+        assert_eq!(t.ack_tx, 2);
+        assert_eq!(t.delivered, 2);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.collisions, 1);
     }
 
     #[test]

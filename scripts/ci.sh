@@ -17,6 +17,38 @@ cargo build --release --offline --workspace
 echo "==> tests (offline)"
 cargo test -q --offline --workspace
 
+echo "==> golden trace artifact (seed-pinned run, JSONL + stats round trip)"
+artifact_dir="target/ci-artifacts"
+mkdir -p "$artifact_dir"
+trace="$artifact_dir/golden.jsonl"
+run_out="$artifact_dir/golden.run.txt"
+stats_out="$artifact_dir/golden.stats.txt"
+cargo run -q --release --offline -p robonet-cli --bin robonet -- \
+    run --alg dynamic --k 1 --scale 64 --seed 7 --trace-out "$trace" > "$run_out"
+test -s "$trace" || { echo "trace artifact is empty" >&2; exit 1; }
+test -s "$artifact_dir/golden.manifest.json" || { echo "manifest missing" >&2; exit 1; }
+# Every line must be one JSON object (cheap structural check; the full
+# parse runs in the test suite).
+if grep -cve '^{.*}$' "$trace" > /dev/null; then
+    echo "malformed JSONL line in $trace:" >&2
+    grep -nve '^{.*}$' "$trace" | head -3 >&2
+    exit 1
+fi
+cargo run -q --release --offline -p robonet-cli --bin robonet -- \
+    stats "$trace" > "$stats_out"
+# The offline aggregate must reproduce the run's own headline figures
+# verbatim (travel and hops are bit-exact by construction).
+for key in "failures:" "replacements:" "travel per failure:" "report hops:"; do
+    a=$(grep -F "$key" "$run_out")
+    b=$(grep -F "$key" "$stats_out")
+    if [ "$a" != "$b" ]; then
+        echo "stats disagrees with run on \`$key\`:" >&2
+        echo "  run:   $a" >&2
+        echo "  stats: $b" >&2
+        exit 1
+    fi
+done
+
 echo "==> bench smoke (one iteration per target)"
 for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
              ablation_broadcast ablation_dispatch ablation_baseline \

@@ -1,0 +1,123 @@
+//! Cross-crate checks for the observability layer: JSONL artifacts
+//! must reproduce the in-process summary exactly, and attaching sinks
+//! must never perturb the simulation itself.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use robonet::prelude::*;
+use robonet_core::obs::TraceAggregate;
+use robonet_core::JsonlSink;
+
+/// An `io::Write` the test can keep a handle to after the simulation
+/// takes ownership of the sink.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("JSONL is UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn small(alg: Algorithm) -> ScenarioConfig {
+    ScenarioConfig::paper(2, alg).with_seed(77).scaled(32.0)
+}
+
+#[test]
+fn jsonl_artifact_reproduces_summary_exactly() {
+    for alg in [
+        Algorithm::Centralized,
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Dynamic,
+    ] {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
+        let outcome = Simulation::with_sink(small(alg), Box::new(sink)).run_to_completion();
+        let summary = outcome.metrics.summary();
+
+        let text = buf.contents();
+        assert!(!text.is_empty(), "{alg}: trace should not be empty");
+        let agg = TraceAggregate::from_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{alg}: artifact must parse: {e}"));
+
+        // The acceptance bar: averages recomputed from the artifact are
+        // bit-identical to the in-process figures, not merely close.
+        assert_eq!(
+            agg.avg_travel_per_failure().to_bits(),
+            summary.avg_travel_per_failure.to_bits(),
+            "{alg}: travel drifted"
+        );
+        assert_eq!(
+            agg.avg_report_hops().to_bits(),
+            summary.avg_report_hops.to_bits(),
+            "{alg}: report hops drifted"
+        );
+        assert_eq!(agg.failures, summary.failures_occurred, "{alg}");
+        assert_eq!(agg.replacements, summary.replacements, "{alg}");
+        assert_eq!(
+            agg.drops.total(),
+            summary.packets_dropped.total(),
+            "{alg}: drop counts drifted"
+        );
+    }
+}
+
+#[test]
+fn observing_a_run_does_not_change_it() {
+    let plain = Simulation::run(small(Algorithm::Dynamic));
+    let buf = SharedBuf::default();
+    let observed = Simulation::with_sink(small(Algorithm::Dynamic), Box::new(JsonlSink::new(buf)))
+        .run_to_completion();
+    // Bit-identical summaries: the sink sees the run, never steers it.
+    assert_eq!(plain.metrics.summary(), observed.metrics.summary());
+    assert_eq!(plain.events_processed, observed.events_processed);
+}
+
+#[test]
+fn registry_snapshot_agrees_with_metrics() {
+    let outcome = Simulation::run(small(Algorithm::Centralized));
+    let m = &outcome.metrics;
+    let c = &m.counters;
+    assert_eq!(
+        c.counter("coord.centralized", "replacements"),
+        m.replacements
+    );
+    assert_eq!(
+        c.counter("net.routing", "drops.ttl_expired"),
+        m.packets_dropped.ttl_expired
+    );
+    assert_eq!(
+        c.counter("des.scheduler", "events_dispatched"),
+        outcome.profile.events_dispatched
+    );
+    let hops = c
+        .histogram("net.routing", "report_hops")
+        .expect("hop histogram recorded");
+    assert_eq!(hops.count(), m.report_hops.len() as u64);
+    let travel = c
+        .histogram("robot.fleet", "travel_m")
+        .expect("travel histogram recorded");
+    assert_eq!(travel.count(), m.travel_per_task.len() as u64);
+}
+
+#[test]
+fn scheduler_profile_is_populated() {
+    let outcome = Simulation::run(small(Algorithm::Dynamic));
+    let p = outcome.profile;
+    assert_eq!(p.events_dispatched, outcome.events_processed);
+    assert!(p.queue_high_water > 0);
+    assert!(p.sim_seconds > 0.0);
+    assert!(p.wall_seconds > 0.0);
+}
