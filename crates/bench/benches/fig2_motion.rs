@@ -18,7 +18,10 @@ const SCALE: f64 = 64.0;
 fn fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_motion");
     group.sample_size(10);
-    println!("\nFigure 2 (time-compressed x{SCALE}): avg traveling distance per failure (m)");
+    println!(
+        "\nFigure 2 (time-compressed x{SCALE}): avg traveling distance per failure (m), \
+         with repair latency (s)"
+    );
     for alg in [
         Algorithm::Fixed(PartitionKind::Square),
         Algorithm::Dynamic,
@@ -28,10 +31,14 @@ fn fig2(c: &mut Criterion) {
             let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
             let robots = cfg.n_robots();
             let outcome = Simulation::run(cfg.clone());
+            let summary = outcome.metrics.summary();
             println!(
-                "  {alg:<12} {robots:>2} robots: {:>7.1} m over {} failures",
-                outcome.metrics.summary().avg_travel_per_failure,
-                outcome.metrics.replacements
+                "  {alg:<12} {robots:>2} robots: {:>7.1} m over {} failures | \
+                 repair {:>6.1} s avg, {:>6.1} s p95",
+                summary.avg_travel_per_failure,
+                outcome.metrics.replacements,
+                summary.avg_repair_delay,
+                summary.p95_repair_delay,
             );
             group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
                 b.iter(|| Simulation::run(cfg.clone()).metrics.replacements)

@@ -9,11 +9,12 @@
 use std::fmt::Write as _;
 
 use robonet_bench::{average_series, sweep, SweepOptions};
-use robonet_core::obs::json::ObjectWriter;
-use robonet_core::report::Row;
+use robonet_core::obs::json::{self, ObjectWriter};
+use robonet_core::obs::TRACE_SCHEMA_VERSION;
+use robonet_core::report::{self, Row};
 use robonet_core::{
     Algorithm, CoverageSampling, DispatchPolicy, JsonlSink, Outcome, ScenarioConfig, Simulation,
-    TraceAggregate,
+    SpanAssembler, TraceAggregate,
 };
 use robonet_des::SimDuration;
 
@@ -26,8 +27,9 @@ pub fn print_usage() {
          \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
          \x20                 [--scale F] [--seed N] [--prune F]\n\
          \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
-         \x20                 [--trace N] [--trace-out FILE]\n\
+         \x20                 [--trace N] [--trace-out FILE] [--progress]\n\
          \x20 robonet stats   <run.jsonl>\n\
+         \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
          \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
          \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
          \n\
@@ -36,7 +38,11 @@ pub fn print_usage() {
          `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
          and writes a run manifest (config, seed, counters) next to it;\n\
          `robonet stats` aggregates such a file back into the per-failure\n\
-         overhead table without re-running the simulation."
+         overhead table without re-running the simulation.\n\
+         `robonet spans` decomposes each repair in a trace into causal stages\n\
+         (detection, report transit, dispatch, travel, install) and prints\n\
+         per-stage p50/p95/p99; `--by-alg` lays several traces side by side.\n\
+         `--progress` prints sim-time/wall-time/open-span heartbeats to stderr."
     );
 }
 
@@ -52,6 +58,7 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "run" => cmd_run(rest),
         "stats" => cmd_stats(rest),
+        "spans" => cmd_spans(rest),
         "figures" => cmd_figures(rest),
         "sweep" => cmd_sweep(rest),
         "help" | "--help" | "-h" => {
@@ -85,6 +92,7 @@ struct RunArgs {
     coverage: Option<f64>,
     trace: usize,
     trace_out: Option<String>,
+    progress: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -98,6 +106,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         coverage: None,
         trace: 0,
         trace_out: None,
+        progress: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -134,6 +143,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 out.trace = value()?.parse().map_err(|e| format!("bad --trace: {e}"))?;
             }
             "--trace-out" => out.trace_out = Some(value()?.to_string()),
+            "--progress" => out.progress = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -157,15 +167,20 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     }
     cfg.validate()?;
 
-    let outcome = match &parsed.trace_out {
+    let mut sim = match &parsed.trace_out {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
             let sink = JsonlSink::new(std::io::BufWriter::new(file));
-            Simulation::with_sink(cfg, Box::new(sink)).run_to_completion()
+            Simulation::with_sink(cfg, Box::new(sink))
         }
-        None => Simulation::run(cfg),
+        None => Simulation::new(cfg),
     };
+    if parsed.progress {
+        sim.enable_progress(std::time::Duration::from_secs(1));
+    }
+    let mut outcome = sim.run_to_completion();
+    let span_report = outcome.spans.take();
     let m = &outcome.metrics;
     let s = m.summary();
     let mut out = String::new();
@@ -212,6 +227,11 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     );
     let _ = writeln!(out, "profile:              {}", outcome.profile);
     let _ = writeln!(out, "\ntransmissions by class:\n{}", m.tx);
+    if let Some(report) = span_report {
+        let label = outcome.config.algorithm.name().to_string();
+        let _ = writeln!(out, "\nrepair-lifecycle stages:");
+        out.push_str(&report::spans_text(&[(label, report)]));
+    }
     if let Some(path) = &parsed.trace_out {
         let manifest = manifest_path_for(path);
         std::fs::write(&manifest, run_manifest_json(&outcome))
@@ -255,6 +275,7 @@ fn run_manifest_json(outcome: &Outcome) -> String {
     summary.field_f64("total_travel", s.total_travel);
     summary.field_u64("packets_dropped", s.packets_dropped.total());
     let mut w = ObjectWriter::new();
+    w.field_u64("schema_version", TRACE_SCHEMA_VERSION);
     w.field_str("algorithm", cfg.algorithm.name());
     w.field_u64("seed", cfg.seed);
     w.field_u64("k", cfg.k as u64);
@@ -310,6 +331,63 @@ fn cmd_stats(args: &[String]) -> Result<String, String> {
         agg.legs_started, agg.legs_ended
     );
     Ok(out)
+}
+
+/// `robonet spans <run.jsonl>... [--csv] [--by-alg]`: replays trace
+/// artifacts through the span assembler and prints the per-stage
+/// latency decomposition. With `--by-alg`, several traces are laid side
+/// by side, each labelled by the algorithm recorded in its manifest
+/// (falling back to the file name).
+fn cmd_spans(args: &[String]) -> Result<String, String> {
+    let mut csv = false;
+    let mut by_alg = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--by-alg" => by_alg = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`"));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: robonet spans <run.jsonl>... [--csv] [--by-alg]".into());
+    }
+    if paths.len() > 1 && !by_alg {
+        return Err("several traces given: pass --by-alg for a side-by-side table".into());
+    }
+    let mut tables = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let report = SpanAssembler::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        tables.push((trace_label(path), report));
+    }
+    Ok(if csv {
+        report::spans_csv(&tables)
+    } else {
+        report::spans_text(&tables)
+    })
+}
+
+/// Label for a trace in a side-by-side table: the `algorithm` recorded
+/// in the run manifest next to the trace, else the trace's file stem.
+fn trace_label(trace_path: &str) -> String {
+    let from_manifest = std::fs::read_to_string(manifest_path_for(trace_path))
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| {
+            v.get("algorithm")
+                .and_then(|a| a.as_str().map(String::from))
+        });
+    from_manifest.unwrap_or_else(|| {
+        std::path::Path::new(trace_path).file_stem().map_or_else(
+            || trace_path.to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        )
+    })
 }
 
 fn cmd_figures(args: &[String]) -> Result<String, String> {
@@ -455,6 +533,30 @@ mod tests {
         assert!(out.contains("failures:"));
         assert!(out.contains("replacements:"));
         assert!(out.contains("transmissions by class"));
+    }
+
+    #[test]
+    fn progress_flag_parses() {
+        let a = parse_run_args(&args(&["--progress"])).unwrap();
+        assert!(a.progress);
+        assert!(!parse_run_args(&args(&[])).unwrap().progress);
+    }
+
+    #[test]
+    fn spans_argument_errors_are_clear() {
+        let err = run_cli(&args(&["spans"])).unwrap_err();
+        assert!(err.contains("usage"), "{err}");
+        let err = run_cli(&args(&["spans", "a.jsonl", "b.jsonl"])).unwrap_err();
+        assert!(err.contains("--by-alg"), "{err}");
+        let err = run_cli(&args(&["spans", "--frobnicate", "a.jsonl"])).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn spans_missing_file_names_the_path() {
+        let err = run_cli(&args(&["spans", "/no/such/trace.jsonl"])).unwrap_err();
+        assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

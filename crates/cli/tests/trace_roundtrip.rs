@@ -39,6 +39,18 @@ fn trace_out_and_stats_round_trip() {
             .unwrap_or_else(|e| panic!("line {}: bad JSON: {e:?}", i + 1));
     }
 
+    // The trace leads with a versioned schema header.
+    let first = text.lines().next().expect("trace has lines");
+    let header = robonet_core::obs::json::parse(first).expect("header parses");
+    assert_eq!(
+        header.get("schema").and_then(|v| v.as_str()),
+        Some("robonet-trace")
+    );
+    assert_eq!(
+        header.get("schema_version").and_then(|v| v.as_u64()),
+        Some(robonet_core::obs::TRACE_SCHEMA_VERSION)
+    );
+
     // The manifest sits next to the trace and parses as one object.
     let manifest = dir.join("roundtrip.manifest.json");
     let mtext = std::fs::read_to_string(&manifest).expect("manifest exists");
@@ -46,6 +58,11 @@ fn trace_out_and_stats_round_trip() {
     assert_eq!(m.get("algorithm").and_then(|v| v.as_str()), Some("dynamic"));
     assert_eq!(m.get("seed").and_then(|v| v.as_u64()), Some(7));
     assert!(m.get("counters").is_some(), "counter snapshot present");
+    assert_eq!(
+        m.get("schema_version").and_then(|v| v.as_u64()),
+        Some(robonet_core::obs::TRACE_SCHEMA_VERSION),
+        "manifest carries the schema version"
+    );
 
     // `stats` reproduces the run's own headline lines verbatim — the
     // averages are recomputed from the artifact yet bit-identical.
@@ -81,4 +98,141 @@ fn stats_rejects_missing_and_malformed_input() {
     std::fs::write(&bad, "{\"ev\":\"not_a_kind\",\"t\":0.0}\n").unwrap();
     let err = run_cli(&args(&["stats", bad.to_str().unwrap()])).unwrap_err();
     assert!(err.contains("line 1"), "error locates the line: {err}");
+}
+
+#[test]
+fn truncated_trace_errors_name_path_and_line() {
+    // A trace cut off mid-write: valid header, one valid event, then a
+    // line truncated partway through its JSON object.
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let cut = dir.join("truncated.jsonl");
+    std::fs::write(
+        &cut,
+        format!(
+            "{}\n{}\n{}",
+            robonet_core::obs::trace_header(),
+            "{\"ev\":\"failure\",\"t\":1.5,\"sensor\":3}",
+            "{\"ev\":\"replaced\",\"t\":9.0,\"rob"
+        ),
+    )
+    .unwrap();
+    let cut_s = cut.to_str().unwrap();
+    for verb in ["stats", "spans"] {
+        let err = run_cli(&args(&[verb, cut_s])).unwrap_err();
+        assert!(err.contains(cut_s), "{verb}: error names the file: {err}");
+        assert!(
+            err.contains("line 3"),
+            "{verb}: error locates the cut: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_schema_version_is_rejected() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let future = dir.join("future.jsonl");
+    std::fs::write(
+        &future,
+        "{\"schema\":\"robonet-trace\",\"schema_version\":99}\n\
+         {\"ev\":\"failure\",\"t\":1.5,\"sensor\":3}\n",
+    )
+    .unwrap();
+    for verb in ["stats", "spans"] {
+        let err = run_cli(&args(&[verb, future.to_str().unwrap()])).unwrap_err();
+        assert!(
+            err.contains("schema_version 99"),
+            "{verb}: error names the version: {err}"
+        );
+        assert!(
+            err.contains("version 1"),
+            "{verb}: error names the supported version: {err}"
+        );
+    }
+}
+
+#[test]
+fn spans_analyzer_decomposes_a_trace() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let trace = dir.join("spans_single.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    run_cli(&args(&[
+        "run",
+        "--alg",
+        "dynamic",
+        "--k",
+        "1",
+        "--scale",
+        "64",
+        "--seed",
+        "7",
+        "--trace-out",
+        trace_s,
+    ]))
+    .expect("traced run succeeds");
+
+    // Text mode: labelled by the manifest's algorithm, all packet-level
+    // stages present.
+    let text = run_cli(&args(&["spans", trace_s])).expect("spans succeeds");
+    assert!(text.contains("dynamic:"), "manifest label used: {text}");
+    for stage in [
+        "detection",
+        "report_transit",
+        "dispatch_decision",
+        "travel",
+        "install",
+        "total",
+    ] {
+        assert!(text.contains(stage), "missing stage `{stage}`: {text}");
+    }
+
+    // CSV mode: header plus one line per (algorithm, stage).
+    let csv = run_cli(&args(&["spans", trace_s, "--csv"])).expect("spans --csv succeeds");
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("algorithm,stage,count,mean_s,p50_s,p95_s,p99_s,max_s")
+    );
+    assert!(lines.all(|l| l.starts_with("dynamic,")));
+}
+
+#[test]
+fn spans_by_alg_lays_traces_side_by_side() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let mut traces = Vec::new();
+    for alg in ["fixed", "centralized"] {
+        let trace = dir.join(format!("spans_{alg}.jsonl"));
+        run_cli(&args(&[
+            "run",
+            "--alg",
+            alg,
+            "--k",
+            "1",
+            "--scale",
+            "64",
+            "--seed",
+            "7",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .expect("traced run succeeds");
+        traces.push(trace);
+    }
+    let csv = run_cli(&args(&[
+        "spans",
+        traces[0].to_str().unwrap(),
+        traces[1].to_str().unwrap(),
+        "--by-alg",
+        "--csv",
+    ]))
+    .expect("spans --by-alg succeeds");
+    assert!(csv.lines().any(|l| l.starts_with("fixed,")));
+    assert!(csv.lines().any(|l| l.starts_with("centralized,")));
+    let text = run_cli(&args(&[
+        "spans",
+        traces[0].to_str().unwrap(),
+        traces[1].to_str().unwrap(),
+        "--by-alg",
+    ]))
+    .expect("spans text succeeds");
+    assert!(text.contains("fixed:") && text.contains("centralized:"));
 }

@@ -89,6 +89,21 @@ pub fn run(cfg: &ScenarioConfig) -> FastSummary {
     run_with_sink(cfg, &mut NullSink)
 }
 
+/// Runs the flow-level model and assembles per-failure repair-lifecycle
+/// spans alongside the summary. The flow model emits no `Detected` /
+/// `ReportDelivered` events, so the detection, report-transit and
+/// dispatch-decision stages of each span are `None`; travel and install
+/// are populated from the robot leg events.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_with_spans(cfg: &ScenarioConfig) -> (FastSummary, crate::obs::SpanReport) {
+    let mut sink = crate::obs::SpanSink::new();
+    let summary = run_with_sink(cfg, &mut sink);
+    (summary, sink.into_report())
+}
+
 /// Runs the flow-level model, streaming coarse-grained trace events
 /// (`Failure`, `Dispatched`, `RobotLegStarted`/`Ended`, `Replaced`)
 /// into `sink`. Packet-level events (`Detected`, `ReportDelivered`,
@@ -438,6 +453,32 @@ mod tests {
         // Legs in flight when the horizon closes never arrive.
         assert!(legs_started >= legs_ended, "{legs_started} < {legs_ended}");
         assert_eq!(legs_ended, replaced, "flow legs end at a replacement");
+    }
+
+    #[test]
+    fn spans_decompose_flow_level_repairs() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(3)
+            .scaled(16.0);
+        let plain = run(&cfg);
+        let (summary, report) = run_with_spans(&cfg);
+        assert_eq!(plain, summary, "span assembly must not change results");
+        assert_eq!(report.replacements(), summary.replacements);
+        assert_eq!(report.failures, summary.failures);
+        assert_eq!(report.out_of_order, 0);
+        for span in report.spans.iter() {
+            // No packets at flow level: the network stages are absent.
+            assert_eq!(span.detection, None);
+            assert_eq!(span.report_transit, None);
+            assert_eq!(span.dispatch_decision, None);
+            assert!(span.travel.is_some(), "legs drive the travel stage");
+            assert!(span.total() >= 0.0);
+        }
+        // Failures still in flight at the horizon are orphans.
+        assert_eq!(
+            report.orphans.len() as u64,
+            summary.failures - summary.replacements
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::config::ScenarioConfig;
 use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
-use crate::obs::{EventSink, NullSink, RingSink, TeeSink};
+use crate::obs::{EventSink, NullSink, RingSink, SpanAssembler, SpanReport, TeeSink};
 use crate::trace::{DropReason, Trace, TraceEvent};
 
 /// Result of a completed run.
@@ -55,6 +55,9 @@ pub struct Outcome {
     /// [`ScenarioConfig::trace_capacity`] is set or an external ring
     /// sink was attached).
     pub trace: Trace,
+    /// Per-failure latency decomposition, assembled online from the
+    /// same event stream the sinks see (`None` for unobserved runs).
+    pub spans: Option<SpanReport>,
     /// Total events the kernel delivered (simulation cost indicator).
     pub events_processed: u64,
     /// Wall-clock phase profile of the scheduler (diagnostic only;
@@ -133,9 +136,17 @@ pub struct Simulation {
     failure_proc: FailureProcess,
     metrics: Metrics,
     sink: Box<dyn EventSink>,
-    /// Cached `sink.is_enabled()` — checked before constructing any
-    /// event so disabled runs pay nothing.
+    /// Cached `sink.is_enabled()` — the sink half of the [`emit`] gate.
     sink_enabled: bool,
+    /// Whether anything (sink or span assembler) is listening — checked
+    /// before constructing any event so unobserved runs pay nothing.
+    observing: bool,
+    /// Assembles repair-lifecycle spans from the live event stream,
+    /// active whenever the run is observed.
+    spans: Option<SpanAssembler>,
+    /// Wall-clock heartbeat for `--progress` (stderr only, never
+    /// results).
+    progress: Option<robonet_des::Heartbeat>,
     upcall_buf: Vec<Upcall<AppMsg>>,
     jitter_rng: rng::Xoshiro256,
 }
@@ -318,8 +329,36 @@ impl Simulation {
             metrics: Metrics::default(),
             sink,
             sink_enabled,
+            observing: sink_enabled,
+            spans: sink_enabled.then(SpanAssembler::new),
+            progress: None,
             upcall_buf: Vec::new(),
             jitter_rng: rng::stream(cfg_seed, "jitter"),
+        }
+    }
+
+    /// Enables periodic sim-time/wall-time/open-span heartbeats on
+    /// stderr, roughly every `every` of wall time (the CLI's
+    /// `--progress`). Forces span assembly on so the open-span count is
+    /// live; simulation results are unaffected.
+    pub fn enable_progress(&mut self, every: std::time::Duration) {
+        self.progress = Some(robonet_des::Heartbeat::new(every));
+        if self.spans.is_none() {
+            self.spans = Some(SpanAssembler::new());
+            self.observing = true;
+        }
+    }
+
+    /// Records one event into every listener: the span assembler and
+    /// (when enabled) the sink. Emission sites gate on
+    /// `self.observing` before constructing the event, so unobserved
+    /// runs never even build it.
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(assembler) = self.spans.as_mut() {
+            assembler.ingest(&event);
+        }
+        if self.sink_enabled {
+            self.sink.record(&event);
         }
     }
 
@@ -333,6 +372,16 @@ impl Simulation {
         while let Some(ev) = self.sched.next_event() {
             let now = self.sched.now();
             self.dispatch(now, ev);
+            if let Some(hb) = self.progress.as_mut() {
+                if hb.due() {
+                    let p = self.sched.profile();
+                    let open = self.spans.as_ref().map_or(0, SpanAssembler::open_count);
+                    eprintln!(
+                        "[progress] sim {:.0} s | wall {:.1} s | {} events | {} open spans",
+                        p.sim_seconds, p.wall_seconds, p.events_dispatched, open
+                    );
+                }
+            }
         }
         self.finalize()
     }
@@ -343,12 +392,17 @@ impl Simulation {
         self.metrics.myrobot_accuracy = self.myrobot_accuracy();
         self.metrics.tx = self.radio.stats().clone();
         self.snapshot_registry();
+        let spans = self.spans.take().map(SpanAssembler::finish);
+        if let Some(report) = &spans {
+            report.snapshot_into(&mut self.metrics.counters);
+        }
         self.sink.finish();
         let trace = self.sink.take_trace().unwrap_or_default();
         Outcome {
             config: self.cfg,
             metrics: self.metrics,
             trace,
+            spans,
             events_processed: self.sched.delivered_count(),
             profile: self.sched.profile(),
         }
@@ -640,8 +694,8 @@ impl Simulation {
         self.sensors[s].alive = false;
         self.radio.set_alive(self.sensors[s].id, false);
         self.metrics.failures_occurred += 1;
-        if self.sink_enabled {
-            self.sink.record(&TraceEvent::Failure {
+        if self.observing {
+            self.emit(TraceEvent::Failure {
                 t: now.as_secs_f64(),
                 sensor: self.sensors[s].id,
             });
@@ -652,8 +706,8 @@ impl Simulation {
         let failed_loc = self.sensors[failed.index()].loc;
         let (dst, dst_loc) = self.coord.report_target(&self.sensors[guardian]);
         self.metrics.reports_sent += 1;
-        if self.sink_enabled {
-            self.sink.record(&TraceEvent::Detected {
+        if self.observing {
+            self.emit(TraceEvent::Detected {
                 t: now.as_secs_f64(),
                 guardian: self.sensors[guardian].id,
                 failed,
@@ -717,8 +771,8 @@ impl Simulation {
             RouteDecision::Drop(why) => {
                 let reason = DropReason::from(why);
                 self.metrics.packets_dropped.record(reason);
-                if self.sink_enabled {
-                    self.sink.record(&TraceEvent::PacketDropped {
+                if self.observing {
+                    self.emit(TraceEvent::PacketDropped {
                         t: now.as_secs_f64(),
                         at,
                         reason,
@@ -948,8 +1002,8 @@ impl Simulation {
             } => {
                 self.metrics.reports_delivered += 1;
                 self.metrics.report_hops.push(geo.hops);
-                if self.sink_enabled {
-                    self.sink.record(&TraceEvent::ReportDelivered {
+                if self.observing {
+                    self.emit(TraceEvent::ReportDelivered {
                         t: now.as_secs_f64(),
                         manager: at,
                         failed,
@@ -1031,8 +1085,8 @@ impl Simulation {
             dispatched_at: now,
         };
         let leg = self.robots[r].enqueue(task, now);
-        if self.sink_enabled {
-            self.sink.record(&TraceEvent::Dispatched {
+        if self.observing {
+            self.emit(TraceEvent::Dispatched {
                 t: now.as_secs_f64(),
                 robot: self.robots[r].id,
                 failed,
@@ -1047,8 +1101,8 @@ impl Simulation {
     fn start_leg(&mut self, r: usize, leg: robonet_robot::motion::Leg) {
         self.robot_leg_seq[r] += 1;
         let seq = self.robot_leg_seq[r];
-        if self.sink_enabled {
-            self.sink.record(&TraceEvent::RobotLegStarted {
+        if self.observing {
+            self.emit(TraceEvent::RobotLegStarted {
                 t: leg.start().as_secs_f64(),
                 robot: self.robots[r].id,
                 failed: self.robots[r]
@@ -1098,8 +1152,8 @@ impl Simulation {
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, task.loc);
         self.robot_pending[r].remove(&task.failed.as_u32());
-        if self.sink_enabled {
-            self.sink.record(&TraceEvent::RobotLegEnded {
+        if self.observing {
+            self.emit(TraceEvent::RobotLegEnded {
                 t: now.as_secs_f64(),
                 robot: robot_node,
                 travel,
@@ -1136,8 +1190,8 @@ impl Simulation {
             self.metrics.replacements += 1;
             self.robot_tasks_done[r] += 1;
             self.metrics.travel_per_task.push(travel);
-            if self.sink_enabled {
-                self.sink.record(&TraceEvent::Replaced {
+            if self.observing {
+                self.emit(TraceEvent::Replaced {
                     t: now.as_secs_f64(),
                     robot: robot_node,
                     sensor: task.failed,
@@ -1216,8 +1270,8 @@ impl Simulation {
                 );
             }
             Announcement::Flood { subarea } => {
-                if self.sink_enabled && class == TrafficClass::LocationUpdate {
-                    self.sink.record(&TraceEvent::LocUpdateFlooded {
+                if self.observing && class == TrafficClass::LocationUpdate {
+                    self.emit(TraceEvent::LocUpdateFlooded {
                         t: now.as_secs_f64(),
                         robot: robot_node,
                         seq: u64::from(seq),
@@ -1260,8 +1314,8 @@ impl Simulation {
         }
         if !self.radio.medium().is_alive(src) {
             self.metrics.packets_dropped.record(DropReason::MacGiveUp);
-            if self.sink_enabled {
-                self.sink.record(&TraceEvent::PacketDropped {
+            if self.observing {
+                self.emit(TraceEvent::PacketDropped {
                     t: now.as_secs_f64(),
                     at: src,
                     reason: DropReason::MacGiveUp,

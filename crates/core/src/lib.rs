@@ -54,4 +54,7 @@ pub mod trace;
 pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
 pub use harness::{Outcome, Simulation};
 pub use metrics::{DropBreakdown, Metrics, Summary};
-pub use obs::{EventSink, JsonlSink, MetricsRegistry, NullSink, RingSink, TeeSink, TraceAggregate};
+pub use obs::{
+    EventSink, JsonlSink, MetricsRegistry, NullSink, QuantileSketch, RepairSpan, RingSink,
+    SpanAssembler, SpanReport, SpanSink, Stage, TeeSink, TraceAggregate,
+};

@@ -118,6 +118,11 @@ pub fn stddev_f64(samples: &[f64]) -> Option<f64> {
 /// Linear-interpolated percentile (`p` in `[0, 1]`) of unsorted samples,
 /// or `None` for an empty slice.
 ///
+/// Selects the two bracketing order statistics with quickselect
+/// (`select_nth_unstable_by`) instead of sorting a copy — O(n) rather
+/// than O(n log n) on the summary hot path — and interpolates exactly
+/// as the sorted version did, so results stay bit-identical.
+///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 1]` or a sample is NaN.
@@ -132,13 +137,24 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-    let rank = p * (sorted.len() - 1) as f64;
+    let mut scratch = samples.to_vec();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN sample");
+    let rank = p * (scratch.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let (_, &mut lo_val, rest) = scratch.select_nth_unstable_by(lo, cmp);
+    // The `hi`-th order statistic is either the same element or the
+    // minimum of everything that partitioned to the right of `lo`.
+    let hi_val = if hi == lo {
+        lo_val
+    } else {
+        *rest
+            .iter()
+            .min_by(|a, b| cmp(a, b))
+            .expect("hi > lo implies a non-empty right partition")
+    };
+    Some(lo_val * (1.0 - frac) + hi_val * frac)
 }
 
 /// Mean of integer hop counts.

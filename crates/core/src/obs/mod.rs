@@ -12,12 +12,18 @@
 //! - **Metrics** — a [`MetricsRegistry`] of `subsystem.name` counters
 //!   and log2 [`Log2Histogram`]s, snapshotted at the end of a run and
 //!   embedded in the run manifest.
+//! - **Spans** — a [`SpanAssembler`] correlates the event stream into
+//!   causal [`RepairSpan`]s (failure → detection → report → dispatch →
+//!   travel → install), online during a run or offline over a JSONL
+//!   artifact, with per-stage percentiles from a fixed-memory
+//!   [`QuantileSketch`].
 //! - **Profiling** — wall-clock phase numbers from
 //!   [`robonet_des::SchedulerProfile`], surfaced by the CLI.
 //!
 //! [`TraceAggregate`] closes the loop: it re-reads a JSONL artifact and
 //! reproduces the paper's per-failure overhead table (`robonet stats`)
-//! without re-running the simulation.
+//! without re-running the simulation; `robonet spans` does the same for
+//! the latency decomposition.
 //!
 //! # Naming convention
 //!
@@ -30,14 +36,19 @@
 //! Everything here is hand-rolled (see [`json`]) — no new dependencies.
 
 pub mod json;
+pub mod quantile;
 pub mod registry;
 pub mod sink;
+pub mod span;
 pub mod stats;
 
+pub use quantile::{QuantileSketch, RELATIVE_ERROR, ZERO_THRESHOLD};
 pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{
-    event_from_jsonl, event_to_jsonl, EventSink, JsonlSink, NullSink, RingSink, TeeSink,
+    event_from_jsonl, event_to_jsonl, for_each_event_line, trace_header, EventSink, JsonlSink,
+    NullSink, RingSink, TeeSink, TRACE_SCHEMA_VERSION,
 };
+pub use span::{OrphanSpan, RepairSpan, SpanAssembler, SpanReport, SpanSink, Stage, StageRow};
 pub use stats::{DropCounts, TraceAggregate};
 
 pub use crate::trace::DropReason;

@@ -1,0 +1,310 @@
+//! Streaming quantile sketch: fixed-memory, deterministic, mergeable.
+//!
+//! A log-linear histogram in the DDSketch family: each power-of-two
+//! octave is split into 32 equal-width sub-buckets, so every bucket's
+//! relative width is at most 1/32 and a bucket's midpoint is within
+//! [`RELATIVE_ERROR`] (= 1/64) of any value it holds. Bucket indices
+//! are computed from the raw `f64` bit pattern (exponent and top
+//! mantissa bits) — no `log2`, no platform-dependent libm calls — so
+//! the sketch is bit-deterministic across runs and machines, and
+//! merging two sketches is an elementwise bucket add.
+//!
+//! The value range is `[2^-20, 2^44)`: durations below ~1 µs collapse
+//! into a dedicated zero bucket (reported as 0.0), values at or above
+//! the top clamp into the last bucket. Memory is a fixed
+//! `2049 × u64` ≈ 16 KiB regardless of observation count.
+
+/// Sub-buckets per power-of-two octave (must match [`SUB_BITS`]).
+const SUBS: usize = 32;
+/// Mantissa bits used to pick the sub-bucket within an octave.
+const SUB_BITS: u32 = 5;
+/// Smallest resolved binary exponent; values below `2^MIN_EXP` count
+/// into the zero bucket.
+const MIN_EXP: i32 = -20;
+/// Number of octaves covered above the zero bucket.
+const OCTAVES: i32 = 64;
+/// Total bucket count: one zero bucket plus `OCTAVES × SUBS`.
+const NUM_BUCKETS: usize = 1 + OCTAVES as usize * SUBS;
+
+/// Values at or below this threshold (`2^MIN_EXP` ≈ 0.95 µs) land in
+/// the zero bucket and are reported as exactly `0.0`.
+pub const ZERO_THRESHOLD: f64 = 9.5367431640625e-7; // 2^-20
+
+/// Worst-case relative error of a reported quantile for values above
+/// [`ZERO_THRESHOLD`]: half a sub-bucket's relative width.
+pub const RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+/// A fixed-memory streaming quantile sketch over non-negative values.
+///
+/// `observe` is O(1) with no allocation; `quantile` walks the bucket
+/// array (O(2049)). Count, sum, min and max are tracked exactly;
+/// quantiles carry at most [`RELATIVE_ERROR`] relative error.
+#[derive(Clone)]
+pub struct QuantileSketch {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantileSketch")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for QuantileSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.buckets[..] == other.buckets[..]
+    }
+}
+
+/// Bucket index for `value`. Negatives, NaN and sub-threshold values
+/// map to the zero bucket; values beyond the top octave clamp into the
+/// last bucket. Monotone in `value`, computed purely from the bit
+/// pattern.
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= ZERO_THRESHOLD {
+        return 0; // zero bucket: tiny, zero, negative, or NaN
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp >= MIN_EXP + OCTAVES {
+        return NUM_BUCKETS - 1; // clamp: out of range high (incl. inf)
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUBS + sub
+}
+
+/// Midpoint of bucket `index` — the value reported for any quantile
+/// landing in that bucket.
+fn representative(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let octave = (index - 1) / SUBS;
+    let sub = (index - 1) % SUBS;
+    let base = 2f64.powi(octave as i32 + MIN_EXP);
+    base * (1.0 + (sub as f64 + 0.5) / SUBS as f64)
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. O(1), allocation-free.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0 && self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Exact maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0 && self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Exact mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// Uses the same lower order-statistic rank as
+    /// [`crate::metrics::percentile`] (`floor(q · (n-1))`), so for any
+    /// sample above [`ZERO_THRESHOLD`] the result is within
+    /// [`RELATIVE_ERROR`] of the exact order statistic at that rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return Some(representative(i));
+            }
+        }
+        unreachable!("rank < count by construction")
+    }
+
+    /// Folds `other` into `self` (elementwise bucket add; count, sum,
+    /// min and max combine exactly). The layout is a compile-time
+    /// constant, so any two sketches merge.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-4.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(ZERO_THRESHOLD), 0);
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1);
+        let mut prev = 0;
+        let mut v = 1.001 * ZERO_THRESHOLD;
+        while v < 2f64.powi(MIN_EXP + OCTAVES) * 2.0 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must be monotone at {v}");
+            assert!(i < NUM_BUCKETS);
+            prev = i;
+            v *= 1.009;
+        }
+    }
+
+    #[test]
+    fn representative_stays_inside_its_bucket() {
+        for v in [1e-5, 0.01, 0.5, 1.0, 3.7, 42.0, 1e4, 6.02e8] {
+            let rep = representative(bucket_index(v));
+            let rel = (rep - v).abs() / v;
+            assert!(rel <= RELATIVE_ERROR, "value {v}: rep {rep}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_order_statistics_within_bound() {
+        let mut s = QuantileSketch::new();
+        let mut vals: Vec<f64> = (1..=1000).map(|i| (i as f64) * 0.37).collect();
+        for &v in &vals {
+            s.observe(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = (q * (vals.len() - 1) as f64).floor() as usize;
+            let exact = vals[rank];
+            let approx = s.quantile(q).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= RELATIVE_ERROR, "q={q}: exact {exact}, got {approx}");
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min(), Some(0.37));
+        assert_eq!(s.max(), Some(370.0));
+    }
+
+    #[test]
+    fn tiny_values_report_zero() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..10 {
+            s.observe(1e-9);
+        }
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.min(), Some(1e-9), "min stays exact");
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one_sketch() {
+        let (mut a, mut b, mut whole) = (
+            QuantileSketch::new(),
+            QuantileSketch::new(),
+            QuantileSketch::new(),
+        );
+        for i in 0..500 {
+            let v = 0.001 * (i * i % 997) as f64 + 0.01;
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+        assert_eq!(a.buckets[..], whole.buckets[..], "bucket-identical");
+        // Sums agree up to float addition order.
+        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_bad_q() {
+        let mut s = QuantileSketch::new();
+        s.observe(1.0);
+        let _ = s.quantile(1.5);
+    }
+}

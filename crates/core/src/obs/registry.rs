@@ -109,10 +109,12 @@ impl Log2Histogram {
     }
 }
 
-/// A registry of `(subsystem, name)`-keyed counters and histograms.
+/// A registry of `(subsystem, name)`-keyed counters, gauges and
+/// histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<(&'static str, &'static str), u64>,
+    gauges: BTreeMap<(&'static str, &'static str), f64>,
     histograms: BTreeMap<(&'static str, &'static str), Log2Histogram>,
 }
 
@@ -148,6 +150,25 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// Sets the floating-point gauge `subsystem.name` (end-of-run
+    /// derived statistics such as the `span.<stage>` percentiles).
+    pub fn set_gauge(&mut self, subsystem: &'static str, name: &'static str, value: f64) {
+        self.gauges.insert((subsystem, name), value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, subsystem: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|((s, n), _)| *s == subsystem && *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// All gauges in sorted `(subsystem, name, value)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&(s, n), &v)| (s, n, v))
+    }
+
     /// Records `value` into the histogram `subsystem.name`.
     pub fn observe(&mut self, subsystem: &'static str, name: &'static str, value: f64) {
         self.histograms
@@ -178,7 +199,7 @@ impl MetricsRegistry {
 
     /// Returns `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// Serializes the counter snapshot as one JSON object keyed by
@@ -189,19 +210,25 @@ impl MetricsRegistry {
         for ((subsystem, name), value) in &self.counters {
             w.field_u64(&format!("{subsystem}.{name}"), *value);
         }
+        for ((subsystem, name), value) in &self.gauges {
+            w.field_f64(&format!("{subsystem}.{name}"), *value);
+        }
         for ((subsystem, name), h) in &self.histograms {
             w.field_u64(&format!("{subsystem}.{name}.count"), h.count());
         }
         w.finish()
     }
 
-    /// Renders a human-readable snapshot (counters, then histogram
-    /// means), used by the CLI's verbose output.
+    /// Renders a human-readable snapshot (counters, then gauges, then
+    /// histogram means), used by the CLI's verbose output.
     pub fn text_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (subsystem, name, value) in self.counters() {
             let _ = writeln!(out, "{subsystem}.{name} = {value}");
+        }
+        for (subsystem, name, value) in self.gauges() {
+            let _ = writeln!(out, "{subsystem}.{name} = {value:.3}");
         }
         for (subsystem, name, h) in self.histograms() {
             let _ = writeln!(
@@ -271,6 +298,22 @@ mod tests {
         assert_eq!(h.buckets()[2], 1); // 3.0
         assert_eq!(h.buckets()[4], 1); // 8.0
         assert!(r.histogram("robot", "missing").is_none());
+    }
+
+    #[test]
+    fn gauges_set_read_and_render() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.set_gauge("span.travel", "p95_s", 61.25);
+        r.set_gauge("span.travel", "p50_s", 30.5);
+        assert!(!r.is_empty());
+        assert_eq!(r.gauge("span.travel", "p95_s"), Some(61.25));
+        assert_eq!(r.gauge("span.travel", "missing"), None);
+        let names: Vec<_> = r.gauges().map(|(s, n, _)| format!("{s}.{n}")).collect();
+        assert_eq!(names, vec!["span.travel.p50_s", "span.travel.p95_s"]);
+        assert!(r.text_report().contains("span.travel.p95_s = 61.250"));
+        let v = crate::obs::json::parse(&r.counters_json()).unwrap();
+        assert_eq!(v.get("span.travel.p95_s").unwrap().as_f64(), Some(61.25));
     }
 
     #[test]

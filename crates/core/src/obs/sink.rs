@@ -14,6 +14,65 @@ use robonet_geom::Point;
 use super::json::{JsonValue, ObjectWriter};
 use crate::trace::{DropReason, Trace, TraceEvent};
 
+/// Current version of the JSONL trace artifact schema. Bump when the
+/// line format changes incompatibly; readers reject other versions.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// The versioned header line a [`JsonlSink`] writes before any event.
+pub fn trace_header() -> String {
+    let mut w = ObjectWriter::new();
+    w.field_str("schema", "robonet-trace");
+    w.field_u64("schema_version", TRACE_SCHEMA_VERSION);
+    w.finish()
+}
+
+/// `Some` when `line` is a trace header (carrying the verdict on its
+/// version), `None` when it is an ordinary event line.
+fn parse_header(line: &str) -> Option<Result<(), String>> {
+    let v = super::json::parse(line).ok()?;
+    let schema = v.get("schema").and_then(JsonValue::as_str)?.to_string();
+    Some(if schema != "robonet-trace" {
+        Err(format!("unknown trace schema '{schema}'"))
+    } else {
+        match v.get("schema_version").and_then(JsonValue::as_u64) {
+            Some(TRACE_SCHEMA_VERSION) => Ok(()),
+            Some(other) => Err(format!(
+                "unsupported trace schema_version {other} \
+                 (this build reads version {TRACE_SCHEMA_VERSION})"
+            )),
+            None => Err("trace header missing 'schema_version'".to_string()),
+        }
+    })
+}
+
+/// Walks a JSONL trace artifact: skips blank lines, validates the
+/// versioned header on the first non-blank line (legacy headerless
+/// traces are accepted), and hands each parsed event to `f`.
+///
+/// Fails on the first malformed record or unsupported schema version,
+/// identifying the offending 1-based line number — a truncated or
+/// hand-edited artifact should be loud, not silently half-counted.
+/// `robonet stats` and `robonet spans` both read through this walker,
+/// so their error surfaces stay identical.
+pub fn for_each_event_line(text: &str, mut f: impl FnMut(&TraceEvent)) -> Result<(), String> {
+    let mut seen_any = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !seen_any {
+            seen_any = true;
+            if let Some(verdict) = parse_header(line) {
+                verdict.map_err(|e| format!("line {}: {e}", i + 1))?;
+                continue;
+            }
+        }
+        let event = event_from_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        f(&event);
+    }
+    Ok(())
+}
+
 /// A consumer of simulation events.
 ///
 /// `is_enabled` lets emitters skip constructing events entirely when
@@ -100,15 +159,20 @@ pub struct JsonlSink<W: Write> {
 }
 
 impl<W: Write> JsonlSink<W> {
-    /// Wraps `writer`; every recorded event becomes one JSONL line.
-    pub fn new(writer: W) -> Self {
+    /// Wraps `writer`, immediately writing the versioned header line;
+    /// every recorded event then becomes one JSONL line.
+    pub fn new(mut writer: W) -> Self {
+        writer
+            .write_all(trace_header().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .expect("write trace header");
         JsonlSink {
             writer,
             events_written: 0,
         }
     }
 
-    /// Number of lines written so far.
+    /// Number of events written so far (the header line not included).
     pub fn events_written(&self) -> u64 {
         self.events_written
     }
@@ -448,7 +512,7 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_streams_lines() {
+    fn jsonl_sink_streams_header_then_lines() {
         let mut sink = JsonlSink::new(Vec::new());
         for ev in all_event_kinds() {
             sink.record(&ev);
@@ -457,10 +521,49 @@ mod tests {
         assert_eq!(sink.events_written(), all_event_kinds().len() as u64);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), all_event_kinds().len());
-        for line in lines {
+        assert_eq!(lines.len(), all_event_kinds().len() + 1);
+        assert_eq!(lines[0], trace_header(), "first line is the header");
+        for line in &lines[1..] {
             event_from_jsonl(line).unwrap();
         }
+    }
+
+    #[test]
+    fn event_walker_validates_headers_and_locates_errors() {
+        let event_line = event_to_jsonl(&TraceEvent::Failure {
+            t: 1.0,
+            sensor: NodeId::new(5),
+        });
+
+        // Headered, headerless, and blank-padded artifacts all walk.
+        for text in [
+            format!("{}\n{event_line}\n", trace_header()),
+            format!("{event_line}\n"),
+            format!("\n{}\n\n{event_line}\n", trace_header()),
+        ] {
+            let mut n = 0;
+            for_each_event_line(&text, |_| n += 1).unwrap();
+            assert_eq!(n, 1, "one event in: {text:?}");
+        }
+
+        // Unknown versions and schemas are rejected with a line number.
+        let future = r#"{"schema":"robonet-trace","schema_version":99}"#;
+        let err = for_each_event_line(future, |_| {}).unwrap_err();
+        assert!(
+            err.starts_with("line 1:") && err.contains("schema_version 99"),
+            "error was: {err}"
+        );
+        let alien = r#"{"schema":"otherformat","schema_version":1}"#;
+        let err = for_each_event_line(alien, |_| {}).unwrap_err();
+        assert!(err.contains("unknown trace schema"), "error was: {err}");
+        let unversioned = r#"{"schema":"robonet-trace"}"#;
+        let err = for_each_event_line(unversioned, |_| {}).unwrap_err();
+        assert!(err.contains("schema_version"), "error was: {err}");
+
+        // A malformed record names its own line, past the header.
+        let broken = format!("{}\n{event_line}\nnot json\n", trace_header());
+        let err = for_each_event_line(&broken, |_| {}).unwrap_err();
+        assert!(err.starts_with("line 3:"), "error was: {err}");
     }
 
     #[test]

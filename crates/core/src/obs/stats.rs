@@ -16,7 +16,7 @@ use robonet_des::NodeId;
 use crate::metrics::{mean_f64, mean_u32};
 use crate::trace::{DropReason, TraceEvent};
 
-use super::sink::event_from_jsonl;
+use super::sink::for_each_event_line;
 
 /// Per-reason drop tallies reconstructed from `packet_dropped` events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,21 +83,16 @@ pub struct TraceAggregate {
 }
 
 impl TraceAggregate {
-    /// Parses a whole JSONL document (one event per non-empty line).
+    /// Parses a whole JSONL document (one event per non-empty line,
+    /// with an optional versioned header on the first line).
     ///
-    /// Fails on the first malformed line, identifying it by 1-based
-    /// line number — a truncated or hand-edited artifact should be
-    /// loud, not silently half-counted.
+    /// Fails on the first malformed line or unsupported schema
+    /// version, identifying it by 1-based line number — a truncated or
+    /// hand-edited artifact should be loud, not silently half-counted.
     pub fn from_jsonl(text: &str) -> Result<Self, String> {
         let mut agg = TraceAggregate::default();
         let mut pending_dispatch: HashMap<NodeId, VecDeque<f64>> = HashMap::new();
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let event = event_from_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-            agg.ingest(&event, &mut pending_dispatch);
-        }
+        for_each_event_line(text, |event| agg.ingest(event, &mut pending_dispatch))?;
         Ok(agg)
     }
 
@@ -285,6 +280,23 @@ mod tests {
         let broken = format!("{good}{{\"ev\":\"nope\",\"t\":0.0}}\n");
         let err = TraceAggregate::from_jsonl(&broken).unwrap_err();
         assert!(err.starts_with("line 2:"), "error was: {err}");
+    }
+
+    #[test]
+    fn versioned_header_is_accepted_unknown_versions_rejected() {
+        use crate::obs::sink::trace_header;
+        let good = jsonl(&[TraceEvent::Failure {
+            t: 1.0,
+            sensor: NodeId::new(5),
+        }]);
+        let text = format!("{}\n{good}", trace_header());
+        let agg = TraceAggregate::from_jsonl(&text).unwrap();
+        assert_eq!(agg.failures, 1);
+        assert_eq!(agg.events, 1, "the header is not an event");
+
+        let future = format!("{{\"schema\":\"robonet-trace\",\"schema_version\":2}}\n{good}");
+        let err = TraceAggregate::from_jsonl(&future).unwrap_err();
+        assert!(err.contains("schema_version 2"), "error was: {err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::ScenarioConfig;
 use crate::metrics::Summary;
+use crate::obs::SpanReport;
 
 /// One row of a figure table: a scenario and its summary.
 #[derive(Debug, Clone)]
@@ -104,6 +105,64 @@ pub fn text_table(rows: &[Row]) -> String {
     out
 }
 
+/// CSV header matching [`spans_csv`].
+pub fn spans_csv_header() -> &'static str {
+    "algorithm,stage,count,mean_s,p50_s,p95_s,p99_s,max_s"
+}
+
+/// Renders span decompositions as CSV: one line per (algorithm, stage),
+/// stages in causal order with a trailing `total` row per algorithm.
+/// The output is deterministic for a deterministic trace, so it can be
+/// diffed byte-for-byte against a golden file.
+pub fn spans_csv(tables: &[(String, SpanReport)]) -> String {
+    let mut out = String::from(spans_csv_header());
+    out.push('\n');
+    for (algorithm, report) in tables {
+        for r in report.stage_rows() {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                algorithm, r.stage, r.count, r.mean_s, r.p50_s, r.p95_s, r.p99_s, r.max_s
+            ));
+        }
+    }
+    out
+}
+
+/// Renders span decompositions as an aligned text table, one block per
+/// algorithm, with an assembly-health footer (orphans and anomalous
+/// events) under each block.
+pub fn spans_text(tables: &[(String, SpanReport)]) -> String {
+    let mut out = String::new();
+    for (i, (algorithm, report)) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{algorithm}: {} failures, {} repaired, {} orphaned\n",
+            report.failures,
+            report.replacements(),
+            report.orphans.len(),
+        ));
+        out.push_str(&format!(
+            "{:<17} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "count", "mean(s)", "p50(s)", "p95(s)", "p99(s)", "max(s)"
+        ));
+        for r in report.stage_rows() {
+            out.push_str(&format!(
+                "{:<17} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                r.stage, r.count, r.mean_s, r.p50_s, r.p95_s, r.p99_s, r.max_s
+            ));
+        }
+        if report.unmatched_events > 0 || report.out_of_order > 0 {
+            out.push_str(&format!(
+                "  ({} unmatched events, {} out-of-order intervals)\n",
+                report.unmatched_events, report.out_of_order
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +257,84 @@ mod tests {
         assert!(t.contains("dynamic"));
         assert!(t.contains('9'), "robot count shown");
         assert!(t.lines().count() >= 2);
+    }
+
+    fn span_report() -> SpanReport {
+        use crate::obs::SpanAssembler;
+        use crate::trace::TraceEvent;
+        use robonet_des::NodeId;
+        let mut asm = SpanAssembler::new();
+        let sensor = NodeId::new(4);
+        let robot = NodeId::new(9);
+        for (t, ev) in [
+            (10.0, TraceEvent::Failure { t: 10.0, sensor }),
+            (
+                12.0,
+                TraceEvent::Detected {
+                    t: 12.0,
+                    guardian: NodeId::new(5),
+                    failed: sensor,
+                },
+            ),
+            (
+                13.0,
+                TraceEvent::Dispatched {
+                    t: 13.0,
+                    robot,
+                    failed: sensor,
+                    departed: true,
+                },
+            ),
+            (
+                40.0,
+                TraceEvent::Replaced {
+                    t: 40.0,
+                    robot,
+                    sensor,
+                    travel: 100.0,
+                    loc: robonet_geom::Point::new(0.0, 0.0),
+                },
+            ),
+        ] {
+            let _ = t;
+            asm.ingest(&ev);
+        }
+        asm.finish()
+    }
+
+    #[test]
+    fn spans_csv_lines_match_header_and_stage_order() {
+        let tables = vec![("dynamic".to_string(), span_report())];
+        let csv = spans_csv(&tables);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(spans_csv_header()));
+        let header_fields = spans_csv_header().split(',').count();
+        let stages: Vec<&str> = lines
+            .map(|l| {
+                assert_eq!(l.split(',').count(), header_fields, "line {l:?}");
+                assert!(l.starts_with("dynamic,"));
+                l.split(',').nth(1).unwrap()
+            })
+            .collect();
+        // No report-transit (no ReportDelivered event) and the rest in
+        // causal order with the trailing total.
+        assert_eq!(stages, ["detection", "travel", "install", "total"]);
+    }
+
+    #[test]
+    fn spans_text_reports_health_and_stages() {
+        let tables = vec![
+            ("fixed".to_string(), span_report()),
+            ("dynamic".to_string(), span_report()),
+        ];
+        let t = spans_text(&tables);
+        assert!(t.contains("fixed: 1 failures, 1 repaired, 0 orphaned"));
+        assert!(t.contains("dynamic: 1 failures"));
+        assert!(t.contains("detection"));
+        assert!(t.contains("total"));
+        assert!(
+            !t.contains("unmatched"),
+            "clean trace shows no anomaly footer"
+        );
     }
 }

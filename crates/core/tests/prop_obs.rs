@@ -1,0 +1,176 @@
+//! Property tests for the observability layer: the streaming quantile
+//! sketch against exact order statistics, the quickselect percentile
+//! against a sort-based reference, and the span assembler's accounting
+//! invariants over randomized well-formed repair workloads.
+
+use robonet_core::metrics::percentile;
+use robonet_core::obs::{QuantileSketch, SpanAssembler, RELATIVE_ERROR, ZERO_THRESHOLD};
+use robonet_core::trace::TraceEvent;
+use robonet_des::check::{self, Outcome};
+use robonet_des::NodeId;
+use robonet_geom::Point;
+
+/// Sketch quantiles stay within the advertised relative rank-error
+/// bound of the exact order statistic at the same rank, for any sample
+/// above the zero threshold.
+#[test]
+fn sketch_tracks_exact_order_statistics() {
+    check::forall(
+        "sketch_tracks_exact_order_statistics",
+        &check::pair(
+            check::vec_of(check::f64s(1e-4..1e5), 1..200),
+            check::f64s(0.0..1.0),
+        ),
+        |(values, q)| {
+            let mut sketch = QuantileSketch::new();
+            for &v in values {
+                sketch.observe(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            // Same rank convention as `metrics::percentile`'s lower
+            // order statistic.
+            let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+            let exact = sorted[rank];
+            let approx = sketch.quantile(*q).expect("non-empty sketch");
+            assert!(exact > ZERO_THRESHOLD, "generator stays above threshold");
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= RELATIVE_ERROR,
+                "q={q}: exact {exact}, sketch {approx}, rel {rel}"
+            );
+            assert_eq!(sketch.count(), values.len() as u64);
+            assert_eq!(sketch.min(), sorted.first().copied());
+            assert_eq!(sketch.max(), sorted.last().copied());
+            Outcome::Pass
+        },
+    );
+}
+
+/// The quickselect percentile is bit-identical to the full-sort
+/// reference implementation it replaced (the `Summary` determinism
+/// guarantee rests on this).
+#[test]
+fn quickselect_percentile_matches_sorted_reference() {
+    check::forall(
+        "quickselect_percentile_matches_sorted_reference",
+        &check::pair(
+            check::vec_of(check::f64s(0.0..1e6), 1..150),
+            check::f64s(0.0..1.0),
+        ),
+        |(values, p)| {
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let rank = p * (sorted.len() - 1) as f64;
+            let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+            let frac = rank - lo as f64;
+            let reference = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+            let fast = percentile(values, *p).expect("non-empty");
+            assert!(
+                fast.to_bits() == reference.to_bits(),
+                "p={p}: reference {reference}, quickselect {fast}"
+            );
+            Outcome::Pass
+        },
+    );
+}
+
+/// One randomized repair lifecycle: stage delays plus whether the
+/// repair completes before the horizon.
+type Lifecycle = (f64, f64, f64, f64, bool);
+
+fn lifecycles() -> check::Gen<Vec<Lifecycle>> {
+    let one = check::pair(
+        check::quad(
+            check::f64s(0.0..5000.0), // failed_at
+            check::f64s(0.1..60.0),   // detection delay
+            check::f64s(0.1..30.0),   // report + dispatch delay
+            check::f64s(1.0..600.0),  // travel duration
+        ),
+        check::bools(),
+    )
+    .map(|&((f, d, r, t), repaired)| (f, d, r, t, repaired));
+    check::vec_of(one, 1..40)
+}
+
+/// Span-assembly accounting invariant: on a well-formed trace every
+/// `Replaced` closes exactly one open span, orphan count equals
+/// failures minus replacements, nothing is unmatched or out of order,
+/// and each span's stages sum to its end-to-end dead time.
+#[test]
+fn assembler_conserves_failures() {
+    check::forall("assembler_conserves_failures", &lifecycles(), |cycles| {
+        let mut asm = SpanAssembler::new();
+        let mut expected_repairs = 0u64;
+        for (i, &(failed_at, detect, report, travel, repaired)) in cycles.iter().enumerate() {
+            let sensor = NodeId::new(i as u32);
+            let robot = NodeId::new(10_000 + i as u32);
+            asm.ingest(&TraceEvent::Failure {
+                t: failed_at,
+                sensor,
+            });
+            asm.ingest(&TraceEvent::Detected {
+                t: failed_at + detect,
+                guardian: NodeId::new(20_000 + i as u32),
+                failed: sensor,
+            });
+            asm.ingest(&TraceEvent::ReportDelivered {
+                t: failed_at + detect + report,
+                manager: NodeId::new(30_000 + i as u32),
+                failed: sensor,
+                hops: 3,
+            });
+            asm.ingest(&TraceEvent::Dispatched {
+                t: failed_at + detect + report,
+                robot,
+                failed: sensor,
+                departed: true,
+            });
+            if repaired {
+                let done = failed_at + detect + report + travel;
+                asm.ingest(&TraceEvent::RobotLegEnded {
+                    t: done,
+                    robot,
+                    travel,
+                });
+                asm.ingest(&TraceEvent::Replaced {
+                    t: done,
+                    robot,
+                    sensor,
+                    travel,
+                    loc: Point::new(0.0, 0.0),
+                });
+                expected_repairs += 1;
+            }
+        }
+        let report = asm.finish();
+        assert_eq!(report.failures, cycles.len() as u64);
+        assert_eq!(report.replacements(), expected_repairs);
+        assert_eq!(
+            report.orphans.len() as u64,
+            report.failures - expected_repairs,
+            "orphans account for every unrepaired failure"
+        );
+        assert_eq!(report.unmatched_events, 0, "well-formed trace");
+        assert_eq!(report.out_of_order, 0, "timestamps are causal");
+        for span in &report.spans {
+            let stage_sum: f64 = [
+                span.detection,
+                span.report_transit,
+                span.dispatch_decision,
+                span.travel,
+                span.install,
+            ]
+            .iter()
+            .flatten()
+            .sum();
+            let total = span.replaced_at - span.failed_at;
+            assert!(
+                (stage_sum - total).abs() < 1e-9,
+                "stages sum to dead time: {stage_sum} vs {total}"
+            );
+            assert!((span.total() - total).abs() < 1e-9);
+        }
+        Outcome::Pass
+    });
+}

@@ -42,5 +42,5 @@ mod time;
 
 pub use id::NodeId;
 pub use queue::{EventKey, EventQueue};
-pub use scheduler::{Scheduler, SchedulerProfile};
+pub use scheduler::{Heartbeat, Scheduler, SchedulerProfile};
 pub use time::{SimDuration, SimTime};

@@ -93,6 +93,46 @@ impl std::fmt::Display for SchedulerProfile {
     }
 }
 
+/// A wall-clock pacer for periodic progress output from a dispatch
+/// loop (the CLI's `run --progress` heartbeats).
+///
+/// [`due`](Heartbeat::due) is cheap enough to call once per dispatched
+/// event: it samples the clock only every 256 calls, and returns `true`
+/// at most once per `every` of wall time. Wall-clock state never feeds
+/// back into simulation behaviour — a heartbeat only gates *printing*.
+#[derive(Debug)]
+pub struct Heartbeat {
+    every: std::time::Duration,
+    last: std::time::Instant,
+    calls: u32,
+}
+
+impl Heartbeat {
+    /// A heartbeat firing roughly every `every` of wall time.
+    pub fn new(every: std::time::Duration) -> Self {
+        Heartbeat {
+            every,
+            last: std::time::Instant::now(),
+            calls: 0,
+        }
+    }
+
+    /// Returns `true` when a heartbeat is due. Call once per event.
+    pub fn due(&mut self) -> bool {
+        self.calls = self.calls.wrapping_add(1);
+        if !self.calls.is_multiple_of(256) {
+            return false;
+        }
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last) >= self.every {
+            self.last = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 impl<E> Default for Scheduler<E> {
     fn default() -> Self {
         Self::new()
@@ -264,6 +304,17 @@ mod tests {
         };
         assert_eq!(frozen.sim_seconds_per_wall_second(), 0.0);
         assert_eq!(frozen.events_per_wall_second(), 0.0);
+    }
+
+    #[test]
+    fn heartbeat_fires_after_its_interval() {
+        // A zero interval is due as soon as the call-count gate opens.
+        let mut hb = Heartbeat::new(std::time::Duration::ZERO);
+        let fired = (0..256).filter(|_| hb.due()).count();
+        assert_eq!(fired, 1, "exactly one beat per 256-call window");
+        // A long interval never fires in a tight loop.
+        let mut slow = Heartbeat::new(std::time::Duration::from_secs(3600));
+        assert!((0..10_000).all(|_| !slow.due()));
     }
 
     #[test]

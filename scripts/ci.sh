@@ -49,6 +49,16 @@ for key in "failures:" "replacements:" "travel per failure:" "report hops:"; do
     fi
 done
 
+echo "==> golden span decomposition (offline replay vs committed table)"
+spans_out="$artifact_dir/golden.spans.csv"
+cargo run -q --release --offline -p robonet-cli --bin robonet -- \
+    spans "$trace" --csv > "$spans_out"
+if ! diff -u tests/golden/spans_dynamic.csv "$spans_out"; then
+    echo "span decomposition drifted from tests/golden/spans_dynamic.csv" >&2
+    echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q golden_spans to regenerate)" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (one iteration per target)"
 for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
              ablation_broadcast ablation_dispatch ablation_baseline \

@@ -112,6 +112,100 @@ fn registry_snapshot_agrees_with_metrics() {
     assert_eq!(travel.count(), m.travel_per_task.len() as u64);
 }
 
+/// The seed-pinned configuration behind the golden spans tables —
+/// deliberately the same run `scripts/ci.sh` traces for its golden
+/// artifact, so the committed CSVs also gate the CLI path.
+fn golden_cfg(alg: Algorithm) -> ScenarioConfig {
+    ScenarioConfig::paper(1, alg).with_seed(7).scaled(64.0)
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("spans_{name}.csv"))
+}
+
+/// Golden repair-lifecycle decomposition, plus the online/offline
+/// parity acceptance bar: assembling spans live (sink tee during the
+/// run) and replaying the JSONL artifact afterwards must render
+/// byte-identical tables for every algorithm.
+///
+/// Regenerate the committed tables with `ROBONET_UPDATE_GOLDEN=1
+/// cargo test -q golden_spans`.
+#[test]
+fn golden_spans_tables_online_offline_parity() {
+    use robonet_core::{report, SpanAssembler};
+    for alg in [
+        Algorithm::Centralized,
+        Algorithm::Fixed(PartitionKind::Square),
+        Algorithm::Dynamic,
+    ] {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
+        let mut outcome =
+            Simulation::with_sink(golden_cfg(alg), Box::new(sink)).run_to_completion();
+
+        // Online: the assembler teed off the live event stream.
+        let online = outcome.spans.take().expect("sinked run assembles spans");
+        // Offline: the same events replayed from the JSONL artifact.
+        let offline = SpanAssembler::from_jsonl(&buf.contents())
+            .unwrap_or_else(|e| panic!("{alg}: artifact must replay: {e}"));
+
+        let label = golden_cfg(alg).algorithm.name().to_string();
+        let online_csv = report::spans_csv(&[(label.clone(), online)]);
+        let offline_csv = report::spans_csv(&[(label.clone(), offline)]);
+        assert_eq!(
+            online_csv, offline_csv,
+            "{alg}: online and offline span assembly must render identically"
+        );
+
+        let path = golden_path(&label);
+        if std::env::var_os("ROBONET_UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, &online_csv).expect("write golden table");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{alg}: missing golden table {path:?}: {e}"));
+        assert_eq!(
+            online_csv, golden,
+            "{alg}: span decomposition drifted from {path:?} \
+             (ROBONET_UPDATE_GOLDEN=1 to regenerate)"
+        );
+    }
+}
+
+/// Span gauges and assembler counters surface in the registry snapshot
+/// when (and only when) the run was observed.
+#[test]
+fn span_metrics_surface_in_registry() {
+    let buf = SharedBuf::default();
+    let mut outcome = Simulation::with_sink(
+        small(Algorithm::Dynamic),
+        Box::new(JsonlSink::new(buf.clone())),
+    )
+    .run_to_completion();
+    let report = outcome.spans.take().expect("observed run has spans");
+    let c = &outcome.metrics.counters;
+    assert_eq!(
+        c.counter("span.assembler", "spans"),
+        report.replacements(),
+        "assembler counter matches the report"
+    );
+    for stage in ["span.detection", "span.travel", "span.total"] {
+        for q in ["p50_s", "p95_s", "p99_s"] {
+            assert!(
+                c.gauge(stage, q).is_some(),
+                "{stage}.{q} gauge should be published"
+            );
+        }
+    }
+
+    // An unobserved run publishes none of this.
+    let plain = Simulation::run(small(Algorithm::Dynamic));
+    assert!(plain.spans.is_none());
+    assert_eq!(plain.metrics.counters.gauge("span.total", "p50_s"), None);
+}
+
 #[test]
 fn scheduler_profile_is_populated() {
     let outcome = Simulation::run(small(Algorithm::Dynamic));
