@@ -13,37 +13,80 @@ use robonet_core::obs::json::{self, ObjectWriter};
 use robonet_core::obs::TRACE_SCHEMA_VERSION;
 use robonet_core::report::{self, Row};
 use robonet_core::{
-    Algorithm, CoverageSampling, DispatchPolicy, JsonlSink, Outcome, ScenarioConfig, Simulation,
-    SpanAssembler, TraceAggregate,
+    Algorithm, CoverageSampling, DispatchPolicy, FaultPlan, JsonlSink, Outcome, ScenarioConfig,
+    Simulation, SpanAssembler, TraceAggregate,
 };
 use robonet_des::SimDuration;
 
+/// Every flag `robonet run` accepts, with whether it takes a value —
+/// the single source of truth the usage text is audited against (see
+/// the `usage_documents_every_run_flag` test).
+pub const RUN_FLAGS: &[(&str, bool)] = &[
+    ("--alg", true),
+    ("--k", true),
+    ("--scale", true),
+    ("--seed", true),
+    ("--prune", true),
+    ("--dispatch", true),
+    ("--coverage", true),
+    ("--trace", true),
+    ("--trace-out", true),
+    ("--progress", false),
+    ("--loss", true),
+    ("--report-loss", true),
+    ("--dispatch-loss", true),
+    ("--update-loss", true),
+    ("--breakdown", true),
+    ("--breakdown-repair", true),
+    ("--slow-prob", true),
+    ("--slow-factor", true),
+];
+
+/// The usage text (returned so tests can audit it against the parser).
+pub fn usage_text() -> String {
+    "robonet — robot-assisted sensor replacement simulator (Mei et al., ICDCS 2006)\n\
+     \n\
+     USAGE:\n\
+     \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
+     \x20                 [--scale F] [--seed N] [--prune F]\n\
+     \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
+     \x20                 [--trace N] [--trace-out FILE] [--progress]\n\
+     \x20                 [--loss P] [--report-loss P] [--dispatch-loss P]\n\
+     \x20                 [--update-loss P] [--breakdown MEAN_SECS]\n\
+     \x20                 [--breakdown-repair SECS] [--slow-prob P] [--slow-factor F]\n\
+     \x20 robonet stats   <run.jsonl>\n\
+     \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
+     \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
+     \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
+     \n\
+     `--scale F` compresses simulated time F× while preserving all\n\
+     per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
+     `--trace N` keeps the last N protocol events in memory and prints them;\n\
+     `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
+     and writes a run manifest (config, seed, counters) next to it;\n\
+     `robonet stats` aggregates such a file back into the per-failure\n\
+     overhead table without re-running the simulation.\n\
+     `robonet spans` decomposes each repair in a trace into causal stages\n\
+     (detection, report transit, dispatch, travel, install) and prints\n\
+     per-stage p50/p95/p99; `--by-alg` lays several traces side by side.\n\
+     `--progress` prints sim-time/wall-time/open-span heartbeats to stderr.\n\
+     \n\
+     Fault injection (deterministic, from a dedicated seed stream):\n\
+     `--loss P` drops reports, dispatch requests and location updates each\n\
+     with probability P at the origin (`--report-loss`/`--dispatch-loss`/\n\
+     `--update-loss` set them individually); `--breakdown MEAN_SECS` gives\n\
+     each robot exponential breakdowns, repaired in place after\n\
+     `--breakdown-repair SECS` if set (otherwise permanent); `--slow-prob P`\n\
+     turns that fraction of breakdowns into a slowdown to `--slow-factor F`\n\
+     of normal speed instead of a death. Any fault flag also arms the\n\
+     recovery protocol: guardian report retries with exponential backoff,\n\
+     manager dispatch timeouts with re-dispatch, and peer takeover floods."
+        .to_string()
+}
+
 /// Prints the usage text to stderr.
 pub fn print_usage() {
-    eprintln!(
-        "robonet — robot-assisted sensor replacement simulator (Mei et al., ICDCS 2006)\n\
-         \n\
-         USAGE:\n\
-         \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
-         \x20                 [--scale F] [--seed N] [--prune F]\n\
-         \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
-         \x20                 [--trace N] [--trace-out FILE] [--progress]\n\
-         \x20 robonet stats   <run.jsonl>\n\
-         \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
-         \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
-         \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
-         \n\
-         `--scale F` compresses simulated time F× while preserving all\n\
-         per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
-         `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
-         and writes a run manifest (config, seed, counters) next to it;\n\
-         `robonet stats` aggregates such a file back into the per-failure\n\
-         overhead table without re-running the simulation.\n\
-         `robonet spans` decomposes each repair in a trace into causal stages\n\
-         (detection, report transit, dispatch, travel, install) and prints\n\
-         per-stage p50/p95/p99; `--by-alg` lays several traces side by side.\n\
-         `--progress` prints sim-time/wall-time/open-span heartbeats to stderr."
-    );
+    eprintln!("{}", usage_text());
 }
 
 /// Parses and executes `args`, returning the stdout text.
@@ -93,6 +136,7 @@ struct RunArgs {
     trace: usize,
     trace_out: Option<String>,
     progress: bool,
+    faults: Option<FaultPlan>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -107,7 +151,10 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         trace: 0,
         trace_out: None,
         progress: false,
+        faults: None,
     };
+    let mut plan = FaultPlan::default();
+    let mut faulty = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -115,6 +162,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 .map(String::as_str)
                 .ok_or_else(|| format!("missing value for {flag}"))
         };
+        let parse_f64 =
+            |v: &str| -> Result<f64, String> { v.parse().map_err(|e| format!("bad {flag}: {e}")) };
         match flag.as_str() {
             "--alg" => out.alg = parse_algorithm(value()?)?,
             "--k" => out.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
@@ -144,15 +193,54 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--trace-out" => out.trace_out = Some(value()?.to_string()),
             "--progress" => out.progress = true,
+            "--loss" => {
+                let p = parse_f64(value()?)?;
+                plan.report_loss = p;
+                plan.dispatch_loss = p;
+                plan.update_loss = p;
+                faulty = true;
+            }
+            "--report-loss" => {
+                plan.report_loss = parse_f64(value()?)?;
+                faulty = true;
+            }
+            "--dispatch-loss" => {
+                plan.dispatch_loss = parse_f64(value()?)?;
+                faulty = true;
+            }
+            "--update-loss" => {
+                plan.update_loss = parse_f64(value()?)?;
+                faulty = true;
+            }
+            "--breakdown" => {
+                plan.breakdown_mean = Some(SimDuration::from_secs(parse_f64(value()?)?));
+                faulty = true;
+            }
+            "--breakdown-repair" => {
+                plan.breakdown_repair = Some(SimDuration::from_secs(parse_f64(value()?)?));
+                faulty = true;
+            }
+            "--slow-prob" => {
+                plan.slow_prob = parse_f64(value()?)?;
+                faulty = true;
+            }
+            "--slow-factor" => {
+                plan.slow_factor = parse_f64(value()?)?;
+                faulty = true;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    out.faults = faulty.then_some(plan);
     Ok(out)
 }
 
 fn cmd_run(args: &[String]) -> Result<String, String> {
     let parsed = parse_run_args(args)?;
     let mut cfg = ScenarioConfig::paper(parsed.k, parsed.alg).with_seed(parsed.seed);
+    // Faults go in before scaling so the plan's timers compress with
+    // the rest of the scenario.
+    cfg.faults = parsed.faults.clone();
     if parsed.scale > 1.0 {
         cfg = cfg.scaled(parsed.scale);
     }
@@ -225,6 +313,39 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         d.no_neighbors,
         d.mac_give_up
     );
+    // Fault/recovery lines appear only for runs with a live fault plan,
+    // keeping fault-free output byte-identical to earlier releases.
+    if outcome
+        .config
+        .faults
+        .as_ref()
+        .is_some_and(|p| !p.is_inert())
+    {
+        let fs = &m.faults;
+        let _ = writeln!(
+            out,
+            "faults injected:      {} msg drops (report {}, dispatch {}, update {}), \
+             {} breakdowns, {} slowdowns",
+            fs.report_drops + fs.dispatch_drops + fs.update_drops,
+            fs.report_drops,
+            fs.dispatch_drops,
+            fs.update_drops,
+            fs.robot_breakdowns,
+            fs.robot_slowdowns
+        );
+        let _ = writeln!(
+            out,
+            "recovery:             {} report retries ({} abandoned), {} dispatch timeouts \
+             ({} redispatched, {} abandoned), {} robot repairs, {} takeovers",
+            fs.report_retries,
+            fs.reports_abandoned,
+            fs.dispatch_timeouts,
+            fs.redispatches,
+            fs.dispatches_abandoned,
+            fs.robot_repairs,
+            fs.takeovers
+        );
+    }
     let _ = writeln!(out, "profile:              {}", outcome.profile);
     let _ = writeln!(out, "\ntransmissions by class:\n{}", m.tx);
     if let Some(report) = span_report {
@@ -540,6 +661,86 @@ mod tests {
         let a = parse_run_args(&args(&["--progress"])).unwrap();
         assert!(a.progress);
         assert!(!parse_run_args(&args(&[])).unwrap().progress);
+    }
+
+    #[test]
+    fn fault_flags_build_a_plan() {
+        assert!(parse_run_args(&args(&[])).unwrap().faults.is_none());
+        let a = parse_run_args(&args(&["--loss", "0.05"])).unwrap();
+        let plan = a.faults.expect("--loss arms the fault plan");
+        assert_eq!(plan.report_loss, 0.05);
+        assert_eq!(plan.dispatch_loss, 0.05);
+        assert_eq!(plan.update_loss, 0.05);
+
+        let a = parse_run_args(&args(&[
+            "--report-loss",
+            "0.1",
+            "--breakdown",
+            "4000",
+            "--breakdown-repair",
+            "500",
+            "--slow-prob",
+            "0.5",
+            "--slow-factor",
+            "0.25",
+        ]))
+        .unwrap();
+        let plan = a.faults.unwrap();
+        assert_eq!(plan.report_loss, 0.1);
+        assert_eq!(plan.dispatch_loss, 0.0);
+        assert_eq!(plan.breakdown_mean, Some(SimDuration::from_secs(4000.0)));
+        assert_eq!(plan.breakdown_repair, Some(SimDuration::from_secs(500.0)));
+        assert_eq!(plan.slow_prob, 0.5);
+        assert_eq!(plan.slow_factor, 0.25);
+        assert!(parse_run_args(&args(&["--loss", "nope"])).is_err());
+    }
+
+    /// Dummy value accepted by every value-taking run flag.
+    fn dummy_value(flag: &str) -> &'static str {
+        match flag {
+            "--alg" => "dynamic",
+            "--dispatch" => "nearest",
+            "--trace-out" => "/tmp/t.jsonl",
+            "--k" | "--trace" | "--seed" => "1",
+            _ => "0.5",
+        }
+    }
+
+    #[test]
+    fn parser_accepts_every_declared_run_flag() {
+        for &(flag, takes_value) in RUN_FLAGS {
+            let argv = if takes_value {
+                args(&[flag, dummy_value(flag)])
+            } else {
+                args(&[flag])
+            };
+            parse_run_args(&argv).unwrap_or_else(|e| panic!("declared flag {flag} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn usage_documents_every_run_flag_and_documents_nothing_extra() {
+        let usage = usage_text();
+        // Every flag the parser accepts appears in the usage text.
+        for &(flag, _) in RUN_FLAGS {
+            assert!(usage.contains(flag), "usage text is missing `{flag}`");
+        }
+        // Every `--flag` token in the run section parses (tokens of the
+        // other subcommands are excluded by their own usage lines).
+        let run_section: String = usage
+            .lines()
+            .skip_while(|l| !l.contains("robonet run"))
+            .take_while(|l| !l.contains("robonet stats"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        for token in run_section.split(|c: char| !(c.is_alphanumeric() || c == '-')) {
+            if let Some(flag) = token.strip_prefix("--").map(|_| token) {
+                assert!(
+                    RUN_FLAGS.iter().any(|&(f, _)| f == flag),
+                    "usage documents `{flag}` but the parser does not accept it"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use robonet_des::SimDuration;
 
+use crate::fault::FaultPlan;
 use robonet_geom::Bounds;
 use robonet_radio::medium::{Fading, RangeTable};
 use robonet_radio::MacParams;
@@ -124,6 +125,11 @@ pub struct ScenarioConfig {
     pub trace_capacity: usize,
     /// MAC/PHY parameters.
     pub mac: MacParams,
+    /// Faults to inject into the maintenance system itself (`None` =
+    /// the paper's fault-free assumptions). An inert plan (all rates
+    /// zero, no breakdowns) is normalised to `None` by the harness, so
+    /// `Some(FaultPlan::message_loss(0.0))` is bit-identical to `None`.
+    pub faults: Option<FaultPlan>,
     /// Root RNG seed; every stochastic component derives its own stream.
     pub seed: u64,
 }
@@ -172,6 +178,7 @@ impl ScenarioConfig {
             coverage_sample: None,
             trace_capacity: 0,
             mac: MacParams::default(),
+            faults: None,
             seed: 1,
         }
     }
@@ -179,6 +186,12 @@ impl ScenarioConfig {
     /// Replaces the RNG seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -199,6 +212,7 @@ impl ScenarioConfig {
         self.sim_time = SimDuration::from_secs(self.sim_time.as_secs_f64() / factor);
         self.report_retry = SimDuration::from_secs(self.report_retry.as_secs_f64() / factor);
         self.robot_speed *= factor;
+        self.faults = self.faults.map(|f| f.scaled(factor));
         self
     }
 
@@ -275,6 +289,9 @@ impl ScenarioConfig {
                 return Err(format!("fading inner fraction {inner} must be in [0, 1]"));
             }
         }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
         Ok(())
     }
 }
@@ -325,6 +342,26 @@ mod tests {
         let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
         c.broadcast_prune = Some(1.5);
         assert!(c.validate().is_err());
+
+        let c = ScenarioConfig::paper(2, Algorithm::Dynamic).with_faults(FaultPlan {
+            report_loss: -0.5,
+            ..FaultPlan::default()
+        });
+        assert!(c.validate().unwrap_err().contains("report loss"));
+    }
+
+    #[test]
+    fn scaling_reaches_the_fault_plan() {
+        let c = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_faults(FaultPlan {
+                breakdown_mean: Some(SimDuration::from_secs(8_000.0)),
+                ..FaultPlan::default()
+            })
+            .scaled(8.0);
+        assert_eq!(
+            c.faults.unwrap().breakdown_mean,
+            Some(SimDuration::from_secs(1_000.0))
+        );
     }
 
     #[test]

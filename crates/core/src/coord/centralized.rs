@@ -83,11 +83,16 @@ impl Coordinator for Centralized {
                 })
                 .map(|(r, _)| r)
         };
+        // Robots with a timed-out dispatch outstanding are suspects:
+        // skip them unless the whole fleet is under suspicion.
+        let live = |r: usize| !fleet.is_suspect(r);
         match policy {
-            DispatchPolicy::Nearest => nearest_among(&|_| true),
+            DispatchPolicy::Nearest => nearest_among(&live).or_else(|| nearest_among(&|_| true)),
             DispatchPolicy::NearestIdle => {
                 let queues = fleet.robot_queues;
-                nearest_among(&|r| queues[r] == 0).or_else(|| nearest_among(&|_| true))
+                nearest_among(&|r| live(r) && queues[r] == 0)
+                    .or_else(|| nearest_among(&live))
+                    .or_else(|| nearest_among(&|_| true))
             }
         }
     }

@@ -34,6 +34,13 @@ impl Coordinator for Dynamic {
         "coord.dynamic"
     }
 
+    fn evict_myrobot_on_retry(&self) -> bool {
+        // A report that keeps failing suggests `myrobot` is stale (the
+        // robot broke down or moved away): drop it so the next flood —
+        // or the retry itself — re-resolves the Voronoi owner.
+        true
+    }
+
     fn seed_initial_role(
         &self,
         sensor: &mut SensorState,

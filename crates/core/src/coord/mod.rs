@@ -82,6 +82,18 @@ pub struct FleetView<'a> {
     pub robot_locs: &'a [Point],
     /// Last reported robot queue lengths (for `NearestIdle`).
     pub robot_queues: &'a [u32],
+    /// Robots the manager currently suspects are broken (a dispatch to
+    /// them timed out and no location update has arrived since).
+    /// `None` when the fault layer's timeout protocol is inactive;
+    /// dispatch then behaves exactly as the paper assumes.
+    pub suspect: Option<&'a [bool]>,
+}
+
+impl FleetView<'_> {
+    /// Whether robot `r` is currently under suspicion.
+    pub fn is_suspect(&self, r: usize) -> bool {
+        self.suspect.is_some_and(|s| s[r])
+    }
 }
 
 /// How a robot announces its location (§3.1–3.3): the harness turns
@@ -225,6 +237,16 @@ pub trait Coordinator: std::fmt::Debug + Sync {
 
     /// Whether guardian/guardee pairs must share a subarea (§3.2).
     fn guardian_requires_same_subarea(&self) -> bool {
+        false
+    }
+
+    /// Fault layer: when a guardian's report retry fires, should the
+    /// sensor first evict its current `myrobot` (so the retry targets
+    /// the next-closest known robot)? Only meaningful for algorithms
+    /// whose sensors track several candidate robots — the dynamic
+    /// algorithm returns `true`; a fixed subarea has exactly one robot
+    /// and the centralized report target is the static manager.
+    fn evict_myrobot_on_retry(&self) -> bool {
         false
     }
 

@@ -28,6 +28,7 @@ use robonet_wsn::failure::FailureProcess;
 
 use crate::config::ScenarioConfig;
 use crate::coord::{self, FlowCtx};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::obs::{EventSink, NullSink};
 use crate::trace::TraceEvent;
 
@@ -54,6 +55,9 @@ pub struct FastSummary {
     pub loc_update_tx_per_failure: f64,
     /// Mean dispatch→installation delay (s).
     pub avg_repair_delay: f64,
+    /// Failures whose report exhausted its retry budget and was never
+    /// delivered (fault layer; always 0 without an active fault plan).
+    pub report_orphans: u64,
 }
 
 #[derive(Debug)]
@@ -63,8 +67,11 @@ enum Event {
         incarnation: u32,
     },
     /// The failure has been detected and the report reaches a manager.
+    /// `attempt` is 1-based; retries only occur under an active fault
+    /// plan.
     Report {
         sensor: u32,
+        attempt: u32,
     },
     Arrive {
         robot: u32,
@@ -109,6 +116,16 @@ pub fn run_with_spans(cfg: &ScenarioConfig) -> (FastSummary, crate::obs::SpanRep
 /// into `sink`. Packet-level events (`Detected`, `ReportDelivered`,
 /// `PacketDropped`, `LocUpdateFlooded`) never appear — the flow model
 /// has no packets.
+///
+/// Fault support is deliberately minimal at flow level: an active
+/// [`crate::fault::FaultPlan`] applies its report/dispatch loss
+/// probabilities to the (instant) report leg — a lost report retries
+/// with the same exponential backoff as the packet simulator until the
+/// attempt budget runs out, at which point the failure is counted in
+/// [`FastSummary::report_orphans`] and never repaired. Robot breakdowns,
+/// slowdowns and location-update loss are *ignored* here (there are no
+/// per-packet updates and no modelled robot health); use the packet
+/// simulator to study those.
 ///
 /// # Panics
 ///
@@ -158,6 +175,14 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
     let mut leg_seq = vec![0u64; n_robots];
     let manager_loc = bounds.center();
 
+    // Same normalization as the packet simulator: an inert plan is no
+    // plan at all, so its runs match fault-free runs bit for bit.
+    let mut faults = cfg
+        .faults
+        .clone()
+        .filter(|p| !p.is_inert())
+        .map(|p| FaultInjector::new(cfg.seed, p));
+
     let mut failure_proc =
         FailureProcess::new(cfg.mean_lifetime, rng::stream(cfg.seed, "lifetimes"));
     let mut detect_rng = rng::stream(cfg.seed, "detect");
@@ -201,6 +226,7 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
         avg_request_hops: coordinator.uses_manager().then_some(0.0),
         loc_update_tx_per_failure: 0.0,
         avg_repair_delay: 0.0,
+        report_orphans: 0,
     };
     let mut travel_sum = 0.0;
     let mut report_hop_sum = 0.0;
@@ -238,11 +264,37 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                 // Detection: timeout + residual beacon phase.
                 let detect_delay = cfg.failure_timeout()
                     + sampler::uniform_duration(&mut detect_rng, cfg.beacon_period);
-                sched.schedule_at(now + detect_delay, Event::Report { sensor });
+                sched.schedule_at(now + detect_delay, Event::Report { sensor, attempt: 1 });
             }
-            Event::Report { sensor } => {
+            Event::Report { sensor, attempt } => {
                 let s = sensor as usize;
                 let failed_loc = sensors[s];
+
+                // Injected loss on the report (and, for manager
+                // algorithms, the follow-up dispatch request): the
+                // whole instant chain fails and the guardian's backoff
+                // timer re-drives it, until the budget runs out and the
+                // failure becomes an explicit orphan.
+                if let Some(inj) = faults.as_mut() {
+                    let lost = inj.drop_message(FaultKind::ReportLoss)
+                        || (coordinator.uses_manager()
+                            && inj.drop_message(FaultKind::DispatchLoss));
+                    if lost {
+                        if attempt >= inj.plan.max_report_attempts {
+                            out.report_orphans += 1;
+                        } else {
+                            let backoff = FaultInjector::report_backoff(cfg.report_retry, attempt);
+                            sched.schedule_at(
+                                now + backoff,
+                                Event::Report {
+                                    sensor,
+                                    attempt: attempt + 1,
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                }
 
                 // Report + dispatch (instant at flow level): the
                 // coordinator selects the robot and prices the report
@@ -377,6 +429,62 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
 mod tests {
     use super::*;
     use crate::config::{Algorithm, PartitionKind};
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn inert_fault_plan_matches_fault_free_exactly() {
+        let cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(5)
+            .scaled(16.0);
+        let mut with_inert = cfg.clone();
+        with_inert.faults = Some(FaultPlan::default());
+        assert_eq!(run(&cfg), run(&with_inert));
+    }
+
+    #[test]
+    fn report_loss_is_deterministic_and_accounted() {
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Centralized)
+            .with_seed(5)
+            .scaled(16.0);
+        // An extreme plan so orphans actually occur in a short run.
+        let mut plan = FaultPlan::message_loss(0.9);
+        plan.max_report_attempts = 2;
+        cfg.faults = Some(plan);
+        let a = run(&cfg);
+        assert_eq!(a, run(&cfg), "same seed + plan must reproduce exactly");
+        assert!(a.report_orphans > 0, "90% loss with 2 attempts must orphan");
+        assert!(
+            a.replacements + a.report_orphans <= a.failures,
+            "every failure is replaced, orphaned, or still in flight"
+        );
+    }
+
+    #[test]
+    fn moderate_loss_with_retries_loses_nothing_silently() {
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(7)
+            .scaled(16.0);
+        cfg.faults = Some(FaultPlan::message_loss(0.10));
+        let s = run(&cfg);
+        let free = {
+            let mut c = cfg.clone();
+            c.faults = None;
+            run(&c)
+        };
+        // 10% loss under a 6-attempt budget: orphaning a report needs 6
+        // consecutive losses (p = 1e-6), so recovery should keep the
+        // replacement count at the fault-free level.
+        assert_eq!(s.report_orphans, 0);
+        // Retry delays shift when replaced sensors fail again, so the
+        // totals drift; the *repair ratio* is what must hold up.
+        let ratio = |x: &FastSummary| x.replacements as f64 / x.failures as f64;
+        assert!(
+            ratio(&s) >= 0.95 * ratio(&free),
+            "retries must recover nearly all lost reports: {:.3} vs {:.3}",
+            ratio(&s),
+            ratio(&free)
+        );
+    }
 
     #[test]
     fn cross_validates_against_packet_simulator() {

@@ -1,0 +1,431 @@
+//! Deterministic fault injection for the maintenance system itself.
+//!
+//! The paper assumes the only thing that ever fails is a sensor: failure
+//! reports always arrive, robots never break, and a dispatched repair
+//! always completes (§6 defers robot failure and message loss to future
+//! work). This module injects exactly those faults — application-level
+//! message loss and robot breakdowns — so the three coordination
+//! algorithms can be compared under an unreliable maintenance system.
+//!
+//! Determinism contract: all fault decisions draw from two dedicated
+//! named RNG streams (`"fault.msg"` and `"fault.breakdown"`, split from
+//! the scenario seed exactly like every other stochastic component).
+//! When no faults are configured ([`FaultPlan::is_inert`]) the harness
+//! carries no injector at all, makes zero extra draws and schedules zero
+//! extra events, so fault-free runs stay bit-identical to a build
+//! without this module.
+
+use robonet_des::rng::{self, Rng, Xoshiro256};
+use robonet_des::SimDuration;
+
+/// Which injected fault fired — the label carried by
+/// [`TraceEvent::FaultInjected`](crate::trace::TraceEvent::FaultInjected)
+/// and the `fault.*` registry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A guardian's failure report was dropped before entering the
+    /// network.
+    ReportLoss,
+    /// A manager's repair request to a robot was dropped before entering
+    /// the network.
+    DispatchLoss,
+    /// A robot's location update (unicast or flood origin) was dropped
+    /// before entering the network.
+    UpdateLoss,
+    /// A robot broke down and stopped (permanently, or until an
+    /// in-place repair completes).
+    Breakdown,
+    /// A robot broke down into degraded mode: it keeps working at
+    /// reduced speed.
+    Slowdown,
+}
+
+impl FaultKind {
+    /// Stable snake_case label for traces and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ReportLoss => "report_loss",
+            FaultKind::DispatchLoss => "dispatch_loss",
+            FaultKind::UpdateLoss => "update_loss",
+            FaultKind::Breakdown => "breakdown",
+            FaultKind::Slowdown => "slowdown",
+        }
+    }
+
+    /// Parses a label produced by [`FaultKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "report_loss" => FaultKind::ReportLoss,
+            "dispatch_loss" => FaultKind::DispatchLoss,
+            "update_loss" => FaultKind::UpdateLoss,
+            "breakdown" => FaultKind::Breakdown,
+            "slowdown" => FaultKind::Slowdown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What faults to inject and how hard the protocol fights back.
+///
+/// Probabilities apply per logical message at its origin (loss inside
+/// the network is already modelled by the radio substrate; this models
+/// end-system faults: a crashed reporting task, a corrupted queue entry,
+/// a robot that silently dropped an order). Durations are wall-clock
+/// simulated seconds and are divided by
+/// [`ScenarioConfig::scaled`](crate::ScenarioConfig::scaled) along with
+/// every other duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a guardian's failure report is dropped at origin.
+    pub report_loss: f64,
+    /// Probability a manager→robot repair request is dropped at origin.
+    pub dispatch_loss: f64,
+    /// Probability a robot location update is dropped at origin.
+    pub update_loss: f64,
+    /// Mean time between breakdowns per robot (exponential); `None`
+    /// disables breakdowns.
+    pub breakdown_mean: Option<SimDuration>,
+    /// In-place repair time after a breakdown; `None` means breakdowns
+    /// are permanent.
+    pub breakdown_repair: Option<SimDuration>,
+    /// Probability a breakdown manifests as a slowdown (degraded speed)
+    /// instead of a full stop.
+    pub slow_prob: f64,
+    /// Speed multiplier while degraded (`0 < slow_factor < 1`).
+    pub slow_factor: f64,
+    /// Maximum report attempts a guardian makes per failed guardee
+    /// before giving up and counting the failure as an explicit orphan.
+    pub max_report_attempts: u32,
+    /// How long the centralized manager waits for evidence a dispatched
+    /// robot took the job before re-dispatching.
+    pub dispatch_timeout: SimDuration,
+    /// Maximum dispatch attempts the manager makes per failure.
+    pub max_dispatch_attempts: u32,
+    /// Beacon-silence multiple after which a robot presumes a peer dead
+    /// and takes over its subarea (distributed algorithms).
+    pub peer_timeout_periods: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            report_loss: 0.0,
+            dispatch_loss: 0.0,
+            update_loss: 0.0,
+            breakdown_mean: None,
+            breakdown_repair: None,
+            slow_prob: 0.0,
+            slow_factor: 0.25,
+            max_report_attempts: 6,
+            dispatch_timeout: SimDuration::from_secs(600.0),
+            max_dispatch_attempts: 4,
+            peer_timeout_periods: 30,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Uniform message-loss plan: the same probability on reports,
+    /// dispatches and location updates.
+    pub fn message_loss(p: f64) -> Self {
+        FaultPlan {
+            report_loss: p,
+            dispatch_loss: p,
+            update_loss: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` when the plan injects nothing at all. The harness
+    /// normalises inert plans to "no faults", which is what makes a
+    /// loss-rate-0.0 plan bit-identical to a fault-free run.
+    pub fn is_inert(&self) -> bool {
+        self.report_loss == 0.0
+            && self.dispatch_loss == 0.0
+            && self.update_loss == 0.0
+            && self.breakdown_mean.is_none()
+    }
+
+    /// Divides every duration by `factor`, mirroring
+    /// [`ScenarioConfig::scaled`](crate::ScenarioConfig::scaled).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        if let Some(m) = self.breakdown_mean {
+            self.breakdown_mean = Some(SimDuration::from_secs(m.as_secs_f64() / factor));
+        }
+        if let Some(r) = self.breakdown_repair {
+            self.breakdown_repair = Some(SimDuration::from_secs(r.as_secs_f64() / factor));
+        }
+        self.dispatch_timeout =
+            SimDuration::from_secs(self.dispatch_timeout.as_secs_f64() / factor);
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("report loss", self.report_loss),
+            ("dispatch loss", self.dispatch_loss),
+            ("update loss", self.update_loss),
+            ("slow probability", self.slow_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} probability {p} must be in [0, 1]"));
+            }
+        }
+        if let Some(m) = self.breakdown_mean {
+            if m.as_secs_f64() <= 0.0 {
+                return Err("breakdown mean must be positive".into());
+            }
+        }
+        if let Some(r) = self.breakdown_repair {
+            if r.as_secs_f64() <= 0.0 {
+                return Err("breakdown repair time must be positive".into());
+            }
+        }
+        if self.slow_prob > 0.0 && !(0.0..1.0).contains(&self.slow_factor) {
+            return Err(format!(
+                "slow factor {} must be in (0, 1) when slowdowns are enabled",
+                self.slow_factor
+            ));
+        }
+        if self.slow_prob > 0.0 && self.slow_factor <= 0.0 {
+            return Err("slow factor must be positive".into());
+        }
+        if self.max_report_attempts == 0 {
+            return Err("max report attempts must be at least 1".into());
+        }
+        if self.max_dispatch_attempts == 0 {
+            return Err("max dispatch attempts must be at least 1".into());
+        }
+        if self.dispatch_timeout.as_secs_f64() <= 0.0 {
+            return Err("dispatch timeout must be positive".into());
+        }
+        if self.peer_timeout_periods == 0 {
+            return Err("peer timeout must be at least one beacon period".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-run fault-decision state: the two dedicated RNG streams plus the
+/// plan. Constructed by the harness only when the plan is not inert.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// The active plan (never inert).
+    pub plan: FaultPlan,
+    msg_rng: Xoshiro256,
+    breakdown_rng: Xoshiro256,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `plan` under the scenario's root seed.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            msg_rng: rng::stream(seed, "fault.msg"),
+            breakdown_rng: rng::stream(seed, "fault.breakdown"),
+        }
+    }
+
+    /// Bernoulli loss draw for one logical message of the given kind.
+    /// Draws only when the configured probability is positive, so
+    /// enabling breakdowns alone perturbs no message outcomes.
+    pub fn drop_message(&mut self, kind: FaultKind) -> bool {
+        let p = match kind {
+            FaultKind::ReportLoss => self.plan.report_loss,
+            FaultKind::DispatchLoss => self.plan.dispatch_loss,
+            FaultKind::UpdateLoss => self.plan.update_loss,
+            _ => 0.0,
+        };
+        p > 0.0 && self.msg_rng.gen_bool(p)
+    }
+
+    /// Samples the time from now to a robot's next breakdown
+    /// (exponential with the configured mean); `None` when breakdowns
+    /// are disabled.
+    pub fn next_breakdown_delay(&mut self) -> Option<SimDuration> {
+        let mean = self.plan.breakdown_mean?.as_secs_f64();
+        let u = self.breakdown_rng.next_f64();
+        // Inverse-CDF sampling; (1 - u) keeps the argument in (0, 1].
+        Some(SimDuration::from_secs(-mean * (1.0 - u).ln()))
+    }
+
+    /// Draws whether a breakdown manifests as a slowdown (degraded
+    /// speed) rather than a full stop.
+    pub fn breakdown_is_slowdown(&mut self) -> bool {
+        self.plan.slow_prob > 0.0 && self.breakdown_rng.gen_bool(self.plan.slow_prob)
+    }
+
+    /// Exponential-backoff retry window for report attempt `attempt`
+    /// (1-based): `base × 2^(attempt-1)`, capped at 8× base so retries
+    /// keep fitting inside a scaled run.
+    pub fn report_backoff(base: SimDuration, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(3);
+        SimDuration::from_secs(base.as_secs_f64() * f64::from(1u32 << exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_inert());
+        assert!(p.validate().is_ok());
+        assert!(FaultPlan::message_loss(0.0).is_inert());
+        assert!(!FaultPlan::message_loss(0.05).is_inert());
+        let breakdowns = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(1000.0)),
+            ..FaultPlan::default()
+        };
+        assert!(!breakdowns.is_inert());
+    }
+
+    #[test]
+    fn validation_catches_bad_plans() {
+        let mut p = FaultPlan::message_loss(1.5);
+        assert!(p.validate().unwrap_err().contains("report loss"));
+        p = FaultPlan {
+            slow_prob: 0.5,
+            slow_factor: 1.0,
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().unwrap_err().contains("slow factor"));
+        p = FaultPlan {
+            max_report_attempts: 0,
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+        p = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(0.0)),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+        p = FaultPlan {
+            dispatch_timeout: SimDuration::from_secs(0.0),
+            ..FaultPlan::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_divides_durations() {
+        let p = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(8000.0)),
+            breakdown_repair: Some(SimDuration::from_secs(400.0)),
+            ..FaultPlan::default()
+        }
+        .scaled(8.0);
+        assert_eq!(p.breakdown_mean, Some(SimDuration::from_secs(1000.0)));
+        assert_eq!(p.breakdown_repair, Some(SimDuration::from_secs(50.0)));
+        assert_eq!(
+            p.dispatch_timeout,
+            SimDuration::from_secs(600.0 / 8.0),
+            "timeout scales with the rest of the clock"
+        );
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan::message_loss(0.3);
+        let mut a = FaultInjector::new(7, plan.clone());
+        let mut b = FaultInjector::new(7, plan.clone());
+        for _ in 0..64 {
+            assert_eq!(
+                a.drop_message(FaultKind::ReportLoss),
+                b.drop_message(FaultKind::ReportLoss)
+            );
+        }
+        let mut c = FaultInjector::new(8, plan);
+        let diverged = (0..64).any(|_| {
+            a.drop_message(FaultKind::ReportLoss) != c.drop_message(FaultKind::ReportLoss)
+        });
+        assert!(diverged, "different seeds must produce different outcomes");
+    }
+
+    #[test]
+    fn loss_rate_matches_probability() {
+        let mut inj = FaultInjector::new(42, FaultPlan::message_loss(0.1));
+        let dropped = (0..20_000)
+            .filter(|_| inj.drop_message(FaultKind::ReportLoss))
+            .count();
+        let rate = dropped as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn zero_probability_draws_nothing() {
+        let plan = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(100.0)),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(3, plan);
+        let before = inj.msg_rng.clone();
+        for kind in [
+            FaultKind::ReportLoss,
+            FaultKind::DispatchLoss,
+            FaultKind::UpdateLoss,
+        ] {
+            assert!(!inj.drop_message(kind));
+        }
+        assert_eq!(
+            inj.msg_rng, before,
+            "p = 0 must not advance the message stream"
+        );
+    }
+
+    #[test]
+    fn breakdown_delays_follow_configured_mean() {
+        let plan = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(500.0)),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(11, plan);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| inj.next_breakdown_delay().unwrap().as_secs_f64())
+            .sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 500.0).abs() < 15.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = SimDuration::from_secs(100.0);
+        assert_eq!(FaultInjector::report_backoff(base, 1).as_secs_f64(), 100.0);
+        assert_eq!(FaultInjector::report_backoff(base, 2).as_secs_f64(), 200.0);
+        assert_eq!(FaultInjector::report_backoff(base, 3).as_secs_f64(), 400.0);
+        assert_eq!(FaultInjector::report_backoff(base, 4).as_secs_f64(), 800.0);
+        assert_eq!(
+            FaultInjector::report_backoff(base, 9).as_secs_f64(),
+            800.0,
+            "cap at 8x"
+        );
+    }
+
+    #[test]
+    fn fault_kind_labels_round_trip() {
+        for kind in [
+            FaultKind::ReportLoss,
+            FaultKind::DispatchLoss,
+            FaultKind::UpdateLoss,
+            FaultKind::Breakdown,
+            FaultKind::Slowdown,
+        ] {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_label("nope"), None);
+    }
+}

@@ -24,7 +24,7 @@
 //!   Operational location updates — the Figure 4 metric — are fully
 //!   simulated messages.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
 use robonet_geom::partition::Partition;
@@ -39,6 +39,7 @@ use robonet_wsn::{GuardianEvent, SensorState};
 
 use crate::config::ScenarioConfig;
 use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
 use crate::obs::{EventSink, NullSink, RingSink, SpanAssembler, SpanReport, TeeSink};
@@ -101,6 +102,14 @@ enum Event {
     },
     /// Periodic coverage sample (only when enabled).
     CoverageSample,
+    /// An injected robot breakdown fires (faulty runs only).
+    RobotBreakdown {
+        robot: u32,
+    },
+    /// A broken-down robot finishes its in-place repair.
+    RobotRepair {
+        robot: u32,
+    },
 }
 
 struct ManagerView {
@@ -112,6 +121,27 @@ struct ManagerView {
     robot_queues: Vec<u32>,
     /// Dispatch dedup: failed sensor → when last dispatched.
     last_dispatch: HashMap<u32, SimTime>,
+    /// Dispatches awaiting completion, for the timeout/re-dispatch
+    /// machinery. Populated only when faults are active (BTreeMap so
+    /// timeout scans are deterministic). Keyed by failed sensor.
+    outstanding: BTreeMap<u32, OutstandingDispatch>,
+    /// Robots with a timed-out dispatch and no location update since —
+    /// skipped by [`Coordinator::choose_dispatch_robot`] until they
+    /// report in again.
+    suspect: Vec<bool>,
+}
+
+/// One dispatch the manager is still waiting on.
+#[derive(Debug, Clone, Copy)]
+struct OutstandingDispatch {
+    /// Robot index the request went to.
+    robot: usize,
+    /// When this attempt was sent.
+    since: SimTime,
+    /// Attempt number (1 = original dispatch).
+    attempts: u32,
+    /// The failure's location (needed to re-dispatch).
+    failed_loc: Point,
 }
 
 /// The full simulation state. Construct with [`Simulation::new`] and
@@ -149,6 +179,20 @@ pub struct Simulation {
     progress: Option<robonet_des::Heartbeat>,
     upcall_buf: Vec<Upcall<AppMsg>>,
     jitter_rng: rng::Xoshiro256,
+    /// Deterministic fault injector — `None` for fault-free runs *and*
+    /// for inert plans (all probabilities zero, no breakdowns), so an
+    /// inert `--faults` run is bit-identical to no `--faults` at all.
+    faults: Option<FaultInjector>,
+    /// Robots currently broken down (silent, not moving).
+    robot_down: Vec<bool>,
+    /// Robots degraded to `slow_factor` speed.
+    robot_slowed: Vec<bool>,
+    /// Whether a peer already declared this robot dead this down-period
+    /// (first detector wins; cleared on repair).
+    takeover_done: Vec<bool>,
+    /// `peer_last_heard[r][p]`: when robot `r` last heard peer `p`'s
+    /// beacon. Empty unless breakdowns are in the plan.
+    peer_last_heard: Vec<Vec<Option<SimTime>>>,
 }
 
 impl Simulation {
@@ -247,7 +291,21 @@ impl Simulation {
             robot_locs: robot_pos.clone(),
             robot_queues: vec![0; n_robots],
             last_dispatch: HashMap::new(),
+            outstanding: BTreeMap::new(),
+            suspect: vec![false; n_robots],
         });
+
+        // Fault injection: a dedicated injector with its own PRNG
+        // streams, normalised so an inert plan is exactly a fault-free
+        // run (no extra draws, events, or state anywhere).
+        let mut faults = cfg
+            .faults
+            .clone()
+            .filter(|p| !p.is_inert())
+            .map(|p| FaultInjector::new(cfg.seed, p));
+        let breakdowns = faults
+            .as_ref()
+            .is_some_and(|i| i.plan.breakdown_mean.is_some());
 
         // --- Initial events ----------------------------------------------
         let mut sched = Scheduler::with_horizon(SimTime::ZERO + cfg.sim_time);
@@ -300,6 +358,18 @@ impl Simulation {
         if let Some(cov) = cfg.coverage_sample {
             sched.schedule_at(SimTime::ZERO + cov.period, Event::CoverageSample);
         }
+        // First breakdown per robot (exponential interarrival from the
+        // injector's own stream; robot order fixes the draw order).
+        if let Some(inj) = faults.as_mut() {
+            for r in 0..n_robots {
+                if let Some(delay) = inj.next_breakdown_delay() {
+                    sched.schedule_at(
+                        SimTime::ZERO + delay,
+                        Event::RobotBreakdown { robot: r as u32 },
+                    );
+                }
+            }
+        }
 
         let cfg_seed = cfg.seed;
         let ring: Option<Box<dyn EventSink>> = (cfg.trace_capacity > 0)
@@ -334,6 +404,15 @@ impl Simulation {
             progress: None,
             upcall_buf: Vec::new(),
             jitter_rng: rng::stream(cfg_seed, "jitter"),
+            faults,
+            robot_down: vec![false; n_robots],
+            robot_slowed: vec![false; n_robots],
+            takeover_done: vec![false; n_robots],
+            peer_last_heard: if breakdowns {
+                vec![vec![None; n_robots]; n_robots]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -456,6 +535,24 @@ impl Simulation {
             profile.queue_high_water as u64,
         );
 
+        // Fault-injection and recovery counters exist only for faulty
+        // runs, so fault-free registries stay byte-identical to pre-PR.
+        if self.faults.is_some() {
+            let fs = m.faults;
+            c.set("fault", "report_drops", fs.report_drops);
+            c.set("fault", "dispatch_drops", fs.dispatch_drops);
+            c.set("fault", "update_drops", fs.update_drops);
+            c.set("fault", "robot_breakdowns", fs.robot_breakdowns);
+            c.set("fault", "robot_slowdowns", fs.robot_slowdowns);
+            c.set("recovery", "report_retries", fs.report_retries);
+            c.set("recovery", "reports_abandoned", fs.reports_abandoned);
+            c.set("recovery", "dispatch_timeouts", fs.dispatch_timeouts);
+            c.set("recovery", "redispatches", fs.redispatches);
+            c.set("recovery", "dispatches_abandoned", fs.dispatches_abandoned);
+            c.set("recovery", "robot_repairs", fs.robot_repairs);
+            c.set("recovery", "takeovers", fs.takeovers);
+        }
+
         for &hops in &m.report_hops {
             c.observe("net.routing", "report_hops", f64::from(hops));
         }
@@ -520,6 +617,8 @@ impl Simulation {
             }
             Event::RelaySend { frame } => self.radio_send(now, frame),
             Event::CoverageSample => self.on_coverage_sample(now),
+            Event::RobotBreakdown { robot } => self.on_robot_breakdown(now, robot as usize),
+            Event::RobotRepair { robot } => self.on_robot_repair(now, robot as usize),
         }
     }
 
@@ -607,15 +706,36 @@ impl Simulation {
         };
         self.sensors[s].neighbors.evict_stale(cutoff);
 
-        // Report silent guardees.
+        // Report silent guardees. Fault-free runs report once and stop
+        // watching; with faults active the guardian keeps the watch and
+        // retries with exponential backoff until the guardee beacons
+        // again (replaced) or the attempt budget runs out (explicit
+        // orphan).
+        let max_attempts = self.faults.as_ref().map(|i| i.plan.max_report_attempts);
         let silent = self.sensors[s].silent_guardees(now, timeout);
         for g in silent {
             if !self.sensors[s].should_report(g, now) {
                 continue;
             }
-            self.sensors[s].mark_reported(g, now, self.cfg.report_retry);
-            self.sensors[s].forget_failed_neighbor(g);
-            self.send_failure_report(now, s, g);
+            if let Some(max_attempts) = max_attempts {
+                let attempt = self.sensors[s].note_report_attempt(g);
+                if attempt > max_attempts {
+                    self.sensors[s].forget_failed_neighbor(g);
+                    self.metrics.faults.reports_abandoned += 1;
+                    continue;
+                }
+                let window = FaultInjector::report_backoff(self.cfg.report_retry, attempt);
+                self.sensors[s].mark_reported(g, now, window);
+                self.sensors[s].scrub_failed_neighbor(g);
+                if attempt >= 2 && self.coord.evict_myrobot_on_retry() {
+                    self.evict_stale_myrobot(s);
+                }
+                self.send_failure_report(now, s, g, attempt);
+            } else {
+                self.sensors[s].mark_reported(g, now, self.cfg.report_retry);
+                self.sensors[s].forget_failed_neighbor(g);
+                self.send_failure_report(now, s, g, 1);
+            }
         }
 
         // Replace a lost guardian.
@@ -658,6 +778,12 @@ impl Simulation {
         self.sched
             .schedule_after(self.cfg.beacon_period, Event::AgentTick { node });
         let id = NodeId::new(node);
+        let r = self.robot_index(id);
+        if let Some(r) = r {
+            if self.robot_down[r] {
+                return; // broken down: silent until repaired
+            }
+        }
         let loc = self.agent_position(now, id);
         self.radio.set_position(id, loc);
         let beacon = AppMsg::Beacon { loc };
@@ -671,6 +797,12 @@ impl Simulation {
                 payload: beacon,
             },
         );
+        // Fault-tolerance duties ride on the beacon clock (both are
+        // no-ops in fault-free runs).
+        match r {
+            Some(r) => self.check_peer_takeover(now, r),
+            None => self.check_dispatch_timeouts(now),
+        }
     }
 
     fn agent_position(&self, now: SimTime, id: NodeId) -> Point {
@@ -702,23 +834,64 @@ impl Simulation {
         }
     }
 
-    fn send_failure_report(&mut self, now: SimTime, guardian: usize, failed: NodeId) {
+    /// A sensor whose `myrobot` keeps ignoring reports drops it from
+    /// its table, falling back to the next-closest known robot (dynamic
+    /// algorithm only, via [`Coordinator::evict_myrobot_on_retry`]).
+    fn evict_stale_myrobot(&mut self, s: usize) {
+        if self.sensors[s].robot_locs.len() < 2 {
+            return; // never discard the last known robot
+        }
+        if let Some((robot, _)) = self.sensors[s].myrobot {
+            self.sensors[s].forget_robot(robot);
+        }
+    }
+
+    fn send_failure_report(&mut self, now: SimTime, guardian: usize, failed: NodeId, attempt: u32) {
         let failed_loc = self.sensors[failed.index()].loc;
         let (dst, dst_loc) = self.coord.report_target(&self.sensors[guardian]);
         self.metrics.reports_sent += 1;
+        if attempt >= 2 {
+            self.metrics.faults.report_retries += 1;
+        }
+        let origin = self.sensors[guardian].id;
         if self.observing {
-            self.emit(TraceEvent::Detected {
-                t: now.as_secs_f64(),
-                guardian: self.sensors[guardian].id,
-                failed,
-            });
+            if attempt <= 1 {
+                self.emit(TraceEvent::Detected {
+                    t: now.as_secs_f64(),
+                    guardian: origin,
+                    failed,
+                });
+            } else {
+                self.emit(TraceEvent::ReportRetried {
+                    t: now.as_secs_f64(),
+                    guardian: origin,
+                    failed,
+                    attempt,
+                });
+            }
+        }
+        // Injected link loss: the report leaves the guardian but dies
+        // en route; the retry machinery re-drives it.
+        let dropped = self
+            .faults
+            .as_mut()
+            .is_some_and(|inj| inj.drop_message(FaultKind::ReportLoss));
+        if dropped {
+            self.metrics.faults.report_drops += 1;
+            if self.observing {
+                self.emit(TraceEvent::FaultInjected {
+                    t: now.as_secs_f64(),
+                    kind: FaultKind::ReportLoss,
+                    node: origin,
+                });
+            }
+            return;
         }
         let msg = AppMsg::Report {
             failed,
             failed_loc,
             geo: GeoHeader::new(dst, dst_loc),
         };
-        let origin = self.sensors[guardian].id;
         self.originate_geo(now, origin, msg, TrafficClass::FailureReport);
     }
 
@@ -828,7 +1001,18 @@ impl Simulation {
 
     fn on_delivered(&mut self, now: SimTime, to: NodeId, frame: Frame<AppMsg>) {
         match frame.payload {
-            AppMsg::Beacon { loc } => self.hear_guarded(now, to, frame.src, loc),
+            AppMsg::Beacon { loc } => {
+                // Robots overhear each other's beacons to maintain peer
+                // heartbeats (allocated only when breakdowns can occur).
+                if !self.peer_last_heard.is_empty() {
+                    if let (Some(rt), Some(rs)) =
+                        (self.robot_index(to), self.robot_index(frame.src))
+                    {
+                        self.peer_last_heard[rt][rs] = Some(now);
+                    }
+                }
+                self.hear_guarded(now, to, frame.src, loc)
+            }
             AppMsg::GuardianConfirm => {
                 if to.index() < self.sensors.len() && self.sensors[to.index()].alive {
                     self.sensors[to.index()].add_guardee(frame.src, now);
@@ -844,7 +1028,8 @@ impl Simulation {
                 loc,
                 seq,
                 subarea,
-            } => self.on_robot_flood(now, to, &frame, robot, loc, seq, subarea),
+                defunct,
+            } => self.on_robot_flood(now, to, &frame, robot, loc, seq, subarea, defunct),
             ref geo_msg @ (AppMsg::Report { .. }
             | AppMsg::Request { .. }
             | AppMsg::RobotToManagerUpdate { .. }) => {
@@ -926,6 +1111,7 @@ impl Simulation {
         loc: Point,
         seq: u32,
         subarea: u32,
+        defunct: Option<NodeId>,
     ) {
         if to.index() >= self.sensors.len() || !self.sensors[to.index()].alive {
             return;
@@ -936,6 +1122,19 @@ impl Simulation {
         }
         if !self.sensors[to.index()].dedup.accept(robot, seq) {
             return; // relay at most once per (robot, seq) — §3.2
+        }
+        // Takeover floods name the broken-down peer: forget it before
+        // weighing the announcer, so `myrobot` can never stick to a
+        // dead robot that happens to be closer.
+        if let Some(dead) = defunct {
+            self.sensors[to.index()].forget_robot(dead);
+            // Never leave a sensor robotless: if the defunct robot was
+            // the only one it knew, the announcer itself is the fallback
+            // (the scoped `accept_flood` below may not adopt it when the
+            // sensor sits outside the flooded subarea).
+            if self.sensors[to.index()].myrobot.is_none() {
+                self.sensors[to.index()].myrobot = Some((robot, loc));
+            }
         }
         let s_loc = self.sensors[to.index()].loc;
         let ctx = CoordCtx {
@@ -971,6 +1170,7 @@ impl Simulation {
                 loc,
                 seq,
                 subarea,
+                defunct,
             };
             let bytes = msg.wire_bytes();
             let relay_frame = Frame {
@@ -1037,6 +1237,8 @@ impl Simulation {
                 if let (Some(m), Some(r)) = (self.manager.as_mut(), r) {
                     m.robot_locs[r] = loc;
                     m.robot_queues[r] = queue_len;
+                    // A talking robot is not a suspect.
+                    m.suspect[r] = false;
                 }
             }
             _ => {}
@@ -1047,6 +1249,7 @@ impl Simulation {
     /// robot currently closest to the failure (§3.1).
     fn manager_dispatch(&mut self, now: SimTime, failed: NodeId, failed_loc: Point) {
         let retry_window = self.cfg.report_retry / 2;
+        let faults_active = self.faults.is_some();
         let manager = self.manager.as_mut().expect("centralized manager exists");
         // Drop duplicate reports for a failure already being handled.
         if let Some(&t) = manager.last_dispatch.get(&failed.as_u32()) {
@@ -1054,25 +1257,110 @@ impl Simulation {
                 return;
             }
         }
+        // With faults active a stalled dispatch is re-driven by the
+        // timeout machinery, not by guardian retry reports.
+        if faults_active && manager.outstanding.contains_key(&failed.as_u32()) {
+            manager.last_dispatch.insert(failed.as_u32(), now);
+            return;
+        }
+        self.dispatch_to_robot(now, failed, failed_loc, 1);
+    }
+
+    /// One dispatch attempt: pick a (non-suspect) robot and send the
+    /// request. `attempt` ≥ 2 means a post-timeout re-dispatch.
+    fn dispatch_to_robot(&mut self, now: SimTime, failed: NodeId, failed_loc: Point, attempt: u32) {
+        let faults_active = self.faults.is_some();
+        let manager = self.manager.as_mut().expect("centralized manager exists");
         manager.last_dispatch.insert(failed.as_u32(), now);
         let fleet = FleetView {
             robot_locs: &manager.robot_locs,
             robot_queues: &manager.robot_queues,
+            suspect: Some(&manager.suspect),
         };
         let best_robot = self
             .coord
             .choose_dispatch_robot(&fleet, failed_loc, self.cfg.dispatch)
             .expect("manager algorithms choose a robot");
+        if faults_active {
+            manager.outstanding.insert(
+                failed.as_u32(),
+                OutstandingDispatch {
+                    robot: best_robot,
+                    since: now,
+                    attempts: attempt,
+                    failed_loc,
+                },
+            );
+        }
         let robot_node = self.robots[best_robot].id;
         let robot_loc = manager.robot_locs[best_robot];
         let manager_id = manager.id;
         self.metrics.requests_sent += 1;
+        if attempt >= 2 {
+            self.metrics.faults.redispatches += 1;
+        }
+        // Injected link loss: the request dies en route; the timeout
+        // re-drives it.
+        let dropped = self
+            .faults
+            .as_mut()
+            .is_some_and(|inj| inj.drop_message(FaultKind::DispatchLoss));
+        if dropped {
+            self.metrics.faults.dispatch_drops += 1;
+            if self.observing {
+                self.emit(TraceEvent::FaultInjected {
+                    t: now.as_secs_f64(),
+                    kind: FaultKind::DispatchLoss,
+                    node: manager_id,
+                });
+            }
+            return;
+        }
         let msg = AppMsg::Request {
             failed,
             failed_loc,
             geo: GeoHeader::new(robot_node, robot_loc),
         };
         self.originate_geo(now, manager_id, msg, TrafficClass::RepairRequest);
+    }
+
+    /// Manager-side watchdog (runs on the manager's beacon clock):
+    /// dispatches older than the plan's timeout mark their robot
+    /// suspect and go to the next-closest non-suspect robot, up to the
+    /// attempt budget.
+    fn check_dispatch_timeouts(&mut self, now: SimTime) {
+        let Some(inj) = self.faults.as_ref() else {
+            return;
+        };
+        let timeout = inj.plan.dispatch_timeout;
+        let max_attempts = inj.plan.max_dispatch_attempts;
+        let Some(m) = self.manager.as_mut() else {
+            return;
+        };
+        let expired: Vec<(u32, OutstandingDispatch)> = m
+            .outstanding
+            .iter()
+            .filter(|(_, od)| now.saturating_duration_since(od.since) >= timeout)
+            .map(|(&failed, &od)| (failed, od))
+            .collect();
+        for (failed, od) in expired {
+            let m = self.manager.as_mut().expect("checked above");
+            m.outstanding.remove(&failed);
+            m.suspect[od.robot] = true;
+            self.metrics.faults.dispatch_timeouts += 1;
+            if self.observing {
+                self.emit(TraceEvent::DispatchTimedOut {
+                    t: now.as_secs_f64(),
+                    failed: NodeId::new(failed),
+                    attempt: od.attempts,
+                });
+            }
+            if od.attempts >= max_attempts {
+                self.metrics.faults.dispatches_abandoned += 1;
+            } else {
+                self.dispatch_to_robot(now, NodeId::new(failed), od.failed_loc, od.attempts + 1);
+            }
+        }
     }
 
     fn robot_enqueue(&mut self, now: SimTime, r: usize, failed: NodeId, failed_loc: Point) {
@@ -1152,6 +1440,11 @@ impl Simulation {
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, task.loc);
         self.robot_pending[r].remove(&task.failed.as_u32());
+        // The repair completed: the manager's dispatch watchdog (if
+        // any) stops waiting on it.
+        if let Some(m) = self.manager.as_mut() {
+            m.outstanding.remove(&task.failed.as_u32());
+        }
         if self.observing {
             self.emit(TraceEvent::RobotLegEnded {
                 t: now.as_secs_f64(),
@@ -1175,6 +1468,17 @@ impl Simulation {
                 update_threshold: self.cfg.update_threshold,
             };
             self.coord.seed_replacement(&mut self.sensors[s], &ctx);
+            // With breakdowns in play the installer may be a takeover
+            // robot from another subarea whose scoped floods this sensor
+            // will never match; adopt it directly so the replacement is
+            // never robotless. Fault-free the next flood seeds `myrobot`
+            // before it is needed, so this stays behind the fault gate.
+            if self.faults.is_some()
+                && self.coord.uses_myrobot()
+                && self.sensors[s].myrobot.is_none()
+            {
+                self.sensors[s].myrobot = Some((robot_node, task.loc));
+            }
             self.radio.set_alive(task.failed, true);
             self.incarnation[s] += 1;
             let fail_at = self.failure_proc.sample_failure_at(now);
@@ -1228,6 +1532,191 @@ impl Simulation {
         }
     }
 
+    // --- Injected robot faults --------------------------------------------
+
+    /// An injected breakdown fires: the robot either degrades to
+    /// `slow_factor` speed or dies on the spot (silent radio, current
+    /// task pushed back onto its queue) until an optional in-place
+    /// repair.
+    fn on_robot_breakdown(&mut self, now: SimTime, r: usize) {
+        if self.robot_down[r] {
+            return;
+        }
+        let slowdown = self
+            .faults
+            .as_mut()
+            .expect("breakdown events imply faults")
+            .breakdown_is_slowdown();
+        let robot_node = self.robots[r].id;
+        if slowdown {
+            self.metrics.faults.robot_slowdowns += 1;
+            self.robot_slowed[r] = true;
+            let factor = self
+                .faults
+                .as_ref()
+                .expect("checked above")
+                .plan
+                .slow_factor;
+            self.replan_at_speed(now, r, self.cfg.robot_speed * factor);
+            if self.observing {
+                self.emit(TraceEvent::FaultInjected {
+                    t: now.as_secs_f64(),
+                    kind: FaultKind::Slowdown,
+                    node: robot_node,
+                });
+            }
+            // A slowed robot keeps breaking down on the same clock.
+            self.schedule_next_breakdown(r);
+        } else {
+            self.metrics.faults.robot_breakdowns += 1;
+            self.robot_down[r] = true;
+            self.robots[r].interrupt(now);
+            self.robot_leg_seq[r] += 1; // stale in-flight arrive/update events
+            let loc = self.robots[r].position_at(now);
+            self.radio.set_position(robot_node, loc);
+            self.radio.set_alive(robot_node, false);
+            if self.observing {
+                self.emit(TraceEvent::RobotDied {
+                    t: now.as_secs_f64(),
+                    robot: robot_node,
+                });
+            }
+            let repair = self
+                .faults
+                .as_ref()
+                .expect("checked above")
+                .plan
+                .breakdown_repair;
+            if let Some(repair) = repair {
+                self.sched
+                    .schedule_at(now + repair, Event::RobotRepair { robot: r as u32 });
+            }
+        }
+    }
+
+    /// In-place repair completes: the robot rejoins, re-announces, and
+    /// resumes its queued work.
+    fn on_robot_repair(&mut self, now: SimTime, r: usize) {
+        if !self.robot_down[r] {
+            return;
+        }
+        self.robot_down[r] = false;
+        self.takeover_done[r] = false;
+        // Reset peers' suspicion so the re-announcement isn't raced by a
+        // stale takeover declaration.
+        for table in &mut self.peer_last_heard {
+            table[r] = None;
+        }
+        self.metrics.faults.robot_repairs += 1;
+        let robot_node = self.robots[r].id;
+        self.radio.set_alive(robot_node, true);
+        if self.observing {
+            self.emit(TraceEvent::RobotRepaired {
+                t: now.as_secs_f64(),
+                robot: robot_node,
+            });
+        }
+        // Re-announce so sensors (and the manager) re-adopt the robot.
+        self.do_location_update(now, r, TrafficClass::LocationUpdate);
+        if let Some(leg) = self.robots[r].resume(now) {
+            self.start_leg(r, leg);
+        }
+        self.schedule_next_breakdown(r);
+    }
+
+    fn schedule_next_breakdown(&mut self, r: usize) {
+        let delay = self
+            .faults
+            .as_mut()
+            .and_then(FaultInjector::next_breakdown_delay);
+        if let Some(delay) = delay {
+            self.sched
+                .schedule_after(delay, Event::RobotBreakdown { robot: r as u32 });
+        }
+    }
+
+    /// Interrupts any current leg, changes speed, and resumes — the
+    /// replanned leg (new speed, partial travel credited) replaces the
+    /// in-flight one.
+    fn replan_at_speed(&mut self, now: SimTime, r: usize, speed: f64) {
+        let was_moving = self.robots[r].interrupt(now);
+        self.robots[r].set_speed(speed);
+        if was_moving {
+            let loc = self.robots[r].position_at(now);
+            self.radio.set_position(self.robots[r].id, loc);
+            if let Some(leg) = self.robots[r].resume(now) {
+                self.start_leg(r, leg); // bumps the leg seq: old events go stale
+            }
+        }
+    }
+
+    /// A robot checks its peer heartbeats (its own beacon clock): a
+    /// peer silent past the plan's window is presumed dead, and this
+    /// robot floods a takeover announcement scoped to the dead peer's
+    /// subarea (fixed) or unscoped (dynamic), naming it `defunct` so
+    /// sensors drop it. First detector wins; repair resets the flag.
+    fn check_peer_takeover(&mut self, now: SimTime, r: usize) {
+        if self.peer_last_heard.is_empty() {
+            return; // breakdowns not in the plan
+        }
+        let periods = self
+            .faults
+            .as_ref()
+            .expect("peer tables imply faults")
+            .plan
+            .peer_timeout_periods;
+        let timeout =
+            SimDuration::from_secs(self.cfg.beacon_period.as_secs_f64() * f64::from(periods));
+        for p in 0..self.robots.len() {
+            if p == r || self.takeover_done[p] {
+                continue;
+            }
+            let Some(last) = self.peer_last_heard[r][p] else {
+                continue; // never heard: out of range, not diagnosable
+            };
+            if now.saturating_duration_since(last) < timeout {
+                continue;
+            }
+            // Only flood-announcing algorithms take over peer duties;
+            // the centralized manager handles exclusion itself.
+            let Announcement::Flood { subarea } = self.coord.location_announcement(p) else {
+                continue;
+            };
+            self.takeover_done[p] = true;
+            self.metrics.faults.takeovers += 1;
+            let dead = self.robots[p].id;
+            let robot_node = self.robots[r].id;
+            let loc = self.robots[r].position_at(now);
+            if self.observing {
+                self.emit(TraceEvent::TakeoverAssumed {
+                    t: now.as_secs_f64(),
+                    robot: robot_node,
+                    dead,
+                    subarea,
+                });
+            }
+            let seq = self.robots[r].next_seq();
+            let msg = AppMsg::RobotFlood {
+                robot: robot_node,
+                loc,
+                seq,
+                subarea,
+                defunct: Some(dead),
+            };
+            let bytes = msg.wire_bytes();
+            self.radio_send(
+                now,
+                Frame {
+                    src: robot_node,
+                    dst: None,
+                    bytes,
+                    class: TrafficClass::LocationUpdate,
+                    payload: msg,
+                },
+            );
+        }
+    }
+
     /// Broadcast/unicast the robot's current location per the algorithm
     /// (§3.1–3.3). `class` is `Init` for the initialization announcement
     /// and `LocationUpdate` during operation (the Figure 4 metric).
@@ -1235,6 +1724,26 @@ impl Simulation {
         let loc = self.robots[r].position_at(now);
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, loc);
+        // Injected loss on operational updates only (Init announcements
+        // are part of the paper's assumed-reliable setup phase). The
+        // robot believes it updated, so the cadence is unchanged.
+        let dropped = class == TrafficClass::LocationUpdate
+            && self
+                .faults
+                .as_mut()
+                .is_some_and(|inj| inj.drop_message(FaultKind::UpdateLoss));
+        if dropped {
+            self.metrics.faults.update_drops += 1;
+            if self.observing {
+                self.emit(TraceEvent::FaultInjected {
+                    t: now.as_secs_f64(),
+                    kind: FaultKind::UpdateLoss,
+                    node: robot_node,
+                });
+            }
+            self.robots[r].last_update_loc = loc;
+            return;
+        }
         let seq = self.robots[r].next_seq();
         match self.coord.location_announcement(r) {
             Announcement::ManagerUnicast => {
@@ -1282,6 +1791,7 @@ impl Simulation {
                     loc,
                     seq,
                     subarea,
+                    defunct: None,
                 };
                 let bytes = msg.wire_bytes();
                 self.radio_send(

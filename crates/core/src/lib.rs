@@ -44,6 +44,7 @@ pub mod baseline;
 mod config;
 pub mod coord;
 pub mod fastsim;
+pub mod fault;
 pub mod harness;
 pub mod metrics;
 pub mod msg;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod trace;
 
 pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
+pub use fault::{FaultKind, FaultPlan};
 pub use harness::{Outcome, Simulation};
 pub use metrics::{DropBreakdown, Metrics, Summary};
 pub use obs::{

@@ -46,6 +46,69 @@ impl std::fmt::Display for DropBreakdown {
     }
 }
 
+/// Counters for injected faults and the recovery protocol's responses.
+/// All-zero (and absent from output) in fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRecoveryStats {
+    /// Failure reports swallowed by injected link loss.
+    pub report_drops: u64,
+    /// Repair requests swallowed by injected link loss.
+    pub dispatch_drops: u64,
+    /// Location updates swallowed by injected link loss.
+    pub update_drops: u64,
+    /// Guardian report retransmissions (attempt ≥ 2).
+    pub report_retries: u64,
+    /// Failures whose guardian exhausted its report attempts — these
+    /// sensors stay dead, by protocol decision rather than silence.
+    pub reports_abandoned: u64,
+    /// Manager dispatches that timed out awaiting completion.
+    pub dispatch_timeouts: u64,
+    /// Re-dispatches issued after a timeout.
+    pub redispatches: u64,
+    /// Failures the manager gave up re-dispatching.
+    pub dispatches_abandoned: u64,
+    /// Robots that broke down (stopped dead).
+    pub robot_breakdowns: u64,
+    /// Robots degraded to a slower speed.
+    pub robot_slowdowns: u64,
+    /// Robots repaired in place after a breakdown.
+    pub robot_repairs: u64,
+    /// Takeover declarations by peers of a silent robot.
+    pub takeovers: u64,
+}
+
+impl FaultRecoveryStats {
+    /// True when nothing was injected and nothing recovered — the
+    /// fault-free case, where outputs omit these counters entirely.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultRecoveryStats::default()
+    }
+}
+
+impl std::fmt::Display for FaultRecoveryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drops {}/{}/{} (report/dispatch/update), retries {}, \
+             abandoned reports {}, timeouts {}, redispatches {}, \
+             abandoned dispatches {}, breakdowns {}, slowdowns {}, \
+             repairs {}, takeovers {}",
+            self.report_drops,
+            self.dispatch_drops,
+            self.update_drops,
+            self.report_retries,
+            self.reports_abandoned,
+            self.dispatch_timeouts,
+            self.redispatches,
+            self.dispatches_abandoned,
+            self.robot_breakdowns,
+            self.robot_slowdowns,
+            self.robot_repairs,
+            self.takeovers
+        )
+    }
+}
+
 /// Raw counters and samples collected during one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -90,6 +153,9 @@ pub struct Metrics {
     /// sensors)` — populated only when the scenario enables
     /// [`coverage sampling`](crate::config::CoverageSampling).
     pub coverage_timeline: Vec<(f64, f64, u32)>,
+    /// Injected-fault and recovery-protocol counters (all zero — and
+    /// omitted from output — when no faults were injected).
+    pub faults: FaultRecoveryStats,
     /// End-of-run snapshot of the per-subsystem counter/histogram
     /// registry (`des.scheduler.*`, `radio.mac.*`, `net.routing.*`,
     /// `coord.<algorithm>.*`) — the run manifest embeds this.

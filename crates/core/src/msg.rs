@@ -67,6 +67,11 @@ pub enum AppMsg {
         /// restricted to sensors of this subarea. `u32::MAX` in the
         /// dynamic algorithm (no fixed borders).
         subarea: u32,
+        /// A peer robot this announcement declares broken down
+        /// (takeover floods only): receiving sensors forget it before
+        /// considering the announcer. `None` in ordinary location
+        /// updates, so fault-free floods are unchanged on the wire.
+        defunct: Option<NodeId>,
     },
     /// One-hop robot announcement (on arrival/installation, and
     /// alongside centralized location updates): lets nearby sensors

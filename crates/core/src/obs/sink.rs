@@ -344,6 +344,52 @@ pub fn event_to_jsonl(event: &TraceEvent) -> String {
             w.field_u64("robot", u64::from(robot.as_u32()));
             w.field_f64("travel", *travel);
         }
+        TraceEvent::FaultInjected { t, kind, node } => {
+            w.field_str("ev", "fault_injected");
+            w.field_f64("t", *t);
+            w.field_str("kind", kind.label());
+            w.field_u64("node", u64::from(node.as_u32()));
+        }
+        TraceEvent::ReportRetried {
+            t,
+            guardian,
+            failed,
+            attempt,
+        } => {
+            w.field_str("ev", "report_retried");
+            w.field_f64("t", *t);
+            w.field_u64("guardian", u64::from(guardian.as_u32()));
+            w.field_u64("failed", u64::from(failed.as_u32()));
+            w.field_u64("attempt", u64::from(*attempt));
+        }
+        TraceEvent::DispatchTimedOut { t, failed, attempt } => {
+            w.field_str("ev", "dispatch_timed_out");
+            w.field_f64("t", *t);
+            w.field_u64("failed", u64::from(failed.as_u32()));
+            w.field_u64("attempt", u64::from(*attempt));
+        }
+        TraceEvent::RobotDied { t, robot } => {
+            w.field_str("ev", "robot_died");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+        }
+        TraceEvent::RobotRepaired { t, robot } => {
+            w.field_str("ev", "robot_repaired");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+        }
+        TraceEvent::TakeoverAssumed {
+            t,
+            robot,
+            dead,
+            subarea,
+        } => {
+            w.field_str("ev", "takeover_assumed");
+            w.field_f64("t", *t);
+            w.field_u64("robot", u64::from(robot.as_u32()));
+            w.field_u64("dead", u64::from(dead.as_u32()));
+            w.field_u64("subarea", u64::from(*subarea));
+        }
     }
     w.finish()
 }
@@ -439,6 +485,43 @@ pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
             robot: node(&v, "robot")?,
             travel: num(&v, "travel")?,
         }),
+        "fault_injected" => {
+            let label = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing 'kind' field")?;
+            Ok(TraceEvent::FaultInjected {
+                t,
+                kind: crate::fault::FaultKind::from_label(label)
+                    .ok_or_else(|| format!("unknown fault kind '{label}'"))?,
+                node: node(&v, "node")?,
+            })
+        }
+        "report_retried" => Ok(TraceEvent::ReportRetried {
+            t,
+            guardian: node(&v, "guardian")?,
+            failed: node(&v, "failed")?,
+            attempt: u32::try_from(uint(&v, "attempt")?).map_err(|_| "attempt out of range")?,
+        }),
+        "dispatch_timed_out" => Ok(TraceEvent::DispatchTimedOut {
+            t,
+            failed: node(&v, "failed")?,
+            attempt: u32::try_from(uint(&v, "attempt")?).map_err(|_| "attempt out of range")?,
+        }),
+        "robot_died" => Ok(TraceEvent::RobotDied {
+            t,
+            robot: node(&v, "robot")?,
+        }),
+        "robot_repaired" => Ok(TraceEvent::RobotRepaired {
+            t,
+            robot: node(&v, "robot")?,
+        }),
+        "takeover_assumed" => Ok(TraceEvent::TakeoverAssumed {
+            t,
+            robot: node(&v, "robot")?,
+            dead: node(&v, "dead")?,
+            subarea: u32::try_from(uint(&v, "subarea")?).map_err(|_| "subarea out of range")?,
+        }),
         other => Err(format!("unknown event kind '{other}'")),
     }
 }
@@ -498,6 +581,36 @@ mod tests {
                 t: 60.0,
                 robot: NodeId::new(200),
                 travel: 88.24744186046512,
+            },
+            TraceEvent::FaultInjected {
+                t: 5.0,
+                kind: crate::fault::FaultKind::ReportLoss,
+                node: NodeId::new(3),
+            },
+            TraceEvent::ReportRetried {
+                t: 6.0,
+                guardian: NodeId::new(3),
+                failed: NodeId::new(5),
+                attempt: 2,
+            },
+            TraceEvent::DispatchTimedOut {
+                t: 7.0,
+                failed: NodeId::new(5),
+                attempt: 1,
+            },
+            TraceEvent::RobotDied {
+                t: 8.0,
+                robot: NodeId::new(201),
+            },
+            TraceEvent::RobotRepaired {
+                t: 9.0,
+                robot: NodeId::new(201),
+            },
+            TraceEvent::TakeoverAssumed {
+                t: 10.0,
+                robot: NodeId::new(200),
+                dead: NodeId::new(201),
+                subarea: 1,
             },
         ]
     }

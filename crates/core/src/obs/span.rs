@@ -184,6 +184,7 @@ pub struct SpanAssembler {
     failures: u64,
     unmatched_events: u64,
     out_of_order: u64,
+    redispatches: u64,
     stage_sketches: [QuantileSketch; 5],
     total_sketch: QuantileSketch,
 }
@@ -236,11 +237,21 @@ impl SpanAssembler {
             }
             TraceEvent::Dispatched { t, failed, .. } => {
                 let t = *t;
-                self.stamp(
-                    *failed,
-                    |s| s.dispatched_at.is_none(),
-                    |s| s.dispatched_at = Some(t),
-                );
+                match self.open.get_mut(failed) {
+                    Some(spans) if !spans.is_empty() => {
+                        match spans.iter_mut().find(|s| s.dispatched_at.is_none()) {
+                            Some(span) => span.dispatched_at = Some(t),
+                            // Every open span for this sensor is already
+                            // dispatched: the recovery protocol re-dispatched
+                            // a stalled repair. The first dispatch keeps the
+                            // stage decomposition (the failure's clock
+                            // started then); the re-dispatch is counted, not
+                            // flagged as an anomaly.
+                            None => self.redispatches += 1,
+                        }
+                    }
+                    _ => self.unmatched_events += 1,
+                }
             }
             TraceEvent::RobotLegEnded { t, robot, .. } => {
                 self.last_leg_end.insert(*robot, *t);
@@ -349,6 +360,7 @@ impl SpanAssembler {
             failures: self.failures,
             unmatched_events: self.unmatched_events,
             out_of_order: self.out_of_order,
+            redispatches: self.redispatches,
             stage_sketches: self.stage_sketches,
             total_sketch: self.total_sketch,
         }
@@ -379,6 +391,9 @@ pub struct SpanReport {
     pub unmatched_events: u64,
     /// Stage intervals dropped because their events were out of order.
     pub out_of_order: u64,
+    /// Dispatches beyond the first for an already-dispatched failure —
+    /// the recovery protocol re-dispatching a stalled repair.
+    pub redispatches: u64,
     stage_sketches: [QuantileSketch; 5],
     total_sketch: QuantileSketch,
 }
@@ -430,6 +445,7 @@ impl SpanReport {
         registry.set("span.assembler", "orphans", self.orphans.len() as u64);
         registry.set("span.assembler", "unmatched_events", self.unmatched_events);
         registry.set("span.assembler", "out_of_order", self.out_of_order);
+        registry.set("span.assembler", "redispatches", self.redispatches);
         let stages = Stage::ALL
             .iter()
             .map(|s| (s.subsystem(), self.stage_sketch(*s)))
@@ -722,6 +738,56 @@ mod tests {
         let report = a.finish();
         assert_eq!(report.unmatched_events, 0, "retries are not anomalies");
         assert_eq!(report.spans[0].detection, Some(4.0), "first detection wins");
+    }
+
+    #[test]
+    fn redispatch_is_counted_and_first_dispatch_keeps_the_stage_clock() {
+        let mut a = SpanAssembler::new();
+        a.ingest(&TraceEvent::Failure {
+            t: 0.0,
+            sensor: NodeId::new(7),
+        });
+        a.ingest(&TraceEvent::Dispatched {
+            t: 5.0,
+            robot: NodeId::new(100),
+            failed: NodeId::new(7),
+            departed: true,
+        });
+        // The dispatch stalls (lost order / dead robot); the manager
+        // re-dispatches to another robot.
+        a.ingest(&TraceEvent::Dispatched {
+            t: 30.0,
+            robot: NodeId::new(101),
+            failed: NodeId::new(7),
+            departed: true,
+        });
+        a.ingest(&TraceEvent::RobotLegEnded {
+            t: 60.0,
+            robot: NodeId::new(101),
+            travel: 40.0,
+        });
+        a.ingest(&TraceEvent::Replaced {
+            t: 60.0,
+            robot: NodeId::new(101),
+            sensor: NodeId::new(7),
+            travel: 40.0,
+            loc: Point::new(0.0, 0.0),
+        });
+        let report = a.finish();
+        assert_eq!(report.redispatches, 1);
+        assert_eq!(
+            report.unmatched_events, 0,
+            "a re-dispatch is not an anomaly"
+        );
+        assert!(report.orphans.is_empty());
+        assert_eq!(report.replacements(), 1);
+        let span = &report.spans[0];
+        assert_eq!(
+            span.travel,
+            Some(55.0),
+            "clock runs from the first dispatch"
+        );
+        assert_eq!(span.total(), 60.0);
     }
 
     #[test]

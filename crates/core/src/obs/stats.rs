@@ -80,6 +80,18 @@ pub struct TraceAggregate {
     pub legs_started: u64,
     /// `robot_leg_ended` events seen.
     pub legs_ended: u64,
+    /// `fault_injected` events seen.
+    pub faults_injected: u64,
+    /// `report_retried` events seen.
+    pub report_retries: u64,
+    /// `dispatch_timed_out` events seen.
+    pub dispatch_timeouts: u64,
+    /// `robot_died` events seen.
+    pub robot_deaths: u64,
+    /// `robot_repaired` events seen.
+    pub robot_repairs: u64,
+    /// `takeover_assumed` events seen.
+    pub takeovers: u64,
 }
 
 impl TraceAggregate {
@@ -122,6 +134,12 @@ impl TraceAggregate {
             TraceEvent::LocUpdateFlooded { .. } => self.loc_update_floods += 1,
             TraceEvent::RobotLegStarted { .. } => self.legs_started += 1,
             TraceEvent::RobotLegEnded { .. } => self.legs_ended += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::ReportRetried { .. } => self.report_retries += 1,
+            TraceEvent::DispatchTimedOut { .. } => self.dispatch_timeouts += 1,
+            TraceEvent::RobotDied { .. } => self.robot_deaths += 1,
+            TraceEvent::RobotRepaired { .. } => self.robot_repairs += 1,
+            TraceEvent::TakeoverAssumed { .. } => self.takeovers += 1,
         }
     }
 

@@ -155,6 +155,65 @@ pub enum TraceEvent {
         /// Metres driven on this leg.
         travel: f64,
     },
+    /// The fault injector fired: a message was dropped at origin or a
+    /// robot degraded.
+    FaultInjected {
+        /// Simulated time in seconds.
+        t: f64,
+        /// What was injected.
+        kind: crate::fault::FaultKind,
+        /// The node the fault hit (sender of the lost message, or the
+        /// degraded robot).
+        node: NodeId,
+    },
+    /// A guardian re-sent a failure report after its retry window
+    /// expired without the guardee recovering.
+    ReportRetried {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The retrying guardian.
+        guardian: NodeId,
+        /// The failed node being re-reported.
+        failed: NodeId,
+        /// Attempt number (2 = first retry).
+        attempt: u32,
+    },
+    /// The manager's dispatch timed out without evidence the robot took
+    /// the job; it is re-dispatching.
+    DispatchTimedOut {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The failed node whose repair stalled.
+        failed: NodeId,
+        /// The dispatch attempt that timed out (1 = original).
+        attempt: u32,
+    },
+    /// A robot broke down and went silent.
+    RobotDied {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The broken robot.
+        robot: NodeId,
+    },
+    /// A broken robot finished its in-place repair and rejoined.
+    RobotRepaired {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The repaired robot.
+        robot: NodeId,
+    },
+    /// A live robot presumed a silent peer dead and announced itself to
+    /// the peer's subarea.
+    TakeoverAssumed {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The robot taking over.
+        robot: NodeId,
+        /// The presumed-dead peer.
+        dead: NodeId,
+        /// Subarea tag of the takeover flood (`u32::MAX` = unscoped).
+        subarea: u32,
+    },
 }
 
 impl TraceEvent {
@@ -169,7 +228,13 @@ impl TraceEvent {
             | TraceEvent::PacketDropped { t, .. }
             | TraceEvent::LocUpdateFlooded { t, .. }
             | TraceEvent::RobotLegStarted { t, .. }
-            | TraceEvent::RobotLegEnded { t, .. } => *t,
+            | TraceEvent::RobotLegEnded { t, .. }
+            | TraceEvent::FaultInjected { t, .. }
+            | TraceEvent::ReportRetried { t, .. }
+            | TraceEvent::DispatchTimedOut { t, .. }
+            | TraceEvent::RobotDied { t, .. }
+            | TraceEvent::RobotRepaired { t, .. }
+            | TraceEvent::TakeoverAssumed { t, .. } => *t,
         }
     }
 }
@@ -235,6 +300,43 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::RobotLegEnded { t, robot, travel } => {
                 write!(f, "[{t:9.1}s] {robot} arrived after {travel:.0} m")
+            }
+            TraceEvent::FaultInjected { t, kind, node } => {
+                write!(f, "[{t:9.1}s] fault injected at {node}: {kind}")
+            }
+            TraceEvent::ReportRetried {
+                t,
+                guardian,
+                failed,
+                attempt,
+            } => write!(
+                f,
+                "[{t:9.1}s] {guardian} re-reported {failed} (attempt {attempt})"
+            ),
+            TraceEvent::DispatchTimedOut { t, failed, attempt } => write!(
+                f,
+                "[{t:9.1}s] dispatch for {failed} timed out (attempt {attempt})"
+            ),
+            TraceEvent::RobotDied { t, robot } => {
+                write!(f, "[{t:9.1}s] {robot} broke down")
+            }
+            TraceEvent::RobotRepaired { t, robot } => {
+                write!(f, "[{t:9.1}s] {robot} repaired and back in service")
+            }
+            TraceEvent::TakeoverAssumed {
+                t,
+                robot,
+                dead,
+                subarea,
+            } => {
+                if *subarea == u32::MAX {
+                    write!(f, "[{t:9.1}s] {robot} assumed takeover from {dead}")
+                } else {
+                    write!(
+                        f,
+                        "[{t:9.1}s] {robot} assumed takeover of subarea {subarea} from {dead}"
+                    )
+                }
             }
         }
     }
@@ -320,6 +422,15 @@ impl Trace {
                     *robot == node || *failed == node
                 }
                 TraceEvent::RobotLegEnded { robot, .. } => *robot == node,
+                TraceEvent::FaultInjected { node: n, .. } => *n == node,
+                TraceEvent::ReportRetried {
+                    guardian, failed, ..
+                } => *guardian == node || *failed == node,
+                TraceEvent::DispatchTimedOut { failed, .. } => *failed == node,
+                TraceEvent::RobotDied { robot, .. } | TraceEvent::RobotRepaired { robot, .. } => {
+                    *robot == node
+                }
+                TraceEvent::TakeoverAssumed { robot, dead, .. } => *robot == node || *dead == node,
             })
             .collect()
     }

@@ -190,6 +190,7 @@ fn scripted_failure_dispatches_to_the_same_robot_in_both_simulators() {
         let fleet = FleetView {
             robot_locs: &w.robot_pos,
             robot_queues: &vec![0u32; cfg.n_robots()],
+            suspect: None,
         };
 
         for s in scripted_failures(cfg.n_sensors()) {

@@ -93,6 +93,18 @@ impl RobotState {
         self.speed
     }
 
+    /// Changes the travel speed (fault layer: degraded/repaired robots).
+    /// Takes effect on the next leg; call [`RobotState::interrupt`]
+    /// first to re-plan a leg already under way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not finite and positive.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        self.speed = speed;
+    }
+
     /// Total distance travelled so far, in metres — the paper's motion
     /// overhead numerator.
     pub fn odometer(&self) -> f64 {
@@ -193,6 +205,37 @@ impl RobotState {
             }
         }
     }
+
+    /// Stops the robot mid-leg (breakdown): credits the odometer for
+    /// the distance actually covered, parks at the current position,
+    /// and pushes the in-flight task back to the *front* of the queue
+    /// so it is the first to resume. No-op when already idle. Returns
+    /// `true` if a leg was interrupted (the caller must invalidate its
+    /// pending arrival event).
+    pub fn interrupt(&mut self, now: SimTime) -> bool {
+        let Activity::Moving { leg, task } = self.activity.clone() else {
+            return false;
+        };
+        let at = leg.position_at(now);
+        self.odometer += leg.from().distance(at);
+        self.queue.push_front(task);
+        self.activity = Activity::Idle { at };
+        true
+    }
+
+    /// Departs for the first queued task if parked with work pending
+    /// (fault layer: breakdown recovery, slowdown re-planning). Returns
+    /// the new leg, or `None` when already moving or with nothing to
+    /// do.
+    pub fn resume(&mut self, now: SimTime) -> Option<Leg> {
+        let Activity::Idle { at } = self.activity else {
+            return None;
+        };
+        let task = self.queue.pop_front()?;
+        let leg = Leg::new(at, task.loc, now, self.speed);
+        self.activity = Activity::Moving { leg, task };
+        Some(leg)
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +322,57 @@ mod tests {
     fn arrive_while_idle_panics() {
         let mut r = RobotState::new(NodeId::new(100), p(0.0, 0.0), 1.0);
         r.arrive(t(1.0));
+    }
+
+    #[test]
+    fn interrupt_credits_partial_travel_and_requeues_in_front() {
+        let mut r = RobotState::new(NodeId::new(100), p(0.0, 0.0), 1.0);
+        r.enqueue(task(1, p(100.0, 0.0), 0.0), t(0.0)).unwrap();
+        r.enqueue(task(2, p(0.0, 50.0), 0.0), t(0.0));
+        assert!(r.interrupt(t(40.0)), "a moving robot can be interrupted");
+        assert_eq!(r.odometer(), 40.0, "only the covered distance counts");
+        assert_eq!(
+            r.position_at(t(99.0)),
+            p(40.0, 0.0),
+            "parked where it stopped"
+        );
+        assert_eq!(r.queue_len(), 2, "in-flight task pushed back");
+        assert!(
+            !r.interrupt(t(41.0)),
+            "idle robots have nothing to interrupt"
+        );
+
+        // Resuming departs for the interrupted task first (front of queue).
+        let leg = r.resume(t(50.0)).expect("queued work resumes");
+        assert_eq!(leg.from(), p(40.0, 0.0));
+        assert_eq!(leg.to(), p(100.0, 0.0), "interrupted task resumes first");
+        assert_eq!(r.queue_len(), 1);
+        assert!(r.resume(t(51.0)).is_none(), "already moving");
+    }
+
+    #[test]
+    fn resume_with_empty_queue_is_a_no_op() {
+        let mut r = RobotState::new(NodeId::new(100), p(0.0, 0.0), 1.0);
+        assert!(r.resume(t(1.0)).is_none());
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn speed_changes_apply_to_the_next_leg() {
+        let mut r = RobotState::new(NodeId::new(100), p(0.0, 0.0), 1.0);
+        r.enqueue(task(1, p(100.0, 0.0), 0.0), t(0.0)).unwrap();
+        r.interrupt(t(40.0));
+        r.set_speed(0.5);
+        assert_eq!(r.speed(), 0.5);
+        let leg = r.resume(t(40.0)).unwrap();
+        assert_eq!(leg.arrival(), t(160.0), "60 m left at 0.5 m/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let mut r = RobotState::new(NodeId::new(100), p(0.0, 0.0), 1.0);
+        r.set_speed(0.0);
     }
 
     #[test]

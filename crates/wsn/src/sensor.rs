@@ -59,6 +59,9 @@ pub struct SensorState {
     /// re-reported until this time, so an in-progress repair is not
     /// spammed but a lost report eventually retries.
     reported_until: BTreeMap<NodeId, SimTime>,
+    /// Per-guardee report attempt counts (only populated when the fault
+    /// layer's bounded-retry protocol is active).
+    report_attempts: BTreeMap<NodeId, u32>,
 }
 
 impl SensorState {
@@ -77,6 +80,7 @@ impl SensorState {
             dedup: DedupTable::new(),
             robot_locs: BTreeMap::new(),
             reported_until: BTreeMap::new(),
+            report_attempts: BTreeMap::new(),
         }
     }
 
@@ -88,6 +92,7 @@ impl SensorState {
         if let Some(t) = self.guardees.get_mut(&from) {
             *t = now;
             self.reported_until.remove(&from);
+            self.report_attempts.remove(&from);
         }
         if self.guardian == Some(from) {
             self.guardian_last_heard = Some(now);
@@ -120,6 +125,7 @@ impl SensorState {
     /// Returns `true` if it was a guardee.
     pub fn remove_guardee(&mut self, node: NodeId) -> bool {
         self.reported_until.remove(&node);
+        self.report_attempts.remove(&node);
         self.guardees.remove(&node).is_some()
     }
 
@@ -135,6 +141,16 @@ impl SensorState {
     /// reported again before `now + retry`.
     pub fn mark_reported(&mut self, guardee: NodeId, now: SimTime, retry: SimDuration) {
         self.reported_until.insert(guardee, now + retry);
+    }
+
+    /// Increments and returns the 1-based report attempt count for
+    /// `guardee` — the fault layer's bounded-retry bookkeeping. Cleared
+    /// when the guardee is heard again, removed, or this sensor is
+    /// replaced.
+    pub fn note_report_attempt(&mut self, guardee: NodeId) -> u32 {
+        let n = self.report_attempts.entry(guardee).or_insert(0);
+        *n += 1;
+        *n
     }
 
     /// Guardees whose beacons have been silent for at least `timeout`
@@ -166,6 +182,24 @@ impl SensorState {
     pub fn forget_failed_neighbor(&mut self, node: NodeId) -> bool {
         self.neighbors.remove(node);
         self.guardees.remove(&node);
+        self.report_attempts.remove(&node);
+        if self.guardian == Some(node) {
+            self.guardian = None;
+            self.guardian_last_heard = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like [`SensorState::forget_failed_neighbor`] but *keeps watching*
+    /// the failed node: it stays a guardee so the retry window can fire
+    /// again if the report is lost. Used by the fault layer's bounded
+    /// retry protocol; routing state (neighbour table, guardian slot) is
+    /// scrubbed exactly as in the fault-free path. Returns `true` if a
+    /// new guardian is needed.
+    pub fn scrub_failed_neighbor(&mut self, node: NodeId) -> bool {
+        self.neighbors.remove(node);
         if self.guardian == Some(node) {
             self.guardian = None;
             self.guardian_last_heard = None;
@@ -185,8 +219,28 @@ impl SensorState {
     pub fn consider_robot(&mut self, robot: NodeId, loc: Point) -> bool {
         self.robot_locs.insert(robot, loc);
         let before = self.myrobot.map(|(id, _)| id);
+        self.recompute_myrobot();
+        let after = self.myrobot.map(|(id, _)| id);
+        after != before || after == Some(robot)
+    }
+
+    /// Forgets one robot (presumed broken down): removes it from the
+    /// known locations and re-evaluates `myrobot` as the closest
+    /// remaining robot. Returns `true` if `myrobot` changed.
+    pub fn forget_robot(&mut self, robot: NodeId) -> bool {
+        let before = self.myrobot.map(|(id, _)| id);
+        if self.robot_locs.remove(&robot).is_none() {
+            return false;
+        }
+        self.recompute_myrobot();
+        self.myrobot.map(|(id, _)| id) != before
+    }
+
+    /// `myrobot` := argmin over remembered robot locations (ties broken
+    /// by id for determinism).
+    fn recompute_myrobot(&mut self) {
         let me = self.loc;
-        let best = self
+        self.myrobot = self
             .robot_locs
             .iter()
             .min_by(|(a_id, a), (b_id, b)| {
@@ -196,9 +250,6 @@ impl SensorState {
                     .then(a_id.cmp(b_id))
             })
             .map(|(&id, &l)| (id, l));
-        self.myrobot = best;
-        let after = best.map(|(id, _)| id);
-        after != before || after == Some(robot)
     }
 
     /// Forgets everything known about robot locations (testing/failover).
@@ -218,6 +269,7 @@ impl SensorState {
         self.guardian_last_heard = None;
         self.guardees.clear();
         self.reported_until.clear();
+        self.report_attempts.clear();
         self.myrobot = None;
         self.robot_locs.clear();
         self.manager = None;
@@ -355,6 +407,48 @@ mod tests {
         s.clear_robot_knowledge();
         assert!(s.myrobot.is_none());
         assert!(s.robot_locs.is_empty());
+    }
+
+    #[test]
+    fn report_attempts_count_and_clear_on_hearing() {
+        let mut s = SensorState::new(n(0), p(0.0, 0.0));
+        s.add_guardee(n(5), t(0.0));
+        assert_eq!(s.note_report_attempt(n(5)), 1);
+        assert_eq!(s.note_report_attempt(n(5)), 2);
+        assert_eq!(s.note_report_attempt(n(5)), 3);
+        // The guardee comes back (replacement beacon): the count resets.
+        s.hear(n(5), p(1.0, 1.0), t(50.0));
+        assert_eq!(s.note_report_attempt(n(5)), 1);
+        // Removing the guardee also clears the count.
+        s.remove_guardee(n(5));
+        assert_eq!(s.note_report_attempt(n(5)), 1);
+    }
+
+    #[test]
+    fn scrub_keeps_the_watch_but_cleans_routing_state() {
+        let mut s = sensor_with_neighbors();
+        s.pick_guardian(t(0.0), |_| true); // n(2)
+        s.add_guardee(n(2), t(0.0));
+        assert!(s.scrub_failed_neighbor(n(2)), "guardian slot cleared");
+        assert!(!s.neighbors.contains(n(2)), "routing no longer sees it");
+        assert!(
+            s.guardees.contains_key(&n(2)),
+            "still watched so the retry window can fire"
+        );
+        assert!(!s.scrub_failed_neighbor(n(1)), "non-guardian: no repick");
+    }
+
+    #[test]
+    fn forgetting_a_robot_reassigns_myrobot() {
+        let mut s = SensorState::new(n(0), p(0.0, 0.0));
+        s.consider_robot(n(100), p(10.0, 0.0));
+        s.consider_robot(n(101), p(50.0, 0.0));
+        assert_eq!(s.myrobot.unwrap().0, n(100));
+        assert!(s.forget_robot(n(100)), "myrobot changed");
+        assert_eq!(s.myrobot.unwrap(), (n(101), p(50.0, 0.0)));
+        assert!(!s.forget_robot(n(100)), "already forgotten");
+        assert!(s.forget_robot(n(101)));
+        assert!(s.myrobot.is_none(), "no robots left");
     }
 
     #[test]

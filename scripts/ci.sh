@@ -2,69 +2,163 @@
 # Tier-1 gate: build, test, and smoke-run the benches — fully offline.
 # The workspace has no registry dependencies (tests/hermetic.rs enforces
 # this), so --offline is not just a flag but a guarantee being tested.
+#
+# Usage:
+#   scripts/ci.sh          full gate (what .github/workflows/ci.yml runs)
+#   scripts/ci.sh --fast   pre-push subset: fmt + clippy + tests only
+#
+# Every stage is timed; a wall-clock summary prints at the end of a
+# green run so regressions in CI latency are visible in the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> rustfmt (check only)"
-cargo fmt --check
+fast=0
+case "${1:-}" in
+    --fast) fast=1 ;;
+    "") ;;
+    *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+esac
 
-echo "==> clippy (all targets, warnings are errors)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_names=()
+stage_secs=()
 
-echo "==> build (release, offline)"
-cargo build --release --offline --workspace
+run_stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    stage_names+=("$name")
+    stage_secs+=("$((SECONDS - t0))")
+}
 
-echo "==> tests (offline)"
-cargo test -q --offline --workspace
+print_timings() {
+    echo "==> stage timings"
+    local i
+    for i in "${!stage_names[@]}"; do
+        printf '    %-42s %5ss\n' "${stage_names[$i]}" "${stage_secs[$i]}"
+    done
+}
 
-echo "==> golden trace artifact (seed-pinned run, JSONL + stats round trip)"
+robonet() {
+    cargo run -q --release --offline -p robonet-cli --bin robonet -- "$@"
+}
+
+stage_fmt() {
+    cargo fmt --check
+}
+
+stage_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+stage_build() {
+    # NB --workspace: the root manifest is both the workspace and a
+    # lib-only package, so a bare `cargo build` would skip the binary.
+    cargo build --release --offline --workspace
+}
+
+stage_test() {
+    cargo test -q --offline --workspace
+}
+
 artifact_dir="target/ci-artifacts"
-mkdir -p "$artifact_dir"
-trace="$artifact_dir/golden.jsonl"
-run_out="$artifact_dir/golden.run.txt"
-stats_out="$artifact_dir/golden.stats.txt"
-cargo run -q --release --offline -p robonet-cli --bin robonet -- \
-    run --alg dynamic --k 1 --scale 64 --seed 7 --trace-out "$trace" > "$run_out"
-test -s "$trace" || { echo "trace artifact is empty" >&2; exit 1; }
-test -s "$artifact_dir/golden.manifest.json" || { echo "manifest missing" >&2; exit 1; }
-# Every line must be one JSON object (cheap structural check; the full
-# parse runs in the test suite).
-if grep -cve '^{.*}$' "$trace" > /dev/null; then
-    echo "malformed JSONL line in $trace:" >&2
-    grep -nve '^{.*}$' "$trace" | head -3 >&2
-    exit 1
-fi
-cargo run -q --release --offline -p robonet-cli --bin robonet -- \
-    stats "$trace" > "$stats_out"
-# The offline aggregate must reproduce the run's own headline figures
-# verbatim (travel and hops are bit-exact by construction).
-for key in "failures:" "replacements:" "travel per failure:" "report hops:"; do
-    a=$(grep -F "$key" "$run_out")
-    b=$(grep -F "$key" "$stats_out")
-    if [ "$a" != "$b" ]; then
-        echo "stats disagrees with run on \`$key\`:" >&2
-        echo "  run:   $a" >&2
-        echo "  stats: $b" >&2
+
+stage_golden_trace() {
+    mkdir -p "$artifact_dir"
+    local trace="$artifact_dir/golden.jsonl"
+    local run_out="$artifact_dir/golden.run.txt"
+    local stats_out="$artifact_dir/golden.stats.txt"
+    robonet run --alg dynamic --k 1 --scale 64 --seed 7 --trace-out "$trace" > "$run_out"
+    test -s "$trace" || { echo "trace artifact is empty" >&2; exit 1; }
+    test -s "$artifact_dir/golden.manifest.json" || { echo "manifest missing" >&2; exit 1; }
+    # Every line must be one JSON object (cheap structural check; the
+    # full parse runs in the test suite).
+    if grep -cve '^{.*}$' "$trace" > /dev/null; then
+        echo "malformed JSONL line in $trace:" >&2
+        grep -nve '^{.*}$' "$trace" | head -3 >&2
         exit 1
     fi
-done
+    robonet stats "$trace" > "$stats_out"
+    # The offline aggregate must reproduce the run's own headline
+    # figures verbatim (travel and hops are bit-exact by construction).
+    local key a b
+    for key in "failures:" "replacements:" "travel per failure:" "report hops:"; do
+        a=$(grep -F "$key" "$run_out")
+        b=$(grep -F "$key" "$stats_out")
+        if [ "$a" != "$b" ]; then
+            echo "stats disagrees with run on \`$key\`:" >&2
+            echo "  run:   $a" >&2
+            echo "  stats: $b" >&2
+            exit 1
+        fi
+    done
+}
 
-echo "==> golden span decomposition (offline replay vs committed table)"
-spans_out="$artifact_dir/golden.spans.csv"
-cargo run -q --release --offline -p robonet-cli --bin robonet -- \
-    spans "$trace" --csv > "$spans_out"
-if ! diff -u tests/golden/spans_dynamic.csv "$spans_out"; then
-    echo "span decomposition drifted from tests/golden/spans_dynamic.csv" >&2
-    echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q golden_spans to regenerate)" >&2
-    exit 1
+stage_golden_spans() {
+    local spans_out="$artifact_dir/golden.spans.csv"
+    robonet spans "$artifact_dir/golden.jsonl" --csv > "$spans_out"
+    if ! diff -u tests/golden/spans_dynamic.csv "$spans_out"; then
+        echo "span decomposition drifted from tests/golden/spans_dynamic.csv" >&2
+        echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q golden_spans to regenerate)" >&2
+        exit 1
+    fi
+}
+
+stage_determinism() {
+    # Same seed, same config → byte-identical summary, twice over: once
+    # fault-free and once with the full fault plan armed (loss, robot
+    # breakdowns with in-place repair, slowdowns). Only the `profile:`
+    # line (wall-clock) may differ between runs.
+    mkdir -p "$artifact_dir"
+    robonet run --alg dynamic --k 1 --scale 64 --seed 7 \
+        > "$artifact_dir/det_free_a.txt"
+    robonet run --alg dynamic --k 1 --scale 64 --seed 7 \
+        > "$artifact_dir/det_free_b.txt"
+    local faulty=(run --alg centralized --k 1 --scale 64 --seed 7
+                  --loss 0.05 --breakdown 8000 --breakdown-repair 1600
+                  --slow-prob 0.3)
+    robonet "${faulty[@]}" > "$artifact_dir/det_faulty_a.txt"
+    robonet "${faulty[@]}" > "$artifact_dir/det_faulty_b.txt"
+    local pair
+    for pair in det_free det_faulty; do
+        if ! diff <(grep -v '^profile:' "$artifact_dir/${pair}_a.txt") \
+                  <(grep -v '^profile:' "$artifact_dir/${pair}_b.txt"); then
+            echo "determinism gate failed: $pair runs differ (see $artifact_dir)" >&2
+            exit 1
+        fi
+    done
+    # The faulty run must actually have injected something, or the gate
+    # silently degrades into a second fault-free check.
+    if ! grep -q '^faults injected:' "$artifact_dir/det_faulty_a.txt"; then
+        echo "determinism gate: faulty golden run reported no injected faults" >&2
+        exit 1
+    fi
+}
+
+stage_bench_smoke() {
+    local bench
+    for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
+                 ablation_broadcast ablation_dispatch ablation_baseline \
+                 micro_substrates degradation_curve; do
+        echo "--> $bench"
+        ROBONET_BENCH_SMOKE=1 cargo bench -q --offline -p robonet-bench --bench "$bench"
+    done
+}
+
+run_stage "rustfmt (check only)" stage_fmt
+run_stage "clippy (all targets, warnings are errors)" stage_clippy
+if [ "$fast" = 1 ]; then
+    run_stage "tests (offline)" stage_test
+    print_timings
+    echo "==> ci.sh --fast: all green"
+    exit 0
 fi
-
-echo "==> bench smoke (one iteration per target)"
-for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
-             ablation_broadcast ablation_dispatch ablation_baseline \
-             micro_substrates; do
-    echo "--> $bench"
-    ROBONET_BENCH_SMOKE=1 cargo bench -q --offline -p robonet-bench --bench "$bench"
-done
-
+run_stage "build (release, offline)" stage_build
+run_stage "tests (offline)" stage_test
+run_stage "golden trace artifact" stage_golden_trace
+run_stage "golden span decomposition" stage_golden_spans
+run_stage "determinism gate (fault-free + faulty)" stage_determinism
+run_stage "bench smoke (one iteration per target)" stage_bench_smoke
+print_timings
 echo "==> ci.sh: all green"

@@ -138,5 +138,5 @@ fn bench_targets_declared() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let text = fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
     let count = text.matches("[[bench]]").count();
-    assert_eq!(count, 8, "expected 8 bench targets, found {count}");
+    assert_eq!(count, 9, "expected 9 bench targets, found {count}");
 }
