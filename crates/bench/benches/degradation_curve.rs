@@ -10,14 +10,34 @@
 //! recover reports lost to natural MAC collisions and TTL drops, so
 //! the lossy rows can out-repair the one-shot fault-free baseline.
 //! The degradation signal is the trend *within* the lossy rows.
+//!
+//! All (algorithm × loss) cells run through the deterministic sweep
+//! engine, so the curve is identical whatever the worker count.
 
 use robonet_bench::selftime::{BenchmarkId, Criterion};
 use robonet_bench::{bench_group, bench_main};
 
+use robonet_core::sweep::SweepGrid;
 use robonet_core::{Algorithm, FaultPlan, PartitionKind, ScenarioConfig, Simulation};
+use robonet_des::pool::resolve_jobs;
 
 const SCALE: f64 = 64.0;
 const LOSS: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Centralized,
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Dynamic,
+];
+
+fn cell_config(alg: Algorithm, loss: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(2, alg).with_seed(1).scaled(SCALE);
+    cfg.trace_capacity = 16; // assemble spans for the p95 delay
+    if loss > 0.0 {
+        cfg.faults = Some(FaultPlan::message_loss(loss).scaled(SCALE));
+    }
+    cfg
+}
 
 fn degradation(c: &mut Criterion) {
     let mut group = c.benchmark_group("degradation_curve");
@@ -27,42 +47,42 @@ fn degradation(c: &mut Criterion) {
         "  {:<12} {:>6} {:>10} {:>12} {:>14}",
         "algorithm", "loss", "repaired", "ratio", "p95 delay (s)"
     );
-    for alg in [
-        Algorithm::Centralized,
-        Algorithm::Fixed(PartitionKind::Square),
-        Algorithm::Dynamic,
-    ] {
-        for loss in LOSS {
-            let mut cfg = ScenarioConfig::paper(2, alg).with_seed(1).scaled(SCALE);
-            cfg.trace_capacity = 16; // assemble spans for the p95 delay
-            if loss > 0.0 {
-                cfg.faults = Some(FaultPlan::message_loss(loss).scaled(SCALE));
-            }
-            let out = Simulation::run(cfg.clone());
-            let s = out.metrics.summary();
-            let p95 = out
-                .spans
-                .as_ref()
-                .and_then(|r| r.total_sketch().quantile(0.95))
-                .unwrap_or(0.0);
-            println!(
-                "  {:<12} {:>5.0}% {:>4}/{:<5} {:>11.3} {:>14.1}",
+    let grid = SweepGrid::from_configs(
+        ALGORITHMS
+            .iter()
+            .flat_map(|&alg| LOSS.iter().map(move |&loss| cell_config(alg, loss)))
+            .collect(),
+    );
+    let result = grid.run(resolve_jobs(None));
+    assert!(result.failed.is_empty(), "degradation cells must not panic");
+    for (cell, (alg, loss)) in result.cells.iter().zip(
+        ALGORITHMS
+            .iter()
+            .flat_map(|&alg| LOSS.iter().map(move |&loss| (alg, loss))),
+    ) {
+        let s = cell.metrics.summary();
+        let p95 = cell
+            .spans
+            .as_ref()
+            .and_then(|r| r.total_sketch().quantile(0.95))
+            .unwrap_or(0.0);
+        println!(
+            "  {:<12} {:>5.0}% {:>4}/{:<5} {:>11.3} {:>14.1}",
+            format!("{alg:?}").to_lowercase(),
+            loss * 100.0,
+            s.replacements,
+            s.failures_occurred,
+            s.replacements as f64 / s.failures_occurred.max(1) as f64,
+            p95
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
                 format!("{alg:?}").to_lowercase(),
-                loss * 100.0,
-                s.replacements,
-                s.failures_occurred,
-                s.replacements as f64 / s.failures_occurred.max(1) as f64,
-                p95
-            );
-            group.bench_with_input(
-                BenchmarkId::new(
-                    format!("{alg:?}").to_lowercase(),
-                    (loss * 100.0).round() as u64,
-                ),
-                &cfg,
-                |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
-            );
-        }
+                (loss * 100.0).round() as u64,
+            ),
+            &cell.config,
+            |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
+        );
     }
     group.finish();
 }

@@ -1,19 +1,29 @@
 //! Figure 2 bench: average robot traveling distance per failure, per
 //! algorithm and robot count.
 //!
-//! Criterion measures wall time of a compressed run per configuration
-//! and — once per configuration — prints the paper metric itself, so
+//! The figure series itself is produced by the deterministic sweep
+//! engine (all configurations fanned across the work-stealing pool,
+//! results in declaration order regardless of worker count); Criterion
+//! then measures wall time of a compressed run per configuration, so
 //! `cargo bench` regenerates the figure's series (time-compressed; see
 //! `cargo run -p robonet-bench --bin fig2` for the full-scale version).
 
 use robonet_bench::selftime::{BenchmarkId, Criterion};
 use robonet_bench::{bench_group, bench_main};
 
+use robonet_core::sweep::SweepGrid;
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+use robonet_des::pool::resolve_jobs;
 
 /// Compression used inside the bench loop; per-failure metrics are
 /// preserved by design (see `ScenarioConfig::scaled`).
 const SCALE: f64 = 64.0;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Dynamic,
+    Algorithm::Centralized,
+];
 
 fn fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_motion");
@@ -22,28 +32,35 @@ fn fig2(c: &mut Criterion) {
         "\nFigure 2 (time-compressed x{SCALE}): avg traveling distance per failure (m), \
          with repair latency (s)"
     );
-    for alg in [
-        Algorithm::Fixed(PartitionKind::Square),
-        Algorithm::Dynamic,
-        Algorithm::Centralized,
-    ] {
-        for k in [2usize, 3] {
-            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
-            let robots = cfg.n_robots();
-            let outcome = Simulation::run(cfg.clone());
-            let summary = outcome.metrics.summary();
-            println!(
-                "  {alg:<12} {robots:>2} robots: {:>7.1} m over {} failures | \
-                 repair {:>6.1} s avg, {:>6.1} s p95",
-                summary.avg_travel_per_failure,
-                outcome.metrics.replacements,
-                summary.avg_repair_delay,
-                summary.p95_repair_delay,
-            );
-            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
-                b.iter(|| Simulation::run(cfg.clone()).metrics.replacements)
-            });
-        }
+    let grid = SweepGrid::from_configs(
+        ALGORITHMS
+            .iter()
+            .flat_map(|&alg| {
+                [2usize, 3]
+                    .iter()
+                    .map(move |&k| ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE))
+            })
+            .collect(),
+    );
+    let result = grid.run(resolve_jobs(None));
+    assert!(result.failed.is_empty(), "figure cells must not panic");
+    for cell in &result.cells {
+        let alg = cell.config.algorithm;
+        let robots = cell.config.n_robots();
+        let summary = cell.metrics.summary();
+        println!(
+            "  {alg:<12} {robots:>2} robots: {:>7.1} m over {} failures | \
+             repair {:>6.1} s avg, {:>6.1} s p95",
+            summary.avg_travel_per_failure,
+            cell.metrics.replacements,
+            summary.avg_repair_delay,
+            summary.p95_repair_delay,
+        );
+        group.bench_with_input(
+            BenchmarkId::new(alg.name(), robots),
+            &cell.config,
+            |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.replacements),
+        );
     }
     group.finish();
 }

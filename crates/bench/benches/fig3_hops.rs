@@ -1,40 +1,57 @@
 //! Figure 3 bench: average message hops per failure report / repair
-//! request. Prints the series (time-compressed) and benchmarks the run.
+//! request. The series is produced by the deterministic sweep engine;
+//! Criterion then benchmarks each configuration's run.
 
 use robonet_bench::selftime::{BenchmarkId, Criterion};
 use robonet_bench::{bench_group, bench_main};
 
+use robonet_core::sweep::SweepGrid;
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+use robonet_des::pool::resolve_jobs;
 
 const SCALE: f64 = 64.0;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Dynamic,
+    Algorithm::Centralized,
+];
 
 fn fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_hops");
     group.sample_size(10);
     println!("\nFigure 3 (time-compressed x{SCALE}): avg hops per failure");
-    for alg in [
-        Algorithm::Fixed(PartitionKind::Square),
-        Algorithm::Dynamic,
-        Algorithm::Centralized,
-    ] {
-        for k in [2usize, 3] {
-            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
-            let robots = cfg.n_robots();
-            let s = Simulation::run(cfg.clone()).metrics.summary();
-            match s.avg_request_hops {
-                Some(req) => println!(
-                    "  {alg:<12} {robots:>2} robots: report {:.2} hops, repair request {req:.2} hops",
-                    s.avg_report_hops
-                ),
-                None => println!(
-                    "  {alg:<12} {robots:>2} robots: report {:.2} hops",
-                    s.avg_report_hops
-                ),
-            }
-            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
-                b.iter(|| Simulation::run(cfg.clone()).metrics.report_hops.len())
-            });
+    let grid = SweepGrid::from_configs(
+        ALGORITHMS
+            .iter()
+            .flat_map(|&alg| {
+                [2usize, 3]
+                    .iter()
+                    .map(move |&k| ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE))
+            })
+            .collect(),
+    );
+    let result = grid.run(resolve_jobs(None));
+    assert!(result.failed.is_empty(), "figure cells must not panic");
+    for cell in &result.cells {
+        let alg = cell.config.algorithm;
+        let robots = cell.config.n_robots();
+        let s = cell.metrics.summary();
+        match s.avg_request_hops {
+            Some(req) => println!(
+                "  {alg:<12} {robots:>2} robots: report {:.2} hops, repair request {req:.2} hops",
+                s.avg_report_hops
+            ),
+            None => println!(
+                "  {alg:<12} {robots:>2} robots: report {:.2} hops",
+                s.avg_report_hops
+            ),
         }
+        group.bench_with_input(
+            BenchmarkId::new(alg.name(), robots),
+            &cell.config,
+            |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.report_hops.len()),
+        );
     }
     group.finish();
 }

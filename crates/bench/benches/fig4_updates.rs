@@ -1,35 +1,51 @@
 //! Figure 4 bench: average number of transmissions for robot location
-//! updates per failure. Prints the series (time-compressed) and
-//! benchmarks the run.
+//! updates per failure. The series is produced by the deterministic
+//! sweep engine; Criterion then benchmarks each configuration's run.
 
 use robonet_bench::selftime::{BenchmarkId, Criterion};
 use robonet_bench::{bench_group, bench_main};
 
+use robonet_core::sweep::SweepGrid;
 use robonet_core::{Algorithm, PartitionKind, ScenarioConfig, Simulation};
+use robonet_des::pool::resolve_jobs;
 
 const SCALE: f64 = 64.0;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Dynamic,
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Centralized,
+];
 
 fn fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_updates");
     group.sample_size(10);
     println!("\nFigure 4 (time-compressed x{SCALE}): location-update transmissions per failure");
-    for alg in [
-        Algorithm::Dynamic,
-        Algorithm::Fixed(PartitionKind::Square),
-        Algorithm::Centralized,
-    ] {
-        for k in [2usize, 3] {
-            let cfg = ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE);
-            let robots = cfg.n_robots();
-            let s = Simulation::run(cfg.clone()).metrics.summary();
-            println!(
-                "  {alg:<12} {robots:>2} robots: {:>7.1} transmissions/failure",
-                s.loc_update_tx_per_failure
-            );
-            group.bench_with_input(BenchmarkId::new(alg.name(), robots), &cfg, |b, cfg| {
-                b.iter(|| Simulation::run(cfg.clone()).metrics.tx.total_tx())
-            });
-        }
+    let grid = SweepGrid::from_configs(
+        ALGORITHMS
+            .iter()
+            .flat_map(|&alg| {
+                [2usize, 3]
+                    .iter()
+                    .map(move |&k| ScenarioConfig::paper(k, alg).with_seed(1).scaled(SCALE))
+            })
+            .collect(),
+    );
+    let result = grid.run(resolve_jobs(None));
+    assert!(result.failed.is_empty(), "figure cells must not panic");
+    for cell in &result.cells {
+        let alg = cell.config.algorithm;
+        let robots = cell.config.n_robots();
+        let s = cell.metrics.summary();
+        println!(
+            "  {alg:<12} {robots:>2} robots: {:>7.1} transmissions/failure",
+            s.loc_update_tx_per_failure
+        );
+        group.bench_with_input(
+            BenchmarkId::new(alg.name(), robots),
+            &cell.config,
+            |b, cfg| b.iter(|| Simulation::run(cfg.clone()).metrics.tx.total_tx()),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,71 @@
+//! Sweep-engine bench: wall-clock of the deterministic work-stealing
+//! engine at one worker vs. all available workers, over the smoke-size
+//! paper grid (k ∈ {1, 2} × 3 algorithms × 2 seeds, time-compressed).
+//!
+//! Before timing anything it asserts the engine's contract: the
+//! parallel run's per-cell results and merged aggregate are *equal* to
+//! the sequential reference (bit-identical sketches included). The
+//! speedup line makes the host's parallelism explicit — on a 1-core
+//! runner the two timings coincide by construction.
+//!
+//! With `ROBONET_BENCH_JSON=<path>` the raw statistics land in a JSON
+//! lines file (CI publishes them as `BENCH_sweep.json`).
+
+use robonet_bench::selftime::{BenchmarkId, Criterion};
+use robonet_bench::{bench_group, bench_main};
+
+use robonet_bench::{paper_algorithms, SweepOptions};
+use robonet_core::sweep::SweepGrid;
+use robonet_des::pool::resolve_jobs;
+
+fn smoke_grid() -> SweepGrid {
+    let opts = SweepOptions {
+        scale: 64.0,
+        seeds: vec![1, 2],
+        ks: vec![1, 2],
+        algorithms: paper_algorithms(),
+        jobs: None,
+    };
+    robonet_bench::grid(&opts)
+}
+
+fn sweep_engine(c: &mut Criterion) {
+    let grid = smoke_grid();
+    let jobs = resolve_jobs(None);
+
+    let t0 = std::time::Instant::now();
+    let sequential = grid.run(1);
+    let seq_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let parallel = grid.run(jobs);
+    let par_s = t1.elapsed().as_secs_f64();
+
+    assert!(sequential.failed.is_empty() && parallel.failed.is_empty());
+    assert_eq!(
+        sequential.cells, parallel.cells,
+        "per-cell results must match the sequential reference"
+    );
+    assert_eq!(
+        sequential.merged, parallel.merged,
+        "merged aggregate must match the sequential reference"
+    );
+    println!(
+        "\nSweep engine ({} cells): sequential {seq_s:.2} s, {jobs} workers {par_s:.2} s \
+         ({:.2}x, host parallelism {})",
+        grid.len(),
+        seq_s / par_s.max(1e-9),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    );
+
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+    for workers in [1, jobs] {
+        group.bench_with_input(BenchmarkId::new("run", workers), &workers, |b, &workers| {
+            b.iter(|| grid.run(workers).merged.replacements)
+        });
+    }
+    group.finish();
+}
+
+bench_group!(benches, sweep_engine);
+bench_main!(benches);

@@ -3,8 +3,10 @@
 //! Every figure in the evaluation section of *Replacing Failed Sensor
 //! Nodes by Mobile Robots* comes from the same experiment design: run
 //! the three coordination algorithms with 4, 9 and 16 robots and report
-//! a per-failure average (§4.3). [`sweep`] runs that design and the
-//! `fig2`/`fig3`/`fig4` binaries print the matching series.
+//! a per-failure average (§4.3). [`sweep`] runs that design on the
+//! deterministic work-stealing engine ([`robonet_core::sweep`]) — rows
+//! are bit-identical for any `--jobs` value — and the `fig2`/`fig3`/
+//! `fig4` binaries print the matching series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,7 +14,9 @@
 pub mod selftime;
 
 use robonet_core::report::Row;
-use robonet_core::{coord, Algorithm, ScenarioConfig, Simulation};
+use robonet_core::sweep::{SweepGrid, SweepResult};
+use robonet_core::{coord, Algorithm};
+use robonet_des::pool::resolve_jobs;
 
 /// The robot-count axis of the paper's figures: k² for k ∈ {2, 3, 4},
 /// i.e. 4, 9 and 16 robots ("we choose square numbers to make area
@@ -40,6 +44,9 @@ pub struct SweepOptions {
     pub ks: Vec<usize>,
     /// Algorithms to include.
     pub algorithms: Vec<Algorithm>,
+    /// Worker threads (`None` → `ROBONET_JOBS` env, else all cores).
+    /// Results are bit-identical for any value.
+    pub jobs: Option<usize>,
 }
 
 impl Default for SweepOptions {
@@ -49,13 +56,14 @@ impl Default for SweepOptions {
             seeds: vec![1],
             ks: PAPER_KS.to_vec(),
             algorithms: paper_algorithms(),
+            jobs: None,
         }
     }
 }
 
 impl SweepOptions {
     /// Parses command-line style arguments: `--scale N`, `--seeds a,b`,
-    /// `--ks 2,3,4`. Unknown arguments are rejected.
+    /// `--ks 2,3,4`, `--jobs N`. Unknown arguments are rejected.
     ///
     /// # Errors
     ///
@@ -84,9 +92,17 @@ impl SweepOptions {
                         .map(|s| s.parse().map_err(|e| format!("bad k: {e}")))
                         .collect::<Result<_, _>>()?;
                 }
+                "--jobs" => {
+                    let n: usize = value()?.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_string());
+                    }
+                    opts.jobs = Some(n);
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument {other}; supported: --scale N --seeds a,b --ks 2,3,4"
+                        "unknown argument {other}; supported: \
+                         --scale N --seeds a,b --ks 2,3,4 --jobs N"
                     ));
                 }
             }
@@ -95,49 +111,42 @@ impl SweepOptions {
     }
 }
 
+/// The sweep grid these options describe: every `(k, algorithm, seed)`
+/// combination at the requested time compression, in k-major order.
+pub fn grid(opts: &SweepOptions) -> SweepGrid {
+    SweepGrid::paper(&opts.ks, &opts.algorithms, &opts.seeds, opts.scale)
+}
+
+/// Runs the full sweep on the deterministic work-stealing engine
+/// ([`robonet_core::sweep`]) and returns the complete [`SweepResult`]:
+/// per-cell results in `(k, algorithm, seed)` order, any panicked
+/// cells, and the order-independent cross-cell aggregate. Results are
+/// bit-identical for any worker count.
+pub fn sweep_result(opts: &SweepOptions) -> SweepResult {
+    grid(opts).run(resolve_jobs(opts.jobs))
+}
+
 /// Runs the full sweep and returns one [`Row`] per (algorithm, k, seed).
 ///
-/// Configurations are independent, so they run on worker threads (one
-/// per CPU, capped at the number of configurations); results come back
-/// in deterministic (k, algorithm, seed) order regardless of thread
-/// scheduling.
+/// Thin wrapper over [`sweep_result`] for the figure binaries, which
+/// only need rows.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation panicked, listing the failed cells.
 pub fn sweep(opts: &SweepOptions) -> Vec<Row> {
-    let mut configs = Vec::new();
-    for &k in &opts.ks {
-        for &alg in &opts.algorithms {
-            for &seed in &opts.seeds {
-                configs.push(
-                    ScenarioConfig::paper(k, alg)
-                        .with_seed(seed)
-                        .scaled(opts.scale),
-                );
-            }
-        }
-    }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1)
-        .min(configs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<Row>> = (0..configs.len()).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<Row>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(cfg) = configs.get(i) else { break };
-                let outcome = Simulation::run(cfg.clone());
-                let row = Row::new(&outcome.config, outcome.metrics.summary());
-                **slot_refs[i].lock().expect("slot lock") = Some(row);
-            });
-        }
-    });
-    drop(slot_refs);
-    slots
-        .into_iter()
-        .map(|s| s.expect("every configuration produced a row"))
-        .collect()
+    let result = sweep_result(opts);
+    assert!(
+        result.failed.is_empty(),
+        "sweep cells panicked:\n{}",
+        result
+            .failed
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    result.rows()
 }
 
 /// Averages a per-row metric over seeds, returning
@@ -292,18 +301,40 @@ mod tests {
     #[test]
     fn args_parse() {
         let opts = SweepOptions::from_args(
-            ["--scale", "8", "--seeds", "1,2", "--ks", "2,3"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale", "8", "--seeds", "1,2", "--ks", "2,3", "--jobs", "4",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert_eq!(opts.scale, 8.0);
         assert_eq!(opts.seeds, vec![1, 2]);
         assert_eq!(opts.ks, vec![2, 3]);
+        assert_eq!(opts.jobs, Some(4));
         assert!(SweepOptions::from_args(["--bogus".to_string()].into_iter()).is_err());
         assert!(
             SweepOptions::from_args(["--scale".to_string()].into_iter()).is_err(),
             "missing value"
         );
+        assert!(
+            SweepOptions::from_args(["--jobs", "0"].iter().map(|s| s.to_string())).is_err(),
+            "zero jobs rejected"
+        );
+    }
+
+    #[test]
+    fn grid_matches_options_axes() {
+        let opts = SweepOptions {
+            scale: 64.0,
+            seeds: vec![1, 2],
+            ks: vec![1, 2],
+            algorithms: paper_algorithms(),
+            jobs: Some(1),
+        };
+        let g = grid(&opts);
+        assert_eq!(g.len(), 2 * 2 * opts.algorithms.len());
+        assert_eq!(g.cells()[0].k, 1);
+        assert_eq!(g.cells()[g.len() - 1].k, 2);
     }
 }

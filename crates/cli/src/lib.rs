@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use robonet_bench::{average_series, sweep, SweepOptions};
+use robonet_bench::{average_series, sweep, sweep_result, SweepOptions};
 use robonet_core::obs::json::{self, ObjectWriter};
 use robonet_core::obs::TRACE_SCHEMA_VERSION;
 use robonet_core::report::{self, Row};
@@ -56,11 +56,14 @@ pub fn usage_text() -> String {
      \x20                 [--breakdown-repair SECS] [--slow-prob P] [--slow-factor F]\n\
      \x20 robonet stats   <run.jsonl>\n\
      \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
-     \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
-     \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4]\n\
+     \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
+     \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
      \n\
      `--scale F` compresses simulated time F× while preserving all\n\
      per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
+     `--jobs N` fans sweep cells across N worker threads (default: the\n\
+     `ROBONET_JOBS` env var, else all cores); output is byte-identical\n\
+     for any value — parallelism only changes the wall-clock.\n\
      `--trace N` keeps the last N protocol events in memory and prints them;\n\
      `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
      and writes a run manifest (config, seed, counters) next to it;\n\
@@ -549,11 +552,21 @@ fn cmd_sweep(args: &[String]) -> Result<String, String> {
     if opts.scale == 1.0 && !args.iter().any(|a| a == "--scale") {
         opts.scale = 16.0;
     }
-    let rows = sweep(&opts);
+    let result = sweep_result(&opts);
     let mut out = String::new();
     let _ = writeln!(out, "{}", Row::csv_header());
-    for r in &rows {
+    for r in &result.rows() {
         let _ = writeln!(out, "{}", r.to_csv());
+    }
+    if !result.failed.is_empty() {
+        let _ = writeln!(out, "\n# failed cells");
+        for f in &result.failed {
+            let _ = writeln!(out, "#   {f}");
+        }
+    }
+    let _ = writeln!(out, "\n# merged aggregate over completed cells");
+    for line in result.merged.report().lines() {
+        let _ = writeln!(out, "# {line}");
     }
     Ok(out)
 }
@@ -761,13 +774,17 @@ mod tests {
     }
 
     #[test]
-    fn sweep_command_emits_csv() {
+    fn sweep_command_emits_csv_and_aggregate() {
         let out = run_cli(&args(&[
-            "sweep", "--scale", "64", "--ks", "1", "--seeds", "1",
+            "sweep", "--scale", "64", "--ks", "1", "--seeds", "1", "--jobs", "2",
         ]))
         .expect("sweep succeeds");
         let mut lines = out.lines();
         assert!(lines.next().unwrap().starts_with("algorithm,robots,seed"));
-        assert_eq!(out.lines().count(), 1 + 3, "header + 3 algorithms");
+        let csv_rows = out.lines().skip(1).take_while(|l| !l.is_empty()).count();
+        assert_eq!(csv_rows, 3, "3 algorithms");
+        assert!(out.contains("# merged aggregate over completed cells"));
+        assert!(out.contains("# cells               3"));
+        assert!(!out.contains("# failed cells"), "no failures expected");
     }
 }

@@ -76,7 +76,7 @@ pub enum PartitionKind {
 /// 200 × 200 m² and 50 sensors per robot, 1 m/s robots, 63 m/250 m
 /// transmission ranges, 16000 s expected lifetime, 64000 s simulation,
 /// 10 s beacons, 3-period failure timeout, 20 m update threshold.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Coordination algorithm under test.
     pub algorithm: Algorithm,

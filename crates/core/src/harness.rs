@@ -1851,11 +1851,24 @@ impl std::fmt::Debug for Simulation {
 /// Runs several seeds of the same scenario and merges the summaries by
 /// averaging (used by the figure harness; the paper reports averages
 /// over its simulation runs).
+///
+/// Seeds fan across the work-stealing pool; outcomes come back in seed
+/// order and are identical to a sequential run (each seed is a pure
+/// function of its configuration).
+///
+/// # Panics
+///
+/// Panics if any seed's simulation panicked.
 pub fn run_seeds(cfg: &ScenarioConfig, seeds: &[u64]) -> Vec<Outcome> {
-    seeds
-        .iter()
-        .map(|&seed| Simulation::run(cfg.clone().with_seed(seed)))
-        .collect()
+    robonet_des::pool::scatter_map(seeds, robonet_des::pool::resolve_jobs(None), |_, &seed| {
+        Simulation::run(cfg.clone().with_seed(seed))
+    })
+    .into_iter()
+    .map(|r| match r {
+        Ok(outcome) => outcome,
+        Err(panic) => panic!("seed cell panicked: {panic}"),
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod msg;
 pub mod obs;
 pub mod report;
+pub mod sweep;
 pub mod trace;
 
 pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
@@ -60,3 +61,4 @@ pub use obs::{
     EventSink, JsonlSink, MetricsRegistry, NullSink, QuantileSketch, RepairSpan, RingSink,
     SpanAssembler, SpanReport, SpanSink, Stage, TeeSink, TraceAggregate,
 };
+pub use sweep::{CellResult, FailedCell, MergedSweep, SweepGrid, SweepResult};

@@ -31,6 +31,13 @@ impl DropBreakdown {
             DropReason::MacGiveUp => self.mac_give_up += 1,
         }
     }
+
+    /// Adds `other`'s counts into `self` (order-independent).
+    pub fn merge(&mut self, other: &DropBreakdown) {
+        self.ttl_expired += other.ttl_expired;
+        self.no_neighbors += other.no_neighbors;
+        self.mac_give_up += other.mac_give_up;
+    }
 }
 
 impl std::fmt::Display for DropBreakdown {
@@ -83,6 +90,22 @@ impl FaultRecoveryStats {
     pub fn is_empty(&self) -> bool {
         *self == FaultRecoveryStats::default()
     }
+
+    /// Adds `other`'s counters into `self` (order-independent).
+    pub fn merge(&mut self, other: &FaultRecoveryStats) {
+        self.report_drops += other.report_drops;
+        self.dispatch_drops += other.dispatch_drops;
+        self.update_drops += other.update_drops;
+        self.report_retries += other.report_retries;
+        self.reports_abandoned += other.reports_abandoned;
+        self.dispatch_timeouts += other.dispatch_timeouts;
+        self.redispatches += other.redispatches;
+        self.dispatches_abandoned += other.dispatches_abandoned;
+        self.robot_breakdowns += other.robot_breakdowns;
+        self.robot_slowdowns += other.robot_slowdowns;
+        self.robot_repairs += other.robot_repairs;
+        self.takeovers += other.takeovers;
+    }
 }
 
 impl std::fmt::Display for FaultRecoveryStats {
@@ -110,7 +133,7 @@ impl std::fmt::Display for FaultRecoveryStats {
 }
 
 /// Raw counters and samples collected during one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Sensor failures that occurred.
     pub failures_occurred: u64,

@@ -1,0 +1,132 @@
+//! Order-independent deterministic summation.
+//!
+//! Floating-point addition is commutative but not associative, so a
+//! plain `f64` running sum depends on the order values (or partial
+//! sums) are folded in — fatal for the sweep engine's contract that
+//! merging per-cell aggregates is bit-identical regardless of worker
+//! count or completion order. [`DetSum`] sidesteps the problem by
+//! accumulating in fixed point: every observation is quantized to an
+//! integer number of 2⁻³² units and added into an `i128`. Integer
+//! addition is associative, so any fold order over any partition of the
+//! same observations produces the same bit pattern, and rendering back
+//! to `f64` is a single deterministic conversion.
+//!
+//! The trade-off is quantization: each observation contributes at most
+//! 2⁻³³ (~1.2e-10) of absolute error, far below anything the simulator
+//! reports (metres, seconds, hop counts at three decimals). Range is
+//! generous: |value| up to ~2⁹⁴ before the quantized magnitude could
+//! overflow the accumulator across ~2³³ observations.
+
+/// Units per 1.0 — the fixed-point scale, 2³².
+const SCALE: f64 = 4_294_967_296.0;
+
+/// A deterministic, order-independent accumulator of `f64` values.
+///
+/// `add` quantizes to 2⁻³² units; `merge` is an integer add, so
+/// `fold(cells)` is bit-identical under any permutation or grouping of
+/// `cells`. Non-finite values are ignored (matching how the sketch and
+/// histogram sums always treated them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetSum {
+    units: i128,
+}
+
+impl DetSum {
+    /// Creates a zero sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation (non-finite values are ignored).
+    pub fn add(&mut self, value: f64) {
+        if value.is_finite() {
+            // `as i128` saturates, so even absurd magnitudes cannot
+            // wrap — they pin to the representable edge deterministically.
+            self.units += (value * SCALE).round() as i128;
+        }
+    }
+
+    /// Folds another sum into this one — exact, order-independent.
+    pub fn merge(&mut self, other: &DetSum) {
+        self.units += other.units;
+    }
+
+    /// The accumulated sum as `f64` (correctly rounded from the exact
+    /// fixed-point value).
+    pub fn value(&self) -> f64 {
+        // i128→f64 rounds to nearest; dividing by a power of two only
+        // adjusts the exponent, so the conversion is deterministic and
+        // loses nothing beyond f64's own 53-bit mantissa.
+        (self.units as f64) / SCALE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_small_integers_exactly() {
+        let mut s = DetSum::new();
+        for v in [1.0, 3.0, 8.0] {
+            s.add(v);
+        }
+        assert_eq!(s.value(), 12.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = DetSum::new();
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(2.5);
+        assert_eq!(s.value(), 2.5);
+    }
+
+    #[test]
+    fn merge_is_order_independent_bitwise() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| 0.37 * (i * i % 991) as f64 + 0.001)
+            .collect();
+        let mut forward = DetSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        // Partition into odd/even cells and fold in both orders.
+        let (mut a, mut b) = (DetSum::new(), DetSum::new());
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, forward);
+        assert_eq!(ab.value().to_bits(), forward.value().to_bits());
+    }
+
+    #[test]
+    fn quantization_error_is_tiny() {
+        let mut s = DetSum::new();
+        let mut exact = 0.0f64;
+        for i in 1..=1000 {
+            let v = (i as f64).sqrt() * 0.327;
+            s.add(v);
+            exact += v;
+        }
+        assert!((s.value() - exact).abs() < 1000.0 * 1.2e-10);
+    }
+
+    #[test]
+    fn negative_values_cancel() {
+        let mut s = DetSum::new();
+        s.add(5.25);
+        s.add(-5.25);
+        assert_eq!(s.value(), 0.0);
+    }
+}

@@ -35,6 +35,7 @@
 //!
 //! Everything here is hand-rolled (see [`json`]) — no new dependencies.
 
+pub mod detsum;
 pub mod json;
 pub mod quantile;
 pub mod registry;
@@ -42,6 +43,7 @@ pub mod sink;
 pub mod span;
 pub mod stats;
 
+pub use detsum::DetSum;
 pub use quantile::{QuantileSketch, RELATIVE_ERROR, ZERO_THRESHOLD};
 pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{

@@ -14,6 +14,8 @@
 //! the top clamp into the last bucket. Memory is a fixed
 //! `2049 × u64` ≈ 16 KiB regardless of observation count.
 
+use super::detsum::DetSum;
+
 /// Sub-buckets per power-of-two octave (must match [`SUB_BITS`]).
 const SUBS: usize = 32;
 /// Mantissa bits used to pick the sub-bucket within an octave.
@@ -37,13 +39,16 @@ pub const RELATIVE_ERROR: f64 = 1.0 / 64.0;
 /// A fixed-memory streaming quantile sketch over non-negative values.
 ///
 /// `observe` is O(1) with no allocation; `quantile` walks the bucket
-/// array (O(2049)). Count, sum, min and max are tracked exactly;
-/// quantiles carry at most [`RELATIVE_ERROR`] relative error.
+/// array (O(2049)). Count, min and max are tracked exactly; the sum is
+/// accumulated in order-independent fixed point ([`DetSum`], 2⁻³²
+/// quantum) so that merging sketches is bit-identical under any fold
+/// order — the sweep engine's merge contract. Quantiles carry at most
+/// [`RELATIVE_ERROR`] relative error.
 #[derive(Clone)]
 pub struct QuantileSketch {
     buckets: Box<[u64; NUM_BUCKETS]>,
     count: u64,
-    sum: f64,
+    sum: DetSum,
     min: f64,
     max: f64,
 }
@@ -53,7 +58,7 @@ impl Default for QuantileSketch {
         QuantileSketch {
             buckets: Box::new([0; NUM_BUCKETS]),
             count: 0,
-            sum: 0.0,
+            sum: DetSum::new(),
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -121,7 +126,7 @@ impl QuantileSketch {
         self.buckets[bucket_index(value)] += 1;
         self.count += 1;
         if value.is_finite() {
-            self.sum += value;
+            self.sum.add(value);
             if value < self.min {
                 self.min = value;
             }
@@ -136,9 +141,11 @@ impl QuantileSketch {
         self.count
     }
 
-    /// Exact sum of all finite observations.
+    /// Sum of all finite observations (fixed-point accumulated:
+    /// deterministic and order-independent, within 2⁻³³ per
+    /// observation of the exact sum).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum.value()
     }
 
     /// Exact minimum observation (`None` when empty).
@@ -153,7 +160,7 @@ impl QuantileSketch {
 
     /// Exact mean (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum / self.count as f64)
+        (self.count > 0).then(|| self.sum.value() / self.count as f64)
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
@@ -183,14 +190,16 @@ impl QuantileSketch {
     }
 
     /// Folds `other` into `self` (elementwise bucket add; count, sum,
-    /// min and max combine exactly). The layout is a compile-time
-    /// constant, so any two sketches merge.
+    /// min and max combine exactly, and — because every constituent is
+    /// an integer add or an f64 min/max — bit-identically under any
+    /// fold order). The layout is a compile-time constant, so any two
+    /// sketches merge.
     pub fn merge(&mut self, other: &QuantileSketch) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum.merge(&other.sum);
         if other.min < self.min {
             self.min = other.min;
         }
@@ -296,8 +305,8 @@ mod tests {
             assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
         }
         assert_eq!(a.buckets[..], whole.buckets[..], "bucket-identical");
-        // Sums agree up to float addition order.
-        assert!((a.sum() - whole.sum()).abs() < 1e-9);
+        // Fixed-point sums are bit-identical, not merely close.
+        assert_eq!(a.sum().to_bits(), whole.sum().to_bits());
     }
 
     #[test]

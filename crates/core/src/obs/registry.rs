@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use super::detsum::DetSum;
 use super::json::ObjectWriter;
 
 /// Number of buckets in a [`Log2Histogram`].
@@ -26,7 +27,7 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 pub struct Log2Histogram {
     buckets: [u64; HISTOGRAM_BUCKETS],
     count: u64,
-    sum: f64,
+    sum: DetSum,
     max: f64,
 }
 
@@ -35,7 +36,7 @@ impl Default for Log2Histogram {
         Log2Histogram {
             buckets: [0; HISTOGRAM_BUCKETS],
             count: 0,
-            sum: 0.0,
+            sum: DetSum::new(),
             max: 0.0,
         }
     }
@@ -72,10 +73,25 @@ impl Log2Histogram {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
         if value.is_finite() {
-            self.sum += value;
+            self.sum.add(value);
             if value > self.max {
                 self.max = value;
             }
+        }
+    }
+
+    /// Folds `other` into `self` — buckets, counts and fixed-point sums
+    /// add, max takes the larger; every constituent is
+    /// order-independent, so folding histograms in any order yields the
+    /// same bits.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        if other.max > self.max {
+            self.max = other.max;
         }
     }
 
@@ -84,9 +100,11 @@ impl Log2Histogram {
         self.count
     }
 
-    /// Sum of all (finite) observed values.
+    /// Sum of all (finite) observed values (fixed-point accumulated —
+    /// deterministic and order-independent; see
+    /// [`DetSum`](super::detsum::DetSum)).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum.value()
     }
 
     /// Largest observed value (0.0 when empty).
@@ -99,7 +117,7 @@ impl Log2Histogram {
         if self.count == 0 {
             None
         } else {
-            Some(self.sum / self.count as f64)
+            Some(self.sum.value() / self.count as f64)
         }
     }
 
@@ -200,6 +218,25 @@ impl MetricsRegistry {
     /// Returns `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// elementwise, and gauges are **dropped from both sides** — a
+    /// gauge is a per-run derived statistic (e.g. a span percentile)
+    /// with no meaningful cross-run combination, and keeping either
+    /// side's value would make the result depend on fold order. With
+    /// gauges gone every constituent is an integer add, a fixed-point
+    /// add or an f64 max, so folding any set of registries in any
+    /// order yields bit-identical results — the sweep engine's merge
+    /// contract.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.gauges.clear();
+        for (&key, &v) in &other.counters {
+            *self.counters.entry(key).or_insert(0) += v;
+        }
+        for (&key, h) in &other.histograms {
+            self.histograms.entry(key).or_default().merge(h);
+        }
     }
 
     /// Serializes the counter snapshot as one JSON object keyed by

@@ -1,0 +1,258 @@
+//! Order-independent cross-cell aggregation.
+//!
+//! [`MergedSweep`] is the sweep engine's answer to "what did the whole
+//! batch do?". Every field is maintained with operations that are
+//! associative and commutative at the bit level — `u64` adds,
+//! elementwise histogram-bucket adds, `f64` min/max, and fixed-point
+//! [`DetSum`](crate::obs::DetSum) sums inside the sketches — so folding
+//! cells in *any* order, or merging partial aggregates built on
+//! different workers, produces byte-identical results. Per-run derived
+//! gauges are the one thing that cannot satisfy that contract, so the
+//! registry merge drops them (see
+//! [`MetricsRegistry::merge`](crate::obs::MetricsRegistry::merge)).
+
+use robonet_radio::TxStats;
+
+use crate::metrics::{DropBreakdown, FaultRecoveryStats, Metrics};
+use crate::obs::{MetricsRegistry, QuantileSketch};
+
+/// Order-independent aggregate over every completed cell of a sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergedSweep {
+    /// Cells folded into this aggregate.
+    pub cells: u64,
+    /// Total sensor failures across cells.
+    pub failures_occurred: u64,
+    /// Total failure reports originated.
+    pub reports_sent: u64,
+    /// Total failure reports delivered.
+    pub reports_delivered: u64,
+    /// Total repair requests sent (centralized only).
+    pub requests_sent: u64,
+    /// Total repair requests delivered.
+    pub requests_delivered: u64,
+    /// Total replacements completed.
+    pub replacements: u64,
+    /// Total robot arrivals at still-alive nodes.
+    pub spurious_replacements: u64,
+    /// Packet drops, summed by reason.
+    pub packets_dropped: DropBreakdown,
+    /// Fault-injection and recovery counters, summed.
+    pub faults: FaultRecoveryStats,
+    /// MAC transmission counters, summed per traffic class.
+    pub tx: TxStats,
+    /// Per-subsystem counters and histograms merged across cells
+    /// (gauges dropped — they are per-run derived statistics).
+    pub registry: MetricsRegistry,
+    /// Distribution of per-replacement travel legs (m) — Figure 2's
+    /// samples, pooled across every cell.
+    pub travel_m: QuantileSketch,
+    /// Distribution of dispatch→installation delays (s).
+    pub repair_delay_s: QuantileSketch,
+    /// Distribution of failure-report hop counts — Figure 3.
+    pub report_hops: QuantileSketch,
+    /// Distribution of repair-request hop counts (centralized only).
+    pub request_hops: QuantileSketch,
+    /// Total events the kernel delivered across cells.
+    pub events_processed: u64,
+}
+
+impl MergedSweep {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        MergedSweep::default()
+    }
+
+    /// Folds one cell's metrics into the aggregate.
+    ///
+    /// Observation order within a cell is fixed by the cell itself (the
+    /// sample vectors are deterministic), and every accumulator here is
+    /// order-independent across cells, so absorbing cells in any order
+    /// gives the same bits.
+    pub fn absorb_metrics(&mut self, m: &Metrics, events_processed: u64) {
+        self.cells += 1;
+        self.failures_occurred += m.failures_occurred;
+        self.reports_sent += m.reports_sent;
+        self.reports_delivered += m.reports_delivered;
+        self.requests_sent += m.requests_sent;
+        self.requests_delivered += m.requests_delivered;
+        self.replacements += m.replacements;
+        self.spurious_replacements += m.spurious_replacements;
+        self.packets_dropped.merge(&m.packets_dropped);
+        self.faults.merge(&m.faults);
+        self.tx.merge(&m.tx);
+        self.registry.merge(&m.counters);
+        for &v in &m.travel_per_task {
+            self.travel_m.observe(v);
+        }
+        for &v in &m.repair_delay {
+            self.repair_delay_s.observe(v);
+        }
+        for &h in &m.report_hops {
+            self.report_hops.observe(f64::from(h));
+        }
+        for &h in &m.request_hops {
+            self.request_hops.observe(f64::from(h));
+        }
+        self.events_processed += events_processed;
+    }
+
+    /// Folds another aggregate into this one. Bit-identical under any
+    /// fold order or grouping: `merge(a, merge(b, c))` equals
+    /// `merge(merge(a, b), c)` equals any permutation thereof.
+    pub fn merge(&mut self, other: &MergedSweep) {
+        self.cells += other.cells;
+        self.failures_occurred += other.failures_occurred;
+        self.reports_sent += other.reports_sent;
+        self.reports_delivered += other.reports_delivered;
+        self.requests_sent += other.requests_sent;
+        self.requests_delivered += other.requests_delivered;
+        self.replacements += other.replacements;
+        self.spurious_replacements += other.spurious_replacements;
+        self.packets_dropped.merge(&other.packets_dropped);
+        self.faults.merge(&other.faults);
+        self.tx.merge(&other.tx);
+        self.registry.merge(&other.registry);
+        self.travel_m.merge(&other.travel_m);
+        self.repair_delay_s.merge(&other.repair_delay_s);
+        self.report_hops.merge(&other.report_hops);
+        self.request_hops.merge(&other.request_hops);
+        self.events_processed += other.events_processed;
+    }
+
+    /// A deterministic plain-text summary of the aggregate — identical
+    /// bytes for identical sweeps regardless of worker count, which is
+    /// what the CI `--jobs 1` vs `--jobs 4` byte-diff gate compares.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("cells               {}\n", self.cells));
+        out.push_str(&format!("failures            {}\n", self.failures_occurred));
+        out.push_str(&format!("replacements        {}\n", self.replacements));
+        out.push_str(&format!(
+            "reports             {}/{} delivered\n",
+            self.reports_delivered, self.reports_sent
+        ));
+        if self.requests_sent > 0 {
+            out.push_str(&format!(
+                "requests            {}/{} delivered\n",
+                self.requests_delivered, self.requests_sent
+            ));
+        }
+        out.push_str(&format!("packets dropped     {}\n", self.packets_dropped));
+        out.push_str(&format!("transmissions       {}\n", self.tx.total_tx()));
+        if !self.faults.is_empty() {
+            out.push_str(&format!("faults              {}\n", self.faults));
+        }
+        for (label, sketch) in [
+            ("travel_m", &self.travel_m),
+            ("repair_delay_s", &self.repair_delay_s),
+            ("report_hops", &self.report_hops),
+            ("request_hops", &self.request_hops),
+        ] {
+            if sketch.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{label:<19} n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}\n",
+                sketch.count(),
+                sketch.mean().unwrap_or(0.0),
+                sketch.quantile(0.50).unwrap_or(0.0),
+                sketch.quantile(0.95).unwrap_or(0.0),
+                sketch.max().unwrap_or(0.0),
+            ));
+        }
+        out.push_str(&format!("events processed    {}\n", self.events_processed));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robonet_radio::TrafficClass;
+
+    fn sample_metrics(offset: u64) -> Metrics {
+        let mut m = Metrics {
+            failures_occurred: 5 + offset,
+            reports_sent: 4,
+            reports_delivered: 4,
+            replacements: 3,
+            travel_per_task: vec![10.5 + offset as f64, 22.25],
+            repair_delay: vec![100.0, 250.0 + offset as f64],
+            report_hops: vec![2, 3, 4],
+            request_hops: vec![5],
+            ..Metrics::default()
+        };
+        m.packets_dropped.ttl_expired = offset;
+        m.tx.class_mut(TrafficClass::Beacon).data_tx = 100 + offset;
+        m.counters.add("radio.mac", "tx", 100 + offset);
+        m.counters
+            .observe("net.routing", "hops", 2.0 + offset as f64);
+        m.counters
+            .set_gauge("span.total", "p95_s", 1.0 + offset as f64);
+        m
+    }
+
+    #[test]
+    fn absorb_accumulates_counters_and_samples() {
+        let mut agg = MergedSweep::new();
+        agg.absorb_metrics(&sample_metrics(0), 1000);
+        agg.absorb_metrics(&sample_metrics(1), 500);
+        assert_eq!(agg.cells, 2);
+        assert_eq!(agg.failures_occurred, 11);
+        assert_eq!(agg.replacements, 6);
+        assert_eq!(agg.packets_dropped.ttl_expired, 1);
+        assert_eq!(agg.tx.class(TrafficClass::Beacon).data_tx, 201);
+        assert_eq!(agg.registry.counter("radio.mac", "tx"), 201);
+        assert_eq!(agg.travel_m.count(), 4);
+        assert_eq!(agg.report_hops.count(), 6);
+        assert_eq!(agg.request_hops.count(), 2);
+        assert_eq!(agg.events_processed, 1500);
+        assert_eq!(
+            agg.registry.gauge("span.total", "p95_s"),
+            None,
+            "gauges dropped"
+        );
+    }
+
+    #[test]
+    fn merge_matches_direct_absorption_bitwise() {
+        let cells: Vec<Metrics> = (0..6).map(sample_metrics).collect();
+        let mut direct = MergedSweep::new();
+        for m in &cells {
+            direct.absorb_metrics(m, 10);
+        }
+        // Partition into two partial aggregates and merge both ways.
+        let (mut left, mut right) = (MergedSweep::new(), MergedSweep::new());
+        for (i, m) in cells.iter().enumerate() {
+            if i % 2 == 0 {
+                left.absorb_metrics(m, 10);
+            } else {
+                right.absorb_metrics(m, 10);
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert_eq!(lr, rl, "merge is commutative");
+        assert_eq!(lr, direct, "merge equals direct absorption");
+        assert_eq!(
+            lr.travel_m.sum().to_bits(),
+            direct.travel_m.sum().to_bits(),
+            "sketch sums are bit-identical, not merely close"
+        );
+        assert_eq!(lr.report(), direct.report(), "reports render identically");
+    }
+
+    #[test]
+    fn report_is_deterministic_text() {
+        let mut agg = MergedSweep::new();
+        agg.absorb_metrics(&sample_metrics(0), 42);
+        let text = agg.report();
+        assert!(text.contains("cells               1"));
+        assert!(text.contains("travel_m"));
+        assert!(text.contains("events processed    42"));
+        assert_eq!(text, agg.report());
+    }
+}

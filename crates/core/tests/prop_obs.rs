@@ -174,3 +174,130 @@ fn assembler_conserves_failures() {
         Outcome::Pass
     });
 }
+
+/// Splitting any observation stream across any number of per-cell
+/// sketches and folding them back in a random order is bit-identical to
+/// observing everything in one sketch: bucket counts, count, min, max —
+/// and the sum, which is fixed-point accumulated precisely so this
+/// holds despite f64 addition being non-associative.
+#[test]
+fn sketch_merge_is_order_independent_bitwise() {
+    check::forall(
+        "sketch_merge_is_order_independent_bitwise",
+        &check::triple(
+            check::vec_of(check::f64s(1e-4..1e6), 1..120),
+            check::usizes(2..6),
+            check::u64_any(),
+        ),
+        |(values, cells, shuffle_seed)| {
+            let mut whole = QuantileSketch::new();
+            let mut parts: Vec<QuantileSketch> =
+                (0..*cells).map(|_| QuantileSketch::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                whole.observe(v);
+                parts[i % cells].observe(v);
+            }
+            // Fold the parts in a seed-derived pseudo-random order.
+            let mut order: Vec<usize> = (0..*cells).collect();
+            for i in (1..order.len()).rev() {
+                let j = (shuffle_seed.wrapping_mul(i as u64 + 1) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut folded = QuantileSketch::new();
+            for &i in &order {
+                folded.merge(&parts[i]);
+            }
+            assert_eq!(folded, whole, "merge must equal direct observation");
+            assert_eq!(
+                folded.sum().to_bits(),
+                whole.sum().to_bits(),
+                "sums are bit-identical, not merely close"
+            );
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                assert_eq!(folded.quantile(q), whole.quantile(q), "q = {q}");
+            }
+            Outcome::Pass
+        },
+    );
+}
+
+/// Folding per-cell metrics registries (counters + histograms) in any
+/// order produces the same snapshot: counters add, histogram buckets
+/// add elementwise, histogram sums are fixed-point. Gauges are per-run
+/// derived statistics and must vanish from any merged snapshot.
+#[test]
+fn registry_merge_is_order_independent_bitwise() {
+    use robonet_core::obs::MetricsRegistry;
+
+    check::forall(
+        "registry_merge_is_order_independent_bitwise",
+        &check::pair(
+            check::vec_of(
+                check::triple(
+                    check::usizes(0..3),
+                    check::u64s(0..1000),
+                    check::f64s(1e-3..1e4),
+                ),
+                1..60,
+            ),
+            check::bools(),
+        ),
+        |(entries, reverse)| {
+            const NAMES: [(&str, &str); 3] = [
+                ("radio.mac", "tx"),
+                ("net.routing", "hops"),
+                ("des.scheduler", "pops"),
+            ];
+            // Deal entries round-robin into 3 per-cell registries and
+            // also into one direct registry.
+            let mut direct = MetricsRegistry::new();
+            let mut parts: Vec<MetricsRegistry> = (0..3).map(|_| MetricsRegistry::new()).collect();
+            for (i, (which, count, value)) in entries.iter().enumerate() {
+                let (subsystem, name) = NAMES[*which];
+                direct.add(subsystem, name, *count);
+                direct.observe(subsystem, name, *value);
+                parts[i % 3].add(subsystem, name, *count);
+                parts[i % 3].observe(subsystem, name, *value);
+            }
+            // Gauges must be dropped by the merge no matter where they live.
+            parts[0].set_gauge("span.total", "p95_s", 12.5);
+            let mut folded = MetricsRegistry::new();
+            folded.set_gauge("span.total", "p50_s", 3.5);
+            if *reverse {
+                for p in parts.iter().rev() {
+                    folded.merge(p);
+                }
+            } else {
+                for p in parts.iter() {
+                    folded.merge(p);
+                }
+            }
+            for (subsystem, name) in NAMES {
+                assert_eq!(
+                    folded.counter(subsystem, name),
+                    direct.counter(subsystem, name),
+                    "{subsystem}.{name} counter"
+                );
+                match (
+                    folded.histogram(subsystem, name),
+                    direct.histogram(subsystem, name),
+                ) {
+                    (None, None) => {}
+                    (Some(f), Some(d)) => {
+                        assert_eq!(f.buckets(), d.buckets(), "{subsystem}.{name} buckets");
+                        assert_eq!(f.count(), d.count());
+                        assert_eq!(
+                            f.sum().to_bits(),
+                            d.sum().to_bits(),
+                            "{subsystem}.{name} sum is bit-identical"
+                        );
+                        assert_eq!(f.max(), d.max());
+                    }
+                    (f, d) => panic!("{subsystem}.{name}: presence differs: {f:?} vs {d:?}"),
+                }
+            }
+            assert_eq!(folded.gauges().count(), 0, "merge drops every gauge");
+            Outcome::Pass
+        },
+    );
+}

@@ -1,0 +1,211 @@
+//! The sweep engine's contract, tested end to end over real packet-level
+//! simulations:
+//!
+//! 1. **Worker-count equivalence** — for worker counts {2, 3, 8}, every
+//!    per-cell result (metrics, registry snapshot, spans) and the merged
+//!    aggregate (sketch buckets and fixed-point sums included) are
+//!    *equal* to the single-worker sequential reference — not close,
+//!    equal, down to `f64` bit patterns.
+//! 2. **Fold-order independence** — merging the per-cell metrics in
+//!    reversed order, or via partial aggregates merged in either order,
+//!    reproduces the engine's own merge bit-for-bit.
+//! 3. **Panic robustness** — a cell whose simulation panics becomes a
+//!    `FailedCell`; every other cell completes and the engine
+//!    terminates (a watchdog catches a hang instead of letting the
+//!    whole test suite time out).
+//!
+//! Cells use k=1 at 64× time compression so the whole battery stays in
+//! the seconds range.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use robonet_core::sweep::{MergedSweep, SweepGrid, SweepResult};
+use robonet_core::{Algorithm, FaultPlan, PartitionKind, ScenarioConfig};
+use robonet_des::check::{self, Outcome};
+
+const SCALE: f64 = 64.0;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Fixed(PartitionKind::Square),
+    Algorithm::Dynamic,
+    Algorithm::Centralized,
+];
+
+fn cell(alg: Algorithm, seed: u64, loss: Option<f64>) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(1, alg).with_seed(seed).scaled(SCALE);
+    if let Some(p) = loss {
+        cfg.faults = Some(FaultPlan::message_loss(p).scaled(SCALE));
+    }
+    cfg
+}
+
+/// The reference grid: every algorithm × two seeds, plus one
+/// fault-injected cell so the merge covers `FaultRecoveryStats` too.
+fn reference_grid() -> SweepGrid {
+    let mut grid = SweepGrid::new();
+    for alg in ALGORITHMS {
+        for seed in [1, 2] {
+            grid.push(cell(alg, seed, None));
+        }
+    }
+    grid.push(cell(Algorithm::Dynamic, 3, Some(0.05)));
+    grid
+}
+
+#[test]
+fn worker_counts_are_bitwise_equivalent_to_sequential() {
+    let grid = reference_grid();
+    let reference = grid.run(1);
+    assert!(
+        reference.failed.is_empty(),
+        "reference cells must not panic"
+    );
+    assert_eq!(reference.cells.len(), grid.len());
+    for jobs in [2usize, 3, 8] {
+        let result = grid.run(jobs);
+        assert!(result.failed.is_empty(), "jobs={jobs}: no cell may panic");
+        assert_eq!(result.cells.len(), reference.cells.len());
+        for (got, want) in result.cells.iter().zip(&reference.cells) {
+            // Covers Metrics (sample vectors, TxStats, DropBreakdown,
+            // FaultRecoveryStats and the registry snapshot with its
+            // histogram buckets) plus the span report.
+            assert_eq!(got, want, "cell {} differs at jobs={jobs}", want.index);
+        }
+        assert_eq!(
+            result.merged, reference.merged,
+            "merged aggregate differs at jobs={jobs}"
+        );
+        // Spot-check the parts of the merge where f64 could hide drift:
+        // the sketch sums must match down to the bit pattern.
+        for (label, got, want) in [
+            (
+                "travel_m",
+                &result.merged.travel_m,
+                &reference.merged.travel_m,
+            ),
+            (
+                "repair_delay_s",
+                &result.merged.repair_delay_s,
+                &reference.merged.repair_delay_s,
+            ),
+        ] {
+            assert_eq!(
+                got.sum().to_bits(),
+                want.sum().to_bits(),
+                "{label} sum drifts at jobs={jobs}"
+            );
+        }
+        assert_eq!(
+            result.merged.report(),
+            reference.merged.report(),
+            "rendered aggregate differs at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn merged_aggregate_is_fold_order_independent() {
+    let grid = reference_grid();
+    let reference = grid.run(1);
+
+    // Reversed fold.
+    let mut reversed = MergedSweep::new();
+    for c in reference.cells.iter().rev() {
+        reversed.absorb_metrics(&c.metrics, c.events_processed);
+    }
+    assert_eq!(reversed, reference.merged, "reversed fold must match");
+
+    // Partitioned fold, partial aggregates merged both ways.
+    let (mut odd, mut even) = (MergedSweep::new(), MergedSweep::new());
+    for c in &reference.cells {
+        if c.index % 2 == 0 {
+            even.absorb_metrics(&c.metrics, c.events_processed);
+        } else {
+            odd.absorb_metrics(&c.metrics, c.events_processed);
+        }
+    }
+    let mut eo = even.clone();
+    eo.merge(&odd);
+    let mut oe = odd.clone();
+    oe.merge(&even);
+    assert_eq!(eo, oe, "partial-aggregate merge must commute");
+    assert_eq!(eo, reference.merged, "partitioned fold must match");
+}
+
+/// Randomized grids: any seed set over any algorithm, with or without a
+/// fault-injected extra cell, runs identically at 1 and 3 workers. Few
+/// cases (each runs 2×(2–4) packet-level simulations), but every case
+/// checks full structural equality.
+#[test]
+fn random_grids_run_identically_on_any_worker_count() {
+    check::forall_cases(
+        "random_grids_run_identically_on_any_worker_count",
+        4,
+        &check::triple(
+            check::vec_of(check::u64s(1..100), 1..4),
+            check::usizes(0..3),
+            check::bools(),
+        ),
+        |(seeds, alg_index, with_faults)| {
+            let mut grid = SweepGrid::new();
+            for &seed in seeds {
+                grid.push(cell(ALGORITHMS[*alg_index], seed, None));
+            }
+            if *with_faults {
+                grid.push(cell(ALGORITHMS[*alg_index], 7, Some(0.1)));
+            }
+            let sequential = grid.run(1);
+            let parallel = grid.run(3);
+            assert_eq!(sequential.cells, parallel.cells);
+            assert_eq!(sequential.merged, parallel.merged);
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn panicking_cell_is_isolated_and_engine_terminates() {
+    let done: Arc<(Mutex<Option<SweepResult>>, Condvar)> =
+        Arc::new((Mutex::new(None), Condvar::new()));
+    let worker_done = Arc::clone(&done);
+    std::thread::spawn(move || {
+        let mut bad = cell(Algorithm::Dynamic, 1, None);
+        bad.robot_speed = -1.0; // validate() rejects it → Simulation::run panics
+        let grid = SweepGrid::from_configs(vec![
+            cell(Algorithm::Dynamic, 1, None),
+            bad,
+            cell(Algorithm::Centralized, 2, None),
+        ]);
+        let result = grid.run(4);
+        let (lock, cvar) = &*worker_done;
+        *lock.lock().expect("result lock") = Some(result);
+        cvar.notify_all();
+    });
+
+    let (lock, cvar) = &*done;
+    let mut guard = lock.lock().expect("result lock");
+    while guard.is_none() {
+        let (g, timeout) = cvar
+            .wait_timeout(guard, Duration::from_secs(120))
+            .expect("watchdog wait");
+        guard = g;
+        assert!(
+            guard.is_some() || !timeout.timed_out(),
+            "sweep engine hung on a panicking cell"
+        );
+    }
+    let result = guard.take().expect("result present");
+
+    assert_eq!(result.failed.len(), 1, "exactly the rigged cell fails");
+    assert_eq!(result.failed[0].index, 1);
+    assert!(
+        result.failed[0].panic.message.contains("invalid scenario"),
+        "panic message is preserved: {}",
+        result.failed[0].panic.message
+    );
+    assert_eq!(result.cells.len(), 2, "the other cells complete");
+    assert_eq!(result.cells[0].index, 0);
+    assert_eq!(result.cells[1].index, 2);
+    assert_eq!(result.merged.cells, 2, "failed cell stays out of the merge");
+}

@@ -14,6 +14,9 @@
 //!   backoff slots) built on those streams,
 //! - [`check`]: a minimal property-testing harness with integrated
 //!   shrinking, used by the workspace's `prop_*` test suites,
+//! - [`pool`]: an in-tree work-stealing thread pool for fanning
+//!   independent simulation cells across cores with per-cell panic
+//!   isolation and bit-deterministic, index-ordered results,
 //! - [`NodeId`]: the identifier shared by every simulated entity.
 //!
 //! # Example
@@ -34,6 +37,7 @@
 
 pub mod check;
 mod id;
+pub mod pool;
 mod queue;
 pub mod rng;
 pub mod sampler;

@@ -1,0 +1,257 @@
+//! In-tree work-stealing thread pool for embarrassingly parallel
+//! sweeps.
+//!
+//! The workspace is registry-free (`tests/hermetic.rs`), so this is the
+//! substitute for `rayon`: a fixed batch of independent cells is dealt
+//! round-robin onto per-worker deques; each worker drains its own deque
+//! LIFO and, when empty, steals FIFO from its peers, so an expensive
+//! cell never strands the rest of the batch behind one thread. Because
+//! the batch is fixed up front (cells never spawn cells), a worker that
+//! finds every deque empty can simply exit — there is no idle state to
+//! park in and therefore no lost-wakeup deadlock to guard against.
+//!
+//! # Determinism contract
+//!
+//! [`scatter_map`] writes each cell's output into the slot indexed by
+//! that cell, and the caller folds the slots in index order after the
+//! pool joins. As long as `f` is a pure function of `(index, item)` —
+//! which every simulation cell is, drawing randomness only from its own
+//! named seed streams ([`crate::rng`]) — the returned vector is
+//! bit-identical for every worker count and any steal interleaving.
+//! Worker count changes *scheduling*, never *results*.
+//!
+//! # Panic isolation
+//!
+//! A panicking cell is caught ([`std::panic::catch_unwind`]) and
+//! surfaced as a [`CellPanic`] in that cell's slot; the worker moves on
+//! to the next cell and every other cell still completes. No lock is
+//! held across user code, so a panic can never poison the pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// A cell whose closure panicked, with the panic payload rendered to
+/// text. The cell index is the position in the input slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Index of the failed cell in the input batch.
+    pub index: usize,
+    /// The panic payload (`&str`/`String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Renders a `catch_unwind` payload to text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resolves a worker count: an explicit request wins, then the
+/// `ROBONET_JOBS` environment variable, then the machine's available
+/// parallelism. Zero or unparsable values are ignored at each step.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    resolve_jobs_from(explicit, std::env::var("ROBONET_JOBS").ok().as_deref())
+}
+
+/// [`resolve_jobs`] with the environment value passed in, so the
+/// resolution order is testable without touching the process
+/// environment.
+pub fn resolve_jobs_from(explicit: Option<usize>, env: Option<&str>) -> usize {
+    explicit
+        .filter(|&j| j > 0)
+        .or_else(|| env.and_then(|v| v.trim().parse().ok()).filter(|&j| j > 0))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(index, &items[index])` for every item on `workers` threads
+/// and returns the outputs in input order, panics isolated per cell.
+///
+/// `workers` is clamped to `[1, items.len()]`; with one worker (or one
+/// item) everything runs on the calling thread — that path is the
+/// sequential reference the determinism tests compare against, and it
+/// still isolates panics.
+pub fn scatter_map<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<Result<O, CellPanic>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let run_cell = |i: usize| -> Result<O, CellPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| CellPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return (0..items.len()).map(run_cell).collect();
+    }
+
+    // Deal cells round-robin: cell i starts on worker i % workers.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<Result<O, CellPanic>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let run_cell = &run_cell;
+            scope.spawn(move || loop {
+                // Own deque from the back (most recently dealt first),
+                // steals from the front of each peer in turn — the
+                // classic work-stealing deque discipline, here under a
+                // short-held mutex per deque instead of lock-free CAS
+                // (the workspace forbids `unsafe`, and cells are
+                // simulation-sized, so queue traffic is negligible).
+                let task = (0..workers).find_map(|offset| {
+                    let q = &queues[(w + offset) % workers];
+                    let mut q = q.lock().expect("pool queue lock");
+                    if offset == 0 {
+                        q.pop_back()
+                    } else {
+                        q.pop_front()
+                    }
+                });
+                // Cells never enqueue new cells, so empty-everywhere is
+                // a stable condition: this worker is done.
+                let Some(i) = task else { break };
+                let result = run_cell(i);
+                *slots[i].lock().expect("pool slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool slot lock")
+                .expect("every dealt cell ran exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let out = scatter_map(&items, workers, |i, &x| (i as u64, x * x));
+            assert_eq!(out.len(), 100);
+            for (i, r) in out.iter().enumerate() {
+                let (idx, sq) = r.as_ref().expect("no panics");
+                assert_eq!(*idx, i as u64);
+                assert_eq!(*sq, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let items: Vec<usize> = (0..57).collect();
+        let hits = AtomicUsize::new(0);
+        let out = scatter_map(&items, 4, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 57);
+        assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        assert!(scatter_map(&items, 8, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated() {
+        let items: Vec<u32> = (0..20).collect();
+        for workers in [1, 3] {
+            let out = scatter_map(&items, workers, |_, &x| {
+                assert!(x % 7 != 3, "cell rigged to fail at {x}");
+                x + 1
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let p = r.as_ref().expect_err("rigged cell must fail");
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains("rigged to fail"), "{}", p.message);
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy cell"), items[i] + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_and_opaque_panic_payloads_render() {
+        let items = [0u8, 1];
+        let out = scatter_map(&items, 1, |_, &x| {
+            if x == 0 {
+                std::panic::panic_any(42u32); // not a string
+            }
+            panic!("plain {x}");
+        });
+        assert_eq!(
+            out[0].as_ref().expect_err("panicked").message,
+            "non-string panic payload"
+        );
+        assert_eq!(out[1].as_ref().expect_err("panicked").message, "plain 1");
+    }
+
+    #[test]
+    fn uneven_cells_all_complete_with_stealing() {
+        // Front-loaded costs: worker 0 gets the slow cells under
+        // round-robin dealing, so the others must steal to finish.
+        let items: Vec<u64> = (0..16)
+            .map(|i| if i < 4 { 3_000_000 } else { 10 })
+            .collect();
+        let out = scatter_map(&items, 4, |_, &spins| {
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn jobs_resolution_order() {
+        assert_eq!(resolve_jobs_from(Some(3), Some("8")), 3);
+        assert_eq!(resolve_jobs_from(None, Some("8")), 8);
+        assert_eq!(resolve_jobs_from(None, Some(" 2 ")), 2);
+        let host = resolve_jobs_from(None, None);
+        assert!(host >= 1);
+        // Zero and garbage fall through to the next source.
+        assert_eq!(resolve_jobs_from(Some(0), Some("5")), 5);
+        assert_eq!(resolve_jobs_from(None, Some("0")), host);
+        assert_eq!(resolve_jobs_from(None, Some("lots")), host);
+    }
+}

@@ -23,6 +23,17 @@ pub struct ClassStats {
     pub collisions: u64,
 }
 
+impl ClassStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.data_tx += other.data_tx;
+        self.ack_tx += other.ack_tx;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.collisions += other.collisions;
+    }
+}
+
 /// Per-class transmission statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TxStats {
@@ -67,6 +78,15 @@ impl TxStats {
             t.collisions += c.collisions;
         }
         t
+    }
+
+    /// Folds `other` into `self` (elementwise counter add per class).
+    /// Integer addition makes the fold order-independent, which the
+    /// sweep engine relies on when merging per-cell statistics.
+    pub fn merge(&mut self, other: &TxStats) {
+        for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+            mine.merge(theirs);
+        }
     }
 
     /// Delivery ratio over unicast frames of `class`:
@@ -147,6 +167,24 @@ mod tests {
         s.class_mut(TrafficClass::FailureReport).delivered = 9;
         s.class_mut(TrafficClass::FailureReport).dropped = 1;
         assert_eq!(s.delivery_ratio(TrafficClass::FailureReport), Some(0.9));
+    }
+
+    #[test]
+    fn merge_adds_counters_per_class() {
+        let mut a = TxStats::new();
+        a.class_mut(TrafficClass::Beacon).data_tx = 3;
+        a.class_mut(TrafficClass::FailureReport).delivered = 1;
+        let mut b = TxStats::new();
+        b.class_mut(TrafficClass::Beacon).data_tx = 4;
+        b.class_mut(TrafficClass::Beacon).collisions = 2;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is order-independent");
+        assert_eq!(ab.class(TrafficClass::Beacon).data_tx, 7);
+        assert_eq!(ab.class(TrafficClass::Beacon).collisions, 2);
+        assert_eq!(ab.class(TrafficClass::FailureReport).delivered, 1);
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //!
 //!     cargo run --release --example algorithm_faceoff -- [scale]
 //!
-//! Runs 4/9/16 robots × {fixed, dynamic, centralized} and prints the
-//! three figures' series plus a CSV dump. Default time compression is
-//! 16× (≈ a minute); pass `1` for the paper's full runs.
+//! Runs 4/9/16 robots × {fixed, dynamic, centralized} through the
+//! deterministic sweep engine (all cells in parallel, results
+//! independent of worker count) and prints the three figures' series
+//! plus a CSV dump. Default time compression is 16× (≈ a minute); pass
+//! `1` for the paper's full runs.
 
-use robonet::core::coord;
 use robonet::core::report::{text_table, Row};
+use robonet::core::sweep::SweepGrid;
+use robonet::core::{coord, MergedSweep};
+use robonet::des::pool::resolve_jobs;
 use robonet::prelude::*;
 
 fn main() {
@@ -18,17 +22,21 @@ fn main() {
         .unwrap_or(16.0);
     // The three figure algorithms, in figure order, straight from the
     // coordination registry — registering a fourth joins the faceoff.
-    let mut rows = Vec::new();
+    let mut grid = SweepGrid::new();
     for k in [2usize, 3, 4] {
         for entry in coord::figure_algorithms() {
-            let cfg = ScenarioConfig::paper(k, entry.algorithm)
-                .with_seed(1)
-                .scaled(scale);
-            eprintln!("running {} with {} robots...", entry.name, cfg.n_robots());
-            let outcome = Simulation::run(cfg);
-            rows.push(Row::new(&outcome.config, outcome.metrics.summary()));
+            grid.push(
+                ScenarioConfig::paper(k, entry.algorithm)
+                    .with_seed(1)
+                    .scaled(scale),
+            );
         }
     }
+    let jobs = resolve_jobs(None);
+    eprintln!("running {} cells on {jobs} worker(s)...", grid.len());
+    let result = grid.run(jobs);
+    assert!(result.failed.is_empty(), "faceoff cells must not panic");
+    let rows = result.rows();
 
     println!("{}", text_table(&rows));
     println!("CSV:");
@@ -58,4 +66,11 @@ fn main() {
             dynamic.summary.loc_update_tx_per_failure,
         );
     }
+
+    // The engine's cross-cell aggregate: the whole faceoff in one
+    // order-independent block.
+    let merged: &MergedSweep = &result.merged;
+    println!();
+    println!("aggregate over all {} cells:", merged.cells);
+    print!("{}", merged.report());
 }

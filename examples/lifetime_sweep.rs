@@ -6,11 +6,17 @@
 //! Sweeps the mean sensor lifetime and reports repair latency, robot
 //! load, and the sensing-coverage the fleet sustains — the quantity the
 //! whole paper exists to protect ("maintain the sensor network
-//! autonomously and keep the coverage", §1).
+//! autonomously and keep the coverage", §1). The lifetime axis is an
+//! explicit-cell grid on the deterministic sweep engine: all five
+//! scenarios run in parallel and come back in declaration order.
 
+use robonet::core::sweep::SweepGrid;
+use robonet::des::pool::resolve_jobs;
 use robonet::des::SimDuration;
 use robonet::prelude::*;
 use robonet::wsn::coverage::coverage_fraction;
+
+const LIFETIMES_S: [f64; 5] = [250.0, 500.0, 1000.0, 2000.0, 4000.0];
 
 fn main() {
     println!(
@@ -18,13 +24,22 @@ fn main() {
         "mean lifetime", "failures", "repaired", "delay (s)", "travel (m)", "busiest", "coverage"
     );
     // 16× compressed base scenario; lifetime expressed relative to it.
-    for lifetime_s in [250.0, 500.0, 1000.0, 2000.0, 4000.0] {
-        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
-            .with_seed(5)
-            .scaled(16.0);
-        cfg.mean_lifetime = SimDuration::from_secs(lifetime_s);
-        let outcome = Simulation::run(cfg);
-        let m = &outcome.metrics;
+    let grid = SweepGrid::from_configs(
+        LIFETIMES_S
+            .iter()
+            .map(|&lifetime_s| {
+                let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+                    .with_seed(5)
+                    .scaled(16.0);
+                cfg.mean_lifetime = SimDuration::from_secs(lifetime_s);
+                cfg
+            })
+            .collect(),
+    );
+    let result = grid.run(resolve_jobs(None));
+    assert!(result.failed.is_empty(), "lifetime cells must not panic");
+    for (cell, &lifetime_s) in result.cells.iter().zip(LIFETIMES_S.iter()) {
+        let m = &cell.metrics;
         let s = m.summary();
         let busiest = m.tasks_per_robot.iter().max().copied().unwrap_or(0);
 

@@ -1,7 +1,9 @@
 //! Extends the paper's robot-count axis far beyond its 16-robot maximum
 //! using the calibrated flow-level model (`robonet_core::fastsim`) —
 //! packet-level simulation of a 100-robot, 5000-sensor field would take
-//! hours; the flow model does the whole sweep in seconds.
+//! hours; the flow model does the whole sweep in seconds, and the
+//! work-stealing pool fans the (k, algorithm) cells across every core
+//! with results in declaration order regardless of scheduling.
 //!
 //!     cargo run --release --example scalability
 //!
@@ -11,34 +13,53 @@
 //! the crossovers land?
 
 use robonet::core::{coord, fastsim};
+use robonet::des::pool::{resolve_jobs, scatter_map};
 use robonet::prelude::*;
 
 fn main() {
     // Every registered algorithm (including the fixed-hex extension
     // the paper's figures skip) — one row per (k, algorithm), so the
     // table grows with the coordination registry.
+    let cells: Vec<(usize, &'static str, ScenarioConfig)> = [2usize, 3, 4, 6, 8, 10]
+        .iter()
+        .flat_map(|&k| {
+            coord::registry().iter().map(move |entry| {
+                (
+                    k,
+                    entry.name,
+                    ScenarioConfig::paper(k, entry.algorithm)
+                        .with_seed(1)
+                        .scaled(8.0),
+                )
+            })
+        })
+        .collect();
+    let outputs = scatter_map(&cells, resolve_jobs(None), |_, (_, _, cfg)| {
+        fastsim::run(cfg)
+    });
+
     println!(
         "{:<6} {:>8}  {:<14} {:>12} {:>16} {:>10}",
         "k", "robots", "algorithm", "report hops", "upd tx/failure", "travel m"
     );
-    for k in [2usize, 3, 4, 6, 8, 10] {
-        for entry in coord::registry() {
-            let cfg = ScenarioConfig::paper(k, entry.algorithm)
-                .with_seed(1)
-                .scaled(8.0);
-            let s = fastsim::run(&cfg);
-            println!(
-                "{:<6} {:>8}  {:<14} {:>12.1} {:>16.1} {:>10.1}",
-                k,
-                k * k,
-                entry.name,
-                s.avg_report_hops,
-                s.loc_update_tx_per_failure,
-                s.avg_travel_per_failure,
-            );
+    let mut last_k = 0;
+    for ((k, name, _), output) in cells.iter().zip(outputs) {
+        let s = output.expect("flow model must not panic");
+        if last_k != 0 && *k != last_k {
+            println!();
         }
-        println!();
+        last_k = *k;
+        println!(
+            "{:<6} {:>8}  {:<14} {:>12.1} {:>16.1} {:>10.1}",
+            k,
+            k * k,
+            name,
+            s.avg_report_hops,
+            s.loc_update_tx_per_failure,
+            s.avg_travel_per_failure,
+        );
     }
+    println!();
     println!();
     println!(
         "Centralized report hops grow ~linearly with k (field side) while the\n\

@@ -136,7 +136,29 @@ stage_determinism() {
     fi
 }
 
+stage_sweep_determinism() {
+    # The sweep engine's headline contract, checked on the real CLI:
+    # the entire `robonet sweep` output (per-cell CSV plus merged
+    # aggregate) is byte-identical at 1 worker and 4 workers.
+    mkdir -p "$artifact_dir"
+    robonet sweep --ks 1 --seeds 1,2 --scale 64 --jobs 1 \
+        > "$artifact_dir/sweep_jobs1.txt"
+    robonet sweep --ks 1 --seeds 1,2 --scale 64 --jobs 4 \
+        > "$artifact_dir/sweep_jobs4.txt"
+    if ! diff "$artifact_dir/sweep_jobs1.txt" "$artifact_dir/sweep_jobs4.txt"; then
+        echo "sweep engine gate failed: --jobs 1 and --jobs 4 outputs differ" >&2
+        exit 1
+    fi
+    # The output must actually contain the merged aggregate, or the
+    # byte-diff is comparing less than it claims.
+    grep -q '^# merged aggregate' "$artifact_dir/sweep_jobs1.txt" || {
+        echo "sweep output is missing the merged aggregate block" >&2
+        exit 1
+    }
+}
+
 stage_bench_smoke() {
+    mkdir -p "$artifact_dir"
     local bench
     for bench in fig2_motion fig3_hops fig4_updates ablation_partition \
                  ablation_broadcast ablation_dispatch ablation_baseline \
@@ -144,6 +166,15 @@ stage_bench_smoke() {
         echo "--> $bench"
         ROBONET_BENCH_SMOKE=1 cargo bench -q --offline -p robonet-bench --bench "$bench"
     done
+    # The sweep-engine bench also asserts parallel == sequential before
+    # timing; its raw statistics become the BENCH_sweep.json artifact.
+    echo "--> sweep_engine"
+    ROBONET_BENCH_SMOKE=1 ROBONET_BENCH_JSON="$artifact_dir/BENCH_sweep.json" \
+        cargo bench -q --offline -p robonet-bench --bench sweep_engine
+    test -s "$artifact_dir/BENCH_sweep.json" || {
+        echo "BENCH_sweep.json artifact missing or empty" >&2
+        exit 1
+    }
 }
 
 run_stage "rustfmt (check only)" stage_fmt
@@ -159,6 +190,7 @@ run_stage "tests (offline)" stage_test
 run_stage "golden trace artifact" stage_golden_trace
 run_stage "golden span decomposition" stage_golden_spans
 run_stage "determinism gate (fault-free + faulty)" stage_determinism
+run_stage "sweep engine gate (--jobs 1 vs --jobs 4)" stage_sweep_determinism
 run_stage "bench smoke (one iteration per target)" stage_bench_smoke
 print_timings
 echo "==> ci.sh: all green"

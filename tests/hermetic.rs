@@ -100,12 +100,33 @@ fn all_dependencies_are_workspace_internal() {
 }
 
 /// The retired registry crates must not creep back in under any
-/// section of any manifest.
+/// section of any manifest. Parallelism crates are banned by name too:
+/// the sweep engine's determinism contract rests on the in-tree
+/// work-stealing pool (`crates/des/src/pool.rs`), and pulling in rayon,
+/// crossbeam or any channel/threadpool crate would both break
+/// hermeticity and make the scheduling opaque.
 #[test]
 fn retired_registry_crates_stay_gone() {
     for manifest in workspace_manifests() {
         let text = fs::read_to_string(&manifest).expect("readable manifest");
-        for banned in ["rand", "proptest", "criterion", "rand_xoshiro"] {
+        for banned in [
+            "rand",
+            "proptest",
+            "criterion",
+            "rand_xoshiro",
+            "rayon",
+            "rayon-core",
+            "crossbeam",
+            "crossbeam-channel",
+            "crossbeam-deque",
+            "crossbeam-utils",
+            "crossbeam-queue",
+            "crossbeam-epoch",
+            "flume",
+            "threadpool",
+            "scoped_threadpool",
+            "num_cpus",
+        ] {
             for (section, name, _) in dependencies(&manifest) {
                 assert_ne!(
                     name,
@@ -138,5 +159,24 @@ fn bench_targets_declared() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let text = fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
     let count = text.matches("[[bench]]").count();
-    assert_eq!(count, 9, "expected 9 bench targets, found {count}");
+    assert_eq!(count, 10, "expected 10 bench targets, found {count}");
+}
+
+/// The parallel sweep machinery is in-tree: the work-stealing pool
+/// lives in the `des` kernel crate and uses only `std` primitives
+/// (scoped threads, mutex-guarded deques) — no external scheduler to
+/// re-audit, no unsafe (the crate forbids it).
+#[test]
+fn work_stealing_pool_is_in_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let pool = root.join("crates/des/src/pool.rs");
+    assert!(pool.is_file(), "crates/des/src/pool.rs must exist");
+    let text = fs::read_to_string(&pool).expect("readable pool source");
+    for needed in ["scatter_map", "std::thread::scope", "catch_unwind"] {
+        assert!(
+            text.contains(needed),
+            "pool.rs no longer mentions `{needed}` — if the pool was \
+             replaced, update this guard alongside it"
+        );
+    }
 }
