@@ -62,7 +62,9 @@ stage_test() {
     cargo test -q --offline --workspace
 }
 
-artifact_dir="target/ci-artifacts"
+# Absolute, because cargo runs bench binaries with the package dir
+# (crates/bench) as cwd — a relative ROBONET_BENCH_JSON would land there.
+artifact_dir="$PWD/target/ci-artifacts"
 
 stage_golden_trace() {
     mkdir -p "$artifact_dir"
