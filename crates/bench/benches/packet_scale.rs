@@ -1,0 +1,74 @@
+//! Scale bench: packet-level simulator throughput at 1k/5k/10k sensors.
+//!
+//! The paper's fields stop at 800 sensors; this bench deploys paper-density
+//! fields (50 sensors per 200 m × 200 m robot cell) at 1000, 5000 and
+//! 10000 sensors and reports the scheduler's own throughput counters
+//! (events/sec, sim-seconds per wall-second) alongside the self-timed
+//! wall clock. With `ROBONET_BENCH_JSON=<path>` the raw statistics land
+//! in `BENCH_scale.json`: `throughput_per_iter` is the (deterministic)
+//! event count of the run, so `throughput_per_iter / median_ns * 1e9`
+//! is the events-per-second trajectory tracked across refactors.
+
+use robonet_bench::selftime::{BenchmarkId, Criterion, Throughput};
+use robonet_bench::{bench_group, bench_main};
+
+use robonet_core::{Algorithm, ScenarioConfig, Simulation};
+
+/// Time compression inside the bench loop (see `ScenarioConfig::scaled`);
+/// per-failure metrics and the event mix per sim-second are preserved.
+const SCALE: f64 = 64.0;
+
+/// The bench sizes as `(sensors, k)`: a k×k robot fleet with exactly
+/// `sensors / k²` sensors per robot cell.
+const SIZES: [(usize, usize); 3] = [(1_000, 5), (5_000, 10), (10_000, 10)];
+
+/// Paper-density deployment hitting `n` sensors exactly with a k×k fleet:
+/// the per-robot cell side grows with `sqrt(sensors_per_robot / 50)` so
+/// sensor density (and hence MAC contention and neighbor degree) matches
+/// the paper's 50 sensors per 200 m × 200 m cell at every size.
+fn scale_config(n: usize, k: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(k, Algorithm::Dynamic);
+    let spr = n / (k * k);
+    assert_eq!(spr * k * k, n, "sensor count must divide evenly into k²");
+    cfg.sensors_per_robot = spr;
+    cfg.area_per_robot_side = 200.0 * (spr as f64 / 50.0).sqrt();
+    let cfg = cfg.with_seed(1).scaled(SCALE);
+    cfg.validate().expect("scale config is valid");
+    cfg
+}
+
+fn packet_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_scale");
+    // One timed sample per size: a single run is seconds long, far above
+    // timer noise, and the probe run below already warms the allocator.
+    group.sample_size(1);
+    println!("\nPacket-level scale sweep (fault-free, dynamic, time-compressed x{SCALE})");
+    println!(
+        "{:>8} {:>8} {:>12} {:>9} {:>13} {:>13}",
+        "sensors", "robots", "events", "wall_s", "events/s", "sim-s/wall-s"
+    );
+    for (n, k) in SIZES {
+        let cfg = scale_config(n, k);
+        let outcome = Simulation::run(cfg.clone());
+        let p = outcome.profile;
+        println!(
+            "{:>8} {:>8} {:>12} {:>9.2} {:>13.0} {:>13.1}",
+            n,
+            cfg.n_robots(),
+            p.events_dispatched,
+            p.wall_seconds,
+            p.events_per_wall_second(),
+            p.sim_seconds_per_wall_second(),
+        );
+        // Same config + seed → same event count every run, so the
+        // deterministic dispatch total doubles as the throughput divisor.
+        group.throughput(Throughput::Elements(p.events_dispatched));
+        group.bench_with_input(BenchmarkId::new("run", n), &cfg, |b, cfg| {
+            b.iter(|| Simulation::run(cfg.clone()).metrics.replacements)
+        });
+    }
+    group.finish();
+}
+
+bench_group!(benches, packet_scale);
+bench_main!(benches);

@@ -159,7 +159,7 @@ fn bench_targets_declared() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let text = fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
     let count = text.matches("[[bench]]").count();
-    assert_eq!(count, 10, "expected 10 bench targets, found {count}");
+    assert_eq!(count, 11, "expected 11 bench targets, found {count}");
 }
 
 /// The parallel sweep machinery is in-tree: the work-stealing pool
