@@ -5,8 +5,8 @@
 //! (Mei et al., ICDCS 2006) runs on. It provides:
 //!
 //! - [`SimTime`] / [`SimDuration`]: nanosecond-resolution simulated time,
-//! - [`EventQueue`]: a stable (FIFO-on-ties) priority queue with O(log n)
-//!   scheduling and lazy cancellation,
+//! - [`EventQueue`]: a stable (FIFO-on-ties) hierarchical timer wheel
+//!   with O(1) scheduling and cancellation for near-future events,
 //! - [`Scheduler`]: the queue plus a current-time cursor,
 //! - [`rng`]: an in-tree xoshiro256\*\* PRNG behind reproducible, named
 //!   random-number streams derived from a single root seed,
@@ -45,6 +45,6 @@ mod scheduler;
 mod time;
 
 pub use id::NodeId;
-pub use queue::{EventKey, EventQueue};
+pub use queue::{EventKey, EventQueue, WheelStats};
 pub use scheduler::{Heartbeat, Scheduler, SchedulerProfile};
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,6 @@
 //! The event queue plus a current-time cursor, with causality enforcement.
 
-use crate::queue::{EventKey, EventQueue};
+use crate::queue::{EventKey, EventQueue, WheelStats};
 use crate::time::{SimDuration, SimTime};
 
 /// An [`EventQueue`] paired with the simulation clock.
@@ -49,12 +49,15 @@ pub struct Scheduler<E> {
 pub struct SchedulerProfile {
     /// Events dispatched through [`Scheduler::next_event`].
     pub events_dispatched: u64,
-    /// Peak number of queued entries (including lazily cancelled ones).
+    /// Peak number of pending events queued at once.
     pub queue_high_water: usize,
     /// Simulated seconds covered (current clock reading).
     pub sim_seconds: f64,
     /// Wall-clock seconds since the scheduler was created.
     pub wall_seconds: f64,
+    /// Timer-wheel occupancy statistics (per-lane high-water marks and
+    /// overflow promotions).
+    pub wheel: WheelStats,
 }
 
 impl SchedulerProfile {
@@ -217,9 +220,9 @@ impl<E> Scheduler<E> {
         self.queue.popped_count()
     }
 
-    /// Upper bound on pending events (includes lazily cancelled entries).
-    pub fn pending_upper_bound(&self) -> usize {
-        self.queue.len_upper_bound()
+    /// Exact number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Snapshots the wall-clock phase profile: events dispatched, queue
@@ -230,6 +233,7 @@ impl<E> Scheduler<E> {
             queue_high_water: self.queue.high_water(),
             sim_seconds: self.now.as_secs_f64(),
             wall_seconds: self.started.elapsed().as_secs_f64(),
+            wheel: self.queue.wheel_stats(),
         }
     }
 }

@@ -100,6 +100,52 @@ fn cancellation_is_exact() {
     );
 }
 
+/// Pops stay sorted and FIFO-on-ties when times span every wheel store:
+/// sub-tick (front), lane 0 (seconds), lane 1 (minutes) and the
+/// overflow heap (beyond ~137 s), with interleaved pops advancing the
+/// cursor between batches.
+#[test]
+fn wheel_lanes_preserve_order() {
+    check::forall(
+        "wheel_lanes_preserve_order",
+        &check::pair(
+            check::vec_of(check::u64s(0..400_000_000_000), 1..120),
+            check::usizes(0..40),
+        ),
+        |(times, pop_between)| {
+            let mut q = EventQueue::new();
+            let mut expected: Vec<(u64, usize)> = Vec::new();
+            let mut popped: Vec<(u64, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
+                expected.push((t, i));
+                if i == *pop_between {
+                    // Advance the cursor mid-stream so later schedules
+                    // land behind, inside and beyond the wheel span.
+                    if let Some((pt, v)) = q.pop() {
+                        popped.push((pt.as_nanos(), v));
+                    }
+                }
+            }
+            while let Some((t, v)) = q.pop() {
+                popped.push((t.as_nanos(), v));
+            }
+            // The mid-stream pop can fire early relative to later
+            // schedules, so compare as multisets plus per-suffix order.
+            let mut sorted = popped.clone();
+            sorted.sort();
+            expected.sort();
+            assert_eq!(sorted, expected, "events lost or duplicated");
+            let tail = &popped[if popped.len() > 1 { 1 } else { 0 }..];
+            assert!(
+                tail.windows(2).all(|w| w[0] <= w[1]),
+                "drain order not sorted: {tail:?}"
+            );
+            Outcome::Pass
+        },
+    );
+}
+
 /// The scheduler clock is monotone for any interleaving of
 /// schedule_after and next_event.
 #[test]
