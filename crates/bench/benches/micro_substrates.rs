@@ -74,7 +74,7 @@ fn routing_bench(c: &mut Criterion) {
 
 fn mac_bench(c: &mut Criterion) {
     use robonet_radio::medium::{Medium, NodeClass, RangeTable};
-    use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass};
+    use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass, UpcallBuf};
 
     let bounds = Bounds::square(400.0);
     let mut rng = Xoshiro256::seed_from_u64(4);
@@ -108,7 +108,7 @@ fn mac_bench(c: &mut Criterion) {
                     );
                 }
             }
-            let mut out = Vec::new();
+            let mut out = UpcallBuf::new();
             let mut delivered = 0usize;
             while let Some(ev) = sched.next_event() {
                 let now = sched.now();
@@ -121,7 +121,7 @@ fn mac_bench(c: &mut Criterion) {
                     },
                     &mut out,
                 );
-                delivered += out.len();
+                delivered += out.entries().len();
                 out.clear();
             }
             delivered

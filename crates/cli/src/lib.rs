@@ -24,6 +24,7 @@ use robonet_des::SimDuration;
 pub const RUN_FLAGS: &[(&str, bool)] = &[
     ("--alg", true),
     ("--k", true),
+    ("--sensors", true),
     ("--scale", true),
     ("--seed", true),
     ("--prune", true),
@@ -48,7 +49,7 @@ pub fn usage_text() -> String {
      \n\
      USAGE:\n\
      \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
-     \x20                 [--scale F] [--seed N] [--prune F]\n\
+     \x20                 [--sensors N] [--scale F] [--seed N] [--prune F]\n\
      \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
      \x20                 [--trace N] [--trace-out FILE] [--progress]\n\
      \x20                 [--loss P] [--report-loss P] [--dispatch-loss P]\n\
@@ -61,6 +62,10 @@ pub fn usage_text() -> String {
      \n\
      `--scale F` compresses simulated time F× while preserving all\n\
      per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
+     `--sensors N` deploys exactly N sensors at the paper's density: the\n\
+     k x k fleet keeps N/k^2 sensors per robot cell (N must divide evenly)\n\
+     and the robot cell side scales so density stays at 50 sensors per\n\
+     200 m x 200 m — the geometry the scale benchmarks use.\n\
      `--jobs N` fans sweep cells across N worker threads (default: the\n\
      `ROBONET_JOBS` env var, else all cores); output is byte-identical\n\
      for any value — parallelism only changes the wall-clock.\n\
@@ -131,6 +136,7 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
 struct RunArgs {
     alg: Algorithm,
     k: usize,
+    sensors: Option<usize>,
     scale: f64,
     seed: u64,
     prune: Option<f64>,
@@ -146,6 +152,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut out = RunArgs {
         alg: Algorithm::Dynamic,
         k: 2,
+        sensors: None,
         scale: 16.0,
         seed: 1,
         prune: None,
@@ -170,6 +177,13 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         match flag.as_str() {
             "--alg" => out.alg = parse_algorithm(value()?)?,
             "--k" => out.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
+            "--sensors" => {
+                out.sensors = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --sensors: {e}"))?,
+                );
+            }
             "--scale" => {
                 out.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
             }
@@ -241,6 +255,23 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 fn cmd_run(args: &[String]) -> Result<String, String> {
     let parsed = parse_run_args(args)?;
     let mut cfg = ScenarioConfig::paper(parsed.k, parsed.alg).with_seed(parsed.seed);
+    if let Some(n) = parsed.sensors {
+        // Paper-density deployment hitting `n` sensors exactly (the same
+        // geometry as the scale benchmarks): the per-robot cell side
+        // grows with sqrt(sensors_per_robot / 50) so sensor density —
+        // and with it MAC contention and neighbour degree — stays at
+        // the paper's 50 sensors per 200 m × 200 m cell.
+        let fleet = parsed.k * parsed.k;
+        let spr = n / fleet;
+        if spr * fleet != n {
+            return Err(format!(
+                "--sensors {n} does not divide evenly into the {}x{} fleet",
+                parsed.k, parsed.k
+            ));
+        }
+        cfg.sensors_per_robot = spr;
+        cfg.area_per_robot_side = 200.0 * (spr as f64 / 50.0).sqrt();
+    }
     // Faults go in before scaling so the plan's timers compress with
     // the rest of the scenario.
     cfg.faults = parsed.faults.clone();
@@ -714,7 +745,7 @@ mod tests {
             "--alg" => "dynamic",
             "--dispatch" => "nearest",
             "--trace-out" => "/tmp/t.jsonl",
-            "--k" | "--trace" | "--seed" => "1",
+            "--k" | "--trace" | "--seed" | "--sensors" => "1",
             _ => "0.5",
         }
     }

@@ -24,13 +24,13 @@
 //!   Operational location updates — the Figure 4 metric — are fully
 //!   simulated messages.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
 use robonet_geom::partition::Partition;
 use robonet_geom::{deploy, Point};
-use robonet_net::{route, GeoHeader, NeighborTable, RouteDecision};
-use robonet_radio::engine::{RadioEvent, Upcall};
+use robonet_net::{route_with, GeoHeader, NeighborTable, RouteDecision, RouteScratch};
+use robonet_radio::engine::{RadioEvent, UpcallBuf, UpcallEntry};
 use robonet_radio::medium::{Medium, NodeClass};
 use robonet_radio::{Frame, RadioEngine, TrafficClass};
 use robonet_robot::{ReplacementTask, RobotState};
@@ -97,8 +97,10 @@ enum Event {
         robot: u32,
     },
     /// A flood relay released after its desynchronisation jitter.
+    /// Boxed so the one frame-carrying variant does not widen every
+    /// slot in the event queue's slab.
     RelaySend {
-        frame: Frame<AppMsg>,
+        frame: Box<Frame<AppMsg>>,
     },
     /// Periodic coverage sample (only when enabled).
     CoverageSample,
@@ -119,8 +121,9 @@ struct ManagerView {
     robot_locs: Vec<Point>,
     /// Last reported robot queue lengths (for `NearestIdle` dispatch).
     robot_queues: Vec<u32>,
-    /// Dispatch dedup: failed sensor → when last dispatched.
-    last_dispatch: HashMap<u32, SimTime>,
+    /// Dispatch dedup: when each sensor was last dispatched for
+    /// (indexed by sensor; `None` = never).
+    last_dispatch: Vec<Option<SimTime>>,
     /// Dispatches awaiting completion, for the timeout/re-dispatch
     /// machinery. Populated only when faults are active (BTreeMap so
     /// timeout scans are deterministic). Keyed by failed sensor.
@@ -158,7 +161,9 @@ pub struct Simulation {
     incarnation: Vec<u32>,
     robots: Vec<RobotState>,
     robot_leg_seq: Vec<u64>,
-    robot_pending: Vec<HashSet<u32>>,
+    /// Failed-sensor ids queued at each robot, sorted (a robot's queue
+    /// stays short, so binary-searched vectors beat hashing).
+    robot_pending: Vec<Vec<u32>>,
     robot_tasks_done: Vec<u64>,
     manager: Option<ManagerView>,
     partition: Option<Box<dyn Partition>>,
@@ -177,7 +182,11 @@ pub struct Simulation {
     /// Wall-clock heartbeat for `--progress` (stderr only, never
     /// results).
     progress: Option<robonet_des::Heartbeat>,
-    upcall_buf: Vec<Upcall<AppMsg>>,
+    upcall_buf: UpcallBuf<AppMsg>,
+    /// Reused perimeter-recovery buffers for every routing decision.
+    route_scratch: RouteScratch,
+    /// Reused location-service table for robot/manager routing steps.
+    oracle_scratch: NeighborTable,
     jitter_rng: rng::Xoshiro256,
     /// Deterministic fault injector — `None` for fault-free runs *and*
     /// for inert plans (all probabilities zero, no breakdowns), so an
@@ -290,7 +299,7 @@ impl Simulation {
             loc: manager_loc,
             robot_locs: robot_pos.clone(),
             robot_queues: vec![0; n_robots],
-            last_dispatch: HashMap::new(),
+            last_dispatch: vec![None; n_sensors],
             outstanding: BTreeMap::new(),
             suspect: vec![false; n_robots],
         });
@@ -390,7 +399,7 @@ impl Simulation {
             sensors,
             robots,
             robot_leg_seq: vec![0; n_robots],
-            robot_pending: vec![HashSet::new(); n_robots],
+            robot_pending: vec![Vec::new(); n_robots],
             robot_tasks_done: vec![0; n_robots],
             manager,
             partition,
@@ -402,7 +411,9 @@ impl Simulation {
             observing: sink_enabled,
             spans: sink_enabled.then(SpanAssembler::new),
             progress: None,
-            upcall_buf: Vec::new(),
+            upcall_buf: UpcallBuf::new(),
+            route_scratch: RouteScratch::default(),
+            oracle_scratch: NeighborTable::new(),
             jitter_rng: rng::stream(cfg_seed, "jitter"),
             faults,
             robot_down: vec![false; n_robots],
@@ -615,7 +626,7 @@ impl Simulation {
             Event::InitAnnounce { robot } => {
                 self.do_location_update(now, robot as usize, TrafficClass::Init)
             }
-            Event::RelaySend { frame } => self.radio_send(now, frame),
+            Event::RelaySend { frame } => self.radio_send(now, *frame),
             Event::CoverageSample => self.on_coverage_sample(now),
             Event::RobotBreakdown { robot } => self.on_robot_breakdown(now, robot as usize),
             Event::RobotRepair { robot } => self.on_robot_repair(now, robot as usize),
@@ -636,9 +647,19 @@ impl Simulation {
                 &mut out,
             );
         }
-        for up in out.drain(..) {
-            self.on_upcall(now, up);
+        for i in 0..out.entries().len() {
+            match out.entries()[i] {
+                UpcallEntry::Delivered { to, frame } => {
+                    self.on_delivered(now, to, out.frame(frame));
+                }
+                UpcallEntry::TxComplete { src, frame, ok } => {
+                    if !ok {
+                        self.on_tx_failed(now, src, out.frame(frame));
+                    }
+                }
+            }
         }
+        out.clear();
         self.upcall_buf = out;
     }
 
@@ -914,7 +935,8 @@ impl Simulation {
         let at_loc = self.node_position(now, at);
         let mut hdr = *msg.geo().expect("route_and_send requires a geo header");
         let decision = if at.index() < self.sensors.len() {
-            route(
+            route_with(
+                &mut self.route_scratch,
                 at,
                 at_loc,
                 &self.sensors[at.index()].neighbors,
@@ -922,8 +944,18 @@ impl Simulation {
                 prev_loc,
             )
         } else {
-            let table = self.oracle_table(now, at);
-            route(at, at_loc, &table, &mut hdr, prev_loc)
+            let mut table = std::mem::take(&mut self.oracle_scratch);
+            self.fill_oracle_table(&mut table, now, at);
+            let d = route_with(
+                &mut self.route_scratch,
+                at,
+                at_loc,
+                &table,
+                &mut hdr,
+                prev_loc,
+            );
+            self.oracle_scratch = table;
+            d
         };
         match decision {
             RouteDecision::Deliver => self.handle_final(now, at, msg),
@@ -958,8 +990,8 @@ impl Simulation {
     /// Location-service table for robots and the manager: every alive
     /// node within transmission range at its current position (§3.1's
     /// post-initialization knowledge; sensors are static).
-    fn oracle_table(&self, now: SimTime, at: NodeId) -> NeighborTable {
-        let mut table = NeighborTable::new();
+    fn fill_oracle_table(&self, table: &mut NeighborTable, now: SimTime, at: NodeId) {
+        table.clear();
         let medium = self.radio.medium();
         medium.for_each_hearer(at, |n| {
             let loc = if n.index() < self.sensors.len() {
@@ -969,7 +1001,6 @@ impl Simulation {
             };
             table.update(n, loc, now);
         });
-        table
     }
 
     fn node_position(&self, now: SimTime, id: NodeId) -> Point {
@@ -988,18 +1019,7 @@ impl Simulation {
 
     // --- Application-layer message handling ----------------------------------
 
-    fn on_upcall(&mut self, now: SimTime, up: Upcall<AppMsg>) {
-        match up {
-            Upcall::Delivered { to, frame } => self.on_delivered(now, to, frame),
-            Upcall::TxComplete { src, frame, ok } => {
-                if !ok {
-                    self.on_tx_failed(now, src, frame);
-                }
-            }
-        }
-    }
-
-    fn on_delivered(&mut self, now: SimTime, to: NodeId, frame: Frame<AppMsg>) {
+    fn on_delivered(&mut self, now: SimTime, to: NodeId, frame: &Frame<AppMsg>) {
         match frame.payload {
             AppMsg::Beacon { loc } => {
                 // Robots overhear each other's beacons to maintain peer
@@ -1029,7 +1049,7 @@ impl Simulation {
                 seq,
                 subarea,
                 defunct,
-            } => self.on_robot_flood(now, to, &frame, robot, loc, seq, subarea, defunct),
+            } => self.on_robot_flood(now, to, frame, robot, loc, seq, subarea, defunct),
             ref geo_msg @ (AppMsg::Report { .. }
             | AppMsg::Request { .. }
             | AppMsg::RobotToManagerUpdate { .. }) => {
@@ -1069,7 +1089,8 @@ impl Simulation {
             self.cfg.update_threshold
         };
         let s = &mut self.sensors[to.index()];
-        if s.loc.distance(loc) <= self.radio.medium().tx_range(to) - margin {
+        let r = self.radio.medium().tx_range(to) - margin;
+        if s.loc.distance_sq(loc) <= r * r {
             s.hear(from, loc, now);
         }
     }
@@ -1159,8 +1180,8 @@ impl Simulation {
         // `min_frac` of the *transmitter's* range) retransmits.
         if let Some(min_frac) = self.cfg.broadcast_prune {
             let from_loc = self.node_position(now, frame.src);
-            let range = self.radio.medium().tx_range(frame.src);
-            if s_loc.distance(from_loc) < min_frac * range {
+            let range = min_frac * self.radio.medium().tx_range(frame.src);
+            if s_loc.distance_sq(from_loc) < range * range {
                 relay = false;
             }
         }
@@ -1187,8 +1208,12 @@ impl Simulation {
             // exactly like this).
             let jitter =
                 sampler::uniform_duration(&mut self.jitter_rng, SimDuration::from_millis(50));
-            self.sched
-                .schedule_after(jitter, Event::RelaySend { frame: relay_frame });
+            self.sched.schedule_after(
+                jitter,
+                Event::RelaySend {
+                    frame: Box::new(relay_frame),
+                },
+            );
         }
     }
 
@@ -1252,7 +1277,7 @@ impl Simulation {
         let faults_active = self.faults.is_some();
         let manager = self.manager.as_mut().expect("centralized manager exists");
         // Drop duplicate reports for a failure already being handled.
-        if let Some(&t) = manager.last_dispatch.get(&failed.as_u32()) {
+        if let Some(t) = manager.last_dispatch[failed.index()] {
             if now.saturating_duration_since(t) < retry_window {
                 return;
             }
@@ -1260,7 +1285,7 @@ impl Simulation {
         // With faults active a stalled dispatch is re-driven by the
         // timeout machinery, not by guardian retry reports.
         if faults_active && manager.outstanding.contains_key(&failed.as_u32()) {
-            manager.last_dispatch.insert(failed.as_u32(), now);
+            manager.last_dispatch[failed.index()] = Some(now);
             return;
         }
         self.dispatch_to_robot(now, failed, failed_loc, 1);
@@ -1271,7 +1296,7 @@ impl Simulation {
     fn dispatch_to_robot(&mut self, now: SimTime, failed: NodeId, failed_loc: Point, attempt: u32) {
         let faults_active = self.faults.is_some();
         let manager = self.manager.as_mut().expect("centralized manager exists");
-        manager.last_dispatch.insert(failed.as_u32(), now);
+        manager.last_dispatch[failed.index()] = Some(now);
         let fleet = FleetView {
             robot_locs: &manager.robot_locs,
             robot_queues: &manager.robot_queues,
@@ -1364,8 +1389,9 @@ impl Simulation {
     }
 
     fn robot_enqueue(&mut self, now: SimTime, r: usize, failed: NodeId, failed_loc: Point) {
-        if !self.robot_pending[r].insert(failed.as_u32()) {
-            return; // duplicate report for a queued failure
+        match self.robot_pending[r].binary_search(&failed.as_u32()) {
+            Ok(_) => return, // duplicate report for a queued failure
+            Err(i) => self.robot_pending[r].insert(i, failed.as_u32()),
         }
         let task = ReplacementTask {
             failed,
@@ -1439,7 +1465,9 @@ impl Simulation {
         let (task, next_leg) = self.robots[r].arrive(now);
         let robot_node = self.robots[r].id;
         self.radio.set_position(robot_node, task.loc);
-        self.robot_pending[r].remove(&task.failed.as_u32());
+        if let Ok(i) = self.robot_pending[r].binary_search(&task.failed.as_u32()) {
+            self.robot_pending[r].remove(i);
+        }
         // The repair completed: the manager's dispatch watchdog (if
         // any) stops waiting on it.
         if let Some(m) = self.manager.as_mut() {
@@ -1814,7 +1842,7 @@ impl Simulation {
     /// A unicast frame exhausted its retries: for geo-routed traffic,
     /// evict the unreachable next hop (GPSR neighbour blacklisting) and
     /// re-route from the current holder.
-    fn on_tx_failed(&mut self, now: SimTime, src: NodeId, frame: Frame<AppMsg>) {
+    fn on_tx_failed(&mut self, now: SimTime, src: NodeId, frame: &Frame<AppMsg>) {
         if frame.payload.geo().is_none() {
             return; // confirms/hellos are best-effort
         }
@@ -1833,7 +1861,7 @@ impl Simulation {
             }
             return;
         }
-        self.route_and_send(now, src, frame.payload, frame.class, None);
+        self.route_and_send(now, src, frame.payload.clone(), frame.class, None);
     }
 }
 

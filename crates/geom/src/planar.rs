@@ -41,16 +41,30 @@ pub fn gabriel_filter<I>(self_pos: Point, neighbors: &[(I, Point)]) -> Vec<(I, P
 where
     I: Copy + PartialEq,
 {
-    neighbors
-        .iter()
-        .filter(|&&(id, pos)| {
-            neighbors
-                .iter()
-                .filter(|&&(other_id, _)| other_id != id)
-                .all(|&(_, w)| gabriel_edge_survives(self_pos, pos, w))
-        })
-        .copied()
-        .collect()
+    let mut out = Vec::new();
+    gabriel_filter_into(self_pos, neighbors, &mut out);
+    out
+}
+
+/// Like [`gabriel_filter`], but writes the surviving neighbours into
+/// `out` (cleared first) so a caller on a hot path can reuse one buffer
+/// across filter invocations.
+pub fn gabriel_filter_into<I>(self_pos: Point, neighbors: &[(I, Point)], out: &mut Vec<(I, Point)>)
+where
+    I: Copy + PartialEq,
+{
+    out.clear();
+    out.extend(
+        neighbors
+            .iter()
+            .filter(|&&(id, pos)| {
+                neighbors
+                    .iter()
+                    .filter(|&&(other_id, _)| other_id != id)
+                    .all(|&(_, w)| gabriel_edge_survives(self_pos, pos, w))
+            })
+            .copied(),
+    );
 }
 
 /// A planar subgraph of a [`UnitDiskGraph`], stored as filtered adjacency.

@@ -29,4 +29,4 @@ pub mod trace;
 
 pub use neighbor::{NeighborEntry, NeighborTable};
 pub use packet::{GeoHeader, RouteMode};
-pub use routing::{route, DropReason, RouteDecision};
+pub use routing::{route, route_with, DropReason, RouteDecision, RouteScratch};

@@ -7,8 +7,6 @@
 //! neighbour's beacons stop (failure detection deletes the failed
 //! neighbour, §4.2(a)).
 
-use std::collections::HashMap;
-
 use robonet_des::{NodeId, SimTime};
 use robonet_geom::Point;
 
@@ -36,9 +34,15 @@ pub struct NeighborEntry {
 /// let (next, _) = table.closest_to_within(target, 200.0 * 200.0).unwrap();
 /// assert_eq!(next, NodeId::new(2));
 /// ```
+/// The table stores its entries in two parallel vectors sorted by node
+/// id: a one-hop neighbourhood is small (tens of entries at the paper's
+/// density), so binary-searched inserts beat hashing, and keeping the
+/// 4-byte ids in their own vector means the per-beacon refresh search
+/// scans one cache line instead of striding through 32-byte entries.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
-    entries: HashMap<NodeId, NeighborEntry>,
+    ids: Vec<NodeId>,
+    data: Vec<NeighborEntry>,
 }
 
 impl NeighborTable {
@@ -49,59 +53,81 @@ impl NeighborTable {
 
     /// Records hearing `node` at `loc` at time `now` (insert or refresh).
     pub fn update(&mut self, node: NodeId, loc: Point, now: SimTime) {
-        self.entries.insert(
-            node,
-            NeighborEntry {
-                loc,
-                last_heard: now,
-            },
-        );
+        let entry = NeighborEntry {
+            loc,
+            last_heard: now,
+        };
+        match self.ids.binary_search(&node) {
+            Ok(i) => self.data[i] = entry,
+            Err(i) => {
+                self.ids.insert(i, node);
+                self.data.insert(i, entry);
+            }
+        }
     }
 
     /// Removes `node` (e.g. after detecting its failure). Returns `true`
     /// if it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        self.entries.remove(&node).is_some()
+        match self.ids.binary_search(&node) {
+            Ok(i) => {
+                self.ids.remove(i);
+                self.data.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Drops every entry not heard from since `cutoff`. Returns the
-    /// removed node ids.
+    /// removed node ids (in id order).
     pub fn evict_stale(&mut self, cutoff: SimTime) -> Vec<NodeId> {
-        let stale: Vec<NodeId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.last_heard < cutoff)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &stale {
-            self.entries.remove(id);
+        let mut stale = Vec::new();
+        let mut w = 0;
+        for i in 0..self.ids.len() {
+            if self.data[i].last_heard < cutoff {
+                stale.push(self.ids[i]);
+            } else {
+                self.ids[w] = self.ids[i];
+                self.data[w] = self.data[i];
+                w += 1;
+            }
         }
+        self.ids.truncate(w);
+        self.data.truncate(w);
         stale
     }
 
     /// Looks up a neighbour.
     pub fn get(&self, node: NodeId) -> Option<&NeighborEntry> {
-        self.entries.get(&node)
+        self.ids.binary_search(&node).ok().map(|i| &self.data[i])
     }
 
     /// Returns `true` if `node` is a known neighbour.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.entries.contains_key(&node)
+        self.ids.binary_search(&node).is_ok()
     }
 
     /// Number of known neighbours.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
+    }
+
+    /// Removes every entry, keeping the allocation (so a scratch table
+    /// can be refilled without reallocating).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.data.clear();
     }
 
     /// Returns `true` if no neighbours are known.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Iterates over `(id, entry)` pairs in unspecified order.
+    /// Iterates over `(id, entry)` pairs in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborEntry)> {
-        self.entries.iter().map(|(&id, e)| (id, e))
+        self.ids.iter().copied().zip(self.data.iter())
     }
 
     /// The neighbour whose advertised location is closest to `target`,

@@ -9,7 +9,7 @@
 //! began.
 
 use robonet_des::NodeId;
-use robonet_geom::planar::gabriel_filter;
+use robonet_geom::planar::gabriel_filter_into;
 use robonet_geom::segment::Segment;
 use robonet_geom::Point;
 
@@ -36,13 +36,46 @@ pub enum DropReason {
     NoNeighbors,
 }
 
+/// Reusable buffers for [`route_with`]'s perimeter recovery, so a
+/// routing decision on the hot path allocates nothing after warm-up.
+/// One scratch can serve any number of nodes — it holds no per-node
+/// state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    neighbors: Vec<(NodeId, Point)>,
+    planar: Vec<(NodeId, Point)>,
+}
+
+/// Decides the next hop for a packet held by `self_id` at `self_loc`.
+///
+/// Convenience wrapper over [`route_with`] that allocates fresh scratch
+/// buffers; dispatch loops should hold a [`RouteScratch`] and call
+/// [`route_with`] directly.
+pub fn route(
+    self_id: NodeId,
+    self_loc: Point,
+    table: &NeighborTable,
+    header: &mut GeoHeader,
+    prev_loc: Option<Point>,
+) -> RouteDecision {
+    route_with(
+        &mut RouteScratch::default(),
+        self_id,
+        self_loc,
+        table,
+        header,
+        prev_loc,
+    )
+}
+
 /// Decides the next hop for a packet held by `self_id` at `self_loc`.
 ///
 /// `prev_loc` is the location of the neighbour the packet arrived from
 /// (`None` at the originator); the right-hand rule needs it to continue
 /// a face traversal. On `Forward`, the header's mode, hop count and TTL
 /// are updated in place.
-pub fn route(
+pub fn route_with(
+    scratch: &mut RouteScratch,
     self_id: NodeId,
     self_loc: Point,
     table: &NeighborTable,
@@ -88,9 +121,9 @@ pub fn route(
             };
             // At mode entry the reference direction is the line toward
             // the destination, not the incoming edge.
-            perimeter_step(self_loc, table, header, None)
+            perimeter_step(scratch, self_loc, table, header, None)
         }
-        RouteMode::Perimeter { .. } => perimeter_step(self_loc, table, header, prev_loc),
+        RouteMode::Perimeter { .. } => perimeter_step(scratch, self_loc, table, header, prev_loc),
     }
 }
 
@@ -108,6 +141,7 @@ fn forward(header: &mut GeoHeader, next: NodeId) -> RouteDecision {
 /// entry-to-destination line strictly closer to the destination than the
 /// best crossing so far.
 fn perimeter_step(
+    scratch: &mut RouteScratch,
     self_loc: Point,
     table: &NeighborTable,
     header: &mut GeoHeader,
@@ -116,12 +150,15 @@ fn perimeter_step(
     let RouteMode::Perimeter { entry, mut cross } = header.mode else {
         unreachable!("perimeter_step outside perimeter mode");
     };
-    let neighbors: Vec<(NodeId, Point)> = table.iter().map(|(id, e)| (id, e.loc)).collect();
-    let planar = gabriel_filter(self_loc, &neighbors);
-    let candidates = if planar.is_empty() {
-        &neighbors
+    scratch.neighbors.clear();
+    scratch
+        .neighbors
+        .extend(table.iter().map(|(id, e)| (id, e.loc)));
+    gabriel_filter_into(self_loc, &scratch.neighbors, &mut scratch.planar);
+    let candidates = if scratch.planar.is_empty() {
+        &scratch.neighbors
     } else {
-        &planar
+        &scratch.planar
     };
     if candidates.is_empty() {
         return RouteDecision::Drop(DropReason::NoNeighbors);

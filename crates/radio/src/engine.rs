@@ -23,14 +23,13 @@
 //!   attempts retry up to the 802.11 long-retry limit.
 //! - **Broadcast**: transmitted once, never acknowledged, as in 802.11.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use robonet_des::rng::{Rng, Xoshiro256};
 use robonet_des::{NodeId, SimTime};
 
 use crate::frame::Frame;
-use crate::medium::Medium;
+use crate::medium::{Fading, Medium};
 use crate::params::MacParams;
 use crate::stats::TxStats;
 
@@ -87,21 +86,125 @@ pub enum Upcall<P> {
     },
 }
 
+/// One buffered upcall. The frame payload lives in the owning
+/// [`UpcallBuf`] and is referenced by index, so a broadcast heard by N
+/// nodes buffers its frame once instead of N clones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpcallEntry {
+    /// A frame arrived intact (one entry per receiver).
+    Delivered {
+        /// Receiving node.
+        to: NodeId,
+        /// Index for [`UpcallBuf::frame`].
+        frame: u32,
+    },
+    /// The sender finished with a frame (see [`Upcall::TxComplete`]).
+    TxComplete {
+        /// The sending node.
+        src: NodeId,
+        /// Index for [`UpcallBuf::frame`].
+        frame: u32,
+        /// Whether the frame was delivered (unicast) or sent (broadcast).
+        ok: bool,
+    },
+}
+
+/// Reusable output buffer for [`RadioEngine::handle`].
+///
+/// Hot consumers iterate [`UpcallBuf::entries`] (12-byte copies) and
+/// resolve frames by reference through [`UpcallBuf::frame`];
+/// [`UpcallBuf::take_owned`] materialises classic owned [`Upcall`]s for
+/// tests and tools that prefer them.
+#[derive(Debug)]
+pub struct UpcallBuf<P> {
+    entries: Vec<UpcallEntry>,
+    frames: Vec<Frame<P>>,
+}
+
+impl<P> Default for UpcallBuf<P> {
+    fn default() -> Self {
+        UpcallBuf {
+            entries: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+impl<P> UpcallBuf<P> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        UpcallBuf::default()
+    }
+
+    /// The buffered upcalls, in emission order.
+    pub fn entries(&self) -> &[UpcallEntry] {
+        &self.entries
+    }
+
+    /// Resolves a frame index from an [`UpcallEntry`].
+    pub fn frame(&self, idx: u32) -> &Frame<P> {
+        &self.frames[idx as usize]
+    }
+
+    /// Returns `true` if no upcalls are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Empties the buffer, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.frames.clear();
+    }
+
+    fn push_frame(&mut self, frame: Frame<P>) -> u32 {
+        let i = self.frames.len() as u32;
+        self.frames.push(frame);
+        i
+    }
+}
+
+impl<P: Clone> UpcallBuf<P> {
+    /// Drains the buffer into owned [`Upcall`]s, cloning shared frames.
+    pub fn take_owned(&mut self) -> Vec<Upcall<P>> {
+        let ups = self
+            .entries
+            .iter()
+            .map(|&e| match e {
+                UpcallEntry::Delivered { to, frame } => Upcall::Delivered {
+                    to,
+                    frame: self.frames[frame as usize].clone(),
+                },
+                UpcallEntry::TxComplete { src, frame, ok } => Upcall::TxComplete {
+                    src,
+                    frame: self.frames[frame as usize].clone(),
+                    ok,
+                },
+            })
+            .collect();
+        self.clear();
+        ups
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum MacState {
+    #[default]
     Idle,
     WaitingAccess,
     Transmitting,
     AwaitAck,
 }
 
+/// Cold per-node MAC state (frame queue and retry bookkeeping). The
+/// fields every transmission touches for *every hearer* — carrier-sense
+/// deadline, MAC state, in-flight receptions — live in dense parallel
+/// arrays on the engine instead, so the hearer loop stays inside a few
+/// small, cache-resident allocations rather than striding through this
+/// struct.
 #[derive(Debug)]
 struct MacNode<P> {
     queue: VecDeque<Frame<P>>,
-    state: MacState,
-    busy_until: SimTime,
-    /// Active transmissions currently arriving at this node.
-    incoming: Vec<u64>,
     /// Attempt number (0-based) for the head-of-queue frame.
     attempt: u32,
     /// Generation token for AckTimeout staleness checks.
@@ -112,19 +215,134 @@ impl<P> Default for MacNode<P> {
     fn default() -> Self {
         MacNode {
             queue: VecDeque::new(),
-            state: MacState::Idle,
-            busy_until: SimTime::ZERO,
-            incoming: Vec::new(),
             attempt: 0,
             token: 0,
         }
     }
 }
 
-struct ActiveTx {
+/// The per-node fields every transmission touches for *every hearer*,
+/// packed and cache-line aligned so exactly one line covers a node's
+/// whole carrier-sense update (unaligned, most entries would straddle
+/// two lines and double the miss cost of the 60M+ hearer visits in a
+/// large run).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct HotNode {
+    /// Carrier-sense deadline: the channel is sensed busy until this
+    /// time (written for every hearer of every frame).
+    busy_until: SimTime,
+    /// Transmission ids currently arriving at this node.
+    incoming: TxSet,
+    /// MAC protocol state.
+    state: MacState,
+}
+
+/// Set of in-flight transmission ids at a receiver. A node rarely hears
+/// more than two concurrent frames, so the common case stays inline in
+/// the `HotNode` cache line; pile-ups spill to the heap. Ids are unique
+/// (one per live transmission) and order is immaterial: every member is
+/// treated alike by the collision logic.
+#[derive(Debug, Default)]
+struct TxSet {
+    /// Number of ids stored in `inline`.
+    len: u8,
+    inline: [u64; 2],
+    spill: Vec<u64>,
+}
+
+impl TxSet {
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, tx: u64) {
+        if (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = tx;
+            self.len += 1;
+        } else {
+            self.spill.push(tx);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Drops `tx` if present, backfilling the inline slots from the
+    /// spill so `is_empty` stays a plain `len == 0` check.
+    fn remove(&mut self, tx: u64) {
+        for i in 0..self.len as usize {
+            if self.inline[i] == tx {
+                self.len -= 1;
+                self.inline[i] = self.inline[self.len as usize];
+                if let Some(s) = self.spill.pop() {
+                    self.inline[self.len as usize] = s;
+                    self.len += 1;
+                }
+                return;
+            }
+        }
+        if let Some(i) = self.spill.iter().position(|&t| t == tx) {
+            self.spill.swap_remove(i);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+/// Lifecycle of a transmission slot in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxState {
+    /// Slot is on the free list.
+    Free,
+    /// Data frame on the air (between `start_tx` and `TxEnd`).
+    Airing,
+    /// Abstract ACK in flight (between `TxEnd` and `AckDone`).
+    Acking,
+}
+
+/// One arena slot. Transmission ids pack `(slot, generation)` so stale
+/// ids from a node's `incoming` list can never corrupt a reused slot;
+/// the `receivers` buffer is recycled with the slot, so steady-state
+/// transmissions allocate nothing.
+struct TxSlot {
+    generation: u32,
+    state: TxState,
     src: NodeId,
     /// `(receiver, corrupted)` pairs.
     receivers: Vec<(NodeId, bool)>,
+}
+
+fn tx_id(slot: u32, generation: u32) -> u64 {
+    (u64::from(slot) << 32) | u64::from(generation)
+}
+
+fn tx_slot(tx: u64) -> usize {
+    (tx >> 32) as usize
+}
+
+fn tx_generation(tx: u64) -> u32 {
+    tx as u32
+}
+
+/// Marks `receiver`'s entry in transmission `tx` corrupted, if `tx` is
+/// still on the air. A free function so call sites inside
+/// `for_each_hearer` closures can borrow the arena without borrowing
+/// the whole engine.
+fn corrupt_at(txs: &mut [TxSlot], tx: u64, receiver: NodeId) {
+    let s = &mut txs[tx_slot(tx)];
+    if s.generation == tx_generation(tx) && s.state == TxState::Airing {
+        for r in s.receivers.iter_mut().filter(|r| r.0 == receiver) {
+            r.1 = true;
+        }
+    }
 }
 
 /// The MAC engine for all nodes sharing one [`Medium`].
@@ -138,12 +356,14 @@ pub struct RadioEngine<P> {
     params: MacParams,
     medium: Medium,
     nodes: Vec<MacNode<P>>,
-    active: HashMap<u64, ActiveTx>,
-    /// Sender of each in-flight abstract ACK, keyed by data tx id.
-    pending_acks: HashMap<u64, NodeId>,
+    /// Dense hearer-hot state, parallel to `nodes` (see [`HotNode`]).
+    hot: Vec<HotNode>,
+    /// Transmission arena; ids handed to the scheduler pack the slot
+    /// index and its generation.
+    txs: Vec<TxSlot>,
+    free_txs: Vec<u32>,
     rng: Xoshiro256,
     stats: TxStats,
-    next_tx: u64,
 }
 
 impl<P: Clone> RadioEngine<P> {
@@ -156,12 +376,43 @@ impl<P: Clone> RadioEngine<P> {
             params,
             medium,
             nodes: (0..n).map(|_| MacNode::default()).collect(),
-            active: HashMap::new(),
-            pending_acks: HashMap::new(),
+            hot: (0..n).map(|_| HotNode::default()).collect(),
+            txs: Vec::new(),
+            free_txs: Vec::new(),
             rng,
             stats: TxStats::new(),
-            next_tx: 0,
         }
+    }
+
+    /// Allocates a transmission slot for `src`, reusing a freed slot's
+    /// `receivers` buffer when one is available.
+    fn alloc_tx(&mut self, src: NodeId) -> u64 {
+        if let Some(slot) = self.free_txs.pop() {
+            let s = &mut self.txs[slot as usize];
+            debug_assert!(s.state == TxState::Free && s.receivers.is_empty());
+            s.state = TxState::Airing;
+            s.src = src;
+            tx_id(slot, s.generation)
+        } else {
+            let slot = u32::try_from(self.txs.len()).expect("< 2^32 live transmissions");
+            self.txs.push(TxSlot {
+                generation: 0,
+                state: TxState::Airing,
+                src,
+                receivers: Vec::new(),
+            });
+            tx_id(slot, 0)
+        }
+    }
+
+    /// Returns a slot to the free list and invalidates outstanding ids.
+    fn free_tx(&mut self, slot: usize) {
+        let s = &mut self.txs[slot];
+        debug_assert!(s.state != TxState::Free);
+        s.state = TxState::Free;
+        s.generation = s.generation.wrapping_add(1);
+        s.receivers.clear();
+        self.free_txs.push(slot as u32);
     }
 
     /// Immutable access to the medium (positions, classes, liveness).
@@ -181,18 +432,18 @@ impl<P: Clone> RadioEngine<P> {
         if !alive {
             let st = &mut self.nodes[node.index()];
             st.queue.clear();
-            st.state = MacState::Idle;
             st.attempt = 0;
             st.token += 1;
+            self.hot[node.index()].state = MacState::Idle;
             // Frames in flight toward this node can no longer be
-            // delivered; mark its receiver entries corrupted.
-            for tx in std::mem::take(&mut st.incoming) {
-                if let Some(active) = self.active.get_mut(&tx) {
-                    for r in active.receivers.iter_mut().filter(|r| r.0 == node) {
-                        r.1 = true;
-                    }
-                }
+            // delivered; mark its receiver entries corrupted. The list
+            // is cleared (the node is detached) but keeps its buffer.
+            let incoming = std::mem::take(&mut self.hot[node.index()].incoming);
+            for tx in incoming.iter() {
+                corrupt_at(&mut self.txs, tx, node);
             }
+            self.hot[node.index()].incoming = incoming;
+            self.hot[node.index()].incoming.clear();
         }
     }
 
@@ -203,8 +454,7 @@ impl<P: Clone> RadioEngine<P> {
 
     /// Returns `true` if `node` has nothing queued or in flight.
     pub fn is_idle(&self, node: NodeId) -> bool {
-        let st = &self.nodes[node.index()];
-        st.state == MacState::Idle && st.queue.is_empty()
+        self.hot[node.index()].state == MacState::Idle && self.nodes[node.index()].queue.is_empty()
     }
 
     /// Enqueues `frame` for transmission from `frame.src`.
@@ -222,7 +472,7 @@ impl<P: Clone> RadioEngine<P> {
             return;
         }
         self.nodes[src.index()].queue.push_back(frame);
-        if self.nodes[src.index()].state == MacState::Idle {
+        if self.hot[src.index()].state == MacState::Idle {
             self.begin_access(now, src, sched);
         }
     }
@@ -234,7 +484,7 @@ impl<P: Clone> RadioEngine<P> {
         now: SimTime,
         event: RadioEvent,
         sched: &mut impl FnMut(SimTime, RadioEvent),
-        out: &mut Vec<Upcall<P>>,
+        out: &mut UpcallBuf<P>,
     ) {
         match event {
             RadioEvent::TryAccess { node } => self.on_try_access(now, node, sched),
@@ -256,9 +506,8 @@ impl<P: Clone> RadioEngine<P> {
             .params
             .contention_window(self.nodes[node.index()].attempt);
         let slots = self.rng.gen_range(0..=cw);
-        let st = &mut self.nodes[node.index()];
-        st.state = MacState::WaitingAccess;
-        let idle_at = st.busy_until.max(now);
+        self.hot[node.index()].state = MacState::WaitingAccess;
+        let idle_at = self.hot[node.index()].busy_until.max(now);
         let at = idle_at + self.params.difs + self.params.slot * u64::from(slots);
         sched(at, RadioEvent::TryAccess { node });
     }
@@ -269,11 +518,10 @@ impl<P: Clone> RadioEngine<P> {
         node: NodeId,
         sched: &mut impl FnMut(SimTime, RadioEvent),
     ) {
-        let st = &self.nodes[node.index()];
-        if st.state != MacState::WaitingAccess || !self.medium.is_alive(node) {
+        if self.hot[node.index()].state != MacState::WaitingAccess || !self.medium.is_alive(node) {
             return; // stale event (node died or was reset)
         }
-        if st.busy_until > now {
+        if self.hot[node.index()].busy_until > now {
             // Channel became busy during our backoff; re-contend once it
             // frees up.
             self.begin_access(now, node, sched);
@@ -288,71 +536,64 @@ impl<P: Clone> RadioEngine<P> {
         node: NodeId,
         sched: &mut impl FnMut(SimTime, RadioEvent),
     ) {
-        let tx = self.next_tx;
-        self.next_tx += 1;
-        let frame = self.nodes[node.index()]
-            .queue
-            .front()
-            .expect("start_tx with empty queue")
-            .clone();
-        let duration = self.params.airtime(frame.bytes);
+        let (bytes, class) = {
+            let f = self.nodes[node.index()]
+                .queue
+                .front()
+                .expect("start_tx with empty queue");
+            (f.bytes, f.class)
+        };
+        let tx = self.alloc_tx(node);
+        let slot = tx_slot(tx);
+        let duration = self.params.airtime(bytes);
         let end = now + duration;
-        self.stats.class_mut(frame.class).data_tx += 1;
+        self.stats.class_mut(class).data_tx += 1;
 
         // The sender cannot receive while transmitting: corrupt anything
         // currently arriving at it.
-        let incoming = std::mem::take(&mut self.nodes[node.index()].incoming);
-        for other in &incoming {
-            self.corrupt_at(*other, node);
+        let incoming = std::mem::take(&mut self.hot[node.index()].incoming);
+        for other in incoming.iter() {
+            corrupt_at(&mut self.txs, other, node);
         }
-        self.nodes[node.index()].incoming = incoming;
+        self.hot[node.index()].incoming = incoming;
 
-        let mut receivers: Vec<(NodeId, bool)> = Vec::new();
-        let hearers = self.medium.hearers(node);
-        for h in hearers {
+        // With fading off, reception is certain for every hearer (they
+        // are in range by construction), so skip the per-hearer distance
+        // computation; no randomness is consumed either way.
+        let fading = !matches!(self.medium.fading(), Fading::None);
+        self.medium.for_each_hearer(node, |h| {
             // Edge-of-range fading: a weak frame still occupies the
             // channel (carrier sense) but may fail to lock the receiver.
-            let p_rx = self.medium.reception_prob(node, h);
-            let faded = p_rx < 1.0 && self.rng.next_f64() >= p_rx;
-            let hst = &mut self.nodes[h.index()];
-            hst.busy_until = hst.busy_until.max(end);
+            let faded = fading && {
+                let p_rx = self.medium.reception_prob(node, h);
+                p_rx < 1.0 && self.rng.next_f64() >= p_rx
+            };
+            let h_i = h.index();
+            let busy = &mut self.hot[h_i].busy_until;
+            *busy = (*busy).max(end);
             if faded {
-                continue;
+                return;
             }
-            if hst.state == MacState::Transmitting {
-                continue; // half-duplex: cannot receive at all
+            if self.hot[h_i].state == MacState::Transmitting {
+                return; // half-duplex: cannot receive at all
             }
-            let collided = !hst.incoming.is_empty();
+            let collided = !self.hot[h_i].incoming.is_empty();
             if collided {
-                self.stats.class_mut(frame.class).collisions += 1;
-                let overlapping = hst.incoming.clone();
-                for other in overlapping {
-                    self.corrupt_at(other, h);
+                self.stats.class_mut(class).collisions += 1;
+                let incoming = std::mem::take(&mut self.hot[h_i].incoming);
+                for other in incoming.iter() {
+                    corrupt_at(&mut self.txs, other, h);
                 }
+                self.hot[h_i].incoming = incoming;
             }
-            self.nodes[h.index()].incoming.push(tx);
-            receivers.push((h, collided));
-        }
+            self.hot[h_i].incoming.push(tx);
+            self.txs[slot].receivers.push((h, collided));
+        });
 
-        let st = &mut self.nodes[node.index()];
-        st.state = MacState::Transmitting;
-        st.busy_until = st.busy_until.max(end);
-        self.active.insert(
-            tx,
-            ActiveTx {
-                src: node,
-                receivers,
-            },
-        );
+        self.hot[node.index()].state = MacState::Transmitting;
+        let busy = &mut self.hot[node.index()].busy_until;
+        *busy = (*busy).max(end);
         sched(end, RadioEvent::TxEnd { tx });
-    }
-
-    fn corrupt_at(&mut self, tx: u64, receiver: NodeId) {
-        if let Some(active) = self.active.get_mut(&tx) {
-            for r in active.receivers.iter_mut().filter(|r| r.0 == receiver) {
-                r.1 = true;
-            }
-        }
     }
 
     fn on_tx_end(
@@ -360,79 +601,91 @@ impl<P: Clone> RadioEngine<P> {
         now: SimTime,
         tx: u64,
         sched: &mut impl FnMut(SimTime, RadioEvent),
-        out: &mut Vec<Upcall<P>>,
+        out: &mut UpcallBuf<P>,
     ) {
-        let active = self.active.remove(&tx).expect("unknown transmission");
-        let src = active.src;
-        // Detach from receivers and deliver intact copies.
-        let frame = match self.nodes[src.index()].queue.front() {
-            Some(f) => f.clone(),
+        let slot = tx_slot(tx);
+        let s = &self.txs[slot];
+        assert!(
+            s.generation == tx_generation(tx) && s.state == TxState::Airing,
+            "unknown transmission"
+        );
+        let src = s.src;
+        // Detach from receivers and deliver. The frame is buffered once
+        // and every Delivered entry references it by index, so fan-out
+        // to N hearers costs one clone, not N.
+        let fi = match self.nodes[src.index()].queue.front() {
+            Some(f) => out.push_frame(f.clone()),
             None => {
                 // Sender died mid-transmission and its queue was flushed;
                 // nothing to deliver or complete.
-                for (h, _) in &active.receivers {
-                    self.nodes[h.index()].incoming.retain(|&t| t != tx);
+                for &(h, _) in &self.txs[slot].receivers {
+                    self.hot[h.index()].incoming.remove(tx);
                 }
+                self.free_tx(slot);
                 return;
             }
+        };
+        let (dst, class) = {
+            let f = out.frame(fi);
+            (f.dst, f.class)
         };
 
         let mut dst_received = false;
         let mut any_received = false;
-        for &(h, corrupted) in &active.receivers {
-            self.nodes[h.index()].incoming.retain(|&t| t != tx);
+        for &(h, corrupted) in &self.txs[slot].receivers {
+            self.hot[h.index()].incoming.remove(tx);
             if corrupted || !self.medium.is_alive(h) {
                 continue;
             }
             any_received = true;
-            if frame.dst == Some(h) {
+            if dst == Some(h) {
                 dst_received = true;
             }
-            if frame.dst.is_none() || frame.dst == Some(h) {
-                out.push(Upcall::Delivered {
-                    to: h,
-                    frame: frame.clone(),
-                });
+            if dst.is_none() || dst == Some(h) {
+                out.entries
+                    .push(UpcallEntry::Delivered { to: h, frame: fi });
             }
         }
 
         if !self.medium.is_alive(src) {
             // Sender died exactly at tx end; drop silently.
-            let st = &mut self.nodes[src.index()];
-            st.state = MacState::Idle;
+            self.hot[src.index()].state = MacState::Idle;
+            self.free_tx(slot);
             return;
         }
 
-        match frame.dst {
+        match dst {
             None => {
                 // Broadcast: done.
+                self.free_tx(slot);
                 if any_received {
-                    self.stats.class_mut(frame.class).delivered += 1;
+                    self.stats.class_mut(class).delivered += 1;
                 }
                 self.complete_head(now, src, true, out, sched);
             }
-            Some(_) if dst_received => {
+            Some(dst) if dst_received => {
                 // Abstract ACK: occupies the channel around the receiver
-                // for SIFS + ACK air time, then the sender completes.
-                let dst = frame.dst.expect("checked above");
-                self.stats.class_mut(frame.class).ack_tx += 1;
+                // for SIFS + ACK air time, then the sender completes. The
+                // slot stays allocated (state Acking) until AckDone.
+                self.stats.class_mut(class).ack_tx += 1;
                 let ack_end = now + self.params.sifs + self.params.ack_airtime();
-                let dst_hearers = self.medium.hearers(dst);
-                for h in dst_hearers {
-                    let hst = &mut self.nodes[h.index()];
-                    hst.busy_until = hst.busy_until.max(ack_end);
-                }
-                let sst = &mut self.nodes[src.index()];
-                sst.state = MacState::AwaitAck;
-                sst.busy_until = sst.busy_until.max(ack_end);
-                self.pending_acks.insert(tx, src);
+                self.medium.for_each_hearer(dst, |h| {
+                    let busy = &mut self.hot[h.index()].busy_until;
+                    *busy = (*busy).max(ack_end);
+                });
+                self.hot[src.index()].state = MacState::AwaitAck;
+                let busy = &mut self.hot[src.index()].busy_until;
+                *busy = (*busy).max(ack_end);
+                self.txs[slot].state = TxState::Acking;
+                self.txs[slot].receivers.clear();
                 sched(ack_end, RadioEvent::AckDone { tx });
             }
             Some(_) => {
                 // Destination missed the frame (collision, death, or out
                 // of range): wait out the ACK timeout, then retry.
+                self.free_tx(slot);
+                self.hot[src.index()].state = MacState::AwaitAck;
                 let st = &mut self.nodes[src.index()];
-                st.state = MacState::AwaitAck;
                 st.token += 1;
                 let token = st.token;
                 sched(
@@ -448,12 +701,16 @@ impl<P: Clone> RadioEngine<P> {
         now: SimTime,
         tx: u64,
         sched: &mut impl FnMut(SimTime, RadioEvent),
-        out: &mut Vec<Upcall<P>>,
+        out: &mut UpcallBuf<P>,
     ) {
-        let Some(src) = self.pending_acks.remove(&tx) else {
-            return; // sender died and was flushed
-        };
-        if !self.medium.is_alive(src) || self.nodes[src.index()].state != MacState::AwaitAck {
+        let slot = tx_slot(tx);
+        let s = &self.txs[slot];
+        if s.generation != tx_generation(tx) || s.state != TxState::Acking {
+            return; // stale id
+        }
+        let src = s.src;
+        self.free_tx(slot);
+        if !self.medium.is_alive(src) || self.hot[src.index()].state != MacState::AwaitAck {
             return;
         }
         if let Some(frame) = self.nodes[src.index()].queue.front() {
@@ -468,10 +725,13 @@ impl<P: Clone> RadioEngine<P> {
         node: NodeId,
         token: u64,
         sched: &mut impl FnMut(SimTime, RadioEvent),
-        out: &mut Vec<Upcall<P>>,
+        out: &mut UpcallBuf<P>,
     ) {
         let st = &self.nodes[node.index()];
-        if st.state != MacState::AwaitAck || st.token != token || !self.medium.is_alive(node) {
+        if self.hot[node.index()].state != MacState::AwaitAck
+            || st.token != token
+            || !self.medium.is_alive(node)
+        {
             return; // stale timeout
         }
         let attempt = st.attempt + 1;
@@ -492,7 +752,7 @@ impl<P: Clone> RadioEngine<P> {
         now: SimTime,
         node: NodeId,
         ok: bool,
-        out: &mut Vec<Upcall<P>>,
+        out: &mut UpcallBuf<P>,
         sched: &mut impl FnMut(SimTime, RadioEvent),
     ) {
         let st = &mut self.nodes[node.index()];
@@ -501,11 +761,12 @@ impl<P: Clone> RadioEngine<P> {
             .pop_front()
             .expect("complete_head with empty queue");
         st.attempt = 0;
-        st.state = MacState::Idle;
         st.token += 1;
-        out.push(Upcall::TxComplete {
+        self.hot[node.index()].state = MacState::Idle;
+        let fi = out.push_frame(frame);
+        out.entries.push(UpcallEntry::TxComplete {
             src: node,
-            frame,
+            frame: fi,
             ok,
         });
         if !self.nodes[node.index()].queue.is_empty() {
@@ -518,7 +779,7 @@ impl<P> std::fmt::Debug for RadioEngine<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RadioEngine")
             .field("nodes", &self.nodes.len())
-            .field("active_txs", &self.active.len())
+            .field("active_txs", &(self.txs.len() - self.free_txs.len()))
             .field("total_tx", &self.stats.total_tx())
             .finish()
     }
@@ -547,7 +808,7 @@ mod tests {
             sched.schedule_at(SimTime::from_secs(t), Ev::Send(f));
         }
         let mut upcalls = Vec::new();
-        let mut buffer = Vec::new();
+        let mut buffer = UpcallBuf::new();
         while let Some(ev) = sched.next_event() {
             let now = sched.now();
             let mut pending: Vec<(SimTime, RadioEvent)> = Vec::new();
@@ -561,7 +822,7 @@ mod tests {
             for (at, e) in pending {
                 sched.schedule_at(at, Ev::Radio(e));
             }
-            for u in buffer.drain(..) {
+            for u in buffer.take_owned() {
                 upcalls.push((now, u));
             }
         }

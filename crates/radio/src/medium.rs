@@ -92,17 +92,109 @@ impl Fading {
     }
 }
 
+/// Precomputed hearer adjacency for static (non-robot) transmitters.
+///
+/// Sensors and the manager never move, so the static nodes inside each
+/// one's transmission disc are fixed at build time; only the robots need
+/// distance checks per query. The lists are grouped by grid bucket in
+/// the exact scan order of [`GridIndex::for_each_within`], so robots can
+/// be merged back at their true scan positions and the visit order —
+/// which downstream consumers' RNG draws depend on — is preserved
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+struct StaticHearers {
+    /// First node index of the contiguous robot id block.
+    robot_lo: usize,
+    /// One past the last robot id.
+    robot_hi: usize,
+    /// Per-source start into `counts` (`len + 1` entries).
+    counts_start: Vec<u32>,
+    /// Static in-range hearers per visited bucket, in bucket scan order.
+    counts: Vec<u16>,
+    /// Per-source start into `ids` (`len + 1` entries).
+    ids_start: Vec<u32>,
+    /// Static in-range hearer ids, grouped by bucket, ascending within
+    /// each bucket (matching the grid's resident order).
+    ids: Vec<u32>,
+}
+
+impl StaticHearers {
+    /// Builds the adjacency, or `None` when the robot ids are not one
+    /// contiguous block (the tail-of-bucket merge relies on that).
+    fn build(
+        index: &GridIndex,
+        classes: &[NodeClass],
+        ranges: &RangeTable,
+        positions: &[Point],
+    ) -> Option<StaticHearers> {
+        let robot_lo = classes
+            .iter()
+            .position(|&c| c == NodeClass::Robot)
+            .unwrap_or(classes.len());
+        let robot_hi = classes
+            .iter()
+            .rposition(|&c| c == NodeClass::Robot)
+            .map_or(robot_lo, |i| i + 1);
+        if classes[robot_lo..robot_hi]
+            .iter()
+            .any(|&c| c != NodeClass::Robot)
+        {
+            return None;
+        }
+        let mut cache = StaticHearers {
+            robot_lo,
+            robot_hi,
+            counts_start: Vec::with_capacity(classes.len() + 1),
+            counts: Vec::new(),
+            ids_start: Vec::with_capacity(classes.len() + 1),
+            ids: Vec::new(),
+        };
+        for (i, &class) in classes.iter().enumerate() {
+            cache.counts_start.push(cache.counts.len() as u32);
+            cache.ids_start.push(cache.ids.len() as u32);
+            if class == NodeClass::Robot {
+                continue;
+            }
+            let pos = positions[i];
+            let r = ranges.range(class);
+            let r_sq = r * r;
+            index.for_each_bucket_within(pos, r, |residents, _movers| {
+                let mut n = 0u16;
+                for &(j, p) in residents {
+                    let j = j as usize;
+                    if j != i && !(robot_lo..robot_hi).contains(&j) && p.distance_sq(pos) <= r_sq {
+                        cache.ids.push(j as u32);
+                        n += 1;
+                    }
+                }
+                cache.counts.push(n);
+            });
+        }
+        cache.counts_start.push(cache.counts.len() as u32);
+        cache.ids_start.push(cache.ids.len() as u32);
+        Some(cache)
+    }
+}
+
 /// The unit-disk medium: every node within the *sender's* range hears a
 /// transmission. Ranges are asymmetric between classes exactly as in the
 /// paper (a sensor hears a robot at 250 m, the robot hears that sensor
 /// only within 63 m).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Medium {
     index: GridIndex,
     classes: Vec<NodeClass>,
     alive: Vec<bool>,
     ranges: RangeTable,
     fading: Fading,
+    /// Fast path for static transmitters; dropped (fall back to plain
+    /// grid queries) if a non-robot node is ever actually moved.
+    static_hearers: Option<StaticHearers>,
+    /// How many robots currently occupy each grid bucket. Most
+    /// transmissions have no robot anywhere in their scan window, and a
+    /// zero across the window lets `for_each_hearer` emit the
+    /// precomputed static list without touching the grid's buckets.
+    robot_buckets: Vec<u32>,
 }
 
 impl Medium {
@@ -126,12 +218,22 @@ impl Medium {
         // Cell size near the *smallest* interesting radius keeps sensor
         // queries (the overwhelming majority) cheap.
         let cell = ranges.range(NodeClass::Sensor).max(1.0);
+        let index = GridIndex::build(bounds, cell, positions);
+        let static_hearers = StaticHearers::build(&index, classes, &ranges, positions);
+        let mut robot_buckets = vec![0u32; index.bucket_count()];
+        for (i, &c) in classes.iter().enumerate() {
+            if c == NodeClass::Robot {
+                robot_buckets[index.bucket_index(positions[i])] += 1;
+            }
+        }
         Medium {
-            index: GridIndex::build(bounds, cell, positions),
+            index,
             alive: vec![true; positions.len()],
             classes: classes.to_vec(),
             ranges,
             fading: Fading::None,
+            static_hearers,
+            robot_buckets,
         }
     }
 
@@ -170,6 +272,18 @@ impl Medium {
 
     /// Moves `node` (robots move while maintaining the network).
     pub fn set_position(&mut self, node: NodeId, pos: Point) {
+        if self.classes[node.index()] == NodeClass::Robot {
+            let from = self.index.bucket_index(self.index.position(node.index()));
+            let to = self.index.bucket_index(pos);
+            if from != to {
+                self.robot_buckets[from] -= 1;
+                self.robot_buckets[to] += 1;
+            }
+        } else if self.static_hearers.is_some() && self.index.position(node.index()) != pos {
+            // A supposedly static node moved: the precomputed adjacency
+            // no longer describes the topology, so drop it for good.
+            self.static_hearers = None;
+        }
         self.index.update_position(node.index(), pos);
     }
 
@@ -201,11 +315,88 @@ impl Medium {
 
     /// Calls `visit` for every *alive* node (other than the sender) that
     /// hears a transmission from `src` at its current position.
+    ///
+    /// Static transmitters take the precomputed-adjacency fast path:
+    /// their static hearers were distance-filtered at build time, so the
+    /// scan only touches the candidate ids plus the (few) robots — while
+    /// reproducing the plain grid query's visit order exactly.
     pub fn for_each_hearer(&self, src: NodeId, mut visit: impl FnMut(NodeId)) {
         let pos = self.position(src);
         let range = self.tx_range(src);
+        let si = src.index();
+        if let Some(c) = &self.static_hearers {
+            if self.classes[si] != NodeClass::Robot {
+                if !self
+                    .index
+                    .any_bucket_within(pos, range, |b| self.robot_buckets[b] > 0)
+                {
+                    // No robot anywhere in the scan window: the hearer
+                    // set is exactly the precomputed static list, in
+                    // scan order, filtered by liveness.
+                    let lo = c.ids_start[si] as usize;
+                    let hi = c.ids_start[si + 1] as usize;
+                    for &id in &c.ids[lo..hi] {
+                        if self.alive[id as usize] {
+                            visit(NodeId::new(id));
+                        }
+                    }
+                    return;
+                }
+                let r_sq = range * range;
+                let mut ci = c.counts_start[si] as usize;
+                let mut gi = c.ids_start[si] as usize;
+                self.index
+                    .for_each_bucket_within(pos, range, |residents, movers| {
+                        let n = c.counts[ci] as usize;
+                        ci += 1;
+                        let group = &c.ids[gi..gi + n];
+                        gi += n;
+                        // Bucket residents are sorted ascending by id, so the
+                        // true scan order is: static nodes below the robot
+                        // block, robot residents, static nodes above it
+                        // (the manager), then moved robots in arrival order.
+                        let mut g = 0;
+                        while g < n && (group[g] as usize) < c.robot_lo {
+                            let id = group[g] as usize;
+                            g += 1;
+                            if self.alive[id] {
+                                visit(NodeId::new(id as u32));
+                            }
+                        }
+                        if let Some(&(last, _)) = residents.last() {
+                            if (last as usize) >= c.robot_lo {
+                                let p0 =
+                                    residents.partition_point(|&(j, _)| (j as usize) < c.robot_lo);
+                                for &(j, p) in &residents[p0..] {
+                                    let j = j as usize;
+                                    if j >= c.robot_hi {
+                                        break;
+                                    }
+                                    if self.alive[j] && p.distance_sq(pos) <= r_sq {
+                                        visit(NodeId::new(j as u32));
+                                    }
+                                }
+                            }
+                        }
+                        while g < n {
+                            let id = group[g] as usize;
+                            g += 1;
+                            if self.alive[id] {
+                                visit(NodeId::new(id as u32));
+                            }
+                        }
+                        for &(j, p) in movers {
+                            let j = j as usize;
+                            if self.alive[j] && p.distance_sq(pos) <= r_sq {
+                                visit(NodeId::new(j as u32));
+                            }
+                        }
+                    });
+                return;
+            }
+        }
         self.index.for_each_within(pos, range, |i| {
-            if i != src.index() && self.alive[i] {
+            if i != si && self.alive[i] {
                 visit(NodeId::new(i as u32));
             }
         });
@@ -301,6 +492,110 @@ mod tests {
         let p = m.reception_prob(NodeId::new(0), NodeId::new(1));
         assert!(p > 0.0 && p < 1.0, "grey zone probability {p}");
         assert_eq!(m.fading(), Fading::SmoothEdge { inner: 0.5 });
+    }
+
+    /// Builds a field of `n_sensors` pseudo-randomly placed sensors, a
+    /// k×k robot grid, and a manager, mirroring the harness's id layout
+    /// (sensors, then robots, then manager).
+    fn field(n_sensors: usize, k: usize, side: f64) -> Medium {
+        let mut positions = Vec::new();
+        let mut classes = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..n_sensors {
+            positions.push(Point::new(next() * side, next() * side));
+            classes.push(NodeClass::Sensor);
+        }
+        for i in 0..k {
+            for j in 0..k {
+                let cell = side / k as f64;
+                positions.push(Point::new((i as f64 + 0.5) * cell, (j as f64 + 0.5) * cell));
+                classes.push(NodeClass::Robot);
+            }
+        }
+        positions.push(Point::new(side / 2.0, side / 2.0));
+        classes.push(NodeClass::Manager);
+        Medium::new(
+            Bounds::square(side),
+            RangeTable::default(),
+            &positions,
+            &classes,
+        )
+    }
+
+    /// Drops the static-hearer cache by nudging a static node and
+    /// moving it straight back: topology is unchanged, but every query
+    /// now takes the generic grid path.
+    fn uncached(mut m: Medium) -> Medium {
+        let s0 = NodeId::new(0);
+        let p = m.position(s0);
+        m.set_position(s0, Point::new(p.x + 0.25, p.y));
+        m.set_position(s0, p);
+        assert!(m.static_hearers.is_none(), "cache should be dropped");
+        m
+    }
+
+    #[test]
+    fn static_hearer_cache_matches_grid_queries() {
+        let m = field(400, 3, 800.0);
+        assert!(m.static_hearers.is_some(), "contiguous robots cache");
+        let plain = uncached(m.clone());
+        for i in 0..m.len() {
+            let src = NodeId::new(i as u32);
+            assert_eq!(m.hearers(src), plain.hearers(src), "src {i}");
+        }
+    }
+
+    #[test]
+    fn static_hearer_cache_tracks_robot_motion_and_death() {
+        let mut m = field(300, 2, 600.0);
+        let mut plain = uncached(m.clone());
+        let n = m.len();
+        let robots: Vec<NodeId> = (300..n - 1).map(|i| NodeId::new(i as u32)).collect();
+        // March the robots across bucket boundaries (and one off a
+        // sensor's window entirely), killing and reviving nodes along
+        // the way; the cached and generic paths must agree at every
+        // step, in content *and* visit order.
+        let mut state = 1u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for step in 0..40 {
+            let r = robots[step % robots.len()];
+            let to = Point::new(next() * 600.0, next() * 600.0);
+            m.set_position(r, to);
+            plain.set_position(r, to);
+            let victim = NodeId::new((step * 37 % 300) as u32);
+            let alive = step % 3 != 0;
+            m.set_alive(victim, alive);
+            plain.set_alive(victim, alive);
+            for i in (0..m.len()).step_by(17) {
+                let src = NodeId::new(i as u32);
+                assert_eq!(m.hearers(src), plain.hearers(src), "step {step} src {i}");
+            }
+        }
+        assert!(
+            m.static_hearers.is_some(),
+            "robot motion must not drop the cache"
+        );
+    }
+
+    #[test]
+    fn moving_a_static_node_drops_the_cache_for_good() {
+        let mut m = field(50, 2, 400.0);
+        assert!(m.static_hearers.is_some());
+        // A same-position "move" (the centralized manager re-announces
+        // in place every tick) must keep the cache.
+        let mgr = NodeId::new(m.len() as u32 - 1);
+        let at = m.position(mgr);
+        m.set_position(mgr, at);
+        assert!(m.static_hearers.is_some(), "no-op move keeps the cache");
+        m.set_position(mgr, Point::new(at.x + 1.0, at.y));
+        assert!(m.static_hearers.is_none(), "real move drops it");
     }
 
     #[test]

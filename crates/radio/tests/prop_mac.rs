@@ -6,7 +6,7 @@ use robonet_des::rng::Xoshiro256;
 
 use robonet_des::{NodeId, Scheduler, SimTime};
 use robonet_geom::{Bounds, Point};
-use robonet_radio::engine::{RadioEvent, Upcall};
+use robonet_radio::engine::{RadioEvent, Upcall, UpcallBuf};
 use robonet_radio::medium::{Medium, NodeClass, RangeTable};
 use robonet_radio::{Frame, MacParams, RadioEngine, TrafficClass};
 
@@ -59,7 +59,7 @@ fn run(
         completes_fail: 0,
         delivered: Vec::new(),
     };
-    let mut out = Vec::new();
+    let mut out = UpcallBuf::new();
     while let Some(ev) = sched.next_event() {
         let now = sched.now();
         let mut pend: Vec<(SimTime, RadioEvent)> = Vec::new();
@@ -70,7 +70,7 @@ fn run(
         for (at, e) in pend {
             sched.schedule_at(at, Ev::Radio(e));
         }
-        for up in out.drain(..) {
+        for up in out.take_owned() {
             match up {
                 Upcall::TxComplete { ok, .. } => {
                     if ok {

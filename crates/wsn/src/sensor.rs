@@ -6,8 +6,6 @@
 //! location of the robot it reports failures to (`myrobot`); and flood
 //! deduplication state for robot location updates.
 
-use std::collections::BTreeMap;
-
 use robonet_des::{NodeId, SimDuration, SimTime};
 use robonet_geom::Point;
 use robonet_net::flood::DedupTable;
@@ -40,16 +38,18 @@ pub struct SensorState {
     pub guardian: Option<NodeId>,
     /// When the guardian was last heard.
     pub guardian_last_heard: Option<SimTime>,
-    /// Nodes this sensor watches, with the time each was last heard.
-    pub guardees: BTreeMap<NodeId, SimTime>,
+    /// Nodes this sensor watches, with the time each was last heard,
+    /// sorted by id (a sensor watches a handful of neighbours, so a
+    /// sorted vec beats a tree on the per-beacon refresh path).
+    pub guardees: Vec<(NodeId, SimTime)>,
     /// The robot this sensor reports failures to, with its last known
     /// location — always the closest robot among [`SensorState::robot_locs`].
     pub myrobot: Option<(NodeId, Point)>,
     /// Last known location of every robot this sensor has heard about
-    /// (from location-update floods and robot hellos). The dynamic
-    /// algorithm's `myrobot` is the closest of these, so a receding
-    /// robot is replaced by a previously heard closer one.
-    pub robot_locs: BTreeMap<NodeId, Point>,
+    /// (from location-update floods and robot hellos), sorted by robot
+    /// id. The dynamic algorithm's `myrobot` is the closest of these,
+    /// so a receding robot is replaced by a previously heard closer one.
+    pub robot_locs: Vec<(NodeId, Point)>,
     /// The central manager's identity and location (centralized
     /// algorithm only).
     pub manager: Option<(NodeId, Point)>,
@@ -58,10 +58,10 @@ pub struct SensorState {
     /// Per-guardee report backoff: a failure already reported is not
     /// re-reported until this time, so an in-progress repair is not
     /// spammed but a lost report eventually retries.
-    reported_until: BTreeMap<NodeId, SimTime>,
+    reported_until: Vec<(NodeId, SimTime)>,
     /// Per-guardee report attempt counts (only populated when the fault
     /// layer's bounded-retry protocol is active).
-    report_attempts: BTreeMap<NodeId, u32>,
+    report_attempts: Vec<(NodeId, u32)>,
 }
 
 impl SensorState {
@@ -74,13 +74,13 @@ impl SensorState {
             neighbors: NeighborTable::new(),
             guardian: None,
             guardian_last_heard: None,
-            guardees: BTreeMap::new(),
+            guardees: Vec::new(),
             myrobot: None,
             manager: None,
             dedup: DedupTable::new(),
-            robot_locs: BTreeMap::new(),
-            reported_until: BTreeMap::new(),
-            report_attempts: BTreeMap::new(),
+            robot_locs: Vec::new(),
+            reported_until: Vec::new(),
+            report_attempts: Vec::new(),
         }
     }
 
@@ -89,10 +89,20 @@ impl SensorState {
     /// guardee, and the guardian timer if `from` is the guardian.
     pub fn hear(&mut self, from: NodeId, loc: Point, now: SimTime) {
         self.neighbors.update(from, loc, now);
-        if let Some(t) = self.guardees.get_mut(&from) {
-            *t = now;
-            self.reported_until.remove(&from);
-            self.report_attempts.remove(&from);
+        if let Ok(i) = self.guardees.binary_search_by_key(&from, |&(id, _)| id) {
+            self.guardees[i].1 = now;
+            if let Ok(j) = self
+                .reported_until
+                .binary_search_by_key(&from, |&(id, _)| id)
+            {
+                self.reported_until.remove(j);
+            }
+            if let Ok(j) = self
+                .report_attempts
+                .binary_search_by_key(&from, |&(id, _)| id)
+            {
+                self.report_attempts.remove(j);
+            }
         }
         if self.guardian == Some(from) {
             self.guardian_last_heard = Some(now);
@@ -118,29 +128,58 @@ impl SensorState {
     /// Accepts a guardian-confirmation from `from`: this sensor now
     /// watches `from`.
     pub fn add_guardee(&mut self, from: NodeId, now: SimTime) {
-        self.guardees.insert(from, now);
+        match self.guardees.binary_search_by_key(&from, |&(id, _)| id) {
+            Ok(i) => self.guardees[i].1 = now,
+            Err(i) => self.guardees.insert(i, (from, now)),
+        }
     }
 
     /// Stops watching `node` (it failed and was reported, or re-homed).
     /// Returns `true` if it was a guardee.
     pub fn remove_guardee(&mut self, node: NodeId) -> bool {
-        self.reported_until.remove(&node);
-        self.report_attempts.remove(&node);
-        self.guardees.remove(&node).is_some()
+        if let Ok(i) = self
+            .reported_until
+            .binary_search_by_key(&node, |&(id, _)| id)
+        {
+            self.reported_until.remove(i);
+        }
+        if let Ok(i) = self
+            .report_attempts
+            .binary_search_by_key(&node, |&(id, _)| id)
+        {
+            self.report_attempts.remove(i);
+        }
+        match self.guardees.binary_search_by_key(&node, |&(id, _)| id) {
+            Ok(i) => {
+                self.guardees.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Returns `true` if a silent guardee should be reported now — i.e.
     /// it has not already been reported within the retry window.
     pub fn should_report(&self, guardee: NodeId, now: SimTime) -> bool {
-        self.reported_until
-            .get(&guardee)
-            .is_none_or(|&until| now >= until)
+        match self
+            .reported_until
+            .binary_search_by_key(&guardee, |&(id, _)| id)
+        {
+            Ok(i) => now >= self.reported_until[i].1,
+            Err(_) => true,
+        }
     }
 
     /// Records that `guardee`'s failure was reported; it will not be
     /// reported again before `now + retry`.
     pub fn mark_reported(&mut self, guardee: NodeId, now: SimTime, retry: SimDuration) {
-        self.reported_until.insert(guardee, now + retry);
+        match self
+            .reported_until
+            .binary_search_by_key(&guardee, |&(id, _)| id)
+        {
+            Ok(i) => self.reported_until[i].1 = now + retry,
+            Err(i) => self.reported_until.insert(i, (guardee, now + retry)),
+        }
     }
 
     /// Increments and returns the 1-based report attempt count for
@@ -148,9 +187,19 @@ impl SensorState {
     /// when the guardee is heard again, removed, or this sensor is
     /// replaced.
     pub fn note_report_attempt(&mut self, guardee: NodeId) -> u32 {
-        let n = self.report_attempts.entry(guardee).or_insert(0);
-        *n += 1;
-        *n
+        match self
+            .report_attempts
+            .binary_search_by_key(&guardee, |&(id, _)| id)
+        {
+            Ok(i) => {
+                self.report_attempts[i].1 += 1;
+                self.report_attempts[i].1
+            }
+            Err(i) => {
+                self.report_attempts.insert(i, (guardee, 1));
+                1
+            }
+        }
     }
 
     /// Guardees whose beacons have been silent for at least `timeout`
@@ -159,8 +208,8 @@ impl SensorState {
     pub fn silent_guardees(&self, now: SimTime, timeout: SimDuration) -> Vec<NodeId> {
         self.guardees
             .iter()
-            .filter(|(_, &last)| now.saturating_duration_since(last) >= timeout)
-            .map(|(&id, _)| id)
+            .filter(|&&(_, last)| now.saturating_duration_since(last) >= timeout)
+            .map(|&(id, _)| id)
             .collect()
     }
 
@@ -181,8 +230,15 @@ impl SensorState {
     /// the guardian slot. Returns `true` if a new guardian is needed.
     pub fn forget_failed_neighbor(&mut self, node: NodeId) -> bool {
         self.neighbors.remove(node);
-        self.guardees.remove(&node);
-        self.report_attempts.remove(&node);
+        if let Ok(i) = self.guardees.binary_search_by_key(&node, |&(id, _)| id) {
+            self.guardees.remove(i);
+        }
+        if let Ok(i) = self
+            .report_attempts
+            .binary_search_by_key(&node, |&(id, _)| id)
+        {
+            self.report_attempts.remove(i);
+        }
         if self.guardian == Some(node) {
             self.guardian = None;
             self.guardian_last_heard = None;
@@ -217,23 +273,53 @@ impl SensorState {
     /// exactly the cases in which the sensor must relay the update so
     /// the rest of the cell keeps tracking its manager.
     pub fn consider_robot(&mut self, robot: NodeId, loc: Point) -> bool {
-        self.robot_locs.insert(robot, loc);
-        let before = self.myrobot.map(|(id, _)| id);
-        self.recompute_myrobot();
-        let after = self.myrobot.map(|(id, _)| id);
-        after != before || after == Some(robot)
+        match self.robot_locs.binary_search_by_key(&robot, |&(id, _)| id) {
+            Ok(i) => self.robot_locs[i].1 = loc,
+            Err(i) => self.robot_locs.insert(i, (robot, loc)),
+        }
+        // `myrobot` is maintained incrementally: a full argmin scan is
+        // only needed when the current myrobot itself recedes.
+        let Some((cur_id, cur_loc)) = self.myrobot else {
+            self.myrobot = Some((robot, loc));
+            return true;
+        };
+        let d_new = self.loc.distance_sq(loc);
+        if robot == cur_id {
+            if d_new <= self.loc.distance_sq(cur_loc) {
+                // Moved closer (or held): every other robot was already
+                // farther than the old position, so it stays myrobot.
+                self.myrobot = Some((robot, loc));
+            } else {
+                self.recompute_myrobot();
+            }
+            // The updating robot was myrobot (and may still be): the
+            // update is relevant either way.
+            return true;
+        }
+        let d_cur = self.loc.distance_sq(cur_loc);
+        if d_new < d_cur || (d_new == d_cur && robot < cur_id) {
+            self.myrobot = Some((robot, loc));
+            return true;
+        }
+        // A robot that was not myrobot and did not beat it cannot change
+        // the argmin.
+        false
     }
 
     /// Forgets one robot (presumed broken down): removes it from the
     /// known locations and re-evaluates `myrobot` as the closest
     /// remaining robot. Returns `true` if `myrobot` changed.
     pub fn forget_robot(&mut self, robot: NodeId) -> bool {
-        let before = self.myrobot.map(|(id, _)| id);
-        if self.robot_locs.remove(&robot).is_none() {
+        let Ok(i) = self.robot_locs.binary_search_by_key(&robot, |&(id, _)| id) else {
             return false;
+        };
+        self.robot_locs.remove(i);
+        if self.myrobot.map(|(id, _)| id) == Some(robot) {
+            self.recompute_myrobot();
+            true
+        } else {
+            false
         }
-        self.recompute_myrobot();
-        self.myrobot.map(|(id, _)| id) != before
     }
 
     /// `myrobot` := argmin over remembered robot locations (ties broken
@@ -244,12 +330,12 @@ impl SensorState {
             .robot_locs
             .iter()
             .min_by(|(a_id, a), (b_id, b)| {
-                me.distance_sq(**a)
-                    .partial_cmp(&me.distance_sq(**b))
+                me.distance_sq(*a)
+                    .partial_cmp(&me.distance_sq(*b))
                     .expect("finite robot location")
                     .then(a_id.cmp(b_id))
             })
-            .map(|(&id, &l)| (id, l));
+            .copied();
     }
 
     /// Forgets everything known about robot locations (testing/failover).
@@ -366,7 +452,7 @@ mod tests {
         s.add_guardee(n(1), t(0.0));
         assert!(!s.forget_failed_neighbor(n(1)), "guardee, not guardian");
         assert!(!s.neighbors.contains(n(1)));
-        assert!(!s.guardees.contains_key(&n(1)));
+        assert!(!s.guardees.iter().any(|&(id, _)| id == n(1)));
     }
 
     #[test]
@@ -432,7 +518,7 @@ mod tests {
         assert!(s.scrub_failed_neighbor(n(2)), "guardian slot cleared");
         assert!(!s.neighbors.contains(n(2)), "routing no longer sees it");
         assert!(
-            s.guardees.contains_key(&n(2)),
+            s.guardees.iter().any(|&(id, _)| id == n(2)),
             "still watched so the retry window can fire"
         );
         assert!(!s.scrub_failed_neighbor(n(1)), "non-guardian: no repick");

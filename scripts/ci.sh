@@ -159,6 +159,40 @@ stage_sweep_determinism() {
     }
 }
 
+stage_golden_figs() {
+    # The paper-scale sweep grid must stay byte-identical to the checked
+    # in reference: any change to PRNG draws, visit order, or float
+    # arithmetic anywhere in the stack shows up here first.
+    mkdir -p "$artifact_dir"
+    robonet sweep --ks 2,3,4 --seeds 1,2 --scale 64 --jobs 4 \
+        > "$artifact_dir/sweep_paper.csv"
+    if ! cmp tests/golden/sweep_paper.csv "$artifact_dir/sweep_paper.csv"; then
+        echo "golden figures gate failed: paper-scale sweep drifted" >&2
+        diff -u tests/golden/sweep_paper.csv "$artifact_dir/sweep_paper.csv" | head -20 >&2
+        exit 1
+    fi
+}
+
+stage_scale_smoke() {
+    # A 2000-sensor fault-free run (paper density, 4x4 fleet) must
+    # finish inside a generous wall budget: the hot path regressing an
+    # order of magnitude fails CI instead of only slowing the benches.
+    mkdir -p "$artifact_dir"
+    local budget=120
+    local t0=$SECONDS
+    timeout "$budget" cargo run -q --release --offline -p robonet-cli --bin robonet -- \
+        run --alg dynamic --k 4 --sensors 2000 --scale 64 --seed 1 \
+        > "$artifact_dir/scale_smoke.txt" || {
+        echo "scale smoke failed or exceeded ${budget}s wall budget" >&2
+        exit 1
+    }
+    echo "    2000-sensor run: $((SECONDS - t0))s (budget ${budget}s)"
+    grep -q '^replacements:' "$artifact_dir/scale_smoke.txt" || {
+        echo "scale smoke produced no summary" >&2
+        exit 1
+    }
+}
+
 stage_bench_smoke() {
     mkdir -p "$artifact_dir"
     local bench
@@ -177,6 +211,15 @@ stage_bench_smoke() {
         echo "BENCH_sweep.json artifact missing or empty" >&2
         exit 1
     }
+    # The packet-scale bench tracks simulator throughput across sizes;
+    # its raw statistics become the BENCH_scale.json artifact.
+    echo "--> packet_scale"
+    ROBONET_BENCH_SMOKE=1 ROBONET_BENCH_JSON="$artifact_dir/BENCH_scale.json" \
+        cargo bench -q --offline -p robonet-bench --bench packet_scale
+    test -s "$artifact_dir/BENCH_scale.json" || {
+        echo "BENCH_scale.json artifact missing or empty" >&2
+        exit 1
+    }
 }
 
 run_stage "rustfmt (check only)" stage_fmt
@@ -193,6 +236,8 @@ run_stage "golden trace artifact" stage_golden_trace
 run_stage "golden span decomposition" stage_golden_spans
 run_stage "determinism gate (fault-free + faulty)" stage_determinism
 run_stage "sweep engine gate (--jobs 1 vs --jobs 4)" stage_sweep_determinism
+run_stage "golden figures gate (paper-scale sweep)" stage_golden_figs
+run_stage "scale smoke (2000 sensors under wall budget)" stage_scale_smoke
 run_stage "bench smoke (one iteration per target)" stage_bench_smoke
 print_timings
 echo "==> ci.sh: all green"
