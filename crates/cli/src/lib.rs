@@ -6,6 +6,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod replay;
+
+pub use replay::REPLAY_FLAGS;
+
 use std::fmt::Write as _;
 
 use robonet_bench::{average_series, sweep, sweep_result, SweepOptions};
@@ -57,6 +61,9 @@ pub fn usage_text() -> String {
      \x20                 [--breakdown-repair SECS] [--slow-prob P] [--slow-factor F]\n\
      \x20 robonet stats   <run.jsonl>\n\
      \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
+     \x20 robonet replay  <run.jsonl|-> [--at T] [--svg FILE] [--heatmap FILE]\n\
+     \x20                 [--waterfall FILE] [--metric <failures|latency>]\n\
+     \x20                 [--grid N] [--rows N] [--duration SECS] [--follow]\n\
      \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
      \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
      \n\
@@ -71,12 +78,25 @@ pub fn usage_text() -> String {
      for any value — parallelism only changes the wall-clock.\n\
      `--trace N` keeps the last N protocol events in memory and prints them;\n\
      `--trace-out FILE` streams every protocol event to FILE as JSON lines\n\
-     and writes a run manifest (config, seed, counters) next to it;\n\
+     and writes a run manifest (config, seed, counters) next to it; with\n\
+     `-` as FILE the events stream to stdout (summary moves to stderr, no\n\
+     manifest) so a run pipes straight into `robonet replay --follow -`.\n\
      `robonet stats` aggregates such a file back into the per-failure\n\
      overhead table without re-running the simulation.\n\
      `robonet spans` decomposes each repair in a trace into causal stages\n\
      (detection, report transit, dispatch, travel, install) and prints\n\
      per-stage p50/p95/p99; `--by-alg` lays several traces side by side.\n\
+     `robonet replay` reconstructs world state from a trace: the state\n\
+     summary at the end (or at sim time T with `--at T`), an SMIL-animated\n\
+     field replay (`--svg`, one loop lasting `--duration` wall seconds,\n\
+     Voronoi overlay included), a per-cell density heatmap (`--heatmap`\n\
+     on a `--grid N` lattice of `--metric` failure counts or mean repair\n\
+     latency), and a per-failure span waterfall (`--waterfall`, bucketed\n\
+     beyond `--rows N`). Geometry-dependent figures recover the exact\n\
+     deployment from the run manifest next to the trace. `--follow` tails\n\
+     a growing trace file (or `-` for stdin), printing rolling dashboards\n\
+     to stderr and the final state — identical to an offline replay of\n\
+     the finished artifact — to stdout.\n\
      `--progress` prints sim-time/wall-time/open-span heartbeats to stderr.\n\
      \n\
      Fault injection (deterministic, from a dedicated seed stream):\n\
@@ -110,6 +130,7 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
         "run" => cmd_run(rest),
         "stats" => cmd_stats(rest),
         "spans" => cmd_spans(rest),
+        "replay" => replay::cmd_replay(rest),
         "figures" => cmd_figures(rest),
         "sweep" => cmd_sweep(rest),
         "help" | "--help" | "-h" => {
@@ -289,7 +310,15 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     }
     cfg.validate()?;
 
-    let mut sim = match &parsed.trace_out {
+    let mut sim = match parsed.trace_out.as_deref() {
+        // `-` streams the events themselves to stdout (line-buffered,
+        // so a `--follow -` consumer sees them as they happen); the
+        // human-readable summary then moves to stderr and no manifest
+        // is written.
+        Some("-") => {
+            let sink = JsonlSink::new(std::io::stdout());
+            Simulation::with_sink(cfg, Box::new(sink))
+        }
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
@@ -387,7 +416,7 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "\nrepair-lifecycle stages:");
         out.push_str(&report::spans_text(&[(label, report)]));
     }
-    if let Some(path) = &parsed.trace_out {
+    if let Some(path) = parsed.trace_out.as_deref().filter(|p| *p != "-") {
         let manifest = manifest_path_for(path);
         std::fs::write(&manifest, run_manifest_json(&outcome))
             .map_err(|e| format!("cannot write manifest `{manifest}`: {e}"))?;
@@ -406,12 +435,18 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
             let _ = writeln!(out, "{t:.0},{cov:.4},{dead}");
         }
     }
+    // When the trace owns stdout, the summary moves wholesale to
+    // stderr so the JSONL stream stays machine-parseable.
+    if parsed.trace_out.as_deref() == Some("-") {
+        eprint!("{out}");
+        return Ok(String::new());
+    }
     Ok(out)
 }
 
 /// `run.jsonl` → `run.manifest.json` (any other name just gains the
 /// `.manifest.json` suffix).
-fn manifest_path_for(trace_path: &str) -> String {
+pub(crate) fn manifest_path_for(trace_path: &str) -> String {
     let stem = trace_path.strip_suffix(".jsonl").unwrap_or(trace_path);
     format!("{stem}.manifest.json")
 }
@@ -437,6 +472,11 @@ fn run_manifest_json(outcome: &Outcome) -> String {
     w.field_u64("robots", cfg.n_robots() as u64);
     w.field_u64("sensors", cfg.n_sensors() as u64);
     w.field_f64("sim_time_s", cfg.sim_time.as_secs_f64());
+    // Deployment geometry: with these two fields `robonet replay` can
+    // re-derive the exact sensor/robot positions of the producing run
+    // (older manifests fall back to paper density and 1 m/s).
+    w.field_f64("area_per_robot_side", cfg.area_per_robot_side);
+    w.field_f64("robot_speed", cfg.robot_speed);
     w.field_raw("summary", &summary.finish());
     w.field_raw("counters", &outcome.metrics.counters.counters_json());
     let mut json = w.finish();
@@ -485,6 +525,9 @@ fn cmd_stats(args: &[String]) -> Result<String, String> {
         "robot legs:           {} started, {} completed",
         agg.legs_started, agg.legs_ended
     );
+    if let Some(tail) = agg.truncated {
+        let _ = writeln!(out, "note: {tail} — figures cover the complete prefix");
+    }
     Ok(out)
 }
 
@@ -514,17 +557,25 @@ fn cmd_spans(args: &[String]) -> Result<String, String> {
         return Err("several traces given: pass --by-alg for a side-by-side table".into());
     }
     let mut tables = Vec::with_capacity(paths.len());
+    let mut notes = String::new();
     for path in paths {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         let report = SpanAssembler::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(tail) = report.truncated {
+            let _ = writeln!(
+                notes,
+                "# note: {path}: {tail} — spans cover the complete prefix"
+            );
+        }
         tables.push((trace_label(path), report));
     }
-    Ok(if csv {
+    let table = if csv {
         report::spans_csv(&tables)
     } else {
         report::spans_text(&tables)
-    })
+    };
+    Ok(format!("{notes}{table}"))
 }
 
 /// Label for a trace in a side-by-side table: the `algorithm` recorded
@@ -782,6 +833,34 @@ mod tests {
                 assert!(
                     RUN_FLAGS.iter().any(|&(f, _)| f == flag),
                     "usage documents `{flag}` but the parser does not accept it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn usage_documents_every_replay_flag_and_documents_nothing_extra() {
+        let usage = usage_text();
+        // Every flag the replay parser accepts appears in the usage text.
+        for &(flag, _) in REPLAY_FLAGS {
+            assert!(usage.contains(flag), "usage text is missing `{flag}`");
+        }
+        // Every `--flag` token in the replay usage section parses.
+        let replay_section: String = usage
+            .lines()
+            .skip_while(|l| !l.contains("robonet replay"))
+            .take_while(|l| !l.contains("robonet figures"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(
+            replay_section.contains("--at"),
+            "replay usage section not found"
+        );
+        for token in replay_section.split(|c: char| !(c.is_alphanumeric() || c == '-')) {
+            if let Some(flag) = token.strip_prefix("--").map(|_| token) {
+                assert!(
+                    REPLAY_FLAGS.iter().any(|&(f, _)| f == flag),
+                    "usage documents `{flag}` but the replay parser does not accept it"
                 );
             }
         }

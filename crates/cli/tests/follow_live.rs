@@ -1,0 +1,143 @@
+//! Live-tail integration tests against the real `robonet` binary:
+//! `run --trace-out -` piping straight into `replay --follow -`, and
+//! `replay --follow` tailing a trace file while the producer is still
+//! writing it.
+
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_robonet");
+
+fn robonet(args: &[&str]) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args);
+    cmd
+}
+
+const RUN_SMALL: &[&str] = &[
+    "run", "--alg", "dynamic", "--k", "1", "--scale", "16", "--seed", "7",
+];
+
+/// `--trace-out -` streams the *identical* artifact to stdout that
+/// `--trace-out FILE` writes to disk, with the human summary exiled to
+/// stderr and no manifest emitted.
+#[test]
+fn trace_out_dash_streams_the_artifact_to_stdout() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let trace = dir.join("stream_ref.jsonl");
+    let mut file_args = RUN_SMALL.to_vec();
+    file_args.extend(["--trace-out", trace.to_str().unwrap()]);
+    let file_run = robonet(&file_args).output().expect("file run executes");
+    assert!(file_run.status.success());
+
+    let mut pipe_args = RUN_SMALL.to_vec();
+    pipe_args.extend(["--trace-out", "-"]);
+    let pipe_run = robonet(&pipe_args).output().expect("pipe run executes");
+    assert!(pipe_run.status.success());
+
+    let on_disk = std::fs::read(&trace).expect("file trace exists");
+    assert_eq!(
+        pipe_run.stdout, on_disk,
+        "streamed JSONL must be byte-identical to the file artifact"
+    );
+    let stderr = String::from_utf8(pipe_run.stderr).unwrap();
+    assert!(
+        stderr.contains("dropped packets:"),
+        "summary moves to stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("trace written:"),
+        "no artifact path to report for a pipe: {stderr}"
+    );
+    assert!(
+        !dir.join("-.manifest.json").exists() && !std::path::Path::new("-.manifest.json").exists(),
+        "no manifest for a pipe"
+    );
+}
+
+/// The headline pipeline: `run --trace-out - | replay --follow -`
+/// finishes with exactly the state an offline replay of the same
+/// stream reports.
+#[test]
+fn run_pipes_into_replay_follow() {
+    let mut run_args = RUN_SMALL.to_vec();
+    run_args.extend(["--trace-out", "-"]);
+    let mut producer = robonet(&run_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("producer starts");
+    let stream = producer.stdout.take().expect("piped stdout");
+
+    let follower = robonet(&["replay", "--follow", "-"])
+        .stdin(Stdio::from(stream))
+        .stderr(Stdio::piped())
+        .output()
+        .expect("follower executes");
+    assert!(producer.wait().expect("producer exits").success());
+    assert!(follower.status.success());
+
+    // Offline reference: the same stream replayed from a byte buffer.
+    let mut pipe_args = RUN_SMALL.to_vec();
+    pipe_args.extend(["--trace-out", "-"]);
+    let rerun = robonet(&pipe_args).output().expect("rerun executes");
+    let offline = robonet(&["replay", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write as _;
+            child.stdin.take().unwrap().write_all(&rerun.stdout)?;
+            child.wait_with_output()
+        })
+        .expect("offline replay executes");
+    assert!(offline.status.success());
+
+    assert_eq!(
+        String::from_utf8(follower.stdout).unwrap(),
+        String::from_utf8(offline.stdout).unwrap(),
+        "follow-mode final state must equal the offline replay"
+    );
+    let dashboards = String::from_utf8(follower.stderr).unwrap();
+    assert!(
+        dashboards.contains("en-route"),
+        "rolling dashboards went to stderr: {dashboards}"
+    );
+}
+
+/// `replay --follow FILE` started *before* the producer finishes tails
+/// the file to completion and lands on the offline answer — including
+/// the manifest-seeded geometry an offline replay gets.
+#[test]
+fn follow_tails_a_live_file_to_the_offline_answer() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let trace = dir.join("live.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(dir.join("live.manifest.json"));
+
+    let mut run_args = RUN_SMALL.to_vec();
+    run_args.extend(["--trace-out", trace.to_str().unwrap()]);
+    let mut producer = robonet(&run_args)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("producer starts");
+
+    // Start tailing immediately — the trace file may not even exist
+    // yet; the follower polls until it appears.
+    let follower = robonet(&["replay", "--follow", trace.to_str().unwrap()])
+        .stderr(Stdio::piped())
+        .output()
+        .expect("follower executes");
+    assert!(producer.wait().expect("producer exits").success());
+    assert!(follower.status.success());
+
+    let offline = robonet(&["replay", trace.to_str().unwrap()])
+        .output()
+        .expect("offline replay executes");
+    assert!(offline.status.success());
+
+    assert_eq!(
+        String::from_utf8(follower.stdout).unwrap(),
+        String::from_utf8(offline.stdout).unwrap(),
+        "tail-follow must land byte-identical to the offline replay"
+    );
+}

@@ -1,0 +1,105 @@
+//! Golden gating for the replay renderers: for every algorithm the
+//! animation, heatmap and waterfall SVGs must be byte-identical across
+//! invocations *and* byte-identical to the committed goldens.
+//!
+//! Regenerate after an intentional rendering change with
+//! `ROBONET_UPDATE_GOLDEN=1 cargo test -q -p robonet-cli replay_golden`.
+
+use robonet_cli::run_cli;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Repo-root golden directory — shared with the spans CSV goldens.
+fn golden_path(kind: &str, alg: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("replay_{kind}_{alg}.svg"))
+}
+
+/// Traces the same seed-pinned run `scripts/ci.sh` uses for its golden
+/// artifact, renders every replay figure twice, and byte-diffs both
+/// against each other and against the committed goldens.
+#[test]
+fn replay_figures_match_goldens_byte_for_byte() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    for alg in ["centralized", "fixed", "dynamic"] {
+        let trace = dir.join(format!("replay_golden_{alg}.jsonl"));
+        let trace_s = trace.to_str().expect("utf-8 tmpdir");
+        run_cli(&args(&[
+            "run",
+            "--alg",
+            alg,
+            "--k",
+            "1",
+            "--scale",
+            "64",
+            "--seed",
+            "7",
+            "--trace-out",
+            trace_s,
+        ]))
+        .expect("traced run succeeds");
+
+        let render = |tag: &str| -> Vec<(String, std::path::PathBuf)> {
+            let outs: Vec<(String, std::path::PathBuf)> = ["anim", "heatmap", "waterfall"]
+                .iter()
+                .map(|kind| {
+                    (
+                        kind.to_string(),
+                        dir.join(format!("replay_{kind}_{alg}_{tag}.svg")),
+                    )
+                })
+                .collect();
+            run_cli(&args(&[
+                "replay",
+                trace_s,
+                "--svg",
+                outs[0].1.to_str().unwrap(),
+                "--heatmap",
+                outs[1].1.to_str().unwrap(),
+                "--waterfall",
+                outs[2].1.to_str().unwrap(),
+            ]))
+            .expect("replay renders");
+            outs
+        };
+
+        let first = render("a");
+        let second = render("b");
+        for ((kind, a), (_, b)) in first.iter().zip(&second) {
+            let a = std::fs::read(a).expect("first render exists");
+            let b = std::fs::read(b).expect("second render exists");
+            assert_eq!(a, b, "{alg}/{kind}: two renders must be byte-identical");
+
+            let svg = String::from_utf8(a).expect("SVG is UTF-8");
+            assert!(svg.starts_with("<svg"), "{alg}/{kind}: well-formed head");
+            assert!(svg.ends_with("</svg>"), "{alg}/{kind}: well-formed tail");
+
+            let path = golden_path(kind, alg);
+            if std::env::var_os("ROBONET_UPDATE_GOLDEN").is_some() {
+                std::fs::write(&path, &svg).expect("write golden SVG");
+                continue;
+            }
+            let golden = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{alg}/{kind}: missing golden {path:?}: {e}"));
+            assert_eq!(
+                svg, golden,
+                "{alg}/{kind}: rendering drifted from {path:?} \
+                 (ROBONET_UPDATE_GOLDEN=1 to regenerate)"
+            );
+        }
+
+        // The animation carries SMIL timelines and the field overlay;
+        // the waterfall carries the span stages.
+        let anim = std::fs::read_to_string(&first[0].1).unwrap();
+        assert!(anim.contains("<animate"), "{alg}: animation has timelines");
+        assert!(anim.contains("<polygon"), "{alg}: Voronoi overlay drawn");
+        let waterfall = std::fs::read_to_string(&first[2].1).unwrap();
+        assert!(
+            waterfall.contains("travel") && waterfall.contains("install"),
+            "{alg}: waterfall legend names the stages"
+        );
+    }
+}

@@ -101,9 +101,11 @@ fn stats_rejects_missing_and_malformed_input() {
 }
 
 #[test]
-fn truncated_trace_errors_name_path_and_line() {
-    // A trace cut off mid-write: valid header, one valid event, then a
-    // line truncated partway through its JSON object.
+fn truncated_trace_degrades_to_a_note_over_the_complete_prefix() {
+    // A trace cut off mid-write (crashed or still-writing producer):
+    // valid header, one valid event, then a line truncated partway
+    // through its JSON object. The analyzers cover the complete prefix
+    // and flag the ragged tail instead of erroring out.
     let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
     let cut = dir.join("truncated.jsonl");
     std::fs::write(
@@ -117,13 +119,41 @@ fn truncated_trace_errors_name_path_and_line() {
     )
     .unwrap();
     let cut_s = cut.to_str().unwrap();
-    for verb in ["stats", "spans"] {
-        let err = run_cli(&args(&[verb, cut_s])).unwrap_err();
-        assert!(err.contains(cut_s), "{verb}: error names the file: {err}");
+    for verb in ["stats", "spans", "replay"] {
+        let out = run_cli(&args(&[verb, cut_s]))
+            .unwrap_or_else(|e| panic!("{verb} must tolerate a ragged tail: {e}"));
         assert!(
-            err.contains("line 3"),
-            "{verb}: error locates the cut: {err}"
+            out.contains("truncated tail"),
+            "{verb}: output flags the tail: {out}"
         );
+        assert!(
+            out.contains("line 3"),
+            "{verb}: note locates the cut: {out}"
+        );
+        assert!(
+            out.contains("complete prefix"),
+            "{verb}: note says what the figures cover: {out}"
+        );
+    }
+    // The complete prefix is actually analyzed: the failure made it in.
+    let stats = run_cli(&args(&["stats", cut_s])).unwrap();
+    assert!(stats.contains("failures:             1"), "{stats}");
+
+    // A *terminated* malformed line is still a hard, located error.
+    let bad = dir.join("corrupt.jsonl");
+    std::fs::write(
+        &bad,
+        format!(
+            "{}\n{}\n{}\n",
+            robonet_core::obs::trace_header(),
+            "{\"ev\":\"failure\",\"t\":1.5,\"sensor\":3}",
+            "{\"ev\":\"replaced\",\"t\":9.0,\"rob"
+        ),
+    )
+    .unwrap();
+    for verb in ["stats", "spans", "replay"] {
+        let err = run_cli(&args(&[verb, bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("line 3"), "{verb}: error locates it: {err}");
     }
 }
 

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
 use robonet_geom::partition::Partition;
-use robonet_geom::{deploy, Point};
+use robonet_geom::{deploy, Bounds, Point};
 use robonet_net::{route_with, GeoHeader, NeighborTable, RouteDecision, RouteScratch};
 use robonet_radio::engine::{RadioEvent, UpcallBuf, UpcallEntry};
 use robonet_radio::medium::{Medium, NodeClass};
@@ -44,6 +44,72 @@ use crate::metrics::Metrics;
 use crate::msg::AppMsg;
 use crate::obs::{EventSink, NullSink, RingSink, SpanAssembler, SpanReport, TeeSink};
 use crate::trace::{DropReason, Trace, TraceEvent};
+
+/// The initial world geometry of a scenario: everything derivable from
+/// the configuration alone, before the first protocol event.
+///
+/// Both the simulation harness and the offline trace replayer
+/// ([`crate::obs::replay`]) build the field through
+/// [`field_deployment`], so a replay reconstructs the *exact* sensor
+/// and robot coordinates of the run that wrote the trace — positions
+/// are never serialized into the artifact, only re-derived from
+/// `(algorithm, seed, k, sensors_per_robot, area_per_robot_side)`.
+pub struct FieldDeployment {
+    /// The square field.
+    pub bounds: Bounds,
+    /// Sensor positions; index `i` is `NodeId(i)`.
+    pub sensor_pos: Vec<Point>,
+    /// The fixed algorithm's static subarea partition (`None` for
+    /// partition-free algorithms).
+    pub partition: Option<Box<dyn Partition>>,
+    /// Initial robot positions; index `r` is `NodeId(n_sensors + r)`.
+    pub robot_pos: Vec<Point>,
+    /// The centralized manager's id and location, when the algorithm
+    /// uses one.
+    pub manager: Option<(NodeId, Point)>,
+}
+
+/// Deterministically deploys the field for `cfg`.
+///
+/// The PRNG stream discipline here is load-bearing: `"deploy"` draws
+/// sensor positions, then the coordinator builds its partition, then
+/// `"robots"` places the fleet — the exact call order
+/// [`Simulation`] construction uses, byte-for-byte. Any change to this
+/// order changes every golden artifact in the repo.
+pub fn field_deployment(cfg: &ScenarioConfig) -> FieldDeployment {
+    let coordinator = coord::coordinator_for(cfg.algorithm);
+    let bounds = cfg.bounds();
+    let n_sensors = cfg.n_sensors();
+    let n_robots = cfg.n_robots();
+
+    let mut deploy_rng = rng::stream(cfg.seed, "deploy");
+    let sensor_pos = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
+
+    let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
+
+    // Fixed: robots sit at the subarea centres (§3.2); the initial
+    // drive there is part of initialization and not a per-failure
+    // cost. Partition-free algorithms deploy uniformly.
+    let mut robot_rng = rng::stream(cfg.seed, "robots");
+    let robot_pos: Vec<Point> = coordinator.initial_robot_positions(
+        partition.as_deref(),
+        &bounds,
+        n_robots,
+        &mut robot_rng,
+    );
+
+    let manager = coordinator
+        .uses_manager()
+        .then(|| (NodeId::new((n_sensors + n_robots) as u32), bounds.center()));
+
+    FieldDeployment {
+        bounds,
+        sensor_pos,
+        partition,
+        robot_pos,
+        manager,
+    }
+}
 
 /// Result of a completed run.
 #[derive(Debug)]
@@ -227,26 +293,17 @@ impl Simulation {
             panic!("invalid scenario: {e}");
         }
         let coordinator = coord::coordinator_for(cfg.algorithm);
-        let bounds = cfg.bounds();
         let n_sensors = cfg.n_sensors();
         let n_robots = cfg.n_robots();
 
-        // --- Deployment -------------------------------------------------
-        let mut deploy_rng = rng::stream(cfg.seed, "deploy");
-        let sensor_pos = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
-
-        let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
-
-        // Fixed: robots sit at the subarea centres (§3.2); the initial
-        // drive there is part of initialization and not a per-failure
-        // cost. Partition-free algorithms deploy uniformly.
-        let mut robot_rng = rng::stream(cfg.seed, "robots");
-        let robot_pos: Vec<Point> = coordinator.initial_robot_positions(
-            partition.as_deref(),
-            &bounds,
-            n_robots,
-            &mut robot_rng,
-        );
+        // --- Deployment (shared with the offline replayer) ---------------
+        let FieldDeployment {
+            bounds,
+            sensor_pos,
+            partition,
+            robot_pos,
+            ..
+        } = field_deployment(&cfg);
 
         let centralized = coordinator.uses_manager();
         let manager_node = NodeId::new((n_sensors + n_robots) as u32);

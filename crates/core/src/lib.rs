@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
 pub use fault::{FaultKind, FaultPlan};
-pub use harness::{Outcome, Simulation};
+pub use harness::{field_deployment, FieldDeployment, Outcome, Simulation};
 pub use metrics::{DropBreakdown, Metrics, Summary};
 pub use obs::{
     EventSink, JsonlSink, MetricsRegistry, NullSink, QuantileSketch, RepairSpan, RingSink,

@@ -39,6 +39,7 @@ pub mod detsum;
 pub mod json;
 pub mod quantile;
 pub mod registry;
+pub mod replay;
 pub mod sink;
 pub mod span;
 pub mod stats;
@@ -46,9 +47,10 @@ pub mod stats;
 pub use detsum::DetSum;
 pub use quantile::{QuantileSketch, RELATIVE_ERROR, ZERO_THRESHOLD};
 pub use registry::{Log2Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use replay::{Film, LegRecord, OutageRecord, ReplaySetup, ReplayState, Replayer, SensorPhase};
 pub use sink::{
     event_from_jsonl, event_to_jsonl, for_each_event_line, trace_header, EventSink, JsonlSink,
-    NullSink, RingSink, TeeSink, TRACE_SCHEMA_VERSION,
+    LineCursor, NullSink, RingSink, TeeSink, TruncatedTail, TRACE_SCHEMA_VERSION,
 };
 pub use span::{OrphanSpan, RepairSpan, SpanAssembler, SpanReport, SpanSink, Stage, StageRow};
 pub use stats::{DropCounts, TraceAggregate};

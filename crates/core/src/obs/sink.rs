@@ -45,6 +45,126 @@ fn parse_header(line: &str) -> Option<Result<(), String>> {
     })
 }
 
+/// The unterminated, unparseable final line of a trace — the signature
+/// a crashed (or still-writing) producer leaves behind. Readers treat
+/// it as "trace ends here", not as corruption: `robonet stats`,
+/// `spans` and `replay` all report it and aggregate the complete
+/// prefix, and `replay --follow` keeps the bytes buffered until the
+/// rest of the line arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedTail {
+    /// 1-based line number of the partial line.
+    pub line: usize,
+    /// Bytes already present of the partial line.
+    pub bytes: usize,
+}
+
+impl std::fmt::Display for TruncatedTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}: truncated tail ({} bytes of an unterminated record)",
+            self.line, self.bytes
+        )
+    }
+}
+
+/// Incremental trace-line reader: feed it chunks of a JSONL artifact
+/// (in any split, mid-line is fine) and it hands complete parsed
+/// events to the callback, holding the unterminated tail until more
+/// bytes arrive. This is the one reader behind
+/// [`for_each_event_line`] — and therefore `robonet stats`, `spans`
+/// and `replay` — and behind `replay --follow`'s live tailing, so
+/// offline and follow-mode parsing can never drift.
+#[derive(Debug, Default)]
+pub struct LineCursor {
+    /// Bytes of the current, not-yet-terminated line.
+    partial: String,
+    /// 1-based number of the line currently in `partial`.
+    line_no: usize,
+    /// Whether a non-blank line has been consumed (header position).
+    seen_any: bool,
+}
+
+impl LineCursor {
+    /// A cursor at the start of an artifact.
+    pub fn new() -> Self {
+        LineCursor {
+            partial: String::new(),
+            line_no: 1,
+            seen_any: false,
+        }
+    }
+
+    /// Consumes `chunk`, invoking `f` for every *complete* event line
+    /// it closes. Bytes after the last `'\n'` are buffered for the
+    /// next feed.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed complete record or unsupported schema
+    /// version fails with its 1-based line number.
+    pub fn feed(&mut self, chunk: &str, mut f: impl FnMut(&TraceEvent)) -> Result<(), String> {
+        let mut rest = chunk;
+        while let Some(nl) = rest.find('\n') {
+            self.partial.push_str(&rest[..nl]);
+            rest = &rest[nl + 1..];
+            let line = std::mem::take(&mut self.partial);
+            self.consume_line(&line, &mut f)?;
+            self.line_no += 1;
+        }
+        self.partial.push_str(rest);
+        Ok(())
+    }
+
+    /// Closes the artifact. A leftover unterminated line is parsed if
+    /// it is complete JSON (producers are not required to end the file
+    /// with a newline); if it does not parse it is reported as a
+    /// [`TruncatedTail`] rather than an error.
+    pub fn finish(
+        mut self,
+        mut f: impl FnMut(&TraceEvent),
+    ) -> Result<Option<TruncatedTail>, String> {
+        let line = std::mem::take(&mut self.partial);
+        if line.trim().is_empty() {
+            return Ok(None);
+        }
+        if super::json::parse(&line).is_err() {
+            return Ok(Some(TruncatedTail {
+                line: self.line_no,
+                bytes: line.len(),
+            }));
+        }
+        self.consume_line(&line, &mut f)?;
+        Ok(None)
+    }
+
+    /// Bytes currently buffered as an unterminated line.
+    pub fn pending_bytes(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// 1-based line number the cursor is currently reading.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    fn consume_line(&mut self, line: &str, f: &mut impl FnMut(&TraceEvent)) -> Result<(), String> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        if !self.seen_any {
+            self.seen_any = true;
+            if let Some(verdict) = parse_header(line) {
+                return verdict.map_err(|e| format!("line {}: {e}", self.line_no));
+            }
+        }
+        let event = event_from_jsonl(line).map_err(|e| format!("line {}: {e}", self.line_no))?;
+        f(&event);
+        Ok(())
+    }
+}
+
 /// Walks a JSONL trace artifact: skips blank lines, validates the
 /// versioned header on the first non-blank line (legacy headerless
 /// traces are accepted), and hands each parsed event to `f`.
@@ -52,25 +172,18 @@ fn parse_header(line: &str) -> Option<Result<(), String>> {
 /// Fails on the first malformed record or unsupported schema version,
 /// identifying the offending 1-based line number — a truncated or
 /// hand-edited artifact should be loud, not silently half-counted.
-/// `robonet stats` and `robonet spans` both read through this walker,
-/// so their error surfaces stay identical.
-pub fn for_each_event_line(text: &str, mut f: impl FnMut(&TraceEvent)) -> Result<(), String> {
-    let mut seen_any = false;
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        if !seen_any {
-            seen_any = true;
-            if let Some(verdict) = parse_header(line) {
-                verdict.map_err(|e| format!("line {}: {e}", i + 1))?;
-                continue;
-            }
-        }
-        let event = event_from_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        f(&event);
-    }
-    Ok(())
+/// The one exception is an *unterminated* final line that is not valid
+/// JSON: that is the normal residue of a crashed or still-writing
+/// producer, returned as `Ok(Some(TruncatedTail))` so every reader
+/// degrades gracefully. `robonet stats`, `spans` and `replay` all read
+/// through this walker, so their error surfaces stay identical.
+pub fn for_each_event_line(
+    text: &str,
+    mut f: impl FnMut(&TraceEvent),
+) -> Result<Option<TruncatedTail>, String> {
+    let mut cursor = LineCursor::new();
+    cursor.feed(text, &mut f)?;
+    cursor.finish(&mut f)
 }
 
 /// A consumer of simulation events.
@@ -677,6 +790,80 @@ mod tests {
         let broken = format!("{}\n{event_line}\nnot json\n", trace_header());
         let err = for_each_event_line(&broken, |_| {}).unwrap_err();
         assert!(err.starts_with("line 3:"), "error was: {err}");
+    }
+
+    #[test]
+    fn truncated_final_line_is_typed_not_fatal() {
+        let event_line = event_to_jsonl(&TraceEvent::Failure {
+            t: 1.0,
+            sensor: NodeId::new(5),
+        });
+        // A producer died (or is still writing) mid-record: the whole
+        // prefix parses and the ragged tail is reported, not fatal.
+        let half = &event_line[..event_line.len() / 2];
+        let text = format!("{}\n{event_line}\n{half}", trace_header());
+        let mut n = 0;
+        let tail = for_each_event_line(&text, |_| n += 1).unwrap();
+        assert_eq!(n, 1, "the complete prefix is still walked");
+        let tail = tail.expect("ragged tail must be reported");
+        assert_eq!(tail.line, 3);
+        assert_eq!(tail.bytes, half.len());
+        assert!(
+            tail.to_string().contains("line 3"),
+            "display names the line"
+        );
+
+        // A complete artifact — terminated or not — has no tail.
+        let whole = format!("{}\n{event_line}\n", trace_header());
+        assert_eq!(for_each_event_line(&whole, |_| {}).unwrap(), None);
+        let unterminated = format!("{}\n{event_line}", trace_header());
+        let mut n = 0;
+        let tail = for_each_event_line(&unterminated, |_| n += 1).unwrap();
+        assert_eq!((n, tail), (1, None), "valid unterminated line is an event");
+
+        // A *terminated* malformed line is still corruption, even at
+        // the end of the artifact.
+        let corrupt = format!("{}\n{half}\n", trace_header());
+        let err = for_each_event_line(&corrupt, |_| {}).unwrap_err();
+        assert!(err.starts_with("line 2:"), "error was: {err}");
+    }
+
+    #[test]
+    fn line_cursor_is_split_agnostic() {
+        // Any chunking of the byte stream — even one byte at a time —
+        // yields the same events as a single feed. This is the contract
+        // `replay --follow` leans on when tailing a file mid-write.
+        let events = all_event_kinds();
+        let mut text = trace_header().to_string();
+        text.push('\n');
+        for ev in &events {
+            text.push_str(&event_to_jsonl(ev));
+            text.push('\n');
+        }
+
+        let mut whole = Vec::new();
+        let mut cursor = LineCursor::new();
+        cursor.feed(&text, |e| whole.push(e.clone())).unwrap();
+        assert!(cursor.finish(|_| {}).unwrap().is_none());
+        assert_eq!(whole, events);
+
+        let mut bytewise = Vec::new();
+        let mut cursor = LineCursor::new();
+        for i in 0..text.len() {
+            cursor
+                .feed(&text[i..i + 1], |e| bytewise.push(e.clone()))
+                .unwrap();
+        }
+        assert!(cursor.finish(|_| {}).unwrap().is_none());
+        assert_eq!(bytewise, whole, "chunking must not change the walk");
+
+        // Mid-line, the cursor reports how much tail it is holding.
+        let mut cursor = LineCursor::new();
+        cursor.feed("{\"ev\":\"fail", |_| {}).unwrap();
+        assert_eq!(cursor.pending_bytes(), 11);
+        assert_eq!(cursor.line_no(), 1);
+        let tail = cursor.finish(|_| {}).unwrap().expect("ragged tail");
+        assert_eq!(tail, TruncatedTail { line: 1, bytes: 11 });
     }
 
     #[test]

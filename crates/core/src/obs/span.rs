@@ -36,7 +36,7 @@ use robonet_des::NodeId;
 use crate::trace::TraceEvent;
 
 use super::quantile::QuantileSketch;
-use super::sink::for_each_event_line;
+use super::sink::{for_each_event_line, TruncatedTail};
 
 /// One causal stage of a repair lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -361,6 +361,7 @@ impl SpanAssembler {
             unmatched_events: self.unmatched_events,
             out_of_order: self.out_of_order,
             redispatches: self.redispatches,
+            truncated: None,
             stage_sketches: self.stage_sketches,
             total_sketch: self.total_sketch,
         }
@@ -369,11 +370,16 @@ impl SpanAssembler {
     /// Assembles spans offline from a JSONL trace artifact (the
     /// `robonet spans` path). Accepts a versioned header line, skips
     /// blanks, and fails loudly with a 1-based line number on the
-    /// first malformed record — exactly like `robonet stats`.
+    /// first malformed record — exactly like `robonet stats`. An
+    /// unterminated final line (crashed or still-writing producer)
+    /// sets [`SpanReport::truncated`] instead; the complete prefix is
+    /// assembled normally.
     pub fn from_jsonl(text: &str) -> Result<SpanReport, String> {
         let mut assembler = SpanAssembler::new();
-        for_each_event_line(text, |event| assembler.ingest(event))?;
-        Ok(assembler.finish())
+        let tail = for_each_event_line(text, |event| assembler.ingest(event))?;
+        let mut report = assembler.finish();
+        report.truncated = tail;
+        Ok(report)
     }
 }
 
@@ -394,6 +400,9 @@ pub struct SpanReport {
     /// Dispatches beyond the first for an already-dispatched failure —
     /// the recovery protocol re-dispatching a stalled repair.
     pub redispatches: u64,
+    /// Present when an offline artifact ended mid-record; the report
+    /// covers the complete prefix. Always `None` for online assembly.
+    pub truncated: Option<TruncatedTail>,
     stage_sketches: [QuantileSketch; 5],
     total_sketch: QuantileSketch,
 }

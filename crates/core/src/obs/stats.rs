@@ -16,7 +16,7 @@ use robonet_des::NodeId;
 use crate::metrics::{mean_f64, mean_u32};
 use crate::trace::{DropReason, TraceEvent};
 
-use super::sink::for_each_event_line;
+use super::sink::{for_each_event_line, TruncatedTail};
 
 /// Per-reason drop tallies reconstructed from `packet_dropped` events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +92,10 @@ pub struct TraceAggregate {
     pub robot_repairs: u64,
     /// `takeover_assumed` events seen.
     pub takeovers: u64,
+    /// Present when the artifact ended mid-record (crashed or
+    /// still-writing producer); the aggregate covers the complete
+    /// prefix.
+    pub truncated: Option<TruncatedTail>,
 }
 
 impl TraceAggregate {
@@ -101,10 +105,14 @@ impl TraceAggregate {
     /// Fails on the first malformed line or unsupported schema
     /// version, identifying it by 1-based line number — a truncated or
     /// hand-edited artifact should be loud, not silently half-counted.
+    /// The one exception: an unterminated final line (crashed or
+    /// still-writing producer) sets [`TraceAggregate::truncated`] and
+    /// the complete prefix is aggregated normally.
     pub fn from_jsonl(text: &str) -> Result<Self, String> {
         let mut agg = TraceAggregate::default();
         let mut pending_dispatch: HashMap<NodeId, VecDeque<f64>> = HashMap::new();
-        for_each_event_line(text, |event| agg.ingest(event, &mut pending_dispatch))?;
+        let tail = for_each_event_line(text, |event| agg.ingest(event, &mut pending_dispatch))?;
+        agg.truncated = tail;
         Ok(agg)
     }
 

@@ -1,0 +1,241 @@
+//! SMIL-animated field replay: robots driving their legs, sensors
+//! flashing through outages, all time-synchronized to one looping
+//! clock.
+//!
+//! The scene is plain data (positions, legs, outage intervals) so the
+//! caller — `robonet replay --svg`, composing from a trace — owns all
+//! trace semantics; this module only maps sim time onto a playback
+//! loop and emits deterministic SVG. One loop of the animation plays
+//! the whole trace; everything repeats indefinitely.
+
+use robonet_geom::{Bounds, ConvexPolygon, Point};
+
+use crate::svg::{Animate, Svg, PALETTE};
+
+/// One robot leg on the playback timeline (sim seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnimLeg {
+    /// Departure point.
+    pub from: Point,
+    /// Destination.
+    pub to: Point,
+    /// Departure time.
+    pub start: f64,
+    /// Arrival time (open legs should be closed to the scene duration
+    /// by the caller).
+    pub end: f64,
+}
+
+/// A robot: its initial position and every leg it drove.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnimRobot {
+    /// Display label (e.g. `"R1"`).
+    pub label: String,
+    /// Initial (pre-first-leg) position.
+    pub home: Point,
+    /// Legs in start order.
+    pub legs: Vec<AnimLeg>,
+}
+
+/// A sensor: its position and the intervals it spent down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnimSensor {
+    /// Deployed position.
+    pub loc: Point,
+    /// Outage intervals `(failed_at, replaced_at)`; open outages
+    /// should be closed to the scene duration by the caller.
+    pub outages: Vec<(f64, f64)>,
+}
+
+/// A complete replay scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnimScene {
+    /// Figure title (drawn above the field).
+    pub title: String,
+    /// The field.
+    pub bounds: Bounds,
+    /// Sim-time span of the trace (s); the whole span maps onto one
+    /// playback loop.
+    pub duration_s: f64,
+    /// Wall-clock seconds of one playback loop.
+    pub playback_s: f64,
+    /// Sensors in node-id order.
+    pub sensors: Vec<AnimSensor>,
+    /// Robots in node-id order.
+    pub robots: Vec<AnimRobot>,
+    /// Optional partition overlay (e.g. Voronoi cells of the initial
+    /// robot positions), indexed like `robots`.
+    pub cells: Vec<Option<ConvexPolygon>>,
+}
+
+/// Colours for sensor state.
+const SENSOR_UP: &str = "#607d8b";
+const SENSOR_DOWN: &str = "#d62728";
+
+/// Renders the scene at `size × size` pixels (plus a header and a
+/// progress bar). Output is byte-deterministic for a given scene.
+pub fn render(scene: &AnimScene, size: u32) -> String {
+    let header = 28.0;
+    let footer = 26.0;
+    let s = f64::from(size);
+    let mut doc = Svg::new(size, size + header as u32 + footer as u32);
+    let dur = scene.duration_s.max(1e-9);
+    // One sim second takes `playback/duration` wall seconds.
+    let play = scene.playback_s.max(0.1);
+    let project = |p: Point| {
+        (
+            (p.x - scene.bounds.min().x) / scene.bounds.width() * s,
+            // SVG y grows downward; the field's y grows upward.
+            header + s - (p.y - scene.bounds.min().y) / scene.bounds.height() * s,
+        )
+    };
+
+    doc.text(
+        8.0,
+        18.0,
+        13.0,
+        "start",
+        "#111111",
+        &format!("{}  ({:.0} s / loop {:.0} s)", scene.title, dur, play),
+    );
+    doc.rect(0.0, header, s, s, "#fafafa", Some("#333333"));
+
+    for (i, cell) in scene.cells.iter().enumerate() {
+        let Some(cell) = cell else { continue };
+        let pts: Vec<(f64, f64)> = cell.vertices().iter().map(|&v| project(v)).collect();
+        let color = PALETTE[i % PALETTE.len()];
+        doc.polygon(&pts, &format!("{color}18"), color);
+    }
+
+    for sensor in &scene.sensors {
+        let (x, y) = project(sensor.loc);
+        if sensor.outages.is_empty() {
+            doc.circle(x, y, 2.0, SENSOR_UP);
+            continue;
+        }
+        // Discrete state timeline: up → down at each failure, back up
+        // at each replacement; the radius pulses while down so dead
+        // sensors read even at small sizes.
+        let mut fill = Animate::discrete("fill", play).frame(0.0, SENSOR_UP);
+        let mut radius = Animate::discrete("r", play).frame(0.0, "2.00");
+        for &(failed, replaced) in &sensor.outages {
+            fill = fill.frame(failed / dur * play, SENSOR_DOWN);
+            radius = radius.frame(failed / dur * play, "3.50");
+            fill = fill.frame(replaced / dur * play, SENSOR_UP);
+            radius = radius.frame(replaced / dur * play, "2.00");
+        }
+        doc.animated_circle(x, y, 2.0, SENSOR_UP, &[fill, radius]);
+    }
+
+    for (i, robot) in scene.robots.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        // The driven route, as a faint static trace under the dot.
+        let mut route: Vec<(f64, f64)> = vec![project(robot.home)];
+        for leg in &robot.legs {
+            route.push(project(leg.from));
+            route.push(project(leg.to));
+        }
+        doc.polyline(&route, &format!("{color}55"), 1.0);
+
+        let (hx, hy) = project(robot.home);
+        if robot.legs.is_empty() {
+            doc.circle(hx, hy, 5.0, color);
+        } else {
+            // Piecewise-linear motion: hold position between legs,
+            // interpolate along each leg.
+            let mut cx = Animate::linear("cx", play).frame(0.0, format!("{hx:.2}"));
+            let mut cy = Animate::linear("cy", play).frame(0.0, format!("{hy:.2}"));
+            for leg in &robot.legs {
+                let (fx, fy) = project(leg.from);
+                let (tx, ty) = project(leg.to);
+                cx = cx
+                    .frame(leg.start / dur * play, format!("{fx:.2}"))
+                    .frame(leg.end / dur * play, format!("{tx:.2}"));
+                cy = cy
+                    .frame(leg.start / dur * play, format!("{fy:.2}"))
+                    .frame(leg.end / dur * play, format!("{ty:.2}"));
+            }
+            doc.animated_circle(hx, hy, 5.0, color, &[cx, cy]);
+        }
+        doc.text(hx + 7.0, hy - 7.0, 11.0, "start", "#111111", &robot.label);
+    }
+
+    // Playback progress bar: sim time sweeping left to right, looped.
+    let bar_y = header + s + 8.0;
+    doc.rect(0.0, bar_y, s, 6.0, "#eeeeee", Some("#999999"));
+    let sweep = Animate::linear("width", play)
+        .frame(0.0, "0.00")
+        .frame(play, format!("{s:.2}"));
+    doc.animated_rect(0.0, bar_y, 0.0, 6.0, "#1f77b4", &[sweep]);
+    doc.text(0.0, bar_y + 16.0, 10.0, "start", "#555555", "t = 0 s");
+    doc.text(
+        s,
+        bar_y + 16.0,
+        10.0,
+        "end",
+        "#555555",
+        &format!("t = {dur:.0} s"),
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> AnimScene {
+        AnimScene {
+            title: "test replay".into(),
+            bounds: Bounds::square(200.0),
+            duration_s: 1000.0,
+            playback_s: 20.0,
+            sensors: vec![
+                AnimSensor {
+                    loc: Point::new(50.0, 50.0),
+                    outages: vec![(100.0, 400.0)],
+                },
+                AnimSensor {
+                    loc: Point::new(150.0, 150.0),
+                    outages: vec![],
+                },
+            ],
+            robots: vec![AnimRobot {
+                label: "R1".into(),
+                home: Point::new(100.0, 100.0),
+                legs: vec![AnimLeg {
+                    from: Point::new(100.0, 100.0),
+                    to: Point::new(50.0, 50.0),
+                    start: 150.0,
+                    end: 250.0,
+                }],
+            }],
+            cells: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_one_loop() {
+        let svg = render(&scene(), 400);
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("R1"));
+        assert!(svg.contains("repeatCount=\"indefinite\""));
+        assert!(svg.contains("attributeName=\"cx\""), "robot moves");
+        assert!(svg.contains("attributeName=\"fill\""), "sensor flashes");
+        assert!(svg.contains("t = 1000 s"));
+    }
+
+    #[test]
+    fn static_nodes_stay_static() {
+        let mut sc = scene();
+        sc.sensors[0].outages.clear();
+        sc.robots[0].legs.clear();
+        let svg = render(&sc, 300);
+        // Only the progress bar animates.
+        assert_eq!(svg.matches("<animate ").count(), 1, "got: {svg}");
+    }
+
+    #[test]
+    fn byte_deterministic() {
+        assert_eq!(render(&scene(), 400), render(&scene(), 400));
+    }
+}

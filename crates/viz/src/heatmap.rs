@@ -1,0 +1,198 @@
+//! Per-grid-cell density heatmaps over the field: where failures
+//! cluster, where repairs are slow.
+//!
+//! Samples are `(position, weight)` pairs binned into a `grid × grid`
+//! lattice; a cell's intensity is either the weight *sum* (event
+//! density) or the weight *mean* (e.g. average repair latency at that
+//! spot). Colour runs white → deep red on a scale normalised to the
+//! hottest cell, which is printed in the legend so two heatmaps can be
+//! compared numerically.
+
+use robonet_geom::{Bounds, Point};
+
+use crate::svg::Svg;
+
+/// How a cell's samples aggregate into its intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatMetric {
+    /// Sum of weights (with unit weights: an event count).
+    Sum,
+    /// Mean weight (e.g. average latency); empty cells stay blank.
+    Mean,
+}
+
+/// A heatmap specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    /// Figure title.
+    pub title: String,
+    /// Unit suffix for the legend (e.g. `"failures"`, `"s"`).
+    pub unit: String,
+    /// The field.
+    pub bounds: Bounds,
+    /// Lattice resolution per axis.
+    pub grid: usize,
+    /// Aggregation rule.
+    pub metric: HeatMetric,
+    /// The samples: field position and weight.
+    pub samples: Vec<(Point, f64)>,
+}
+
+impl Heatmap {
+    /// Bins the samples; returns per-cell intensity in row-major order
+    /// (row 0 = bottom of the field), `None` for empty cells.
+    fn bin(&self) -> Vec<Option<f64>> {
+        let g = self.grid.max(1);
+        let mut sum = vec![0.0_f64; g * g];
+        let mut count = vec![0u64; g * g];
+        for &(p, w) in &self.samples {
+            let fx = (p.x - self.bounds.min().x) / self.bounds.width();
+            let fy = (p.y - self.bounds.min().y) / self.bounds.height();
+            let cx = ((fx * g as f64).floor() as isize).clamp(0, g as isize - 1) as usize;
+            let cy = ((fy * g as f64).floor() as isize).clamp(0, g as isize - 1) as usize;
+            sum[cy * g + cx] += w;
+            count[cy * g + cx] += 1;
+        }
+        sum.iter()
+            .zip(&count)
+            .map(|(&s, &c)| match self.metric {
+                HeatMetric::Sum => (c > 0).then_some(s),
+                HeatMetric::Mean => (c > 0).then(|| s / c as f64),
+            })
+            .collect()
+    }
+
+    /// Renders at `size × size` field pixels (plus header and legend).
+    /// Output is byte-deterministic for a given spec.
+    pub fn render(&self, size: u32) -> String {
+        let header = 28.0;
+        let footer = 24.0;
+        let s = f64::from(size);
+        let g = self.grid.max(1);
+        let mut doc = Svg::new(size, size + header as u32 + footer as u32);
+        doc.text(8.0, 18.0, 13.0, "start", "#111111", &self.title);
+        doc.rect(0.0, header, s, s, "#ffffff", Some("#333333"));
+
+        let cells = self.bin();
+        let hottest = cells
+            .iter()
+            .flatten()
+            .fold(0.0_f64, |acc, &v| acc.max(v))
+            .max(1e-12);
+        let cell_px = s / g as f64;
+        for cy in 0..g {
+            for cx in 0..g {
+                let Some(v) = cells[cy * g + cx] else {
+                    continue;
+                };
+                // Row 0 is the field's bottom; SVG y grows downward.
+                let x = cx as f64 * cell_px;
+                let y = header + s - (cy + 1) as f64 * cell_px;
+                doc.rect(x, y, cell_px, cell_px, &heat_color(v / hottest), None);
+            }
+        }
+        // Grid lines over the fills keep cell boundaries readable.
+        for i in 1..g {
+            let t = i as f64 * cell_px;
+            doc.line(t, header, t, header + s, "#00000022", 0.5);
+            doc.line(0.0, header + t, s, header + t, "#00000022", 0.5);
+        }
+
+        // Legend: a white→red ramp with the hottest value labelled.
+        let ly = header + s + 6.0;
+        let steps = 24usize;
+        let lw = 120.0;
+        for i in 0..steps {
+            doc.rect(
+                8.0 + i as f64 * lw / steps as f64,
+                ly,
+                lw / steps as f64,
+                8.0,
+                &heat_color((i as f64 + 0.5) / steps as f64),
+                None,
+            );
+        }
+        doc.rect(8.0, ly, lw, 8.0, "none", Some("#999999"));
+        doc.text(8.0 + lw + 6.0, ly + 8.0, 10.0, "start", "#555555", "0");
+        doc.text(
+            s - 8.0,
+            ly + 8.0,
+            10.0,
+            "end",
+            "#555555",
+            &format!(
+                "max {hottest:.2} {unit} / cell ({g}x{g} grid)",
+                unit = self.unit
+            ),
+        );
+        doc.finish()
+    }
+}
+
+/// White → deep red, `v` in `[0, 1]`.
+fn heat_color(v: f64) -> String {
+    let v = v.clamp(0.0, 1.0);
+    // Keep even the faintest non-empty cell visibly warm.
+    let v = 0.15 + 0.85 * v;
+    let r = 255.0;
+    let gb = (255.0 * (1.0 - v)).round() as u8;
+    format!("#{:02x}{gb:02x}{gb:02x}", r as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(metric: HeatMetric) -> Heatmap {
+        Heatmap {
+            title: "failure density".into(),
+            unit: "failures".into(),
+            bounds: Bounds::square(100.0),
+            grid: 4,
+            metric,
+            samples: vec![
+                (Point::new(10.0, 10.0), 1.0),
+                (Point::new(12.0, 12.0), 1.0),
+                (Point::new(90.0, 90.0), 3.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn sum_and_mean_bin_differently() {
+        let sums = spec(HeatMetric::Sum).bin();
+        let means = spec(HeatMetric::Mean).bin();
+        assert_eq!(sums[0], Some(2.0), "two unit samples in the corner cell");
+        assert_eq!(means[0], Some(1.0));
+        assert_eq!(sums[15], Some(3.0));
+        assert_eq!(means[15], Some(3.0));
+        assert_eq!(sums[5], None, "empty cells stay blank");
+    }
+
+    #[test]
+    fn out_of_bounds_samples_clamp() {
+        let mut h = spec(HeatMetric::Sum);
+        h.samples = vec![(Point::new(-5.0, 500.0), 1.0)];
+        let cells = h.bin();
+        assert_eq!(cells[12], Some(1.0), "clamped to the top-left cell");
+    }
+
+    #[test]
+    fn renders_deterministically() {
+        let a = spec(HeatMetric::Sum).render(300);
+        let b = spec(HeatMetric::Sum).render(300);
+        assert_eq!(a, b);
+        assert!(a.contains("<svg"));
+        assert!(a.contains("failure density"));
+        assert!(a.contains("max 3.00 failures"));
+    }
+
+    #[test]
+    fn empty_heatmap_is_blank_but_valid() {
+        let mut h = spec(HeatMetric::Mean);
+        h.samples.clear();
+        let svg = h.render(200);
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("max 0.00"));
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Dependency-free SVG generation used to turn experiment output into
 //! figures: line charts in the style of the paper's Figures 2–4
-//! ([`chart`]), and field maps showing deployments, Voronoi cells and
-//! robot trajectories ([`map`]). The [`svg`] module provides the small
-//! typed document builder both are built on.
+//! ([`chart`]), field maps showing deployments, Voronoi cells and
+//! robot trajectories ([`map`]), SMIL-animated trace replays
+//! ([`anim`]), failure/latency density heatmaps ([`heatmap`]) and
+//! per-failure span waterfalls ([`waterfall`]). The [`svg`] module
+//! provides the small typed document builder all of them are built on.
 //!
 //! ```
 //! use robonet_viz::chart::{LineChart, Series};
@@ -20,6 +22,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anim;
 pub mod chart;
+pub mod heatmap;
 pub mod map;
 pub mod svg;
+pub mod waterfall;

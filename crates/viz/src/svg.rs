@@ -95,6 +95,36 @@ impl Svg {
         );
     }
 
+    /// A filled circle carrying SMIL [`Animate`] timelines (a moving
+    /// robot, a sensor changing state). Timelines with fewer than two
+    /// frames are dropped — the static attributes already say it all.
+    pub fn animated_circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, anims: &[Animate]) {
+        let inner: String = anims.iter().map(Animate::render).collect();
+        if inner.is_empty() {
+            self.circle(cx, cy, r, fill);
+            return;
+        }
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}">{inner}</circle>"#,
+        );
+    }
+
+    /// A filled rectangle carrying SMIL [`Animate`] timelines (e.g. a
+    /// playback progress bar animating `width`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn animated_rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, anims: &[Animate]) {
+        let inner: String = anims.iter().map(Animate::render).collect();
+        if inner.is_empty() {
+            self.rect(x, y, w, h, fill, None);
+            return;
+        }
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}">{inner}</rect>"#,
+        );
+    }
+
     /// Finishes the document.
     pub fn finish(self) -> String {
         format!(
@@ -102,6 +132,97 @@ impl Svg {
             w = self.width,
             h = self.height,
             body = self.body,
+        )
+    }
+}
+
+/// One SMIL `<animate>` timeline on an element attribute: a sequence
+/// of `(time, value)` keyframes over a fixed loop duration, rendered
+/// with `repeatCount="indefinite"` so the replay loops forever.
+///
+/// Frames are given in *loop seconds* (`[0, dur]`); rendering
+/// normalises them into SMIL `keyTimes`: clamped into range, forced
+/// non-decreasing, and padded with a copy of the first/last value so
+/// the timeline always spans exactly `0 → 1` (SMIL requires both
+/// endpoints and an out-of-range `keyTimes` list invalidates the whole
+/// animation silently in most renderers).
+#[derive(Debug, Clone)]
+pub struct Animate {
+    attr: &'static str,
+    calc_mode: &'static str,
+    dur_s: f64,
+    frames: Vec<(f64, String)>,
+}
+
+impl Animate {
+    /// A linearly interpolated timeline (continuous motion).
+    pub fn linear(attr: &'static str, dur_s: f64) -> Self {
+        Animate {
+            attr,
+            calc_mode: "linear",
+            dur_s: dur_s.max(1e-9),
+            frames: Vec::new(),
+        }
+    }
+
+    /// A stepwise timeline (state changes: colours, radii).
+    pub fn discrete(attr: &'static str, dur_s: f64) -> Self {
+        Animate {
+            attr,
+            calc_mode: "discrete",
+            dur_s: dur_s.max(1e-9),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Appends a keyframe at `t` loop-seconds (builder style).
+    pub fn frame(mut self, t: f64, value: impl std::fmt::Display) -> Self {
+        self.frames.push((t, value.to_string()));
+        self
+    }
+
+    /// Number of keyframes so far.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when no keyframes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    fn render(&self) -> String {
+        if self.frames.len() < 2 {
+            return String::new();
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.frames.len() + 2);
+        let mut values: Vec<&str> = Vec::with_capacity(self.frames.len() + 2);
+        for (t, v) in &self.frames {
+            let t = (t / self.dur_s).clamp(0.0, 1.0);
+            // SMIL keyTimes must be non-decreasing.
+            let t = times.last().map_or(t, |&prev: &f64| t.max(prev));
+            times.push(t);
+            values.push(v);
+        }
+        if times[0] > 0.0 {
+            times.insert(0, 0.0);
+            values.insert(0, values[0]);
+        }
+        if *times.last().unwrap() < 1.0 {
+            times.push(1.0);
+            values.push(values[values.len() - 1]);
+        }
+        let key_times: String = times
+            .iter()
+            .map(|t| format!("{t:.5}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        format!(
+            r#"<animate attributeName="{attr}" dur="{dur:.2}s" repeatCount="indefinite" calcMode="{mode}" keyTimes="{key_times}" values="{values}"/>"#,
+            attr = self.attr,
+            dur = self.dur_s,
+            mode = self.calc_mode,
+            values = values.join(";"),
         )
     }
 }
@@ -160,6 +281,49 @@ mod tests {
         let out = s.finish();
         assert!(out.contains("a&lt;b &amp; c&gt;d"));
         assert!(!out.contains("a<b"));
+    }
+
+    #[test]
+    fn animate_normalises_key_times() {
+        let mut s = Svg::new(10, 10);
+        let cx = Animate::linear("cx", 10.0)
+            .frame(2.0, "1.00")
+            .frame(8.0, "9.00");
+        let fill = Animate::discrete("fill", 10.0)
+            .frame(0.0, "#aaa")
+            .frame(5.0, "#bbb");
+        s.animated_circle(1.0, 1.0, 2.0, "#000", &[cx, fill]);
+        let out = s.finish();
+        // Padded to span exactly 0..1, first/last values duplicated.
+        assert!(
+            out.contains(
+                r#"keyTimes="0.00000;0.20000;0.80000;1.00000" values="1.00;1.00;9.00;9.00""#
+            ),
+            "got: {out}"
+        );
+        assert!(out.contains(
+            r##"calcMode="discrete" keyTimes="0.00000;0.50000;1.00000" values="#aaa;#bbb;#bbb""##
+        ));
+        assert!(out.contains(r#"repeatCount="indefinite""#));
+    }
+
+    #[test]
+    fn single_frame_animations_fall_back_to_static() {
+        let mut s = Svg::new(10, 10);
+        s.animated_circle(
+            1.0,
+            2.0,
+            3.0,
+            "#123",
+            &[Animate::linear("cx", 5.0).frame(0.0, "1")],
+        );
+        s.animated_rect(0.0, 0.0, 4.0, 4.0, "#456", &[]);
+        let out = s.finish();
+        assert!(!out.contains("<animate"), "got: {out}");
+        assert!(out.contains(r##"<circle cx="1.00" cy="2.00" r="3.00" fill="#123"/>"##));
+        assert!(
+            out.contains(r##"<rect x="0.00" y="0.00" width="4.00" height="4.00" fill="#456"/>"##)
+        );
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Span waterfalls: one horizontal bar per repaired failure, segmented
+//! by lifecycle stage (detection → report → dispatch → travel →
+//! install) and placed on the shared sim-time axis.
+//!
+//! Rows are sorted by `(start, label)` before rendering; when a trace
+//! has more failures than fit, consecutive rows are bucketed (mean
+//! stage durations, `n=K` labels) rather than silently dropped — the
+//! figure always covers every span. Both orderings and bucket
+//! boundaries are deterministic so the output can be golden-gated.
+
+use crate::svg::{escape, Svg, PALETTE};
+
+/// One span: a labelled bar starting at `start` sim-seconds composed
+/// of stage segments laid end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterfallRow {
+    /// Row label (e.g. `"s17 @ 1042 s"`).
+    pub label: String,
+    /// Bar start on the time axis (s).
+    pub start: f64,
+    /// `(stage index, duration s)` segments in causal order; stages a
+    /// span did not carry are simply absent.
+    pub segments: Vec<(usize, f64)>,
+}
+
+impl WaterfallRow {
+    fn total(&self) -> f64 {
+        self.segments.iter().map(|&(_, d)| d).sum()
+    }
+}
+
+/// A waterfall figure specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waterfall {
+    /// Figure title.
+    pub title: String,
+    /// Stage names, indexed by the `usize` in row segments; also the
+    /// legend, coloured from the shared palette.
+    pub stage_names: Vec<String>,
+    /// The spans (any order; rendering sorts).
+    pub rows: Vec<WaterfallRow>,
+    /// Maximum individual rows before bucketing kicks in.
+    pub max_rows: usize,
+}
+
+impl Waterfall {
+    /// Sorted — and, beyond `max_rows`, bucketed — rows as they will
+    /// be drawn. Buckets group *consecutive* sorted rows (ceil-divided
+    /// so sizes differ by at most one), average each stage's duration
+    /// over the bucket, start at the bucket's earliest span, and carry
+    /// an `n=K` label.
+    pub fn layout_rows(&self) -> Vec<WaterfallRow> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.label.cmp(&b.label)));
+        let max = self.max_rows.max(1);
+        if rows.len() <= max {
+            return rows;
+        }
+        let buckets = max;
+        let n = rows.len();
+        let mut out = Vec::with_capacity(buckets);
+        let mut i = 0;
+        for b in 0..buckets {
+            // Ceil-division split: the first `n % buckets` buckets get
+            // one extra row, so every span lands in exactly one bucket.
+            let len = n / buckets + usize::from(b < n % buckets);
+            let chunk = &rows[i..i + len];
+            i += len;
+            let mut stage_sum = vec![0.0_f64; self.stage_names.len()];
+            let mut stage_n = vec![0u64; self.stage_names.len()];
+            for row in chunk {
+                for &(stage, d) in &row.segments {
+                    if stage < stage_sum.len() {
+                        stage_sum[stage] += d;
+                        stage_n[stage] += 1;
+                    }
+                }
+            }
+            let segments: Vec<(usize, f64)> = stage_sum
+                .iter()
+                .zip(&stage_n)
+                .enumerate()
+                .filter(|&(_, (_, &c))| c > 0)
+                .map(|(s, (&sum, &c))| (s, sum / c as f64))
+                .collect();
+            out.push(WaterfallRow {
+                label: format!(
+                    "t {:.0}-{:.0} s (n={})",
+                    chunk[0].start,
+                    chunk[chunk.len() - 1].start,
+                    chunk.len()
+                ),
+                start: chunk[0].start,
+                segments,
+            });
+        }
+        out
+    }
+
+    /// Renders at the given pixel width (height follows the row
+    /// count). Output is byte-deterministic for a given spec.
+    pub fn render(&self, width: u32) -> String {
+        let rows = self.layout_rows();
+        let header = 44.0;
+        let row_h = 16.0;
+        let label_w = 150.0;
+        let w = f64::from(width);
+        let height = header + rows.len() as f64 * row_h + 24.0;
+        let mut doc = Svg::new(width, height.ceil() as u32);
+        doc.text(8.0, 18.0, 13.0, "start", "#111111", &self.title);
+
+        // Legend.
+        let mut lx = 8.0;
+        for (i, name) in self.stage_names.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            doc.rect(lx, 26.0, 10.0, 10.0, color, None);
+            doc.text(lx + 13.0, 35.0, 10.0, "start", "#333333", name);
+            lx += 13.0 + 7.0 * (name.len() as f64 + 2.0);
+        }
+
+        let t0 = rows.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
+        let t1 = rows
+            .iter()
+            .map(|r| r.start + r.total())
+            .fold(0.0_f64, f64::max);
+        // NaN-safe degenerate check: anything but a strictly positive
+        // span collapses to the unit axis.
+        let grows = t1.partial_cmp(&t0) == Some(std::cmp::Ordering::Greater);
+        let (t0, span) = if rows.is_empty() || !grows {
+            (0.0, 1.0)
+        } else {
+            (t0, t1 - t0)
+        };
+        let time_w = (w - label_w - 16.0).max(1.0);
+        let to_x = |t: f64| label_w + (t - t0) / span * time_w;
+
+        for (r, row) in rows.iter().enumerate() {
+            let y = header + r as f64 * row_h;
+            if r % 2 == 1 {
+                doc.rect(0.0, y, w, row_h, "#00000008", None);
+            }
+            doc.text(
+                label_w - 6.0,
+                y + row_h - 4.5,
+                9.0,
+                "end",
+                "#333333",
+                &row.label,
+            );
+            let mut t = row.start;
+            for &(stage, d) in &row.segments {
+                let x = to_x(t);
+                let bar_w = (to_x(t + d) - x).max(0.5);
+                doc.rect(
+                    x,
+                    y + 2.5,
+                    bar_w,
+                    row_h - 5.0,
+                    PALETTE[stage % PALETTE.len()],
+                    None,
+                );
+                t += d;
+            }
+        }
+
+        // Time axis.
+        let axis_y = header + rows.len() as f64 * row_h + 4.0;
+        doc.line(label_w, axis_y, label_w + time_w, axis_y, "#333333", 1.0);
+        for i in 0..=4 {
+            let t = t0 + span * f64::from(i) / 4.0;
+            let x = to_x(t);
+            doc.line(x, axis_y, x, axis_y + 4.0, "#333333", 1.0);
+            doc.text(
+                x,
+                axis_y + 14.0,
+                9.0,
+                "middle",
+                "#555555",
+                &escape(&format!("{t:.0} s")),
+            );
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, max_rows: usize) -> Waterfall {
+        Waterfall {
+            title: "repair spans".into(),
+            stage_names: vec!["detection".into(), "travel".into()],
+            rows: (0..n)
+                .map(|i| WaterfallRow {
+                    label: format!("s{i}"),
+                    start: 100.0 * (n - i) as f64,
+                    segments: vec![(0, 30.0), (1, 60.0 + i as f64)],
+                })
+                .collect(),
+            max_rows,
+        }
+    }
+
+    #[test]
+    fn rows_sort_by_start_then_label() {
+        let rows = spec(3, 10).layout_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "s2", "earliest start first");
+        assert!(rows[0].start < rows[1].start);
+    }
+
+    #[test]
+    fn bucketing_covers_every_span_with_balanced_buckets() {
+        let wf = spec(10, 4);
+        let rows = wf.layout_rows();
+        assert_eq!(rows.len(), 4);
+        let counted: usize = rows
+            .iter()
+            .map(|r| {
+                let n = r.label.split("n=").nth(1).unwrap();
+                n.trim_end_matches(')').parse::<usize>().unwrap()
+            })
+            .sum();
+        assert_eq!(counted, 10, "no span silently dropped");
+        // 10 over 4 → 3,3,2,2.
+        assert!(rows[0].label.ends_with("(n=3)"));
+        assert!(rows[3].label.ends_with("(n=2)"));
+        // Mean travel of the first bucket: rows sorted descending by
+        // construction → sorted ascending = i = 9,8,7 → 69,68,67.
+        let travel = rows[0].segments.iter().find(|&&(s, _)| s == 1).unwrap().1;
+        assert!((travel - 68.0).abs() < 1e-9, "got {travel}");
+    }
+
+    #[test]
+    fn renders_deterministically() {
+        let a = spec(30, 8).render(640);
+        let b = spec(30, 8).render(640);
+        assert_eq!(a, b);
+        assert!(a.contains("repair spans"));
+        assert!(a.contains("detection"));
+        assert!(a.contains("n=4"));
+    }
+
+    #[test]
+    fn empty_waterfall_is_valid() {
+        let wf = Waterfall {
+            title: "empty".into(),
+            stage_names: vec!["travel".into()],
+            rows: vec![],
+            max_rows: 5,
+        };
+        let svg = wf.render(400);
+        assert!(svg.contains("<svg"));
+    }
+}

@@ -107,6 +107,44 @@ stage_golden_spans() {
     fi
 }
 
+stage_replay_figs() {
+    # The trace analyzer must be byte-deterministic: render the golden
+    # trace's replay figures twice, byte-diff the pair, then byte-diff
+    # against the committed goldens. The final copies stay in
+    # $artifact_dir so every CI run uploads viewable SVGs.
+    local kind flag out_a out_b
+    for kind in anim heatmap waterfall; do
+        case "$kind" in
+            anim) flag=--svg ;;
+            heatmap) flag=--heatmap ;;
+            waterfall) flag=--waterfall ;;
+        esac
+        out_a="$artifact_dir/replay_${kind}.svg"
+        out_b="$artifact_dir/replay_${kind}.second.svg"
+        robonet replay "$artifact_dir/golden.jsonl" "$flag" "$out_a" > /dev/null
+        robonet replay "$artifact_dir/golden.jsonl" "$flag" "$out_b" > /dev/null
+        if ! cmp "$out_a" "$out_b"; then
+            echo "replay gate failed: two $kind renders differ" >&2
+            exit 1
+        fi
+        rm "$out_b"
+        if ! cmp "tests/golden/replay_${kind}_dynamic.svg" "$out_a"; then
+            echo "replay gate failed: $kind drifted from tests/golden/replay_${kind}_dynamic.svg" >&2
+            echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q -p robonet-cli replay_golden to regenerate)" >&2
+            exit 1
+        fi
+    done
+    # Follow mode on the finished artifact must land on the offline
+    # answer (the tail-follow loop replays to completion and exits).
+    robonet replay "$artifact_dir/golden.jsonl" > "$artifact_dir/replay_offline.txt"
+    robonet replay --follow "$artifact_dir/golden.jsonl" \
+        > "$artifact_dir/replay_follow.txt" 2> /dev/null
+    if ! cmp "$artifact_dir/replay_offline.txt" "$artifact_dir/replay_follow.txt"; then
+        echo "replay gate failed: --follow disagrees with offline replay" >&2
+        exit 1
+    fi
+}
+
 stage_determinism() {
     # Same seed, same config → byte-identical summary, twice over: once
     # fault-free and once with the full fault plan armed (loss, robot
@@ -234,6 +272,7 @@ run_stage "build (release, offline)" stage_build
 run_stage "tests (offline)" stage_test
 run_stage "golden trace artifact" stage_golden_trace
 run_stage "golden span decomposition" stage_golden_spans
+run_stage "replay figures gate (byte-deterministic)" stage_replay_figs
 run_stage "determinism gate (fault-free + faulty)" stage_determinism
 run_stage "sweep engine gate (--jobs 1 vs --jobs 4)" stage_sweep_determinism
 run_stage "golden figures gate (paper-scale sweep)" stage_golden_figs
