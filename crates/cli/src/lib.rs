@@ -7,8 +7,10 @@
 #![warn(missing_docs)]
 
 pub mod replay;
+pub mod timeline;
 
 pub use replay::REPLAY_FLAGS;
+pub use timeline::TIMELINE_FLAGS;
 
 use std::fmt::Write as _;
 
@@ -45,6 +47,8 @@ pub const RUN_FLAGS: &[(&str, bool)] = &[
     ("--breakdown-repair", true),
     ("--slow-prob", true),
     ("--slow-factor", true),
+    ("--sample-every", true),
+    ("--profile-out", true),
 ];
 
 /// The usage text (returned so tests can audit it against the parser).
@@ -59,11 +63,15 @@ pub fn usage_text() -> String {
      \x20                 [--loss P] [--report-loss P] [--dispatch-loss P]\n\
      \x20                 [--update-loss P] [--breakdown MEAN_SECS]\n\
      \x20                 [--breakdown-repair SECS] [--slow-prob P] [--slow-factor F]\n\
+     \x20                 [--sample-every SECS] [--profile-out FILE]\n\
      \x20 robonet stats   <run.jsonl>\n\
+     \x20 robonet timeline <run.jsonl> [--csv] [--svg FILE] [--series a,b,c]\n\
+     \x20                 [--compare other.jsonl]...\n\
      \x20 robonet spans   <run.jsonl>... [--csv] [--by-alg]\n\
      \x20 robonet replay  <run.jsonl|-> [--at T] [--svg FILE] [--heatmap FILE]\n\
      \x20                 [--waterfall FILE] [--metric <failures|latency>]\n\
      \x20                 [--grid N] [--rows N] [--duration SECS] [--follow]\n\
+     \x20                 [--poll-ms N]\n\
      \x20 robonet figures [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
      \x20 robonet sweep   [--scale F] [--seeds a,b] [--ks 2,3,4] [--jobs N]\n\
      \n\
@@ -83,6 +91,22 @@ pub fn usage_text() -> String {
      manifest) so a run pipes straight into `robonet replay --follow -`.\n\
      `robonet stats` aggregates such a file back into the per-failure\n\
      overhead table without re-running the simulation.\n\
+     `--sample-every SECS` arms the telemetry timeline: the run emits a\n\
+     deterministic telemetry_sample event every SECS sim seconds (live\n\
+     gauges: alive/down sensors, coverage, open repairs by stage, robot\n\
+     queues, in-flight frames, scheduler queue) and an online health\n\
+     monitor cross-checks conservation invariants at each sample,\n\
+     emitting invariant_violated events instead of silently diverging.\n\
+     Without the flag runs are byte-identical to earlier releases.\n\
+     `robonet timeline` charts those samples from a trace: plain CSV of\n\
+     every series (the default and `--csv`), or a multi-series sim-time\n\
+     SVG chart (`--svg`, series picked with `--series`); `--compare`\n\
+     overlays the same series from more traces, one palette color per\n\
+     trace, labelled from their manifests.\n\
+     `--profile-out FILE` writes the scheduler profile (event counts,\n\
+     timer-wheel occupancy, per-subsystem wall-clock attribution) as\n\
+     JSON after the run. Wall-clock figures are non-deterministic —\n\
+     diagnostics only, never part of determinism gates.\n\
      `robonet spans` decomposes each repair in a trace into causal stages\n\
      (detection, report transit, dispatch, travel, install) and prints\n\
      per-stage p50/p95/p99; `--by-alg` lays several traces side by side.\n\
@@ -96,7 +120,8 @@ pub fn usage_text() -> String {
      deployment from the run manifest next to the trace. `--follow` tails\n\
      a growing trace file (or `-` for stdin), printing rolling dashboards\n\
      to stderr and the final state — identical to an offline replay of\n\
-     the finished artifact — to stdout.\n\
+     the finished artifact — to stdout; `--poll-ms N` sets how often the\n\
+     tail re-checks the file for new bytes (default 40 ms).\n\
      `--progress` prints sim-time/wall-time/open-span heartbeats to stderr.\n\
      \n\
      Fault injection (deterministic, from a dedicated seed stream):\n\
@@ -129,6 +154,7 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "run" => cmd_run(rest),
         "stats" => cmd_stats(rest),
+        "timeline" => timeline::cmd_timeline(rest),
         "spans" => cmd_spans(rest),
         "replay" => replay::cmd_replay(rest),
         "figures" => cmd_figures(rest),
@@ -167,6 +193,8 @@ struct RunArgs {
     trace_out: Option<String>,
     progress: bool,
     faults: Option<FaultPlan>,
+    sample_every: Option<f64>,
+    profile_out: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -183,6 +211,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         trace_out: None,
         progress: false,
         faults: None,
+        sample_every: None,
+        profile_out: None,
     };
     let mut plan = FaultPlan::default();
     let mut faulty = false;
@@ -231,6 +261,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--trace-out" => out.trace_out = Some(value()?.to_string()),
             "--progress" => out.progress = true,
+            "--sample-every" => {
+                out.sample_every = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --sample-every: {e}"))?,
+                );
+            }
+            "--profile-out" => out.profile_out = Some(value()?.to_string()),
             "--loss" => {
                 let p = parse_f64(value()?)?;
                 plan.report_loss = p;
@@ -308,6 +346,10 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
             ..CoverageSampling::default()
         });
     }
+    // The sampling cadence is in sim seconds as given — deliberately
+    // not compressed by --scale, so a 100 s cadence means the same
+    // thing at every scale.
+    cfg.sample_every = parsed.sample_every.map(SimDuration::from_secs);
     cfg.validate()?;
 
     let mut sim = match parsed.trace_out.as_deref() {
@@ -329,6 +371,9 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     };
     if parsed.progress {
         sim.enable_progress(std::time::Duration::from_secs(1));
+    }
+    if parsed.profile_out.is_some() {
+        sim.enable_subsystem_profile();
     }
     let mut outcome = sim.run_to_completion();
     let span_report = outcome.spans.take();
@@ -409,6 +454,15 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
             fs.takeovers
         );
     }
+    // Health verdicts appear only for sampled runs with actual drift,
+    // keeping unsampled output byte-identical to earlier releases.
+    if m.invariant_violations > 0 {
+        let _ = writeln!(
+            out,
+            "INVARIANT VIOLATIONS: {} (see invariant_violated trace events)",
+            m.invariant_violations
+        );
+    }
     let _ = writeln!(out, "profile:              {}", outcome.profile);
     let _ = writeln!(out, "\ntransmissions by class:\n{}", m.tx);
     if let Some(report) = span_report {
@@ -422,6 +476,11 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
             .map_err(|e| format!("cannot write manifest `{manifest}`: {e}"))?;
         let _ = writeln!(out, "\ntrace written:        {path}");
         let _ = writeln!(out, "manifest written:     {manifest}");
+    }
+    if let Some(path) = parsed.profile_out.as_deref() {
+        std::fs::write(path, profile_json(&outcome.profile))
+            .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
+        let _ = writeln!(out, "profile written:      {path}");
     }
     if !outcome.trace.is_empty() {
         let _ = writeln!(out, "last {} protocol events:", outcome.trace.len());
@@ -442,6 +501,39 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         return Ok(String::new());
     }
     Ok(out)
+}
+
+/// One JSON object describing where a run's wall-clock went: scheduler
+/// throughput, timer-wheel occupancy, and per-subsystem attribution.
+/// Wall-clock figures are machine- and load-dependent, so this artifact
+/// is explicitly non-deterministic and excluded from determinism gates
+/// (unlike the trace and the manifest, which must be byte-stable).
+fn profile_json(profile: &robonet_des::SchedulerProfile) -> String {
+    let mut wheel = ObjectWriter::new();
+    wheel.field_u64("front_high_water", profile.wheel.front_high_water as u64);
+    wheel.field_u64("lane0_high_water", profile.wheel.lane0_high_water as u64);
+    wheel.field_u64(
+        "overflow_high_water",
+        profile.wheel.overflow_high_water as u64,
+    );
+    wheel.field_u64("overflow_promotions", profile.wheel.overflow_promotions);
+    let sub = &profile.subsystems;
+    let mut subsystems = ObjectWriter::new();
+    subsystems.field_f64("radio_s", sub.radio_s);
+    subsystems.field_f64("routing_s", sub.routing_s);
+    subsystems.field_f64("coord_s", sub.coord_s);
+    subsystems.field_f64("obs_sink_s", sub.obs_sink_s);
+    subsystems.field_f64("total_s", sub.total());
+    let mut w = ObjectWriter::new();
+    w.field_u64("events_dispatched", profile.events_dispatched);
+    w.field_u64("queue_high_water", profile.queue_high_water as u64);
+    w.field_f64("sim_seconds", profile.sim_seconds);
+    w.field_f64("wall_seconds", profile.wall_seconds);
+    w.field_raw("wheel", &wheel.finish());
+    w.field_raw("subsystems", &subsystems.finish());
+    let mut json = w.finish();
+    json.push('\n');
+    json
 }
 
 /// `run.jsonl` → `run.manifest.json` (any other name just gains the
@@ -580,7 +672,7 @@ fn cmd_spans(args: &[String]) -> Result<String, String> {
 
 /// Label for a trace in a side-by-side table: the `algorithm` recorded
 /// in the run manifest next to the trace, else the trace's file stem.
-fn trace_label(trace_path: &str) -> String {
+pub(crate) fn trace_label(trace_path: &str) -> String {
     let from_manifest = std::fs::read_to_string(manifest_path_for(trace_path))
         .ok()
         .and_then(|text| json::parse(&text).ok())
@@ -863,6 +955,64 @@ mod tests {
                     "usage documents `{flag}` but the replay parser does not accept it"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn usage_documents_every_timeline_flag_and_documents_nothing_extra() {
+        let usage = usage_text();
+        // Every flag the timeline parser accepts appears in the usage text.
+        for &(flag, _) in TIMELINE_FLAGS {
+            assert!(usage.contains(flag), "usage text is missing `{flag}`");
+        }
+        // Every `--flag` token in the timeline usage section parses.
+        let timeline_section: String = usage
+            .lines()
+            .skip_while(|l| !l.contains("robonet timeline"))
+            .take_while(|l| !l.contains("robonet spans"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(
+            timeline_section.contains("--series"),
+            "timeline usage section not found"
+        );
+        for token in timeline_section.split(|c: char| !(c.is_alphanumeric() || c == '-')) {
+            if let Some(flag) = token.strip_prefix("--").map(|_| token) {
+                assert!(
+                    TIMELINE_FLAGS.iter().any(|&(f, _)| f == flag),
+                    "usage documents `{flag}` but the timeline parser does not accept it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_every_and_profile_out_flags_parse() {
+        let a = parse_run_args(&args(&[
+            "--sample-every",
+            "100",
+            "--profile-out",
+            "/tmp/p.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.sample_every, Some(100.0));
+        assert_eq!(a.profile_out.as_deref(), Some("/tmp/p.json"));
+        let a = parse_run_args(&args(&[])).unwrap();
+        assert!(a.sample_every.is_none() && a.profile_out.is_none());
+        assert!(parse_run_args(&args(&["--sample-every", "often"])).is_err());
+    }
+
+    #[test]
+    fn profile_json_has_every_section() {
+        let profile = robonet_des::SchedulerProfile::default();
+        let json = profile_json(&profile);
+        let v = json::parse(&json).expect("valid JSON");
+        for key in ["events_dispatched", "wall_seconds", "wheel", "subsystems"] {
+            assert!(v.get(key).is_some(), "missing `{key}`: {json}");
+        }
+        let sub = v.get("subsystems").unwrap();
+        for key in ["radio_s", "routing_s", "coord_s", "obs_sink_s", "total_s"] {
+            assert!(sub.get(key).is_some(), "missing subsystems.{key}: {json}");
         }
     }
 

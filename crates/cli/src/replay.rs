@@ -36,6 +36,7 @@ pub const REPLAY_FLAGS: &[(&str, bool)] = &[
     ("--rows", true),
     ("--duration", true),
     ("--follow", false),
+    ("--poll-ms", true),
 ];
 
 /// What a heatmap cell aggregates.
@@ -59,6 +60,7 @@ struct ReplayArgs {
     rows: usize,
     duration: f64,
     follow: bool,
+    poll_ms: u64,
 }
 
 fn parse_replay_args(args: &[String]) -> Result<ReplayArgs, String> {
@@ -73,6 +75,7 @@ fn parse_replay_args(args: &[String]) -> Result<ReplayArgs, String> {
         rows: 40,
         duration: 20.0,
         follow: false,
+        poll_ms: 40,
     };
     let mut path: Option<String> = None;
     let mut it = args.iter();
@@ -114,6 +117,14 @@ fn parse_replay_args(args: &[String]) -> Result<ReplayArgs, String> {
                     .map_err(|e| format!("bad --duration: {e}"))?;
             }
             "--follow" => out.follow = true,
+            "--poll-ms" => {
+                out.poll_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --poll-ms: {e}"))?;
+                if out.poll_ms == 0 {
+                    return Err("bad --poll-ms: must be at least 1".into());
+                }
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown argument `{other}`"));
             }
@@ -147,7 +158,7 @@ pub fn cmd_replay(args: &[String]) -> Result<String, String> {
         return if parsed.path == "-" {
             follow_stdin()
         } else {
-            follow_file(&parsed.path)
+            follow_file(&parsed.path, parsed.poll_ms)
         };
     }
     let text = if parsed.path == "-" {
@@ -417,11 +428,11 @@ fn follow_stdin() -> Result<String, String> {
 }
 
 /// Tails a trace file being written by a live `robonet run
-/// --trace-out FILE`: poll + seek, a ragged final line buffered until
-/// the rest arrives. The follow ends when the producer's manifest
-/// exists and a poll reads no new bytes — the run is over and the
-/// trace drained.
-fn follow_file(path: &str) -> Result<String, String> {
+/// --trace-out FILE`: poll + seek every `poll_ms` milliseconds, a
+/// ragged final line buffered until the rest arrives. The follow ends
+/// when the producer's manifest exists and a poll reads no new bytes —
+/// the run is over and the trace drained.
+fn follow_file(path: &str, poll_ms: u64) -> Result<String, String> {
     use std::io::{Read as _, Seek as _, SeekFrom};
     let manifest = manifest_path_for(path);
     let mut replayer = Replayer::discovering();
@@ -440,7 +451,7 @@ fn follow_file(path: &str) -> Result<String, String> {
             if pos > 0 && std::path::Path::new(&manifest).exists() {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(40));
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
             continue;
         }
         pos += chunk.len() as u64;
@@ -487,7 +498,7 @@ mod tests {
         match flag {
             "--svg" | "--heatmap" | "--waterfall" => "/tmp/out.svg",
             "--metric" => "latency",
-            "--grid" | "--rows" => "4",
+            "--grid" | "--rows" | "--poll-ms" => "4",
             _ => "100.5",
         }
     }
@@ -514,6 +525,11 @@ mod tests {
         assert_eq!(a.rows, 40);
         assert_eq!(a.duration, 20.0);
         assert!(!a.follow);
+        assert_eq!(a.poll_ms, 40);
+
+        let a = parse_replay_args(&args(&["run.jsonl", "--follow", "--poll-ms", "250"])).unwrap();
+        assert!(a.follow);
+        assert_eq!(a.poll_ms, 250);
 
         let a = parse_replay_args(&args(&[
             "-",
@@ -547,6 +563,8 @@ mod tests {
         assert!(parse_replay_args(&args(&["t", "--at"])).is_err());
         assert!(parse_replay_args(&args(&["t", "--grid", "0"])).is_err());
         assert!(parse_replay_args(&args(&["t", "--metric", "vibes"])).is_err());
+        assert!(parse_replay_args(&args(&["t", "--poll-ms", "0"])).is_err());
+        assert!(parse_replay_args(&args(&["t", "--poll-ms", "fast"])).is_err());
         assert!(parse_replay_args(&args(&["t", "--bogus"])).is_err());
         let err = parse_replay_args(&args(&["t", "--follow", "--svg", "a.svg"])).unwrap_err();
         assert!(err.contains("--follow"), "{err}");

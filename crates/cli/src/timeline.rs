@@ -1,0 +1,269 @@
+//! `robonet timeline` — charts the telemetry samples a `--sample-every`
+//! run streamed into its trace: plain CSV of every series, or a
+//! multi-series sim-time SVG chart, optionally overlaying the same
+//! series from several traces (`--compare`).
+//!
+//! All sample semantics live in `robonet_core::obs::timeline`; this
+//! module only parses flags and composes [`Timeline`] series into
+//! `robonet_viz` charts. The CSV is byte-identical to one rendered from
+//! the live sampler's values — shortest-round-trip floats carried
+//! verbatim through the JSONL artifact — so CI golden-gates it.
+
+use std::fmt::Write as _;
+
+use robonet_core::obs::timeline::{self, Timeline};
+use robonet_viz::chart::{LineChart, Series};
+
+use crate::trace_label;
+
+/// Every flag `robonet timeline` accepts, with whether it takes a
+/// value — audited against the usage text and the parser exactly like
+/// [`RUN_FLAGS`](crate::RUN_FLAGS).
+pub const TIMELINE_FLAGS: &[(&str, bool)] = &[
+    ("--csv", false),
+    ("--svg", true),
+    ("--series", true),
+    ("--compare", true),
+];
+
+#[derive(Debug)]
+struct TimelineArgs {
+    path: String,
+    csv: bool,
+    svg: Option<String>,
+    series: Vec<String>,
+    compare: Vec<String>,
+}
+
+fn parse_timeline_args(args: &[String]) -> Result<TimelineArgs, String> {
+    let mut out = TimelineArgs {
+        path: String::new(),
+        csv: false,
+        svg: None,
+        series: Vec::new(),
+        compare: Vec::new(),
+    };
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--csv" => out.csv = true,
+            "--svg" => out.svg = Some(value()?.to_string()),
+            "--series" => {
+                for name in value()?.split(',').filter(|s| !s.is_empty()) {
+                    if !timeline::SERIES.contains(&name) {
+                        return Err(format!(
+                            "unknown series `{name}` (expected one of: {})",
+                            timeline::SERIES.join(", ")
+                        ));
+                    }
+                    out.series.push(name.to_string());
+                }
+            }
+            "--compare" => out.compare.push(value()?.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown argument `{other}`"));
+            }
+            _ => {
+                if path.replace(arg.to_string()).is_some() {
+                    return Err("timeline takes exactly one primary trace".into());
+                }
+            }
+        }
+    }
+    out.path = path.ok_or("usage: robonet timeline <run.jsonl> [flags]")?;
+    if !out.compare.is_empty() && out.svg.is_none() {
+        return Err("--compare overlays traces on a chart: pass --svg FILE as well".into());
+    }
+    if out.csv && out.svg.is_some() {
+        return Err("--csv and --svg are separate outputs: pass one at a time".into());
+    }
+    Ok(out)
+}
+
+fn load_timeline(path: &str) -> Result<Timeline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let (tl, tail) = Timeline::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(tail) = tail {
+        // Stdout may be a pure CSV stream here; notes go to stderr.
+        eprintln!("note: {path}: {tail} — timeline covers the complete prefix");
+    }
+    for (t, invariant, expected, actual) in &tl.violations {
+        eprintln!(
+            "warning: {path}: invariant `{invariant}` violated at t={t}: expected {expected}, got {actual}"
+        );
+    }
+    Ok(tl)
+}
+
+/// `robonet timeline <run.jsonl> [...]` — see [`TIMELINE_FLAGS`].
+pub fn cmd_timeline(args: &[String]) -> Result<String, String> {
+    let parsed = parse_timeline_args(args)?;
+    let tl = load_timeline(&parsed.path)?;
+    let Some(svg_path) = &parsed.svg else {
+        // CSV is the default output (and what `--csv` asks for
+        // explicitly): every series, byte-stable, golden-gateable.
+        return Ok(tl.csv());
+    };
+    if tl.is_empty() {
+        return Err(format!(
+            "no telemetry samples in `{}` — produce the trace with `robonet run --sample-every SECS`",
+            parsed.path
+        ));
+    }
+    let names: Vec<String> = if parsed.series.is_empty() {
+        vec!["coverage".to_string()]
+    } else {
+        parsed.series.clone()
+    };
+
+    // One (label, timeline) per trace; with `--compare`, every trace
+    // keeps one palette color across all its series so the chart reads
+    // as "one color = one run".
+    let mut traces: Vec<(String, Timeline)> = vec![(trace_label(&parsed.path), tl)];
+    for path in &parsed.compare {
+        traces.push((trace_label(path), load_timeline(path)?));
+    }
+    // Comparing runs of the same algorithm (a k sweep, a seed sweep)
+    // gives every trace the same manifest label; fall back to file
+    // stems so the legend still tells them apart.
+    let mut sorted: Vec<&str> = traces.iter().map(|(l, _)| l.as_str()).collect();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        let paths = std::iter::once(&parsed.path).chain(&parsed.compare);
+        for ((label, _), path) in traces.iter_mut().zip(paths) {
+            *label = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        }
+    }
+    let mut chart = LineChart::new(
+        format!("telemetry timeline — {}", names.join(", ")),
+        "sim time",
+        names.join(", "),
+    )
+    .with_time_axis();
+    // Coverage lives in a sliver under 1.0; a zero-based axis would
+    // flatten it into a horizontal line.
+    if names.iter().all(|n| n == "coverage") {
+        chart = chart.tight_y();
+    }
+    for (ti, (label, tl)) in traces.iter().enumerate() {
+        for name in &names {
+            let points = tl.series(name).expect("validated series name");
+            let label = if traces.len() > 1 && names.len() > 1 {
+                format!("{label}:{name}")
+            } else if traces.len() > 1 {
+                label.clone()
+            } else {
+                name.clone()
+            };
+            let mut series = Series::new(label, points);
+            if traces.len() > 1 {
+                series = series.with_color(ti);
+            }
+            chart = chart.with_series(series);
+        }
+    }
+    std::fs::write(svg_path, chart.render(760, 440))
+        .map_err(|e| format!("cannot write `{svg_path}`: {e}"))?;
+
+    let mut out = String::new();
+    for (label, tl) in &traces {
+        let _ = writeln!(
+            out,
+            "{label}: {} samples, {} invariant violations",
+            tl.len(),
+            tl.violations.len()
+        );
+    }
+    let _ = writeln!(out, "timeline chart written: {svg_path}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Dummy value accepted by every value-taking timeline flag.
+    fn dummy_value(flag: &str) -> &'static str {
+        match flag {
+            "--svg" => "/tmp/out.svg",
+            "--series" => "coverage,alive",
+            _ => "other.jsonl",
+        }
+    }
+
+    #[test]
+    fn parser_accepts_every_declared_timeline_flag() {
+        for &(flag, takes_value) in TIMELINE_FLAGS {
+            let mut argv = vec!["t.jsonl".to_string()];
+            argv.push(flag.to_string());
+            if takes_value {
+                argv.push(dummy_value(flag).to_string());
+            }
+            // `--compare` needs `--svg`; `--csv` conflicts with it.
+            if flag == "--compare" {
+                argv.extend(args(&["--svg", "/tmp/out.svg"]));
+            }
+            parse_timeline_args(&argv)
+                .unwrap_or_else(|e| panic!("declared flag {flag} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn timeline_args_defaults_and_overrides() {
+        let a = parse_timeline_args(&args(&["run.jsonl"])).unwrap();
+        assert_eq!(a.path, "run.jsonl");
+        assert!(!a.csv);
+        assert!(a.svg.is_none());
+        assert!(a.series.is_empty());
+        assert!(a.compare.is_empty());
+
+        let a = parse_timeline_args(&args(&[
+            "run.jsonl",
+            "--svg",
+            "t.svg",
+            "--series",
+            "coverage,alive,down",
+            "--compare",
+            "b.jsonl",
+            "--compare",
+            "c.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.svg.as_deref(), Some("t.svg"));
+        assert_eq!(a.series, ["coverage", "alive", "down"]);
+        assert_eq!(a.compare, ["b.jsonl", "c.jsonl"]);
+    }
+
+    #[test]
+    fn timeline_arg_errors_are_clear() {
+        assert!(parse_timeline_args(&args(&[])).is_err(), "needs a path");
+        assert!(parse_timeline_args(&args(&["a", "b"])).is_err(), "one path");
+        let err = parse_timeline_args(&args(&["t", "--series", "vibes"])).unwrap_err();
+        assert!(err.contains("unknown series"), "{err}");
+        assert!(err.contains("coverage"), "lists known names: {err}");
+        let err = parse_timeline_args(&args(&["t", "--compare", "o.jsonl"])).unwrap_err();
+        assert!(err.contains("--svg"), "{err}");
+        let err = parse_timeline_args(&args(&["t", "--csv", "--svg", "x.svg"])).unwrap_err();
+        assert!(err.contains("separate outputs"), "{err}");
+        assert!(parse_timeline_args(&args(&["t", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn missing_trace_names_the_path() {
+        let err = cmd_timeline(&args(&["/no/such/run.jsonl"])).unwrap_err();
+        assert!(err.contains("/no/such/run.jsonl"), "{err}");
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

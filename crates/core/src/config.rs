@@ -120,6 +120,11 @@ pub struct ScenarioConfig {
     /// Each sample costs an `O(field)` scan, so this is for analysis
     /// runs, not the figure sweeps.
     pub coverage_sample: Option<CoverageSampling>,
+    /// Emit a [`TelemetrySample`](crate::trace::TraceEvent::TelemetrySample)
+    /// of live gauges this often and run the online health monitor at
+    /// each sample (`None` = off, the default — runs without sampling
+    /// stay byte-identical to earlier versions).
+    pub sample_every: Option<SimDuration>,
     /// Keep at most this many protocol-level [`trace`](crate::trace)
     /// events (0 = tracing off, the default).
     pub trace_capacity: usize,
@@ -176,6 +181,7 @@ impl ScenarioConfig {
             dispatch: DispatchPolicy::Nearest,
             fading: Fading::None,
             coverage_sample: None,
+            sample_every: None,
             trace_capacity: 0,
             mac: MacParams::default(),
             faults: None,
@@ -287,6 +293,14 @@ impl ScenarioConfig {
         if let Fading::SmoothEdge { inner } = self.fading {
             if !(0.0..=1.0).contains(&inner) {
                 return Err(format!("fading inner fraction {inner} must be in [0, 1]"));
+            }
+        }
+        if let Some(every) = self.sample_every {
+            if every.as_secs_f64() <= 0.0 {
+                return Err(format!(
+                    "telemetry sample period must be positive, got {} s",
+                    every.as_secs_f64()
+                ));
             }
         }
         if let Some(faults) = &self.faults {

@@ -29,6 +29,7 @@ use robonet_wsn::failure::FailureProcess;
 use crate::config::ScenarioConfig;
 use crate::coord::{self, FlowCtx};
 use crate::fault::{FaultInjector, FaultKind};
+use crate::obs::timeline::{Checkpoint, HealthMonitor, TelemetrySnapshot};
 use crate::obs::{EventSink, NullSink};
 use crate::trace::TraceEvent;
 
@@ -36,6 +37,15 @@ use crate::trace::TraceEvent;
 /// range of forward progress per hop at the paper's deployment density
 /// (calibrated against the packet simulator).
 pub const GREEDY_PROGRESS: f64 = 0.75;
+
+/// Records `ev` into the sink, teeing it through the telemetry health
+/// ledger when sampling is active.
+fn observe(monitor: &mut Option<HealthMonitor>, sink: &mut dyn EventSink, ev: &TraceEvent) {
+    if let Some(m) = monitor.as_mut() {
+        m.ingest(ev);
+    }
+    sink.record(ev);
+}
 
 /// Flow-level results, mirroring the packet simulator's [`crate::Summary`]
 /// where the models overlap.
@@ -77,6 +87,10 @@ enum Event {
         robot: u32,
         leg: u64,
     },
+    /// Periodic telemetry sample (only with a live sink and
+    /// [`ScenarioConfig::sample_every`] set — samples exist solely as
+    /// trace events at flow level).
+    Sample,
 }
 
 /// Runs the flow-level model for `cfg`.
@@ -190,6 +204,15 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
     let mut incarnation = vec![0u32; n_sensors];
     let mut alive = vec![true; n_sensors];
 
+    // Flow-level telemetry samples exist only as trace events, so with
+    // no sink there is nowhere for them to go and the sampler never
+    // schedules (summaries are unaffected either way).
+    let sampling = if sink_enabled { cfg.sample_every } else { None };
+    let mut monitor = sampling.map(|_| HealthMonitor::new());
+    if let Some(every) = sampling {
+        sched.schedule_at(SimTime::ZERO + every, Event::Sample);
+    }
+
     for i in 0..n_sensors {
         let at = failure_proc.sample_failure_at(SimTime::ZERO);
         if at <= sched.horizon() {
@@ -255,10 +278,14 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                 alive[s] = false;
                 out.failures += 1;
                 if sink_enabled {
-                    sink.record(&TraceEvent::Failure {
-                        t: now.as_secs_f64(),
-                        sensor: NodeId::new(sensor),
-                    });
+                    observe(
+                        &mut monitor,
+                        sink,
+                        &TraceEvent::Failure {
+                            t: now.as_secs_f64(),
+                            sensor: NodeId::new(sensor),
+                        },
+                    );
                 }
 
                 // Detection: timeout + residual beacon phase.
@@ -315,12 +342,16 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                 };
                 let leg = robots[r].enqueue(task, now);
                 if sink_enabled {
-                    sink.record(&TraceEvent::Dispatched {
-                        t: now.as_secs_f64(),
-                        robot: robots[r].id,
-                        failed: NodeId::new(sensor),
-                        departed: leg.is_some(),
-                    });
+                    observe(
+                        &mut monitor,
+                        sink,
+                        &TraceEvent::Dispatched {
+                            t: now.as_secs_f64(),
+                            robot: robots[r].id,
+                            failed: NodeId::new(sensor),
+                            departed: leg.is_some(),
+                        },
+                    );
                 }
                 if let Some(leg) = leg {
                     leg_seq[r] += 1;
@@ -360,13 +391,17 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                         robot: robots[r].id,
                         travel,
                     });
-                    sink.record(&TraceEvent::Replaced {
-                        t: now.as_secs_f64(),
-                        robot: robots[r].id,
-                        sensor: task.failed,
-                        travel,
-                        loc: task.loc,
-                    });
+                    observe(
+                        &mut monitor,
+                        sink,
+                        &TraceEvent::Replaced {
+                            t: now.as_secs_f64(),
+                            robot: robots[r].id,
+                            sensor: task.failed,
+                            travel,
+                            loc: task.loc,
+                        },
+                    );
                 }
                 let s = task.failed.index();
                 alive[s] = true;
@@ -407,6 +442,52 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                             leg: leg_seq[r],
                         },
                     );
+                }
+            }
+            Event::Sample => {
+                let every = sampling.expect("Sample events only exist when sampling");
+                sched.schedule_after(every, Event::Sample);
+                let t = now.as_secs_f64();
+                let alive_count = alive.iter().filter(|&&a| a).count() as u32;
+                let cov = cfg.coverage_sample.unwrap_or_default();
+                let coverage = robonet_wsn::coverage::coverage_fraction(
+                    &bounds,
+                    &sensors,
+                    &alive,
+                    cov.sensing_range,
+                    cov.resolution,
+                );
+                let ledger = monitor.as_ref().expect("sampling implies a monitor");
+                let stages = ledger.stage_counts();
+                let sample = TelemetrySnapshot {
+                    alive: alive_count,
+                    down: n_sensors as u32 - alive_count,
+                    failures: out.failures,
+                    replaced: out.replacements,
+                    coverage,
+                    open_failure: stages[0],
+                    open_detected: stages[1],
+                    open_reported: stages[2],
+                    open_dispatched: stages[3],
+                    robot_queues: robots.iter().map(|rb| rb.queue_len() as u32).collect(),
+                    robot_busy: robots.iter().map(|rb| rb.current_leg().is_some()).collect(),
+                    // The flow model has no packets and no shadow
+                    // in-flight ledger.
+                    in_flight: 0,
+                    sched_queue: sched.pending() as u32,
+                };
+                sink.record(&TraceEvent::TelemetrySample { t, sample });
+                let violations = ledger.check(
+                    t,
+                    &Checkpoint {
+                        failures: out.failures,
+                        replacements: out.replacements,
+                        open_spans: None,
+                        robots_down: 0,
+                    },
+                );
+                for violation in violations {
+                    sink.record(&violation);
                 }
             }
         }

@@ -42,6 +42,7 @@ use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
 use crate::fault::{FaultInjector, FaultKind};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
+use crate::obs::timeline::{Checkpoint, HealthMonitor, TelemetrySnapshot};
 use crate::obs::{EventSink, NullSink, RingSink, SpanAssembler, SpanReport, TeeSink};
 use crate::trace::{DropReason, Trace, TraceEvent};
 
@@ -170,6 +171,9 @@ enum Event {
     },
     /// Periodic coverage sample (only when enabled).
     CoverageSample,
+    /// Periodic telemetry sample + health check (only when
+    /// [`ScenarioConfig::sample_every`] is set).
+    TelemetrySample,
     /// An injected robot breakdown fires (faulty runs only).
     RobotBreakdown {
         robot: u32,
@@ -245,6 +249,15 @@ pub struct Simulation {
     /// Assembles repair-lifecycle spans from the live event stream,
     /// active whenever the run is observed.
     spans: Option<SpanAssembler>,
+    /// Event-ledger health monitor, active only when telemetry sampling
+    /// is on (its invariants are checked at each sample).
+    health: Option<HealthMonitor>,
+    /// Per-subsystem wall-clock attribution, accumulated by the
+    /// dispatch loop when [`Simulation::enable_subsystem_profile`] was
+    /// called (zeros otherwise — default runs never read the clock).
+    subsystems: robonet_des::SubsystemTimes,
+    /// Whether the dispatch loop bills wall time per subsystem.
+    profile_subsystems: bool,
     /// Wall-clock heartbeat for `--progress` (stderr only, never
     /// results).
     progress: Option<robonet_des::Heartbeat>,
@@ -424,6 +437,9 @@ impl Simulation {
         if let Some(cov) = cfg.coverage_sample {
             sched.schedule_at(SimTime::ZERO + cov.period, Event::CoverageSample);
         }
+        if let Some(every) = cfg.sample_every {
+            sched.schedule_at(SimTime::ZERO + every, Event::TelemetrySample);
+        }
         // First breakdown per robot (exponential interarrival from the
         // injector's own stream; robot order fixes the draw order).
         if let Some(inj) = faults.as_mut() {
@@ -447,6 +463,10 @@ impl Simulation {
             (None, None) => Box::new(NullSink),
         };
         let sink_enabled = sink.is_enabled();
+        // Telemetry sampling needs the event stream (the health
+        // monitor's ledger is built from it), so sampling forces
+        // observation on even without a sink — like `--progress` does.
+        let sampling = cfg.sample_every.is_some();
         Simulation {
             cfg,
             coord: coordinator,
@@ -465,8 +485,11 @@ impl Simulation {
             metrics: Metrics::default(),
             sink,
             sink_enabled,
-            observing: sink_enabled,
-            spans: sink_enabled.then(SpanAssembler::new),
+            observing: sink_enabled || sampling,
+            spans: (sink_enabled || sampling).then(SpanAssembler::new),
+            health: sampling.then(HealthMonitor::new),
+            subsystems: robonet_des::SubsystemTimes::default(),
+            profile_subsystems: false,
             progress: None,
             upcall_buf: UpcallBuf::new(),
             route_scratch: RouteScratch::default(),
@@ -496,17 +519,28 @@ impl Simulation {
         }
     }
 
-    /// Records one event into every listener: the span assembler and
-    /// (when enabled) the sink. Emission sites gate on
-    /// `self.observing` before constructing the event, so unobserved
+    /// Records one event into every listener: the health monitor, the
+    /// span assembler and (when enabled) the sink. Emission sites gate
+    /// on `self.observing` before constructing the event, so unobserved
     /// runs never even build it.
     fn emit(&mut self, event: TraceEvent) {
+        if let Some(monitor) = self.health.as_mut() {
+            monitor.ingest(&event);
+        }
         if let Some(assembler) = self.spans.as_mut() {
             assembler.ingest(&event);
         }
         if self.sink_enabled {
             self.sink.record(&event);
         }
+    }
+
+    /// Enables per-subsystem wall-clock attribution in the dispatch
+    /// loop (`--profile-out`). Costs two clock reads per event, so it
+    /// is opt-in; results land on [`Outcome::profile`] only — never in
+    /// deterministic outputs.
+    pub fn enable_subsystem_profile(&mut self) {
+        self.profile_subsystems = true;
     }
 
     /// Convenience: build and run to the configured horizon.
@@ -518,7 +552,11 @@ impl Simulation {
     pub fn run_to_completion(mut self) -> Outcome {
         while let Some(ev) = self.sched.next_event() {
             let now = self.sched.now();
-            self.dispatch(now, ev);
+            if self.profile_subsystems {
+                self.dispatch_timed(now, ev);
+            } else {
+                self.dispatch(now, ev);
+            }
             if let Some(hb) = self.progress.as_mut() {
                 if hb.due() {
                     let p = self.sched.profile();
@@ -545,13 +583,15 @@ impl Simulation {
         }
         self.sink.finish();
         let trace = self.sink.take_trace().unwrap_or_default();
+        let mut profile = self.sched.profile();
+        profile.subsystems = self.subsystems;
         Outcome {
             config: self.cfg,
             metrics: self.metrics,
             trace,
             spans,
             events_processed: self.sched.delivered_count(),
-            profile: self.sched.profile(),
+            profile,
         }
     }
 
@@ -667,6 +707,27 @@ impl Simulation {
 
     // --- Event dispatch ---------------------------------------------------
 
+    /// [`dispatch`](Self::dispatch) wrapped in a scoped timer that
+    /// bills the event whole to the subsystem owning its handler.
+    /// Attribution is wall-clock and diagnostic only.
+    fn dispatch_timed(&mut self, now: SimTime, ev: Event) {
+        let bucket = match &ev {
+            Event::Radio(_) => 0,
+            Event::RelaySend { .. } => 1,
+            Event::CoverageSample | Event::TelemetrySample => 2,
+            _ => 3,
+        };
+        let start = std::time::Instant::now();
+        self.dispatch(now, ev);
+        let dt = start.elapsed().as_secs_f64();
+        match bucket {
+            0 => self.subsystems.radio_s += dt,
+            1 => self.subsystems.routing_s += dt,
+            2 => self.subsystems.obs_sink_s += dt,
+            _ => self.subsystems.coord_s += dt,
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime, ev: Event) {
         match ev {
             Event::Radio(rev) => self.on_radio(now, rev),
@@ -685,6 +746,7 @@ impl Simulation {
             }
             Event::RelaySend { frame } => self.radio_send(now, *frame),
             Event::CoverageSample => self.on_coverage_sample(now),
+            Event::TelemetrySample => self.on_telemetry_sample(now),
             Event::RobotBreakdown { robot } => self.on_robot_breakdown(now, robot as usize),
             Event::RobotRepair { robot } => self.on_robot_repair(now, robot as usize),
         }
@@ -746,6 +808,73 @@ impl Simulation {
         self.metrics
             .coverage_timeline
             .push((now.as_secs_f64(), fraction, dead));
+    }
+
+    /// Fires the telemetry sampler: capture a [`TelemetrySnapshot`] of
+    /// live gauges, emit it as a trace event, and run the health
+    /// monitor's conservation checks. Everything read here sits on the
+    /// sim-time event axis, so same-seed runs sample identical values.
+    fn on_telemetry_sample(&mut self, now: SimTime) {
+        let Some(every) = self.cfg.sample_every else {
+            return;
+        };
+        self.sched.schedule_after(every, Event::TelemetrySample);
+        let t = now.as_secs_f64();
+
+        let alive = self.sensors.iter().filter(|s| s.alive).count() as u32;
+        let down = self.sensors.len() as u32 - alive;
+        // Coverage reuses the coverage-sampling geometry when that is
+        // configured, its defaults otherwise.
+        let cov = self.cfg.coverage_sample.unwrap_or_default();
+        let positions: Vec<Point> = self.sensors.iter().map(|s| s.loc).collect();
+        let alive_mask: Vec<bool> = self.sensors.iter().map(|s| s.alive).collect();
+        let coverage = robonet_wsn::coverage::coverage_fraction(
+            &self.cfg.bounds(),
+            &positions,
+            &alive_mask,
+            cov.sensing_range,
+            cov.resolution,
+        );
+        let stages = self
+            .health
+            .as_ref()
+            .map_or([0; 4], HealthMonitor::stage_counts);
+        let sample = TelemetrySnapshot {
+            alive,
+            down,
+            failures: self.metrics.failures_occurred,
+            replaced: self.metrics.replacements,
+            coverage,
+            open_failure: stages[0],
+            open_detected: stages[1],
+            open_reported: stages[2],
+            open_dispatched: stages[3],
+            robot_queues: self.robot_pending.iter().map(|q| q.len() as u32).collect(),
+            robot_busy: self
+                .robots
+                .iter()
+                .map(|r| r.current_leg().is_some())
+                .collect(),
+            in_flight: self.radio.in_flight() as u32,
+            sched_queue: self.sched.pending() as u32,
+        };
+        self.metrics.telemetry_timeline.push((t, sample.clone()));
+        self.emit(TraceEvent::TelemetrySample { t, sample });
+
+        let checkpoint = Checkpoint {
+            failures: self.metrics.failures_occurred,
+            replacements: self.metrics.replacements,
+            open_spans: self.spans.as_ref().map(|a| a.open_count() as u64),
+            robots_down: self.robot_down.iter().filter(|&&d| d).count() as u64,
+        };
+        let violations = self
+            .health
+            .as_ref()
+            .map_or_else(Vec::new, |m| m.check(t, &checkpoint));
+        for violation in violations {
+            self.metrics.invariant_violations += 1;
+            self.emit(violation);
+        }
     }
 
     // --- Periodic node duties ----------------------------------------------

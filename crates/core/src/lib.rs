@@ -58,7 +58,8 @@ pub use fault::{FaultKind, FaultPlan};
 pub use harness::{field_deployment, FieldDeployment, Outcome, Simulation};
 pub use metrics::{DropBreakdown, Metrics, Summary};
 pub use obs::{
-    EventSink, JsonlSink, MetricsRegistry, NullSink, QuantileSketch, RepairSpan, RingSink,
-    SpanAssembler, SpanReport, SpanSink, Stage, TeeSink, TraceAggregate,
+    EventSink, HealthMonitor, Invariant, JsonlSink, MetricsRegistry, NullSink, QuantileSketch,
+    RepairSpan, RingSink, SpanAssembler, SpanReport, SpanSink, Stage, TeeSink, TelemetrySnapshot,
+    Timeline, TraceAggregate,
 };
 pub use sweep::{CellResult, FailedCell, MergedSweep, SweepGrid, SweepResult};

@@ -176,6 +176,14 @@ pub struct Metrics {
     /// sensors)` — populated only when the scenario enables
     /// [`coverage sampling`](crate::config::CoverageSampling).
     pub coverage_timeline: Vec<(f64, f64, u32)>,
+    /// Periodic telemetry snapshots `(time s, gauges)` — populated only
+    /// when the scenario sets
+    /// [`sample_every`](crate::config::ScenarioConfig::sample_every).
+    pub telemetry_timeline: Vec<(f64, crate::obs::timeline::TelemetrySnapshot)>,
+    /// Conservation-invariant violations the online health monitor
+    /// caught (always 0 for a healthy build; non-zero means the
+    /// simulation's counters drifted from its own event stream).
+    pub invariant_violations: u64,
     /// Injected-fault and recovery-protocol counters (all zero — and
     /// omitted from output — when no faults were injected).
     pub faults: FaultRecoveryStats,

@@ -43,6 +43,7 @@ pub mod replay;
 pub mod sink;
 pub mod span;
 pub mod stats;
+pub mod timeline;
 
 pub use detsum::DetSum;
 pub use quantile::{QuantileSketch, RELATIVE_ERROR, ZERO_THRESHOLD};
@@ -54,5 +55,6 @@ pub use sink::{
 };
 pub use span::{OrphanSpan, RepairSpan, SpanAssembler, SpanReport, SpanSink, Stage, StageRow};
 pub use stats::{DropCounts, TraceAggregate};
+pub use timeline::{Checkpoint, HealthMonitor, Invariant, TelemetrySnapshot, Timeline};
 
 pub use crate::trace::DropReason;

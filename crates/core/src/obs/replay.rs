@@ -295,6 +295,10 @@ pub struct ReplayCounts {
     pub robot_repairs: u64,
     /// `takeover_assumed` events applied.
     pub takeovers: u64,
+    /// `telemetry_sample` events applied.
+    pub telemetry_samples: u64,
+    /// `invariant_violated` events applied.
+    pub invariant_violations: u64,
 }
 
 /// The replayed world at one instant: feed [`TraceEvent`]s in trace
@@ -475,6 +479,8 @@ impl ReplayState {
                 self.robot(*robot).alive = true;
             }
             TraceEvent::TakeoverAssumed { .. } => self.counts.takeovers += 1,
+            TraceEvent::TelemetrySample { .. } => self.counts.telemetry_samples += 1,
+            TraceEvent::InvariantViolated { .. } => self.counts.invariant_violations += 1,
             TraceEvent::FaultInjected { .. }
             | TraceEvent::ReportRetried { .. }
             | TraceEvent::DispatchTimedOut { .. } => {}
@@ -596,6 +602,16 @@ impl ReplayState {
                 out,
                 "faults:               {} robot deaths, {} repairs, {} takeovers",
                 c.robot_deaths, c.robot_repairs, c.takeovers
+            );
+        }
+        if c.telemetry_samples > 0 {
+            let _ = writeln!(out, "telemetry:            {} samples", c.telemetry_samples);
+        }
+        if c.invariant_violations > 0 {
+            let _ = writeln!(
+                out,
+                "INVARIANT VIOLATIONS: {} (the producer's counters drifted from its events)",
+                c.invariant_violations
             );
         }
         out

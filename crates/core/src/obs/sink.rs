@@ -503,6 +503,36 @@ pub fn event_to_jsonl(event: &TraceEvent) -> String {
             w.field_u64("dead", u64::from(dead.as_u32()));
             w.field_u64("subarea", u64::from(*subarea));
         }
+        TraceEvent::TelemetrySample { t, sample } => {
+            w.field_str("ev", "telemetry_sample");
+            w.field_f64("t", *t);
+            w.field_u64("alive", u64::from(sample.alive));
+            w.field_u64("down", u64::from(sample.down));
+            w.field_u64("failures", sample.failures);
+            w.field_u64("replaced", sample.replaced);
+            w.field_f64("coverage", sample.coverage);
+            w.field_u64("open_failure", u64::from(sample.open_failure));
+            w.field_u64("open_detected", u64::from(sample.open_detected));
+            w.field_u64("open_reported", u64::from(sample.open_reported));
+            w.field_u64("open_dispatched", u64::from(sample.open_dispatched));
+            // Per-robot vectors as compact strings so lines stay flat.
+            w.field_str("queues", &sample.queues_string());
+            w.field_str("busy", &sample.busy_string());
+            w.field_u64("in_flight", u64::from(sample.in_flight));
+            w.field_u64("sched_queue", u64::from(sample.sched_queue));
+        }
+        TraceEvent::InvariantViolated {
+            t,
+            invariant,
+            expected,
+            actual,
+        } => {
+            w.field_str("ev", "invariant_violated");
+            w.field_f64("t", *t);
+            w.field_str("invariant", invariant.label());
+            w.field_u64("expected", *expected);
+            w.field_u64("actual", *actual);
+        }
     }
     w.finish()
 }
@@ -527,6 +557,16 @@ fn uint(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(JsonValue::as_u64)
         .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn uint32(v: &JsonValue, key: &str) -> Result<u32, String> {
+    u32::try_from(uint(v, key)?).map_err(|_| format!("field '{key}' out of u32 range"))
+}
+
+fn text<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
 }
 
 /// Parses one JSONL line back into a [`TraceEvent`].
@@ -635,6 +675,38 @@ pub fn event_from_jsonl(line: &str) -> Result<TraceEvent, String> {
             dead: node(&v, "dead")?,
             subarea: u32::try_from(uint(&v, "subarea")?).map_err(|_| "subarea out of range")?,
         }),
+        "telemetry_sample" => Ok(TraceEvent::TelemetrySample {
+            t,
+            sample: crate::obs::timeline::TelemetrySnapshot {
+                alive: uint32(&v, "alive")?,
+                down: uint32(&v, "down")?,
+                failures: uint(&v, "failures")?,
+                replaced: uint(&v, "replaced")?,
+                coverage: num(&v, "coverage")?,
+                open_failure: uint32(&v, "open_failure")?,
+                open_detected: uint32(&v, "open_detected")?,
+                open_reported: uint32(&v, "open_reported")?,
+                open_dispatched: uint32(&v, "open_dispatched")?,
+                robot_queues: crate::obs::timeline::TelemetrySnapshot::queues_from_string(text(
+                    &v, "queues",
+                )?)?,
+                robot_busy: crate::obs::timeline::TelemetrySnapshot::busy_from_string(text(
+                    &v, "busy",
+                )?)?,
+                in_flight: uint32(&v, "in_flight")?,
+                sched_queue: uint32(&v, "sched_queue")?,
+            },
+        }),
+        "invariant_violated" => {
+            let label = text(&v, "invariant")?;
+            Ok(TraceEvent::InvariantViolated {
+                t,
+                invariant: crate::obs::timeline::Invariant::from_label(label)
+                    .ok_or_else(|| format!("unknown invariant '{label}'"))?,
+                expected: uint(&v, "expected")?,
+                actual: uint(&v, "actual")?,
+            })
+        }
         other => Err(format!("unknown event kind '{other}'")),
     }
 }
@@ -724,6 +796,30 @@ mod tests {
                 robot: NodeId::new(200),
                 dead: NodeId::new(201),
                 subarea: 1,
+            },
+            TraceEvent::TelemetrySample {
+                t: 100.0,
+                sample: crate::obs::timeline::TelemetrySnapshot {
+                    alive: 30,
+                    down: 2,
+                    failures: 5,
+                    replaced: 3,
+                    coverage: 0.8754321098,
+                    open_failure: 1,
+                    open_detected: 0,
+                    open_reported: 0,
+                    open_dispatched: 1,
+                    robot_queues: vec![0, 2, 1],
+                    robot_busy: vec![false, true, false],
+                    in_flight: 4,
+                    sched_queue: 37,
+                },
+            },
+            TraceEvent::InvariantViolated {
+                t: 100.0,
+                invariant: crate::obs::timeline::Invariant::RepairConservation,
+                expected: 5,
+                actual: 4,
             },
         ]
     }

@@ -148,6 +148,10 @@ impl TraceAggregate {
             TraceEvent::RobotDied { .. } => self.robot_deaths += 1,
             TraceEvent::RobotRepaired { .. } => self.robot_repairs += 1,
             TraceEvent::TakeoverAssumed { .. } => self.takeovers += 1,
+            // Telemetry is a view of the run, not part of it — the
+            // aggregate counts protocol work, so samples and health
+            // verdicts only bump the total event count above.
+            TraceEvent::TelemetrySample { .. } | TraceEvent::InvariantViolated { .. } => {}
         }
     }
 

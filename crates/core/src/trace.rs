@@ -214,6 +214,26 @@ pub enum TraceEvent {
         /// Subarea tag of the takeover flood (`u32::MAX` = unscoped).
         subarea: u32,
     },
+    /// A periodic telemetry snapshot from the live sampler (only
+    /// present when the run enables `sample_every`).
+    TelemetrySample {
+        /// Simulated time in seconds.
+        t: f64,
+        /// The gauges captured at this instant.
+        sample: crate::obs::timeline::TelemetrySnapshot,
+    },
+    /// The online health monitor caught a conservation invariant out of
+    /// balance — the simulation and its event ledger disagree.
+    InvariantViolated {
+        /// Simulated time in seconds.
+        t: f64,
+        /// Which invariant failed.
+        invariant: crate::obs::timeline::Invariant,
+        /// The value the ledger predicts.
+        expected: u64,
+        /// The value the simulation reports.
+        actual: u64,
+    },
 }
 
 impl TraceEvent {
@@ -234,7 +254,9 @@ impl TraceEvent {
             | TraceEvent::DispatchTimedOut { t, .. }
             | TraceEvent::RobotDied { t, .. }
             | TraceEvent::RobotRepaired { t, .. }
-            | TraceEvent::TakeoverAssumed { t, .. } => *t,
+            | TraceEvent::TakeoverAssumed { t, .. }
+            | TraceEvent::TelemetrySample { t, .. }
+            | TraceEvent::InvariantViolated { t, .. } => *t,
         }
     }
 }
@@ -338,6 +360,27 @@ impl std::fmt::Display for TraceEvent {
                     )
                 }
             }
+            TraceEvent::TelemetrySample { t, sample } => {
+                write!(
+                    f,
+                    "[{t:9.1}s] telemetry: {} alive, {} down, {} open, coverage {:.3}",
+                    sample.alive,
+                    sample.down,
+                    sample.open_total(),
+                    sample.coverage
+                )
+            }
+            TraceEvent::InvariantViolated {
+                t,
+                invariant,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "[{t:9.1}s] INVARIANT VIOLATED: {invariant} expected {expected}, got {actual}"
+                )
+            }
         }
     }
 }
@@ -431,6 +474,7 @@ impl Trace {
                     *robot == node
                 }
                 TraceEvent::TakeoverAssumed { robot, dead, .. } => *robot == node || *dead == node,
+                TraceEvent::TelemetrySample { .. } | TraceEvent::InvariantViolated { .. } => false,
             })
             .collect()
     }

@@ -46,5 +46,5 @@ mod time;
 
 pub use id::NodeId;
 pub use queue::{EventKey, EventQueue, WheelStats};
-pub use scheduler::{Heartbeat, Scheduler, SchedulerProfile};
+pub use scheduler::{Heartbeat, Scheduler, SchedulerProfile, SubsystemTimes};
 pub use time::{SimDuration, SimTime};

@@ -45,7 +45,7 @@ pub struct Scheduler<E> {
 /// Everything here is diagnostic: wall-clock fields vary between runs of
 /// the same seed and must never feed back into simulation behaviour or
 /// into deterministic result types.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchedulerProfile {
     /// Events dispatched through [`Scheduler::next_event`].
     pub events_dispatched: u64,
@@ -58,6 +58,37 @@ pub struct SchedulerProfile {
     /// Timer-wheel occupancy statistics (per-lane high-water marks and
     /// overflow promotions).
     pub wheel: WheelStats,
+    /// Per-subsystem wall-clock attribution, filled in by the dispatch
+    /// loop when subsystem profiling is enabled (all zeros otherwise).
+    pub subsystems: SubsystemTimes,
+}
+
+/// Wall-clock seconds a dispatch loop spent inside each subsystem's
+/// handlers. Like every other wall-clock figure this is diagnostic
+/// only: it varies run to run and must never reach deterministic
+/// result types or the trace.
+///
+/// The attribution is coarse — each dispatched event is billed whole to
+/// the subsystem that owns its handler — and opt-in, so the timer reads
+/// cost nothing on ordinary runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SubsystemTimes {
+    /// Radio engine events (frame airtime, ACK timers, MAC backoff).
+    pub radio_s: f64,
+    /// Routing/relay forwarding hops.
+    pub routing_s: f64,
+    /// Coordination logic: sensor/agent ticks, failures, dispatch,
+    /// robot motion — everything not claimed by another bucket.
+    pub coord_s: f64,
+    /// Observability sinks: coverage and telemetry sampling.
+    pub obs_sink_s: f64,
+}
+
+impl SubsystemTimes {
+    /// Total attributed wall-clock seconds across all subsystems.
+    pub fn total(&self) -> f64 {
+        self.radio_s + self.routing_s + self.coord_s + self.obs_sink_s
+    }
 }
 
 impl SchedulerProfile {
@@ -234,6 +265,7 @@ impl<E> Scheduler<E> {
             sim_seconds: self.now.as_secs_f64(),
             wall_seconds: self.started.elapsed().as_secs_f64(),
             wheel: self.queue.wheel_stats(),
+            subsystems: SubsystemTimes::default(),
         }
     }
 }

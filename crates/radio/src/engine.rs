@@ -452,6 +452,12 @@ impl<P: Clone> RadioEngine<P> {
         &self.stats
     }
 
+    /// Number of frames currently on the air or awaiting their ACK
+    /// (live transmission slots). O(1): the arena tracks its free list.
+    pub fn in_flight(&self) -> usize {
+        self.txs.len() - self.free_txs.len()
+    }
+
     /// Returns `true` if `node` has nothing queued or in flight.
     pub fn is_idle(&self, node: NodeId) -> bool {
         self.hot[node.index()].state == MacState::Idle && self.nodes[node.index()].queue.is_empty()

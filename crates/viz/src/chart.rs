@@ -11,15 +11,26 @@ pub struct Series {
     pub label: String,
     /// `(x, y)` samples in any order; they are plotted sorted by x.
     pub points: Vec<(f64, f64)>,
+    /// Palette slot override. `None` assigns colors by series position;
+    /// an explicit index lets related series across charts (or the same
+    /// metric from several runs) keep one stable color.
+    pub color: Option<usize>,
 }
 
 impl Series {
-    /// Creates a series.
+    /// Creates a series with position-assigned color.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
         Series {
             label: label.into(),
             points,
+            color: None,
         }
+    }
+
+    /// Pins the series to a palette slot (builder style).
+    pub fn with_color(mut self, slot: usize) -> Self {
+        self.color = Some(slot);
+        self
     }
 }
 
@@ -31,6 +42,7 @@ pub struct LineChart {
     y_label: String,
     series: Vec<Series>,
     y_from_zero: bool,
+    time_x: bool,
 }
 
 impl LineChart {
@@ -46,6 +58,7 @@ impl LineChart {
             y_label: y_label.into(),
             series: Vec::new(),
             y_from_zero: true,
+            time_x: false,
         }
     }
 
@@ -58,6 +71,13 @@ impl LineChart {
     /// Starts the y-axis at the data minimum instead of zero.
     pub fn tight_y(mut self) -> Self {
         self.y_from_zero = false;
+        self
+    }
+
+    /// Formats x-axis ticks as simulation time (`420s`, `12.8ks`)
+    /// instead of plain numbers.
+    pub fn with_time_axis(mut self) -> Self {
+        self.time_x = true;
         self
     }
 
@@ -107,14 +127,12 @@ impl LineChart {
             let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
             let x = sx(fx);
             doc.line(x, mt + ph, x, mt + ph + 4.0, "#333333", 1.0);
-            doc.text(
-                x,
-                mt + ph + 18.0,
-                11.0,
-                "middle",
-                "#333333",
-                &format_tick(fx),
-            );
+            let tick = if self.time_x {
+                format_time_tick(fx)
+            } else {
+                format_tick(fx)
+            };
+            doc.text(x, mt + ph + 18.0, 11.0, "middle", "#333333", &tick);
         }
         doc.text(
             ml + pw / 2.0,
@@ -128,7 +146,7 @@ impl LineChart {
 
         // Series.
         for (i, s) in self.series.iter().enumerate() {
-            let color = PALETTE[i % PALETTE.len()];
+            let color = PALETTE[s.color.unwrap_or(i) % PALETTE.len()];
             let mut pts: Vec<(f64, f64)> = s.points.clone();
             pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
             let mapped: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (sx(x), sy(y))).collect();
@@ -166,6 +184,14 @@ fn bounds(values: &[f64], from_zero: bool) -> (f64, f64) {
     }
     // A little headroom above the data.
     (min, max + (max - min) * 0.05)
+}
+
+fn format_time_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.1}ks", v / 1000.0)
+    } else {
+        format!("{v:.0}s")
+    }
 }
 
 fn format_tick(v: f64) -> String {
@@ -236,6 +262,28 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_canvas_rejected() {
         let _ = chart().render(10, 10);
+    }
+
+    #[test]
+    fn time_axis_formats_ticks_in_seconds() {
+        let c = LineChart::new("t", "time", "y")
+            .with_series(Series::new("a", vec![(0.0, 1.0), (64000.0, 2.0)]))
+            .with_time_axis();
+        let svg = c.render(640, 420);
+        assert!(svg.contains(">0s<"), "missing seconds tick: {svg}");
+        assert!(svg.contains("ks<"), "missing kiloseconds tick: {svg}");
+    }
+
+    #[test]
+    fn color_override_pins_palette_slot() {
+        use crate::svg::PALETTE;
+        // A single series pinned to slot 2 must use PALETTE[2], not the
+        // positional PALETTE[0].
+        let svg = LineChart::new("t", "x", "y")
+            .with_series(Series::new("a", vec![(1.0, 1.0), (2.0, 2.0)]).with_color(2))
+            .render(640, 420);
+        assert!(svg.contains(PALETTE[2]));
+        assert!(!svg.contains(PALETTE[0]));
     }
 
     #[test]

@@ -107,6 +107,36 @@ stage_golden_spans() {
     fi
 }
 
+stage_timeline() {
+    # Telemetry timeline gate: sampled runs must (a) leave the protocol
+    # event stream byte-identical to the unsampled golden trace and
+    # (b) render timeline CSVs byte-identical to the committed goldens
+    # for every algorithm.
+    mkdir -p "$artifact_dir"
+    local alg trace csv
+    for alg in centralized fixed dynamic; do
+        trace="$artifact_dir/timeline_${alg}.jsonl"
+        csv="$artifact_dir/timeline_${alg}.csv"
+        robonet run --alg "$alg" --k 1 --scale 64 --seed 7 \
+            --sample-every 100 --trace-out "$trace" > /dev/null
+        robonet timeline "$trace" --csv > "$csv"
+        if ! cmp "tests/golden/timeline_${alg}.csv" "$csv"; then
+            echo "timeline gate failed: $alg CSV drifted from tests/golden/timeline_${alg}.csv" >&2
+            echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q golden_timeline to regenerate)" >&2
+            exit 1
+        fi
+    done
+    # Sampling is inert: strip the telemetry records from the sampled
+    # dynamic trace and what remains must be the bytes the unsampled
+    # golden run wrote.
+    if ! grep -v '"ev":"telemetry_sample"' "$artifact_dir/timeline_dynamic.jsonl" \
+            | grep -v '"ev":"invariant_violated"' \
+            | cmp - "$artifact_dir/golden.jsonl"; then
+        echo "timeline gate failed: sampling perturbed the protocol event stream" >&2
+        exit 1
+    fi
+}
+
 stage_replay_figs() {
     # The trace analyzer must be byte-deterministic: render the golden
     # trace's replay figures twice, byte-diff the pair, then byte-diff
@@ -250,12 +280,45 @@ stage_bench_smoke() {
         exit 1
     }
     # The packet-scale bench tracks simulator throughput across sizes;
-    # its raw statistics become the BENCH_scale.json artifact.
+    # its raw statistics become the BENCH_scale.json artifact. The JSON
+    # writer appends, so drop any artifact left by an earlier run first.
     echo "--> packet_scale"
+    rm -f "$artifact_dir/BENCH_scale.json"
     ROBONET_BENCH_SMOKE=1 ROBONET_BENCH_JSON="$artifact_dir/BENCH_scale.json" \
         cargo bench -q --offline -p robonet-bench --bench packet_scale
     test -s "$artifact_dir/BENCH_scale.json" || {
         echo "BENCH_scale.json artifact missing or empty" >&2
+        exit 1
+    }
+    # Telemetry guardrail: packet_scale runs NullSink with sampling
+    # disabled, so the sampling machinery must cost it nothing. Each
+    # smoke median must stay under 0.75x the committed pre-refactor
+    # baseline — the simulator currently runs at roughly half the
+    # baseline, so this trips well before a real regression ships
+    # while staying insensitive to shared-runner noise.
+    awk -F'"median_ns":' '
+        function bench_of(line) {
+            match(line, /"bench":"[^"]*"/)
+            return substr(line, RSTART + 9, RLENGTH - 10)
+        }
+        NR==FNR { split($2, a, ","); base[bench_of($1)] = a[1]; next }
+        { split($2, a, ","); fresh[bench_of($1)] = a[1] }
+        END {
+            for (name in base) {
+                if (!(name in fresh)) {
+                    printf "bench %s missing from fresh artifact\n", \
+                           name > "/dev/stderr"
+                    bad = 1
+                } else if (fresh[name] + 0 > 0.75 * base[name]) {
+                    printf "%s: median %.0f ns > 0.75 x baseline %.0f ns\n", \
+                           name, fresh[name], base[name] > "/dev/stderr"
+                    bad = 1
+                }
+            }
+            exit bad
+        }
+    ' tests/golden/BENCH_scale_baseline.json "$artifact_dir/BENCH_scale.json" || {
+        echo "bench smoke: packet_scale regressed vs tests/golden/BENCH_scale_baseline.json" >&2
         exit 1
     }
 }
@@ -272,6 +335,7 @@ run_stage "build (release, offline)" stage_build
 run_stage "tests (offline)" stage_test
 run_stage "golden trace artifact" stage_golden_trace
 run_stage "golden span decomposition" stage_golden_spans
+run_stage "timeline gate (golden CSVs, sampling inert)" stage_timeline
 run_stage "replay figures gate (byte-deterministic)" stage_replay_figs
 run_stage "determinism gate (fault-free + faulty)" stage_determinism
 run_stage "sweep engine gate (--jobs 1 vs --jobs 4)" stage_sweep_determinism
