@@ -19,8 +19,8 @@ use robonet_core::obs::json::{self, ObjectWriter};
 use robonet_core::obs::TRACE_SCHEMA_VERSION;
 use robonet_core::report::{self, Row};
 use robonet_core::{
-    Algorithm, CoverageSampling, DispatchPolicy, FaultPlan, JsonlSink, Outcome, ScenarioConfig,
-    Simulation, SpanAssembler, TraceAggregate,
+    compile_scenario, Algorithm, CoverageSampling, DispatchPolicy, FaultPlan, JsonlSink, Outcome,
+    Overrides, ScenarioConfig, Simulation, SpanAssembler, TraceAggregate,
 };
 use robonet_des::SimDuration;
 
@@ -28,6 +28,7 @@ use robonet_des::SimDuration;
 /// the single source of truth the usage text is audited against (see
 /// the `usage_documents_every_run_flag` test).
 pub const RUN_FLAGS: &[(&str, bool)] = &[
+    ("--scenario", true),
     ("--alg", true),
     ("--k", true),
     ("--sensors", true),
@@ -57,6 +58,7 @@ pub fn usage_text() -> String {
      \n\
      USAGE:\n\
      \x20 robonet run     --alg <fixed|fixed-hex|dynamic|centralized> [--k N]\n\
+     \x20                 [--scenario FILE.rjson]\n\
      \x20                 [--sensors N] [--scale F] [--seed N] [--prune F]\n\
      \x20                 [--dispatch <nearest|nearest-idle>] [--coverage SECS]\n\
      \x20                 [--trace N] [--trace-out FILE] [--progress]\n\
@@ -77,6 +79,14 @@ pub fn usage_text() -> String {
      \n\
      `--scale F` compresses simulated time F× while preserving all\n\
      per-failure metrics (default 16; use 1 for the paper's full 64000 s runs).\n\
+     `--scenario FILE.rjson` loads a declarative scenario (field geometry,\n\
+     non-uniform deployment regions, fleet spec, scheduled fault timeline)\n\
+     instead of building the run from flags; see scenarios/ for the\n\
+     library and DESIGN.md §14 for the format. Scalar flags given\n\
+     alongside (`--alg`, `--k`, `--sensors`, `--scale`, `--seed`, and\n\
+     the fault flags) override the file's values; a scenario encoding\n\
+     the defaults runs byte-identical to the flag-driven run, and the\n\
+     run manifest records the scenario name as provenance.\n\
      `--sensors N` deploys exactly N sensors at the paper's density: the\n\
      k x k fleet keeps N/k^2 sensors per robot cell (N must divide evenly)\n\
      and the robot cell side scales so density stays at 50 sensors per\n\
@@ -181,11 +191,19 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
 }
 
 struct RunArgs {
+    scenario: Option<String>,
     alg: Algorithm,
     k: usize,
     sensors: Option<usize>,
     scale: f64,
     seed: u64,
+    /// Which scalar flags appeared explicitly — with `--scenario`, only
+    /// explicit flags override the file's values; the defaults above
+    /// otherwise only exist for the flag-driven path.
+    explicit_alg: bool,
+    explicit_k: bool,
+    explicit_scale: bool,
+    explicit_seed: bool,
     prune: Option<f64>,
     dispatch: DispatchPolicy,
     coverage: Option<f64>,
@@ -199,11 +217,16 @@ struct RunArgs {
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut out = RunArgs {
+        scenario: None,
         alg: Algorithm::Dynamic,
         k: 2,
         sensors: None,
         scale: 16.0,
         seed: 1,
+        explicit_alg: false,
+        explicit_k: false,
+        explicit_scale: false,
+        explicit_seed: false,
         prune: None,
         dispatch: DispatchPolicy::Nearest,
         coverage: None,
@@ -226,8 +249,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         let parse_f64 =
             |v: &str| -> Result<f64, String> { v.parse().map_err(|e| format!("bad {flag}: {e}")) };
         match flag.as_str() {
-            "--alg" => out.alg = parse_algorithm(value()?)?,
-            "--k" => out.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?,
+            "--scenario" => out.scenario = Some(value()?.to_string()),
+            "--alg" => {
+                out.alg = parse_algorithm(value()?)?;
+                out.explicit_alg = true;
+            }
+            "--k" => {
+                out.k = value()?.parse().map_err(|e| format!("bad --k: {e}"))?;
+                out.explicit_k = true;
+            }
             "--sensors" => {
                 out.sensors = Some(
                     value()?
@@ -237,8 +267,12 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--scale" => {
                 out.scale = value()?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                out.explicit_scale = true;
             }
-            "--seed" => out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seed" => {
+                out.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                out.explicit_seed = true;
+            }
             "--prune" => {
                 out.prune = Some(value()?.parse().map_err(|e| format!("bad --prune: {e}"))?);
             }
@@ -313,30 +347,50 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 
 fn cmd_run(args: &[String]) -> Result<String, String> {
     let parsed = parse_run_args(args)?;
-    let mut cfg = ScenarioConfig::paper(parsed.k, parsed.alg).with_seed(parsed.seed);
-    if let Some(n) = parsed.sensors {
-        // Paper-density deployment hitting `n` sensors exactly (the same
-        // geometry as the scale benchmarks): the per-robot cell side
-        // grows with sqrt(sensors_per_robot / 50) so sensor density —
-        // and with it MAC contention and neighbour degree — stays at
-        // the paper's 50 sensors per 200 m × 200 m cell.
-        let fleet = parsed.k * parsed.k;
-        let spr = n / fleet;
-        if spr * fleet != n {
-            return Err(format!(
-                "--sensors {n} does not divide evenly into the {}x{} fleet",
-                parsed.k, parsed.k
-            ));
+    let (mut cfg, scale) = if let Some(path) = parsed.scenario.as_deref() {
+        // Declarative path: the file supplies everything, explicitly
+        // given scalar flags override it (`compile` mirrors the flag
+        // path's construction order, so a scenario that encodes the
+        // defaults runs byte-identical to the flag-driven run).
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let overrides = Overrides {
+            algorithm: parsed.explicit_alg.then_some(parsed.alg),
+            k: parsed.explicit_k.then_some(parsed.k),
+            sensors: parsed.sensors,
+            scale: parsed.explicit_scale.then_some(parsed.scale),
+            seed: parsed.explicit_seed.then_some(parsed.seed),
+            faults: parsed.faults.clone(),
+        };
+        let compiled = compile_scenario(&source, &overrides).map_err(|e| format!("{path}:{e}"))?;
+        (compiled.cfg, compiled.scale)
+    } else {
+        let mut cfg = ScenarioConfig::paper(parsed.k, parsed.alg).with_seed(parsed.seed);
+        if let Some(n) = parsed.sensors {
+            // Paper-density deployment hitting `n` sensors exactly (the
+            // same geometry as the scale benchmarks): the per-robot cell
+            // side grows with sqrt(sensors_per_robot / 50) so sensor
+            // density — and with it MAC contention and neighbour degree —
+            // stays at the paper's 50 sensors per 200 m × 200 m cell.
+            let fleet = parsed.k * parsed.k;
+            let spr = n / fleet;
+            if spr * fleet != n {
+                return Err(format!(
+                    "--sensors {n} does not divide evenly into the {}x{} fleet",
+                    parsed.k, parsed.k
+                ));
+            }
+            cfg.sensors_per_robot = spr;
+            cfg.area_per_robot_side = 200.0 * (spr as f64 / 50.0).sqrt();
         }
-        cfg.sensors_per_robot = spr;
-        cfg.area_per_robot_side = 200.0 * (spr as f64 / 50.0).sqrt();
-    }
-    // Faults go in before scaling so the plan's timers compress with
-    // the rest of the scenario.
-    cfg.faults = parsed.faults.clone();
-    if parsed.scale > 1.0 {
-        cfg = cfg.scaled(parsed.scale);
-    }
+        // Faults go in before scaling so the plan's timers compress with
+        // the rest of the scenario.
+        cfg.faults = parsed.faults.clone();
+        if parsed.scale > 1.0 {
+            cfg = cfg.scaled(parsed.scale);
+        }
+        (cfg, parsed.scale)
+    };
     cfg.broadcast_prune = parsed.prune;
     cfg.dispatch = parsed.dispatch;
     cfg.trace_capacity = parsed.trace;
@@ -387,7 +441,7 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         outcome.config.n_robots(),
         outcome.config.n_sensors(),
         outcome.config.sim_time.as_secs_f64(),
-        parsed.scale,
+        scale,
     );
     let _ = writeln!(out, "failures:             {}", s.failures_occurred);
     let _ = writeln!(out, "replacements:         {}", s.replacements);
@@ -559,6 +613,11 @@ fn run_manifest_json(outcome: &Outcome) -> String {
     let mut w = ObjectWriter::new();
     w.field_u64("schema_version", TRACE_SCHEMA_VERSION);
     w.field_str("algorithm", cfg.algorithm.name());
+    // Scenario provenance, present only for `--scenario` runs so every
+    // pre-scenario manifest stays byte-identical.
+    if let Some(name) = cfg.scenario_name.as_deref() {
+        w.field_str("scenario", name);
+    }
     w.field_u64("seed", cfg.seed);
     w.field_u64("k", cfg.k as u64);
     w.field_u64("robots", cfg.n_robots() as u64);
@@ -844,6 +903,41 @@ mod tests {
     }
 
     #[test]
+    fn scenario_flag_tracks_explicit_overrides() {
+        let a = parse_run_args(&args(&["--scenario", "x.rjson"])).unwrap();
+        assert_eq!(a.scenario.as_deref(), Some("x.rjson"));
+        assert!(!a.explicit_alg && !a.explicit_k && !a.explicit_scale && !a.explicit_seed);
+
+        let a = parse_run_args(&args(&[
+            "--scenario",
+            "x.rjson",
+            "--seed",
+            "7",
+            "--scale",
+            "32",
+        ]))
+        .unwrap();
+        assert!(a.explicit_seed && a.explicit_scale);
+        assert!(!a.explicit_alg && !a.explicit_k);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scale, 32.0);
+    }
+
+    #[test]
+    fn scenario_errors_name_the_file_and_position() {
+        let dir = std::env::temp_dir().join("robonet-scenario-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.rjson");
+        std::fs::write(&path, "{\n  \"name\": \"x\",\n  \"robots\": 4,\n}").unwrap();
+        let err = run_cli(&args(&["run", "--scenario", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("bad.rjson:3:"), "{err}");
+        assert!(err.contains("unknown key"), "{err}");
+
+        let err = run_cli(&args(&["run", "--scenario", "/no/such.rjson"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
     fn progress_flag_parses() {
         let a = parse_run_args(&args(&["--progress"])).unwrap();
         assert!(a.progress);
@@ -887,6 +981,7 @@ mod tests {
         match flag {
             "--alg" => "dynamic",
             "--dispatch" => "nearest",
+            "--scenario" => "scenarios/paper_baseline.rjson",
             "--trace-out" => "/tmp/t.jsonl",
             "--k" | "--trace" | "--seed" | "--sensors" => "1",
             _ => "0.5",

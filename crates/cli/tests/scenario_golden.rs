@@ -1,0 +1,171 @@
+//! Golden gating for the scenario library plus the flag/scenario
+//! determinism contract:
+//!
+//! - every `scenarios/*.rjson` runs fixed-seed and its summary must be
+//!   byte-identical to the committed `tests/golden/scenario_<name>.txt`
+//!   (regenerate intentional changes with `ROBONET_UPDATE_GOLDEN=1
+//!   cargo test -q -p robonet-cli scenario_golden`),
+//! - `paper_baseline.rjson` must be byte-identical — summary *and*
+//!   trace — to the flag run it encodes,
+//! - a scenario file holding nothing but the CLI defaults must be
+//!   byte-identical to the flag-driven run for all three algorithms
+//!   (the "empty scenario is inert" guarantee).
+
+use robonet_cli::run_cli;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Strips the lines that are legitimately non-deterministic (wall-clock
+/// profile) or environment-dependent (artifact paths) from a run
+/// summary, leaving every simulation-derived byte intact.
+fn normalized(out: &str) -> String {
+    let mut kept: Vec<&str> = out
+        .lines()
+        .filter(|l| {
+            !(l.starts_with("profile:")
+                || l.starts_with("trace written:")
+                || l.starts_with("manifest written:"))
+        })
+        .collect();
+    while kept.last().is_some_and(|l| l.is_empty()) {
+        kept.pop();
+    }
+    kept.join("\n") + "\n"
+}
+
+#[test]
+fn library_scenarios_match_goldens_byte_for_byte() {
+    let root = repo_root();
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(root.join("scenarios"))
+        .expect("scenarios/ directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rjson"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 6,
+        "scenario library shrank: {} files",
+        paths.len()
+    );
+    for path in paths {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let out = run_cli(&args(&["run", "--scenario", path.to_str().unwrap()]))
+            .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+        let summary = normalized(&out);
+        let golden_path = root
+            .join("tests/golden")
+            .join(format!("scenario_{name}.txt"));
+        if std::env::var_os("ROBONET_UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &summary).expect("write golden summary");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden {golden_path:?}: {e}"));
+        assert_eq!(
+            summary, golden,
+            "{name}: summary drifted from {golden_path:?} \
+             (ROBONET_UPDATE_GOLDEN=1 to regenerate)"
+        );
+    }
+}
+
+/// Runs `run` with `extra` flags plus a trace capture, returning the
+/// normalized summary and the raw trace bytes.
+fn traced_run(tag: &str, extra: &[&str]) -> (String, Vec<u8>) {
+    let trace = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("{tag}.jsonl"));
+    let trace_s = trace.to_str().expect("utf-8 tmpdir");
+    let mut argv = vec!["run"];
+    argv.extend_from_slice(extra);
+    argv.extend_from_slice(&["--trace-out", trace_s]);
+    let out = run_cli(&args(&argv)).unwrap_or_else(|e| panic!("{tag}: run failed: {e}"));
+    let bytes = std::fs::read(&trace).expect("trace file exists");
+    (normalized(&out), bytes)
+}
+
+#[test]
+fn paper_baseline_scenario_is_byte_identical_to_its_flag_run() {
+    let scenario = repo_root().join("scenarios/paper_baseline.rjson");
+    let (scenario_out, scenario_trace) =
+        traced_run("scn_baseline", &["--scenario", scenario.to_str().unwrap()]);
+    let (flag_out, flag_trace) = traced_run(
+        "scn_baseline_flags",
+        &[
+            "--alg", "dynamic", "--k", "2", "--scale", "64", "--seed", "1",
+        ],
+    );
+    assert_eq!(scenario_out, flag_out, "summaries must match byte for byte");
+    assert_eq!(
+        scenario_trace, flag_trace,
+        "traces must match byte for byte"
+    );
+}
+
+#[test]
+fn default_encoding_scenario_is_inert_for_every_algorithm() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    for alg in ["centralized", "fixed", "dynamic"] {
+        // The file pins only the algorithm; every other knob is the
+        // compiler's default — which must equal the CLI's default.
+        let path = dir.join(format!("inert_{alg}.rjson"));
+        std::fs::write(
+            &path,
+            format!("{{ \"name\": \"inert_{alg}\", \"algorithm\": \"{alg}\" }}\n"),
+        )
+        .expect("write scenario");
+        let (scenario_out, scenario_trace) = traced_run(
+            &format!("scn_inert_{alg}"),
+            &["--scenario", path.to_str().unwrap(), "--scale", "64"],
+        );
+        let (flag_out, flag_trace) = traced_run(
+            &format!("scn_inert_{alg}_flags"),
+            &["--alg", alg, "--scale", "64"],
+        );
+        assert_eq!(scenario_out, flag_out, "{alg}: summaries must match");
+        assert_eq!(scenario_trace, flag_trace, "{alg}: traces must match");
+    }
+}
+
+#[test]
+fn scenario_manifest_records_provenance() {
+    let scenario = repo_root().join("scenarios/paper_baseline.rjson");
+    let trace = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("scn_manifest.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    run_cli(&args(&[
+        "run",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--trace-out",
+        trace_s,
+    ]))
+    .expect("traced scenario run succeeds");
+    let manifest = std::fs::read_to_string(trace.with_extension("manifest.json"))
+        .expect("manifest written next to trace");
+    assert!(
+        manifest.contains("\"scenario\":\"paper_baseline\""),
+        "manifest must carry the scenario name: {manifest}"
+    );
+
+    // Flag-driven manifests stay scenario-free (byte-stable with
+    // pre-scenario releases).
+    let trace2 = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("scn_manifest_flags.jsonl");
+    run_cli(&args(&[
+        "run",
+        "--scale",
+        "64",
+        "--trace-out",
+        trace2.to_str().unwrap(),
+    ]))
+    .expect("traced flag run succeeds");
+    let manifest =
+        std::fs::read_to_string(trace2.with_extension("manifest.json")).expect("manifest written");
+    assert!(
+        !manifest.contains("\"scenario\""),
+        "flag-run manifest must not mention a scenario: {manifest}"
+    );
+}

@@ -3,7 +3,7 @@
 use robonet_des::SimDuration;
 
 use crate::fault::FaultPlan;
-use robonet_geom::Bounds;
+use robonet_geom::{Bounds, ConvexPolygon};
 use robonet_radio::medium::{Fading, RangeTable};
 use robonet_radio::MacParams;
 
@@ -135,8 +135,44 @@ pub struct ScenarioConfig {
     /// zero, no breakdowns) is normalised to `None` by the harness, so
     /// `Some(FaultPlan::message_loss(0.0))` is bit-identical to `None`.
     pub faults: Option<FaultPlan>,
+    /// Non-uniform deployment regions (scenario files only; empty for
+    /// the paper's uniform field). Each region biases sensor placement
+    /// by a density multiplier and may override the mean lifetime for
+    /// sensors that land inside it. Regions must not overlap.
+    pub regions: Vec<DeployRegion>,
+    /// Name of the scenario file this config was compiled from, if any;
+    /// recorded in the trace manifest for provenance.
+    pub scenario_name: Option<String>,
     /// Root RNG seed; every stochastic component derives its own stream.
     pub seed: u64,
+}
+
+/// One non-uniform deployment region inside the field.
+///
+/// With no regions configured, deployment is uniform over the field and
+/// draws exactly the historical RNG sequence. With regions, placement
+/// switches to rejection sampling against the density surface (still on
+/// the `"deploy"` stream), and sensors inside a region may use its
+/// lifetime override instead of the global mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployRegion {
+    /// The region's area (convex, CCW).
+    pub poly: ConvexPolygon,
+    /// Relative deployment density versus the background's 1.0. Must be
+    /// positive; 4.0 means sensors land here 4× as often per unit area.
+    pub density: f64,
+    /// Mean lifetime for sensors deployed inside this region (`None` =
+    /// the global [`ScenarioConfig::mean_lifetime`]).
+    pub mean_lifetime: Option<SimDuration>,
+}
+
+impl DeployRegion {
+    /// `true` when the region changes nothing about a run: background
+    /// density and no lifetime override. Inert regions are dropped at
+    /// scenario compile time so they cannot perturb the RNG sequence.
+    pub fn is_inert(&self) -> bool {
+        self.density == 1.0 && self.mean_lifetime.is_none()
+    }
 }
 
 /// Parameters for periodic coverage sampling.
@@ -185,6 +221,8 @@ impl ScenarioConfig {
             trace_capacity: 0,
             mac: MacParams::default(),
             faults: None,
+            regions: Vec::new(),
+            scenario_name: None,
             seed: 1,
         }
     }
@@ -219,6 +257,11 @@ impl ScenarioConfig {
         self.report_retry = SimDuration::from_secs(self.report_retry.as_secs_f64() / factor);
         self.robot_speed *= factor;
         self.faults = self.faults.map(|f| f.scaled(factor));
+        for region in &mut self.regions {
+            if let Some(m) = region.mean_lifetime {
+                region.mean_lifetime = Some(SimDuration::from_secs(m.as_secs_f64() / factor));
+            }
+        }
         self
     }
 
@@ -305,6 +348,36 @@ impl ScenarioConfig {
         }
         if let Some(faults) = &self.faults {
             faults.validate()?;
+            for event in &faults.timeline {
+                if event.at().as_secs_f64() > self.sim_time.as_secs_f64() {
+                    return Err(format!(
+                        "timeline {} at {} s is after the simulation ends ({} s)",
+                        event.label(),
+                        event.at().as_secs_f64(),
+                        self.sim_time.as_secs_f64()
+                    ));
+                }
+            }
+        }
+        for (i, region) in self.regions.iter().enumerate() {
+            if !(region.density.is_finite() && region.density > 0.0) {
+                return Err(format!(
+                    "region {i} density {} must be positive and finite",
+                    region.density
+                ));
+            }
+            if let Some(m) = region.mean_lifetime {
+                if m <= self.failure_timeout() {
+                    return Err(format!(
+                        "region {i} mean lifetime must exceed the failure-detection timeout"
+                    ));
+                }
+            }
+            for (j, earlier) in self.regions[..i].iter().enumerate() {
+                if region.poly.intersection(&earlier.poly).is_some() {
+                    return Err(format!("regions {j} and {i} overlap"));
+                }
+            }
         }
         Ok(())
     }
@@ -376,6 +449,103 @@ mod tests {
             c.faults.unwrap().breakdown_mean,
             Some(SimDuration::from_secs(1_000.0))
         );
+    }
+
+    #[test]
+    fn region_validation_catches_bad_fields() {
+        use robonet_geom::Point;
+        let square = |x0: f64, y0: f64, side: f64| {
+            ConvexPolygon::new(vec![
+                Point::new(x0, y0),
+                Point::new(x0 + side, y0),
+                Point::new(x0 + side, y0 + side),
+                Point::new(x0, y0 + side),
+            ])
+            .unwrap()
+        };
+
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        c.regions.push(DeployRegion {
+            poly: square(0.0, 0.0, 100.0),
+            density: -2.0,
+            mean_lifetime: None,
+        });
+        assert!(c.validate().unwrap_err().contains("density"));
+
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        c.regions.push(DeployRegion {
+            poly: square(0.0, 0.0, 100.0),
+            density: 2.0,
+            mean_lifetime: Some(SimDuration::from_secs(10.0)),
+        });
+        assert!(c.validate().unwrap_err().contains("mean lifetime"));
+
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        c.regions.push(DeployRegion {
+            poly: square(0.0, 0.0, 100.0),
+            density: 2.0,
+            mean_lifetime: None,
+        });
+        c.regions.push(DeployRegion {
+            poly: square(50.0, 50.0, 100.0),
+            density: 3.0,
+            mean_lifetime: None,
+        });
+        assert!(c.validate().unwrap_err().contains("overlap"));
+
+        // Disjoint regions with sane fields pass.
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        c.regions.push(DeployRegion {
+            poly: square(0.0, 0.0, 100.0),
+            density: 4.0,
+            mean_lifetime: Some(SimDuration::from_secs(8_000.0)),
+        });
+        c.regions.push(DeployRegion {
+            poly: square(200.0, 200.0, 100.0),
+            density: 0.5,
+            mean_lifetime: None,
+        });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn timeline_events_after_sim_end_rejected() {
+        use crate::fault::TimedFault;
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic).with_faults(FaultPlan {
+            timeline: vec![TimedFault::Attrition {
+                at: SimDuration::from_secs(100_000.0),
+                robots: 1,
+            }],
+            ..FaultPlan::default()
+        });
+        assert!(c.validate().unwrap_err().contains("after the simulation"));
+        // Scaling pulls the event back inside the horizon along with
+        // sim_time, so the relationship is scale-invariant.
+        c.sim_time = SimDuration::from_secs(128_000.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaling_reaches_region_lifetimes() {
+        use robonet_geom::Point;
+        let mut c = ScenarioConfig::paper(2, Algorithm::Dynamic);
+        c.regions.push(DeployRegion {
+            poly: ConvexPolygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(100.0, 100.0),
+                Point::new(0.0, 100.0),
+            ])
+            .unwrap(),
+            density: 2.0,
+            mean_lifetime: Some(SimDuration::from_secs(8_000.0)),
+        });
+        let scaled = c.scaled(8.0);
+        assert_eq!(
+            scaled.regions[0].mean_lifetime,
+            Some(SimDuration::from_secs(1_000.0))
+        );
+        assert_eq!(scaled.regions[0].density, 2.0, "density is timeless");
     }
 
     #[test]

@@ -28,7 +28,8 @@ use robonet_wsn::failure::FailureProcess;
 
 use crate::config::ScenarioConfig;
 use crate::coord::{self, FlowCtx};
-use crate::fault::{FaultInjector, FaultKind};
+use crate::fault::{FaultInjector, FaultKind, TimedFault};
+use crate::harness::{region_lifetime_factors, scale_failure_time, weighted_deployment};
 use crate::obs::timeline::{Checkpoint, HealthMonitor, TelemetrySnapshot};
 use crate::obs::{EventSink, NullSink};
 use crate::trace::TraceEvent;
@@ -91,6 +92,11 @@ enum Event {
     /// [`ScenarioConfig::sample_every`] set — samples exist solely as
     /// trace events at flow level).
     Sample,
+    /// A scheduled fault-timeline event fires (index into
+    /// [`crate::fault::FaultPlan::timeline`]).
+    Timeline {
+        index: u32,
+    },
 }
 
 /// Runs the flow-level model for `cfg`.
@@ -141,6 +147,17 @@ pub fn run_with_spans(cfg: &ScenarioConfig) -> (FastSummary, crate::obs::SpanRep
 /// per-packet updates and no modelled robot health); use the packet
 /// simulator to study those.
 ///
+/// Of the scheduled [`crate::fault::FaultPlan::timeline`], the flow
+/// model executes the subset its abstractions can express:
+/// [`TimedFault::Blackout`] (every live sensor inside the region fails
+/// at the scheduled time) and [`TimedFault::LossRate`] (the injector's
+/// loss probabilities switch). [`TimedFault::Partition`] and
+/// [`TimedFault::Attrition`] are *ignored* — there are no per-hop
+/// frames to block and no modelled robot health; use the packet
+/// simulator for those. Deployment regions apply in full (density
+/// weighting and per-region lifetimes), matching the packet simulator's
+/// placement and failure processes draw for draw.
+///
 /// # Panics
 ///
 /// Panics if the configuration is invalid.
@@ -156,7 +173,12 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
     let sensor_range = cfg.ranges.sensor;
 
     let mut deploy_rng = rng::stream(cfg.seed, "deploy");
-    let sensors = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
+    let sensors = if cfg.regions.is_empty() {
+        deploy::uniform(&mut deploy_rng, &bounds, n_sensors)
+    } else {
+        weighted_deployment(&mut deploy_rng, &bounds, n_sensors, &cfg.regions)
+    };
+    let lifetime_factor = region_lifetime_factors(cfg, &sensors);
 
     let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
     let sensor_subarea: Vec<usize> = match &partition {
@@ -214,7 +236,11 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
     }
 
     for i in 0..n_sensors {
-        let at = failure_proc.sample_failure_at(SimTime::ZERO);
+        let at = scale_failure_time(
+            SimTime::ZERO,
+            failure_proc.sample_failure_at(SimTime::ZERO),
+            lifetime_factor.get(i).copied().unwrap_or(1.0),
+        );
         if at <= sched.horizon() {
             sched.schedule_at(
                 at,
@@ -222,6 +248,14 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                     sensor: i as u32,
                     incarnation: 0,
                 },
+            );
+        }
+    }
+    if let Some(inj) = faults.as_ref() {
+        for (i, event) in inj.plan.timeline.iter().enumerate() {
+            sched.schedule_at(
+                SimTime::ZERO + event.at(),
+                Event::Timeline { index: i as u32 },
             );
         }
     }
@@ -409,7 +443,11 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                 out.replacements += 1;
                 travel_sum += travel;
                 delay_sum += now.duration_since(task.dispatched_at).as_secs_f64();
-                let at = failure_proc.sample_failure_at(now);
+                let at = scale_failure_time(
+                    now,
+                    failure_proc.sample_failure_at(now),
+                    lifetime_factor.get(s).copied().unwrap_or(1.0),
+                );
                 if at <= sched.horizon() {
                     sched.schedule_at(
                         at,
@@ -442,6 +480,38 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
                             leg: leg_seq[r],
                         },
                     );
+                }
+            }
+            Event::Timeline { index } => {
+                let Some(inj) = faults.as_mut() else {
+                    continue;
+                };
+                match inj.plan.timeline[index as usize].clone() {
+                    TimedFault::Blackout { region, .. } => {
+                        // Re-queue the kills as ordinary Fail events at
+                        // `now` so they take the exact detection path a
+                        // natural failure takes.
+                        for (s, &alive_now) in alive.iter().enumerate() {
+                            if alive_now && region.contains(sensors[s]) {
+                                sched.schedule_at(
+                                    now,
+                                    Event::Fail {
+                                        sensor: s as u32,
+                                        incarnation: incarnation[s],
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    TimedFault::LossRate {
+                        report,
+                        dispatch,
+                        update,
+                        ..
+                    } => inj.set_loss_rates(report, dispatch, update),
+                    // No per-hop frames to block, no modelled robot
+                    // health: these exist only at packet level.
+                    TimedFault::Partition { .. } | TimedFault::Attrition { .. } => {}
                 }
             }
             Event::Sample => {
@@ -510,7 +580,7 @@ pub fn run_with_sink(cfg: &ScenarioConfig, sink: &mut dyn EventSink) -> FastSumm
 mod tests {
     use super::*;
     use crate::config::{Algorithm, PartitionKind};
-    use crate::fault::FaultPlan;
+    use crate::fault::{FaultPlan, TimedFault};
 
     #[test]
     fn inert_fault_plan_matches_fault_free_exactly() {
@@ -667,6 +737,104 @@ mod tests {
         assert_eq!(
             report.orphans.len() as u64,
             summary.failures - summary.replacements
+        );
+    }
+
+    #[test]
+    fn blackout_timeline_fires_at_flow_level() {
+        use robonet_des::SimDuration;
+        use robonet_geom::Point;
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(5)
+            .scaled(16.0);
+        // Long lifetimes: failures then track the injected blackout,
+        // not fleet throughput.
+        cfg.mean_lifetime = SimDuration::from_secs(2.0 * cfg.sim_time.as_secs_f64());
+        let base = run(&cfg);
+        let side = cfg.side();
+        let quadrant = robonet_geom::ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(side / 2.0, 0.0),
+            Point::new(side / 2.0, side / 2.0),
+            Point::new(0.0, side / 2.0),
+        ])
+        .unwrap();
+        cfg.faults = Some(FaultPlan {
+            timeline: vec![TimedFault::Blackout {
+                at: SimDuration::from_secs(cfg.sim_time.as_secs_f64() / 2.0),
+                region: quadrant,
+            }],
+            ..FaultPlan::default()
+        });
+        let o = run(&cfg);
+        assert!(
+            o.failures > base.failures + 30,
+            "blackout failures {} vs base {}",
+            o.failures,
+            base.failures
+        );
+        assert_eq!(run(&cfg), o, "timeline runs stay deterministic");
+    }
+
+    #[test]
+    fn loss_rate_timeline_switches_probabilities() {
+        use robonet_des::SimDuration;
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(5)
+            .scaled(16.0);
+        cfg.faults = Some(FaultPlan {
+            max_report_attempts: 2,
+            timeline: vec![TimedFault::LossRate {
+                at: SimDuration::from_secs(cfg.sim_time.as_secs_f64() / 2.0),
+                report: 0.9,
+                dispatch: 0.0,
+                update: 0.0,
+            }],
+            ..FaultPlan::default()
+        });
+        let o = run(&cfg);
+        assert!(
+            o.report_orphans > 0,
+            "90% loss with 2 attempts in the second half must orphan"
+        );
+        let free = {
+            let mut c = cfg.clone();
+            c.faults = None;
+            run(&c)
+        };
+        assert_eq!(free.report_orphans, 0, "fault-free flow runs never orphan");
+    }
+
+    #[test]
+    fn regions_shift_flow_level_failures() {
+        use crate::config::DeployRegion;
+        use robonet_des::SimDuration;
+        use robonet_geom::Point;
+        let mut cfg = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(5)
+            .scaled(16.0);
+        cfg.mean_lifetime = SimDuration::from_secs(2.0 * cfg.sim_time.as_secs_f64());
+        let base = run(&cfg);
+        let side = cfg.side();
+        cfg.regions.push(DeployRegion {
+            poly: robonet_geom::ConvexPolygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(side / 2.0, 0.0),
+                Point::new(side / 2.0, side),
+                Point::new(0.0, side),
+            ])
+            .unwrap(),
+            density: 1.0,
+            mean_lifetime: Some(SimDuration::from_secs(
+                cfg.mean_lifetime.as_secs_f64() / 4.0,
+            )),
+        });
+        let o = run(&cfg);
+        assert!(
+            o.failures as f64 > 1.5 * base.failures as f64,
+            "short-lived region must raise flow failures: {} vs {}",
+            o.failures,
+            base.failures
         );
     }
 

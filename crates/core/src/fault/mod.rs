@@ -17,6 +17,7 @@
 
 use robonet_des::rng::{self, Rng, Xoshiro256};
 use robonet_des::SimDuration;
+use robonet_geom::ConvexPolygon;
 
 /// Which injected fault fired — the label carried by
 /// [`TraceEvent::FaultInjected`](crate::trace::TraceEvent::FaultInjected)
@@ -71,6 +72,166 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// One scheduled fault event, pinned to a simulated time.
+///
+/// Timeline events generalize the probabilistic [`FaultPlan`] knobs to
+/// deterministic occurrences: instead of "each report is lost with
+/// probability p", a scenario can say "at t = 4000 s the north-east
+/// quadrant goes dark". Times are offsets from simulation start in the
+/// same clock as every other duration, and are divided by
+/// [`FaultPlan::scaled`] along with the rest of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimedFault {
+    /// Every sensor alive inside `region` at time `at` fails
+    /// simultaneously (a regional power loss). Failures reuse the
+    /// ordinary sensor-death path, so detection and replacement proceed
+    /// exactly as for lifetime expiries.
+    Blackout {
+        /// When the blackout strikes.
+        at: SimDuration,
+        /// The affected area (convex, CCW).
+        region: ConvexPolygon,
+    },
+    /// Between `from` and `until`, any frame whose transmitter is inside
+    /// region `a` and receiver inside region `b` (or vice versa) is
+    /// dropped at the receiver. Purely deterministic — no RNG draws —
+    /// and transparent to traffic within either region.
+    Partition {
+        /// When the partition opens.
+        from: SimDuration,
+        /// When the partition heals (exclusive).
+        until: SimDuration,
+        /// One side of the cut.
+        a: ConvexPolygon,
+        /// The other side of the cut.
+        b: ConvexPolygon,
+    },
+    /// At time `at`, `robots` robots still in service break down
+    /// permanently (an attrition wave). Victims are drawn from the
+    /// `"fault.breakdown"` stream; deaths reuse the ordinary breakdown
+    /// path but ignore `breakdown_repair`.
+    Attrition {
+        /// When the wave strikes.
+        at: SimDuration,
+        /// How many robots are lost (capped at the fleet still alive).
+        robots: u32,
+    },
+    /// At time `at`, the plan's message-loss probabilities change to the
+    /// given values (a time-varying loss schedule).
+    LossRate {
+        /// When the new rates take effect.
+        at: SimDuration,
+        /// New report-loss probability.
+        report: f64,
+        /// New dispatch-loss probability.
+        dispatch: f64,
+        /// New update-loss probability.
+        update: f64,
+    },
+}
+
+impl TimedFault {
+    /// The simulated time at which the event first takes effect.
+    pub fn at(&self) -> SimDuration {
+        match self {
+            TimedFault::Blackout { at, .. }
+            | TimedFault::Attrition { at, .. }
+            | TimedFault::LossRate { at, .. } => *at,
+            TimedFault::Partition { from, .. } => *from,
+        }
+    }
+
+    /// Stable snake_case label for traces and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimedFault::Blackout { .. } => "blackout",
+            TimedFault::Partition { .. } => "partition",
+            TimedFault::Attrition { .. } => "attrition",
+            TimedFault::LossRate { .. } => "loss_rate",
+        }
+    }
+
+    /// Divides every time in the event by `factor`, mirroring
+    /// [`FaultPlan::scaled`]. Geometry is left untouched — the field
+    /// does not shrink when the clock compresses.
+    pub fn scaled(self, factor: f64) -> Self {
+        let div = |d: SimDuration| SimDuration::from_secs(d.as_secs_f64() / factor);
+        match self {
+            TimedFault::Blackout { at, region } => TimedFault::Blackout {
+                at: div(at),
+                region,
+            },
+            TimedFault::Partition { from, until, a, b } => TimedFault::Partition {
+                from: div(from),
+                until: div(until),
+                a,
+                b,
+            },
+            TimedFault::Attrition { at, robots } => TimedFault::Attrition {
+                at: div(at),
+                robots,
+            },
+            TimedFault::LossRate {
+                at,
+                report,
+                dispatch,
+                update,
+            } => TimedFault::LossRate {
+                at: div(at),
+                report,
+                dispatch,
+                update,
+            },
+        }
+    }
+
+    /// Checks internal consistency of one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            // Times are `SimDuration`s, non-negative by construction;
+            // the scenario parser rejects negative literals upstream.
+            TimedFault::Blackout { .. } => Ok(()),
+            TimedFault::Partition { from, until, .. } => {
+                if until.as_secs_f64() <= from.as_secs_f64() {
+                    return Err(format!(
+                        "partition must end after it starts ({} <= {})",
+                        until.as_secs_f64(),
+                        from.as_secs_f64()
+                    ));
+                }
+                Ok(())
+            }
+            TimedFault::Attrition { robots, .. } => {
+                if *robots == 0 {
+                    return Err("attrition wave must claim at least one robot".into());
+                }
+                Ok(())
+            }
+            TimedFault::LossRate {
+                report,
+                dispatch,
+                update,
+                ..
+            } => {
+                for (name, p) in [
+                    ("report loss", *report),
+                    ("dispatch loss", *dispatch),
+                    ("update loss", *update),
+                ] {
+                    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                        return Err(format!("{name} probability {p} must be in [0, 1]"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// What faults to inject and how hard the protocol fights back.
 ///
 /// Probabilities apply per logical message at its origin (loss inside
@@ -110,6 +271,9 @@ pub struct FaultPlan {
     /// Beacon-silence multiple after which a robot presumes a peer dead
     /// and takes over its subarea (distributed algorithms).
     pub peer_timeout_periods: u32,
+    /// Scheduled fault events, sorted by [`TimedFault::at`] when built
+    /// from a scenario file. Empty for probabilistic-only plans.
+    pub timeline: Vec<TimedFault>,
 }
 
 impl Default for FaultPlan {
@@ -126,6 +290,7 @@ impl Default for FaultPlan {
             dispatch_timeout: SimDuration::from_secs(600.0),
             max_dispatch_attempts: 4,
             peer_timeout_periods: 30,
+            timeline: Vec::new(),
         }
     }
 }
@@ -150,6 +315,18 @@ impl FaultPlan {
             && self.dispatch_loss == 0.0
             && self.update_loss == 0.0
             && self.breakdown_mean.is_none()
+            && self.timeline.is_empty()
+    }
+
+    /// `true` when the plan can take robots out of service — either
+    /// probabilistic breakdowns or a scheduled attrition wave. The
+    /// harness arms peer-liveness tracking exactly when this holds.
+    pub fn has_robot_faults(&self) -> bool {
+        self.breakdown_mean.is_some()
+            || self
+                .timeline
+                .iter()
+                .any(|e| matches!(e, TimedFault::Attrition { .. }))
     }
 
     /// Divides every duration by `factor`, mirroring
@@ -163,6 +340,11 @@ impl FaultPlan {
         }
         self.dispatch_timeout =
             SimDuration::from_secs(self.dispatch_timeout.as_secs_f64() / factor);
+        self.timeline = self
+            .timeline
+            .into_iter()
+            .map(|e| e.scaled(factor))
+            .collect();
         self
     }
 
@@ -212,6 +394,9 @@ impl FaultPlan {
         }
         if self.peer_timeout_periods == 0 {
             return Err("peer timeout must be at least one beacon period".into());
+        }
+        for event in &self.timeline {
+            event.validate()?;
         }
         Ok(())
     }
@@ -264,6 +449,28 @@ impl FaultInjector {
     /// speed) rather than a full stop.
     pub fn breakdown_is_slowdown(&mut self) -> bool {
         self.plan.slow_prob > 0.0 && self.breakdown_rng.gen_bool(self.plan.slow_prob)
+    }
+
+    /// Picks `count` distinct victims (without replacement) from
+    /// `candidates` for an attrition wave, drawing from the breakdown
+    /// stream. Returns fewer when the pool is smaller than `count`.
+    pub fn attrition_victims<T: Copy>(&mut self, candidates: &[T], count: usize) -> Vec<T> {
+        let mut pool: Vec<T> = candidates.to_vec();
+        let n = count.min(pool.len());
+        let mut victims = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = self.breakdown_rng.gen_index(pool.len());
+            victims.push(pool.swap_remove(i));
+        }
+        victims
+    }
+
+    /// Applies a [`TimedFault::LossRate`] change: swaps the plan's
+    /// message-loss probabilities in place.
+    pub fn set_loss_rates(&mut self, report: f64, dispatch: f64, update: f64) {
+        self.plan.report_loss = report;
+        self.plan.dispatch_loss = dispatch;
+        self.plan.update_loss = update;
     }
 
     /// Exponential-backoff retry window for report attempt `attempt`
@@ -413,6 +620,109 @@ mod tests {
             800.0,
             "cap at 8x"
         );
+    }
+
+    fn unit_square() -> ConvexPolygon {
+        use robonet_geom::{Bounds, Point};
+        ConvexPolygon::from_bounds(&Bounds::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+    }
+
+    #[test]
+    fn timeline_breaks_inertness_and_scales() {
+        let plan = FaultPlan {
+            timeline: vec![TimedFault::Blackout {
+                at: SimDuration::from_secs(800.0),
+                region: unit_square(),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_inert(), "a scheduled event is not inert");
+        assert!(plan.validate().is_ok());
+        let scaled = plan.scaled(8.0);
+        assert_eq!(scaled.timeline[0].at(), SimDuration::from_secs(100.0));
+    }
+
+    #[test]
+    fn timeline_validation_catches_bad_events() {
+        let mk = |e: TimedFault| FaultPlan {
+            timeline: vec![e],
+            ..FaultPlan::default()
+        };
+        let backwards = mk(TimedFault::Partition {
+            from: SimDuration::from_secs(100.0),
+            until: SimDuration::from_secs(100.0),
+            a: unit_square(),
+            b: unit_square(),
+        });
+        assert!(backwards.validate().unwrap_err().contains("end after"));
+        let empty_wave = mk(TimedFault::Attrition {
+            at: SimDuration::from_secs(10.0),
+            robots: 0,
+        });
+        assert!(empty_wave.validate().is_err());
+        let bad_rate = mk(TimedFault::LossRate {
+            at: SimDuration::from_secs(10.0),
+            report: 1.5,
+            dispatch: 0.0,
+            update: 0.0,
+        });
+        assert!(bad_rate.validate().unwrap_err().contains("report loss"));
+    }
+
+    #[test]
+    fn has_robot_faults_tracks_breakdowns_and_attrition() {
+        assert!(!FaultPlan::default().has_robot_faults());
+        assert!(!FaultPlan::message_loss(0.1).has_robot_faults());
+        let breakdowns = FaultPlan {
+            breakdown_mean: Some(SimDuration::from_secs(100.0)),
+            ..FaultPlan::default()
+        };
+        assert!(breakdowns.has_robot_faults());
+        let wave = FaultPlan {
+            timeline: vec![TimedFault::Attrition {
+                at: SimDuration::from_secs(50.0),
+                robots: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(wave.has_robot_faults());
+        let blackout_only = FaultPlan {
+            timeline: vec![TimedFault::Blackout {
+                at: SimDuration::from_secs(50.0),
+                region: unit_square(),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!blackout_only.has_robot_faults());
+    }
+
+    #[test]
+    fn attrition_victims_are_distinct_and_deterministic() {
+        let plan = FaultPlan::default();
+        let candidates: Vec<u64> = (0..10).collect();
+        let mut a = FaultInjector::new(5, plan.clone());
+        let mut b = FaultInjector::new(5, plan);
+        let va = a.attrition_victims(&candidates, 4);
+        let vb = b.attrition_victims(&candidates, 4);
+        assert_eq!(va, vb, "same seed, same victims");
+        assert_eq!(va.len(), 4);
+        let mut sorted = va.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "victims are distinct");
+        let all = a.attrition_victims(&candidates, 25);
+        assert_eq!(all.len(), 10, "capped at the pool size");
+    }
+
+    #[test]
+    fn loss_rate_swap_changes_drop_behaviour() {
+        let mut inj = FaultInjector::new(9, FaultPlan::default());
+        let before = inj.msg_rng.clone();
+        assert!(!inj.drop_message(FaultKind::ReportLoss));
+        assert_eq!(inj.msg_rng, before, "zero rate makes no draw");
+        inj.set_loss_rates(1.0, 0.0, 0.0);
+        assert!(inj.drop_message(FaultKind::ReportLoss));
+        assert!(!inj.drop_message(FaultKind::DispatchLoss));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 use robonet_des::{rng, sampler, NodeId, Scheduler, SimDuration, SimTime};
 use robonet_geom::partition::Partition;
-use robonet_geom::{deploy, Bounds, Point};
+use robonet_geom::{deploy, Bounds, ConvexPolygon, Point};
 use robonet_net::{route_with, GeoHeader, NeighborTable, RouteDecision, RouteScratch};
 use robonet_radio::engine::{RadioEvent, UpcallBuf, UpcallEntry};
 use robonet_radio::medium::{Medium, NodeClass};
@@ -37,9 +37,9 @@ use robonet_robot::{ReplacementTask, RobotState};
 use robonet_wsn::failure::FailureProcess;
 use robonet_wsn::{GuardianEvent, SensorState};
 
-use crate::config::ScenarioConfig;
+use crate::config::{DeployRegion, ScenarioConfig};
 use crate::coord::{self, Announcement, CoordCtx, Coordinator, FleetView};
-use crate::fault::{FaultInjector, FaultKind};
+use crate::fault::{FaultInjector, FaultKind, TimedFault};
 use crate::metrics::Metrics;
 use crate::msg::AppMsg;
 use crate::obs::timeline::{Checkpoint, HealthMonitor, TelemetrySnapshot};
@@ -84,7 +84,11 @@ pub fn field_deployment(cfg: &ScenarioConfig) -> FieldDeployment {
     let n_robots = cfg.n_robots();
 
     let mut deploy_rng = rng::stream(cfg.seed, "deploy");
-    let sensor_pos = deploy::uniform(&mut deploy_rng, &bounds, n_sensors);
+    let sensor_pos = if cfg.regions.is_empty() {
+        deploy::uniform(&mut deploy_rng, &bounds, n_sensors)
+    } else {
+        weighted_deployment(&mut deploy_rng, &bounds, n_sensors, &cfg.regions)
+    };
 
     let partition: Option<Box<dyn Partition>> = coordinator.build_partition(bounds, cfg.k);
 
@@ -109,6 +113,71 @@ pub fn field_deployment(cfg: &ScenarioConfig) -> FieldDeployment {
         partition,
         robot_pos,
         manager,
+    }
+}
+
+/// Density-weighted sensor placement for scenarios with deployment
+/// regions: rejection sampling against the piecewise-constant density
+/// surface (background 1.0, each region its own multiplier), drawing
+/// from the same `"deploy"` stream as uniform placement. With no
+/// regions configured, [`field_deployment`] takes the plain
+/// [`deploy::uniform`] path, so historical runs draw the exact
+/// historical sequence.
+pub(crate) fn weighted_deployment<R: rng::Rng + ?Sized>(
+    rng: &mut R,
+    bounds: &Bounds,
+    n: usize,
+    regions: &[DeployRegion],
+) -> Vec<Point> {
+    let dmax = regions.iter().map(|r| r.density).fold(1.0, f64::max);
+    let density_at = |p: Point| {
+        regions
+            .iter()
+            .find(|r| r.poly.contains(p))
+            .map_or(1.0, |r| r.density)
+    };
+    (0..n)
+        .map(|_| loop {
+            let p = deploy::uniform_point(rng, bounds);
+            if rng.next_f64() * dmax < density_at(p) {
+                break p;
+            }
+        })
+        .collect()
+}
+
+/// Applies a per-region lifetime multiplier to an exponential failure
+/// draw: the exponential's linear scaling lets one shared draw serve
+/// every region (same stream, same draw count), so runs without
+/// overrides (`factor == 1.0`, the `Vec` never built) are bit-identical
+/// to historical ones.
+/// Per-sensor lifetime multipliers from region overrides. Empty unless
+/// some region actually overrides the mean, so ordinary runs carry no
+/// per-sensor state and [`scale_failure_time`] sees factor `1.0`.
+pub(crate) fn region_lifetime_factors(cfg: &ScenarioConfig, sensor_pos: &[Point]) -> Vec<f64> {
+    if !cfg.regions.iter().any(|r| r.mean_lifetime.is_some()) {
+        return Vec::new();
+    }
+    let global = cfg.mean_lifetime.as_secs_f64();
+    sensor_pos
+        .iter()
+        .map(|&p| {
+            cfg.regions
+                .iter()
+                .find_map(|r| {
+                    let m = r.mean_lifetime?;
+                    r.poly.contains(p).then(|| m.as_secs_f64() / global)
+                })
+                .unwrap_or(1.0)
+        })
+        .collect()
+}
+
+pub(crate) fn scale_failure_time(now: SimTime, at: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        at
+    } else {
+        now + SimDuration::from_secs(at.duration_since(now).as_secs_f64() * factor)
     }
 }
 
@@ -181,6 +250,11 @@ enum Event {
     /// A broken-down robot finishes its in-place repair.
     RobotRepair {
         robot: u32,
+    },
+    /// A scheduled scenario timeline event fires (index into the
+    /// plan's timeline; scheduled only when the timeline is non-empty).
+    TimelineFault {
+        index: u32,
     },
 }
 
@@ -279,8 +353,22 @@ pub struct Simulation {
     /// (first detector wins; cleared on repair).
     takeover_done: Vec<bool>,
     /// `peer_last_heard[r][p]`: when robot `r` last heard peer `p`'s
-    /// beacon. Empty unless breakdowns are in the plan.
+    /// beacon. Empty unless the plan can take robots out of service
+    /// (probabilistic breakdowns or a scheduled attrition wave).
     peer_last_heard: Vec<Vec<Option<SimTime>>>,
+    /// Per-sensor lifetime multiplier from deployment regions (empty
+    /// when no region overrides the mean — the common case, which then
+    /// costs nothing on the failure path).
+    lifetime_factor: Vec<f64>,
+    /// Network partitions currently (or soon to be) in force:
+    /// `(until, side_a, side_b)`. Frames crossing sides are dropped at
+    /// the receiver while `now < until`. Empty unless a timeline
+    /// partition has activated.
+    active_partitions: Vec<(SimTime, ConvexPolygon, ConvexPolygon)>,
+    /// Frames suppressed by an active partition.
+    partition_drops: u64,
+    /// Timeline events that have fired.
+    timeline_fired: u64,
 }
 
 impl Simulation {
@@ -382,9 +470,7 @@ impl Simulation {
             .clone()
             .filter(|p| !p.is_inert())
             .map(|p| FaultInjector::new(cfg.seed, p));
-        let breakdowns = faults
-            .as_ref()
-            .is_some_and(|i| i.plan.breakdown_mean.is_some());
+        let robot_faults = faults.as_ref().is_some_and(|i| i.plan.has_robot_faults());
 
         // --- Initial events ----------------------------------------------
         let mut sched = Scheduler::with_horizon(SimTime::ZERO + cfg.sim_time);
@@ -392,13 +478,21 @@ impl Simulation {
         let mut failure_proc =
             FailureProcess::new(cfg.mean_lifetime, rng::stream(cfg.seed, "lifetimes"));
 
+        // Per-sensor lifetime multipliers from region overrides (built
+        // only when a region actually overrides the mean).
+        let lifetime_factor = region_lifetime_factors(&cfg, &sensor_pos);
+
         for i in 0..n_sensors {
             let phase = sampler::uniform_duration(&mut phase_rng, cfg.beacon_period);
             sched.schedule_at(
                 SimTime::ZERO + phase,
                 Event::SensorTick { sensor: i as u32 },
             );
-            let fail_at = failure_proc.sample_failure_at(SimTime::ZERO);
+            let fail_at = scale_failure_time(
+                SimTime::ZERO,
+                failure_proc.sample_failure_at(SimTime::ZERO),
+                lifetime_factor.get(i).copied().unwrap_or(1.0),
+            );
             if fail_at <= sched.horizon() {
                 sched.schedule_at(
                     fail_at,
@@ -451,6 +545,15 @@ impl Simulation {
                     );
                 }
             }
+            // Scheduled timeline events, pinned at their (scaled) sim
+            // times. Validation bounds them by sim_time, so none fall
+            // past the horizon.
+            for (i, event) in inj.plan.timeline.iter().enumerate() {
+                sched.schedule_at(
+                    SimTime::ZERO + event.at(),
+                    Event::TimelineFault { index: i as u32 },
+                );
+            }
         }
 
         let cfg_seed = cfg.seed;
@@ -499,11 +602,15 @@ impl Simulation {
             robot_down: vec![false; n_robots],
             robot_slowed: vec![false; n_robots],
             takeover_done: vec![false; n_robots],
-            peer_last_heard: if breakdowns {
+            peer_last_heard: if robot_faults {
                 vec![vec![None; n_robots]; n_robots]
             } else {
                 Vec::new()
             },
+            lifetime_factor,
+            active_partitions: Vec::new(),
+            partition_drops: 0,
+            timeline_fired: 0,
         }
     }
 
@@ -660,6 +767,16 @@ impl Simulation {
             c.set("recovery", "robot_repairs", fs.robot_repairs);
             c.set("recovery", "takeovers", fs.takeovers);
         }
+        // Timeline counters exist only for runs with a scheduled fault
+        // timeline, so probabilistic-fault registries stay byte-identical.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|i| !i.plan.timeline.is_empty())
+        {
+            c.set("fault", "timeline_events", self.timeline_fired);
+            c.set("fault", "partition_drops", self.partition_drops);
+        }
 
         for &hops in &m.report_hops {
             c.observe("net.routing", "report_hops", f64::from(hops));
@@ -749,7 +866,76 @@ impl Simulation {
             Event::TelemetrySample => self.on_telemetry_sample(now),
             Event::RobotBreakdown { robot } => self.on_robot_breakdown(now, robot as usize),
             Event::RobotRepair { robot } => self.on_robot_repair(now, robot as usize),
+            Event::TimelineFault { index } => self.on_timeline_fault(now, index as usize),
         }
+    }
+
+    /// A scheduled scenario fault fires. All decisions are
+    /// deterministic given the plan; the only RNG use is attrition's
+    /// victim pick, which draws from the breakdown stream.
+    fn on_timeline_fault(&mut self, now: SimTime, index: usize) {
+        self.timeline_fired += 1;
+        let event = self
+            .faults
+            .as_ref()
+            .expect("timeline events imply faults")
+            .plan
+            .timeline[index]
+            .clone();
+        match event {
+            TimedFault::Blackout { region, .. } => {
+                // Every alive sensor in the region dies through the
+                // ordinary failure path (same incarnation guard, same
+                // trace events), so detection and replacement proceed
+                // exactly as for a lifetime expiry.
+                for s in 0..self.sensors.len() {
+                    if self.sensors[s].alive && region.contains(self.sensors[s].loc) {
+                        let incarnation = self.incarnation[s];
+                        self.on_fail(now, s, incarnation);
+                    }
+                }
+            }
+            TimedFault::Partition { until, a, b, .. } => {
+                self.active_partitions.push((SimTime::ZERO + until, a, b));
+            }
+            TimedFault::Attrition { robots, .. } => {
+                let candidates: Vec<usize> = (0..self.robots.len())
+                    .filter(|&r| !self.robot_down[r])
+                    .collect();
+                let victims = self
+                    .faults
+                    .as_mut()
+                    .expect("checked above")
+                    .attrition_victims(&candidates, robots as usize);
+                for r in victims {
+                    // Attrition is permanent: no in-place repair even
+                    // when the plan allows repairs for random breakdowns.
+                    self.kill_robot(now, r);
+                }
+            }
+            TimedFault::LossRate {
+                report,
+                dispatch,
+                update,
+                ..
+            } => {
+                self.faults
+                    .as_mut()
+                    .expect("checked above")
+                    .set_loss_rates(report, dispatch, update);
+            }
+        }
+    }
+
+    /// `true` when an active partition separates the immediate
+    /// transmitter from the receiver; such frames die at the receiver.
+    fn partition_blocks(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
+        let sp = self.node_position(now, src);
+        let dp = self.node_position(now, dst);
+        self.active_partitions.iter().any(|(until, a, b)| {
+            now < *until
+                && ((a.contains(sp) && b.contains(dp)) || (b.contains(sp) && a.contains(dp)))
+        })
     }
 
     fn on_radio(&mut self, now: SimTime, rev: RadioEvent) {
@@ -1206,6 +1392,14 @@ impl Simulation {
     // --- Application-layer message handling ----------------------------------
 
     fn on_delivered(&mut self, now: SimTime, to: NodeId, frame: &Frame<AppMsg>) {
+        // A scheduled network partition severs links between its two
+        // regions: frames whose immediate transmitter sits on the other
+        // side die at the receiver. (Empty unless a timeline partition
+        // has activated, so ordinary runs pay one Vec::is_empty.)
+        if !self.active_partitions.is_empty() && self.partition_blocks(now, frame.src, to) {
+            self.partition_drops += 1;
+            return;
+        }
         match frame.payload {
             AppMsg::Beacon { loc } => {
                 // Robots overhear each other's beacons to maintain peer
@@ -1695,7 +1889,11 @@ impl Simulation {
             }
             self.radio.set_alive(task.failed, true);
             self.incarnation[s] += 1;
-            let fail_at = self.failure_proc.sample_failure_at(now);
+            let fail_at = scale_failure_time(
+                now,
+                self.failure_proc.sample_failure_at(now),
+                self.lifetime_factor.get(s).copied().unwrap_or(1.0),
+            );
             if fail_at <= self.sched.horizon() {
                 self.sched.schedule_at(
                     fail_at,
@@ -1782,19 +1980,7 @@ impl Simulation {
             // A slowed robot keeps breaking down on the same clock.
             self.schedule_next_breakdown(r);
         } else {
-            self.metrics.faults.robot_breakdowns += 1;
-            self.robot_down[r] = true;
-            self.robots[r].interrupt(now);
-            self.robot_leg_seq[r] += 1; // stale in-flight arrive/update events
-            let loc = self.robots[r].position_at(now);
-            self.radio.set_position(robot_node, loc);
-            self.radio.set_alive(robot_node, false);
-            if self.observing {
-                self.emit(TraceEvent::RobotDied {
-                    t: now.as_secs_f64(),
-                    robot: robot_node,
-                });
-            }
+            self.kill_robot(now, r);
             let repair = self
                 .faults
                 .as_ref()
@@ -1805,6 +1991,27 @@ impl Simulation {
                 self.sched
                     .schedule_at(now + repair, Event::RobotRepair { robot: r as u32 });
             }
+        }
+    }
+
+    /// Takes a robot out of service on the spot: silent radio, current
+    /// leg interrupted, in-flight motion events gone stale. Shared by
+    /// the probabilistic breakdown path (which may schedule a repair)
+    /// and attrition waves (which never do).
+    fn kill_robot(&mut self, now: SimTime, r: usize) {
+        self.metrics.faults.robot_breakdowns += 1;
+        self.robot_down[r] = true;
+        self.robots[r].interrupt(now);
+        self.robot_leg_seq[r] += 1; // stale in-flight arrive/update events
+        let robot_node = self.robots[r].id;
+        let loc = self.robots[r].position_at(now);
+        self.radio.set_position(robot_node, loc);
+        self.radio.set_alive(robot_node, false);
+        if self.observing {
+            self.emit(TraceEvent::RobotDied {
+                t: now.as_secs_f64(),
+                robot: robot_node,
+            });
         }
     }
 
@@ -2339,6 +2546,196 @@ mod tests {
             s_near.avg_travel_per_failure
         );
         assert!(s_idle.avg_repair_delay < s_near.avg_repair_delay * 2.0);
+    }
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ])
+        .expect("CCW rectangle")
+    }
+
+    /// `small()` with lifetimes long enough that the fleet has headroom:
+    /// failure counts then track the failure *process* rather than robot
+    /// throughput, which is what the timeline tests need to observe.
+    fn small_relaxed(alg: Algorithm) -> ScenarioConfig {
+        let mut cfg = small(alg);
+        cfg.mean_lifetime = SimDuration::from_secs(2.0 * cfg.sim_time.as_secs_f64());
+        cfg
+    }
+
+    #[test]
+    fn blackout_kills_the_region_and_recovery_follows() {
+        use crate::fault::{FaultPlan, TimedFault};
+        let base = Simulation::run(small_relaxed(Algorithm::Dynamic)).metrics;
+        let mut cfg = small_relaxed(Algorithm::Dynamic);
+        let half = cfg.sim_time.as_secs_f64() / 2.0;
+        let side = cfg.side();
+        cfg.faults = Some(FaultPlan {
+            timeline: vec![TimedFault::Blackout {
+                at: SimDuration::from_secs(half),
+                region: rect(0.0, 0.0, side / 2.0, side / 2.0),
+            }],
+            ..FaultPlan::default()
+        });
+        let o = Simulation::run(cfg);
+        // A quadrant blackout at half-time adds roughly a quarter of the
+        // population in simultaneous failures.
+        assert!(
+            o.metrics.failures_occurred > base.failures_occurred + 30,
+            "blackout failures {} vs base {}",
+            o.metrics.failures_occurred,
+            base.failures_occurred
+        );
+        // The fleet digs itself out: most failures still get repaired.
+        let repaired = o.metrics.replacements as f64 / o.metrics.failures_occurred as f64;
+        assert!(repaired > 0.6, "repair ratio {repaired} after blackout");
+        assert_eq!(o.metrics.counters.counter("fault", "timeline_events"), 1);
+    }
+
+    #[test]
+    fn attrition_wave_is_permanent_and_triggers_takeover() {
+        use crate::fault::{FaultPlan, TimedFault};
+        let mut cfg = small(Algorithm::Dynamic);
+        cfg.faults = Some(FaultPlan {
+            // Repairs configured but attrition must ignore them.
+            breakdown_repair: Some(SimDuration::from_secs(10.0)),
+            timeline: vec![TimedFault::Attrition {
+                at: SimDuration::from_secs(cfg.sim_time.as_secs_f64() / 4.0),
+                robots: 2,
+            }],
+            ..FaultPlan::default()
+        });
+        let o = Simulation::run(cfg);
+        assert_eq!(o.metrics.faults.robot_breakdowns, 2);
+        assert_eq!(
+            o.metrics.faults.robot_repairs, 0,
+            "attrition deaths never repair"
+        );
+        assert!(
+            o.metrics.faults.takeovers >= 1,
+            "surviving peers take over: {}",
+            o.metrics.faults.takeovers
+        );
+        // Half the fleet still repairs the bulk of failures.
+        let repaired = o.metrics.replacements as f64 / o.metrics.failures_occurred as f64;
+        assert!(repaired > 0.6, "repair ratio {repaired} after attrition");
+    }
+
+    #[test]
+    fn partition_drops_cross_frames_then_heals() {
+        use crate::fault::{FaultPlan, TimedFault};
+        let mut cfg = small(Algorithm::Dynamic);
+        let side = cfg.side();
+        let t = cfg.sim_time.as_secs_f64();
+        cfg.faults = Some(FaultPlan {
+            timeline: vec![TimedFault::Partition {
+                from: SimDuration::from_secs(t / 4.0),
+                until: SimDuration::from_secs(t / 2.0),
+                a: rect(0.0, 0.0, side / 2.0, side),
+                b: rect(side / 2.0, 0.0, side, side),
+            }],
+            ..FaultPlan::default()
+        });
+        let o = Simulation::run(cfg);
+        let drops = o.metrics.counters.counter("fault", "partition_drops");
+        assert!(drops > 0, "cross-partition frames must die");
+        // After healing, the system recovers most failures overall.
+        let repaired = o.metrics.replacements as f64 / o.metrics.failures_occurred as f64;
+        assert!(repaired > 0.6, "repair ratio {repaired} across partition");
+    }
+
+    #[test]
+    fn loss_rate_event_switches_probabilities_mid_run() {
+        use crate::fault::{FaultPlan, TimedFault};
+        let mut cfg = small(Algorithm::Dynamic);
+        cfg.faults = Some(FaultPlan {
+            timeline: vec![TimedFault::LossRate {
+                at: SimDuration::from_secs(cfg.sim_time.as_secs_f64() / 2.0),
+                report: 0.5,
+                dispatch: 0.0,
+                update: 0.0,
+            }],
+            ..FaultPlan::default()
+        });
+        let o = Simulation::run(cfg);
+        assert!(
+            o.metrics.faults.report_drops > 0,
+            "second-half loss must drop reports"
+        );
+        assert!(
+            o.metrics.faults.report_retries > 0,
+            "retry machinery re-drives dropped reports"
+        );
+    }
+
+    #[test]
+    fn dense_region_attracts_deployment() {
+        use crate::config::DeployRegion;
+        let mut cfg = small(Algorithm::Dynamic);
+        let side = cfg.side();
+        let core = rect(side * 0.375, side * 0.375, side * 0.625, side * 0.625);
+        cfg.regions.push(DeployRegion {
+            poly: core.clone(),
+            density: 6.0,
+            mean_lifetime: None,
+        });
+        let dep = field_deployment(&cfg);
+        let inside = dep.sensor_pos.iter().filter(|&&p| core.contains(p)).count();
+        // The core covers 1/16 of the field; at density 6 it should hold
+        // ~6/21 ≈ 29% of sensors instead of the uniform ~6%.
+        let frac = inside as f64 / dep.sensor_pos.len() as f64;
+        assert!(
+            frac > 0.15,
+            "dense core holds {frac:.2} of sensors (expected ~0.29)"
+        );
+        assert!(
+            dep.sensor_pos.iter().all(|&p| cfg.bounds().contains(p)),
+            "weighted deployment stays inside the field"
+        );
+        // And the run still works end to end.
+        let o = Simulation::run(cfg);
+        assert!(o.metrics.replacements > 0);
+    }
+
+    #[test]
+    fn region_lifetime_override_shifts_failures() {
+        use crate::config::DeployRegion;
+        let mut cfg = small_relaxed(Algorithm::Dynamic);
+        let side = cfg.side();
+        // Sensors in the west half die 4x as fast.
+        cfg.regions.push(DeployRegion {
+            poly: rect(0.0, 0.0, side / 2.0, side),
+            density: 1.0,
+            mean_lifetime: Some(SimDuration::from_secs(
+                cfg.mean_lifetime.as_secs_f64() / 4.0,
+            )),
+        });
+        let o = Simulation::run(cfg.clone());
+        let base = Simulation::run(small_relaxed(Algorithm::Dynamic)).metrics;
+        assert!(
+            o.metrics.failures_occurred as f64 > 1.5 * base.failures_occurred as f64,
+            "short-lived region must raise failures: {} vs {}",
+            o.metrics.failures_occurred,
+            base.failures_occurred
+        );
+    }
+
+    #[test]
+    fn empty_timeline_plan_is_identical_to_no_faults() {
+        use crate::fault::FaultPlan;
+        let plain = Simulation::run(small(Algorithm::Dynamic));
+        let mut cfg = small(Algorithm::Dynamic);
+        cfg.faults = Some(FaultPlan::default()); // inert: empty timeline
+        let with_plan = Simulation::run(cfg);
+        assert_eq!(
+            plain.metrics.travel_per_task,
+            with_plan.metrics.travel_per_task
+        );
+        assert_eq!(plain.events_processed, with_plan.events_processed);
     }
 
     #[test]

@@ -50,10 +50,13 @@ pub mod metrics;
 pub mod msg;
 pub mod obs;
 pub mod report;
+pub mod scenario;
 pub mod sweep;
 pub mod trace;
 
-pub use config::{Algorithm, CoverageSampling, DispatchPolicy, PartitionKind, ScenarioConfig};
+pub use config::{
+    Algorithm, CoverageSampling, DeployRegion, DispatchPolicy, PartitionKind, ScenarioConfig,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use harness::{field_deployment, FieldDeployment, Outcome, Simulation};
 pub use metrics::{DropBreakdown, Metrics, Summary};
@@ -61,5 +64,8 @@ pub use obs::{
     EventSink, HealthMonitor, Invariant, JsonlSink, MetricsRegistry, NullSink, QuantileSketch,
     RepairSpan, RingSink, SpanAssembler, SpanReport, SpanSink, Stage, TeeSink, TelemetrySnapshot,
     Timeline, TraceAggregate,
+};
+pub use scenario::{
+    compile as compile_scenario, Compiled, Overrides, ScenarioError, ScenarioErrorKind,
 };
 pub use sweep::{CellResult, FailedCell, MergedSweep, SweepGrid, SweepResult};

@@ -203,12 +203,83 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Converts a byte offset into 1-based (line, column) coordinates.
+///
+/// Columns count Unicode scalar values, not bytes, so error positions
+/// point at what an editor shows. Offsets past the end of the input
+/// report the position just after the last character.
+pub fn line_col(input: &str, at: usize) -> (u32, u32) {
+    let (mut line, mut col) = (1u32, 1u32);
+    for (i, c) in input.char_indices() {
+        if i >= at {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// A parsed value annotated with the byte offset where it started.
+///
+/// Produced by [`parse_relaxed`]; the offset converts to line/column
+/// via [`line_col`], which is how the scenario layer attaches positions
+/// to semantic errors (unknown key, bad type, …) long after parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedValue {
+    /// Byte offset of the value's first character.
+    pub at: usize,
+    /// The value itself.
+    pub node: SpannedNode,
+}
+
+/// The shape of a [`SpannedValue`].
+///
+/// Unlike [`JsonValue`], objects keep their fields in source order as
+/// `(key offset, key, value)` triples — duplicate keys survive parsing
+/// so the semantic layer can report them at the right position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedNode {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<SpannedValue>),
+    /// An object: `(key offset, key, value)` in source order.
+    Object(Vec<(usize, String, SpannedValue)>),
+}
+
+impl SpannedNode {
+    /// Human-readable name of the node's type, for "expected X, found
+    /// Y" messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SpannedNode::Null => "null",
+            SpannedNode::Bool(_) => "a boolean",
+            SpannedNode::Number(_) => "a number",
+            SpannedNode::String(_) => "a string",
+            SpannedNode::Array(_) => "an array",
+            SpannedNode::Object(_) => "an object",
+        }
+    }
+}
+
 /// Parses one complete JSON value from `input` (trailing whitespace
 /// allowed, trailing garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        relaxed: false,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -219,9 +290,28 @@ pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
     Ok(v)
 }
 
+/// Parses one complete value in the relaxed dialect scenario files use:
+/// strict JSON plus `//` line comments and trailing commas in objects
+/// and arrays. Every node carries its byte offset for error reporting.
+pub fn parse_relaxed(input: &str) -> Result<SpannedValue, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        relaxed: true,
+    };
+    p.skip_ws();
+    let v = p.spanned_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    relaxed: bool,
 }
 
 impl<'a> Parser<'a> {
@@ -237,8 +327,21 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+            // `//` line comments exist only in the relaxed dialect.
+            if self.relaxed
+                && self.peek() == Some(b'/')
+                && self.bytes.get(self.pos + 1) == Some(&b'/')
+            {
+                while !matches!(self.peek(), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            return;
         }
     }
 
@@ -257,6 +360,87 @@ impl<'a> Parser<'a> {
             Ok(value)
         } else {
             Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn spanned_value(&mut self) -> Result<SpannedValue, ParseError> {
+        let at = self.pos;
+        let node = match self.peek() {
+            Some(b'{') => SpannedNode::Object(self.spanned_object()?),
+            Some(b'[') => SpannedNode::Array(self.spanned_array()?),
+            Some(b'"') => SpannedNode::String(self.string()?),
+            Some(b't') => {
+                self.literal("true", JsonValue::Null)?;
+                SpannedNode::Bool(true)
+            }
+            Some(b'f') => {
+                self.literal("false", JsonValue::Null)?;
+                SpannedNode::Bool(false)
+            }
+            Some(b'n') => {
+                self.literal("null", JsonValue::Null)?;
+                SpannedNode::Null
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => match self.number()? {
+                JsonValue::Number(n) => SpannedNode::Number(n),
+                _ => unreachable!("number() only returns Number"),
+            },
+            _ => return Err(self.err("expected a value")),
+        };
+        Ok(SpannedValue { at, node })
+    }
+
+    fn spanned_object(&mut self) -> Result<Vec<(usize, String, SpannedValue)>, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                Some(b'"') => {}
+                _ => return Err(self.err("expected a key string or '}' in object")),
+            }
+            let key_at = self.pos;
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.spanned_value()?;
+            fields.push((key_at, key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn spanned_array(&mut self) -> Result<Vec<SpannedValue>, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(items);
+            }
+            items.push(self.spanned_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(items);
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
         }
     }
 
@@ -488,6 +672,66 @@ mod tests {
             "\"\\q\"",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn relaxed_parser_accepts_comments_and_trailing_commas() {
+        let src = "{\n  // a comment\n  \"a\": [1, 2,], // trailing\n  \"b\": true,\n}";
+        let v = parse_relaxed(src).unwrap();
+        let fields = match &v.node {
+            SpannedNode::Object(f) => f,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].1, "a");
+        match &fields[0].2.node {
+            SpannedNode::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(fields[1].2.node, SpannedNode::Bool(true));
+        // Strict mode must still reject both extensions.
+        assert!(parse("[1,]").is_err());
+        assert!(parse("// c\n1").is_err());
+    }
+
+    #[test]
+    fn spanned_offsets_convert_to_line_col() {
+        let src = "{\n  \"key\": 42\n}";
+        let v = parse_relaxed(src).unwrap();
+        let fields = match &v.node {
+            SpannedNode::Object(f) => f,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let (key_at, _, val) = &fields[0];
+        assert_eq!(line_col(src, *key_at), (2, 3));
+        assert_eq!(line_col(src, val.at), (2, 10));
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, src.len() + 10), (3, 2));
+    }
+
+    #[test]
+    fn relaxed_parser_keeps_duplicate_keys_in_order() {
+        let v = parse_relaxed(r#"{"x": 1, "x": 2}"#).unwrap();
+        let fields = match v.node {
+            SpannedNode::Object(f) => f,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(fields.len(), 2, "duplicates survive for semantic checks");
+        assert_eq!(fields[0].1, "x");
+        assert_eq!(fields[1].1, "x");
+    }
+
+    #[test]
+    fn relaxed_parser_rejects_malformed_input() {
+        for bad in [
+            "{,}",
+            "[1 2]",
+            "{\"a\": }",
+            "{\"a\": 1,, }",
+            "/* block */ 1",
+        ] {
+            assert!(parse_relaxed(bad).is_err(), "{bad:?} should fail");
         }
     }
 

@@ -1,0 +1,1110 @@
+//! Declarative scenario files: field geometry, non-uniform deployment
+//! regions, fleet spec, and a scheduled fault timeline, compiled to a
+//! [`ScenarioConfig`].
+//!
+//! The format (`.rjson`) is relaxed JSON — strict JSON plus `//` line
+//! comments and trailing commas — parsed by the hermetic parser in
+//! [`crate::obs::json`]. Every semantic error (unknown key, bad type,
+//! overlapping regions, a timeline event after the simulation ends, a
+//! negative rate, …) carries the 1-based line and column of the
+//! offending token, so `robonet run --scenario file.rjson` points at
+//! the exact spot in the file.
+//!
+//! # Determinism contract
+//!
+//! A scenario that encodes exactly the CLI defaults — no regions, no
+//! faults, an empty timeline — compiles to the same [`ScenarioConfig`]
+//! the flag path builds, field for field and in the same construction
+//! order, so its runs are **byte-identical** to flag-driven runs
+//! (enforced by the inertness tests and the `paper_baseline` CI gate).
+//! Scenario features only spend randomness when actually used: regions
+//! without a lifetime override never build per-sensor state, an empty
+//! timeline schedules nothing, and inert regions (density 1, no
+//! override) are dropped at compile time so they cannot perturb the
+//! deployment RNG sequence.
+//!
+//! # Format
+//!
+//! ```text
+//! {
+//!   "name": "blackout_quadrant",       // required
+//!   "algorithm": "dynamic",            // centralized|fixed|fixed-hex|dynamic
+//!   "k": 2,                            // fleet is k² robots
+//!   "seed": 1,
+//!   "scale": 64.0,                     // time compression, like --scale
+//!   "sensors": 200,                    // optional, like --sensors
+//!   "field": {                         // optional overrides (pre-scale)
+//!     "area_per_robot_side": 200.0,
+//!     "mean_lifetime_s": 16000.0,
+//!     "sim_time_s": 64000.0,
+//!   },
+//!   "regions": [                       // non-uniform deployment
+//!     { "name": "core", "rect": [300, 300, 500, 500],
+//!       "density": 4.0, "mean_lifetime_s": 8000.0 },
+//!   ],
+//!   "faults": {                        // probabilistic plan, like the flags
+//!     "report_loss": 0.05, "dispatch_loss": 0.0, "update_loss": 0.0,
+//!     "breakdown_mean_s": 8000.0, "breakdown_repair_s": 600.0,
+//!     "slow_prob": 0.5, "slow_factor": 0.25, "max_report_attempts": 6,
+//!   },
+//!   "timeline": [                      // scheduled events (times pre-scale)
+//!     { "at_s": 32000, "blackout": [0, 0, 200, 200] },
+//!     { "from_s": 16000, "until_s": 32000,
+//!       "partition": [[0, 0, 200, 400], [200, 0, 400, 400]] },
+//!     { "at_s": 20000, "attrition": 2 },
+//!     { "at_s": 30000, "loss": { "report": 0.5 } },
+//!   ],
+//! }
+//! ```
+//!
+//! Geometry is written in full-scale field coordinates (a rectangle as
+//! `[x0, y0, x1, y1]`, a polygon as `[[x, y], …]` counter-clockwise);
+//! distances are never scaled. Times are authored at full scale and
+//! compressed by `scale` together with the rest of the clock, exactly
+//! like [`ScenarioConfig::scaled`].
+
+use robonet_des::SimDuration;
+use robonet_geom::{ConvexPolygon, Point};
+
+use crate::config::{Algorithm, DeployRegion, ScenarioConfig};
+use crate::fault::{FaultPlan, TimedFault};
+use crate::obs::json::{line_col, parse_relaxed, SpannedNode, SpannedValue};
+
+/// What went wrong, as a machine-matchable class (the error classes the
+/// parser tests enumerate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioErrorKind {
+    /// The file is not well-formed relaxed JSON.
+    Syntax,
+    /// An object contains a key the schema does not define.
+    UnknownKey,
+    /// The same key appears twice in one object.
+    DuplicateKey,
+    /// A required key is absent.
+    MissingKey,
+    /// A value has the wrong JSON type.
+    BadType,
+    /// A value has the right type but an impossible value.
+    BadValue,
+    /// A probability, density, duration or time is negative.
+    NegativeRate,
+    /// Two deployment regions overlap.
+    OverlappingRegions,
+    /// A timeline event is scheduled after the simulation ends.
+    EventAfterSimEnd,
+    /// The compiled configuration failed [`ScenarioConfig::validate`]
+    /// (backstop for constraints without a single source position).
+    Invalid,
+}
+
+/// A scenario compilation error with a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column (in characters) of the offending token.
+    pub col: u32,
+    /// Machine-matchable error class.
+    pub kind: ScenarioErrorKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Scalar fields a `robonet run` invocation may override on top of a
+/// scenario file (`None` = take the file's value).
+#[derive(Debug, Clone, Default)]
+pub struct Overrides {
+    /// `--alg`.
+    pub algorithm: Option<Algorithm>,
+    /// `--k`.
+    pub k: Option<usize>,
+    /// `--sensors`.
+    pub sensors: Option<usize>,
+    /// `--scale`.
+    pub scale: Option<f64>,
+    /// `--seed`.
+    pub seed: Option<u64>,
+    /// A fault plan built from CLI fault flags; its scalar fields
+    /// replace the scenario's, while the scenario's timeline is kept.
+    pub faults: Option<FaultPlan>,
+}
+
+/// A compiled scenario: the runnable config plus the effective time
+/// compression (for display — the config's times are already divided).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiled {
+    /// The runnable configuration ([`ScenarioConfig::validate`]d).
+    pub cfg: ScenarioConfig,
+    /// The effective `scale` after overrides.
+    pub scale: f64,
+}
+
+/// Compiles scenario `source` (relaxed JSON) under `overrides`.
+///
+/// # Errors
+///
+/// Returns the first problem found, with its line and column.
+pub fn compile(source: &str, overrides: &Overrides) -> Result<Compiled, ScenarioError> {
+    Compiler { src: source }.compile(overrides)
+}
+
+struct Compiler<'a> {
+    src: &'a str,
+}
+
+type Fields = [(usize, String, SpannedValue)];
+
+impl<'a> Compiler<'a> {
+    fn err(&self, at: usize, kind: ScenarioErrorKind, message: String) -> ScenarioError {
+        let (line, col) = line_col(self.src, at);
+        ScenarioError {
+            line,
+            col,
+            kind,
+            message,
+        }
+    }
+
+    /// The value under `key`, or `None`. Object keys are pre-checked
+    /// for duplicates, so first match is the only match.
+    fn get<'v>(&self, fields: &'v Fields, key: &str) -> Option<&'v SpannedValue> {
+        fields.iter().find(|(_, k, _)| k == key).map(|(_, _, v)| v)
+    }
+
+    /// Checks an object's keys against the schema: every key must be in
+    /// `allowed` and appear exactly once.
+    fn check_keys(
+        &self,
+        fields: &Fields,
+        allowed: &[&str],
+        what: &str,
+    ) -> Result<(), ScenarioError> {
+        for (i, (at, key, _)) in fields.iter().enumerate() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(self.err(
+                    *at,
+                    ScenarioErrorKind::UnknownKey,
+                    format!(
+                        "unknown key \"{key}\" in {what} (expected one of: {})",
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+            if fields[..i].iter().any(|(_, k, _)| k == key) {
+                return Err(self.err(
+                    *at,
+                    ScenarioErrorKind::DuplicateKey,
+                    format!("duplicate key \"{key}\" in {what}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn object<'v>(&self, v: &'v SpannedValue, what: &str) -> Result<&'v Fields, ScenarioError> {
+        match &v.node {
+            SpannedNode::Object(fields) => Ok(fields),
+            other => Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadType,
+                format!("{what} must be an object, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn array<'v>(
+        &self,
+        v: &'v SpannedValue,
+        what: &str,
+    ) -> Result<&'v [SpannedValue], ScenarioError> {
+        match &v.node {
+            SpannedNode::Array(items) => Ok(items),
+            other => Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadType,
+                format!("{what} must be an array, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn number(&self, v: &SpannedValue, what: &str) -> Result<f64, ScenarioError> {
+        match v.node {
+            SpannedNode::Number(n) => Ok(n),
+            ref other => Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadType,
+                format!("{what} must be a number, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn string<'v>(&self, v: &'v SpannedValue, what: &str) -> Result<&'v str, ScenarioError> {
+        match &v.node {
+            SpannedNode::String(s) => Ok(s),
+            other => Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadType,
+                format!("{what} must be a string, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// A non-negative integer (rejects fractions and negatives).
+    fn uint(&self, v: &SpannedValue, what: &str) -> Result<u64, ScenarioError> {
+        let n = self.number(v, what)?;
+        if n < 0.0 {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::NegativeRate,
+                format!("{what} must be non-negative, got {n}"),
+            ));
+        }
+        if !(n.is_finite() && n.fract() == 0.0 && n <= u64::MAX as f64) {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadValue,
+                format!("{what} must be an integer, got {n}"),
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    /// A probability in `[0, 1]`; negatives are the `NegativeRate`
+    /// class, everything else out of range is `BadValue`.
+    fn prob(&self, v: &SpannedValue, what: &str) -> Result<f64, ScenarioError> {
+        let n = self.number(v, what)?;
+        if n < 0.0 {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::NegativeRate,
+                format!("{what} is a probability and must not be negative, got {n}"),
+            ));
+        }
+        if !(n.is_finite() && n <= 1.0) {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadValue,
+                format!("{what} must be a probability in [0, 1], got {n}"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// A strictly positive duration or rate in seconds.
+    fn positive(&self, v: &SpannedValue, what: &str) -> Result<f64, ScenarioError> {
+        let n = self.number(v, what)?;
+        if n < 0.0 {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::NegativeRate,
+                format!("{what} must not be negative, got {n}"),
+            ));
+        }
+        if !(n.is_finite() && n > 0.0) {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadValue,
+                format!("{what} must be positive, got {n}"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// A non-negative simulation time in seconds.
+    fn time(&self, v: &SpannedValue, what: &str) -> Result<f64, ScenarioError> {
+        let n = self.number(v, what)?;
+        if n < 0.0 {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::NegativeRate,
+                format!("{what} is a simulation time and must not be negative, got {n}"),
+            ));
+        }
+        if !n.is_finite() {
+            return Err(self.err(
+                v.at,
+                ScenarioErrorKind::BadValue,
+                format!("{what} must be finite, got {n}"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Region/timeline geometry: `[x0, y0, x1, y1]` (axis-aligned
+    /// rectangle) or `[[x, y], …]` (counter-clockwise convex polygon).
+    fn geometry(&self, v: &SpannedValue, what: &str) -> Result<ConvexPolygon, ScenarioError> {
+        let items = self.array(v, what)?;
+        let rectangular = items
+            .iter()
+            .all(|i| matches!(i.node, SpannedNode::Number(_)));
+        if rectangular {
+            if items.len() != 4 {
+                return Err(self.err(
+                    v.at,
+                    ScenarioErrorKind::BadValue,
+                    format!(
+                        "{what} rectangle must be [x0, y0, x1, y1], got {} numbers",
+                        items.len()
+                    ),
+                ));
+            }
+            let mut c = [0.0; 4];
+            for (slot, item) in c.iter_mut().zip(items) {
+                let n = self.number(item, what)?;
+                if !n.is_finite() {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::BadValue,
+                        format!("{what} coordinate must be finite, got {n}"),
+                    ));
+                }
+                *slot = n;
+            }
+            let [x0, y0, x1, y1] = c;
+            if !(x1 > x0 && y1 > y0) {
+                return Err(self.err(
+                    v.at,
+                    ScenarioErrorKind::BadValue,
+                    format!("{what} rectangle [{x0}, {y0}, {x1}, {y1}] has no area"),
+                ));
+            }
+            return Ok(ConvexPolygon::new(vec![
+                Point::new(x0, y0),
+                Point::new(x1, y0),
+                Point::new(x1, y1),
+                Point::new(x0, y1),
+            ])
+            .expect("positive-area CCW rectangle"));
+        }
+        let mut vertices = Vec::with_capacity(items.len());
+        for item in items {
+            let xy = self.array(item, "polygon vertex")?;
+            if xy.len() != 2 {
+                return Err(self.err(
+                    item.at,
+                    ScenarioErrorKind::BadValue,
+                    format!("polygon vertex must be [x, y], got {} values", xy.len()),
+                ));
+            }
+            let x = self.number(&xy[0], "vertex x")?;
+            let y = self.number(&xy[1], "vertex y")?;
+            if !(x.is_finite() && y.is_finite()) {
+                return Err(self.err(
+                    item.at,
+                    ScenarioErrorKind::BadValue,
+                    "polygon vertex coordinates must be finite".into(),
+                ));
+            }
+            vertices.push(Point::new(x, y));
+        }
+        ConvexPolygon::new(vertices).ok_or_else(|| {
+            self.err(
+                v.at,
+                ScenarioErrorKind::BadValue,
+                format!("{what} vertices must form a counter-clockwise convex polygon"),
+            )
+        })
+    }
+
+    fn regions(&self, v: &SpannedValue) -> Result<Vec<DeployRegion>, ScenarioError> {
+        const KEYS: &[&str] = &["name", "rect", "poly", "density", "mean_lifetime_s"];
+        let items = self.array(v, "\"regions\"")?;
+        let mut out: Vec<DeployRegion> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let what = format!("region {i}");
+            let fields = self.object(item, &what)?;
+            self.check_keys(fields, KEYS, &what)?;
+            if let Some(name) = self.get(fields, "name") {
+                self.string(name, "region \"name\"")?;
+            }
+            let poly = match (self.get(fields, "rect"), self.get(fields, "poly")) {
+                (Some(rect), None) => self.geometry(rect, &what)?,
+                (None, Some(poly)) => self.geometry(poly, &what)?,
+                _ => {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::MissingKey,
+                        format!("{what} needs exactly one of \"rect\" or \"poly\""),
+                    ));
+                }
+            };
+            let density = match self.get(fields, "density") {
+                Some(d) => self.positive(d, "region \"density\"")?,
+                None => 1.0,
+            };
+            let mean_lifetime = self
+                .get(fields, "mean_lifetime_s")
+                .map(|m| self.positive(m, "region \"mean_lifetime_s\""))
+                .transpose()?
+                .map(SimDuration::from_secs);
+            // Overlaps are authoring errors even between inert regions.
+            for (j, earlier) in out.iter().enumerate() {
+                if poly.intersection(&earlier.poly).is_some() {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::OverlappingRegions,
+                        format!("region {i} overlaps region {j}"),
+                    ));
+                }
+            }
+            out.push(DeployRegion {
+                poly,
+                density,
+                mean_lifetime,
+            });
+        }
+        // Inert regions are documentation: dropping them keeps the
+        // deployment RNG sequence identical to a region-free run.
+        out.retain(|r| !r.is_inert());
+        Ok(out)
+    }
+
+    fn fault_plan(&self, v: &SpannedValue) -> Result<FaultPlan, ScenarioError> {
+        const KEYS: &[&str] = &[
+            "report_loss",
+            "dispatch_loss",
+            "update_loss",
+            "breakdown_mean_s",
+            "breakdown_repair_s",
+            "slow_prob",
+            "slow_factor",
+            "max_report_attempts",
+        ];
+        let fields = self.object(v, "\"faults\"")?;
+        self.check_keys(fields, KEYS, "\"faults\"")?;
+        let mut plan = FaultPlan::default();
+        if let Some(p) = self.get(fields, "report_loss") {
+            plan.report_loss = self.prob(p, "\"report_loss\"")?;
+        }
+        if let Some(p) = self.get(fields, "dispatch_loss") {
+            plan.dispatch_loss = self.prob(p, "\"dispatch_loss\"")?;
+        }
+        if let Some(p) = self.get(fields, "update_loss") {
+            plan.update_loss = self.prob(p, "\"update_loss\"")?;
+        }
+        if let Some(m) = self.get(fields, "breakdown_mean_s") {
+            plan.breakdown_mean = Some(SimDuration::from_secs(
+                self.positive(m, "\"breakdown_mean_s\"")?,
+            ));
+        }
+        if let Some(m) = self.get(fields, "breakdown_repair_s") {
+            plan.breakdown_repair = Some(SimDuration::from_secs(
+                self.positive(m, "\"breakdown_repair_s\"")?,
+            ));
+        }
+        if let Some(p) = self.get(fields, "slow_prob") {
+            plan.slow_prob = self.prob(p, "\"slow_prob\"")?;
+        }
+        if let Some(f) = self.get(fields, "slow_factor") {
+            let n = self.positive(f, "\"slow_factor\"")?;
+            if n >= 1.0 {
+                return Err(self.err(
+                    f.at,
+                    ScenarioErrorKind::BadValue,
+                    format!("\"slow_factor\" must be below 1 (a slowdown), got {n}"),
+                ));
+            }
+            plan.slow_factor = n;
+        }
+        if let Some(a) = self.get(fields, "max_report_attempts") {
+            let n = self.uint(a, "\"max_report_attempts\"")?;
+            if n == 0 {
+                return Err(self.err(
+                    a.at,
+                    ScenarioErrorKind::BadValue,
+                    "\"max_report_attempts\" must be at least 1".into(),
+                ));
+            }
+            plan.max_report_attempts = n as u32;
+        }
+        Ok(plan)
+    }
+
+    /// One timeline entry, validated against the (unscaled) simulation
+    /// end `sim_end_s`.
+    fn timeline_event(
+        &self,
+        item: &SpannedValue,
+        i: usize,
+        sim_end_s: f64,
+    ) -> Result<TimedFault, ScenarioError> {
+        let what = format!("timeline event {i}");
+        let fields = self.object(item, &what)?;
+        const DISCRIMINANTS: &[&str] = &["blackout", "partition", "attrition", "loss"];
+        let present: Vec<&str> = DISCRIMINANTS
+            .iter()
+            .copied()
+            .filter(|d| self.get(fields, d).is_some())
+            .collect();
+        let [discriminant] = present.as_slice() else {
+            return Err(self.err(
+                item.at,
+                ScenarioErrorKind::MissingKey,
+                format!(
+                    "{what} must contain exactly one of: {}",
+                    DISCRIMINANTS.join(", ")
+                ),
+            ));
+        };
+        // Times are compared as SimDurations, not raw f64 — the clock
+        // quantizes, and an event within one quantum of the end must
+        // count as in-horizon (exactly what `validate` will later see).
+        let sim_end = SimDuration::from_secs(sim_end_s);
+        let at_s = |fields: &Fields| -> Result<SimDuration, ScenarioError> {
+            let Some(at) = self.get(fields, "at_s") else {
+                return Err(self.err(
+                    item.at,
+                    ScenarioErrorKind::MissingKey,
+                    format!("{what} needs an \"at_s\" time"),
+                ));
+            };
+            let t = SimDuration::from_secs(self.time(at, "\"at_s\"")?);
+            if t > sim_end {
+                return Err(self.err(
+                    at.at,
+                    ScenarioErrorKind::EventAfterSimEnd,
+                    format!(
+                        "{what} at {} s is after the simulation ends ({sim_end_s} s)",
+                        t.as_secs_f64()
+                    ),
+                ));
+            }
+            Ok(t)
+        };
+        match *discriminant {
+            "blackout" => {
+                self.check_keys(fields, &["at_s", "blackout"], &what)?;
+                let region =
+                    self.geometry(self.get(fields, "blackout").unwrap(), "\"blackout\"")?;
+                Ok(TimedFault::Blackout {
+                    at: at_s(fields)?,
+                    region,
+                })
+            }
+            "partition" => {
+                self.check_keys(fields, &["from_s", "until_s", "partition"], &what)?;
+                let (Some(from_v), Some(until_v)) =
+                    (self.get(fields, "from_s"), self.get(fields, "until_s"))
+                else {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::MissingKey,
+                        format!("{what} needs \"from_s\" and \"until_s\" times"),
+                    ));
+                };
+                let from = SimDuration::from_secs(self.time(from_v, "\"from_s\"")?);
+                let until = SimDuration::from_secs(self.time(until_v, "\"until_s\"")?);
+                if from > sim_end {
+                    return Err(self.err(
+                        from_v.at,
+                        ScenarioErrorKind::EventAfterSimEnd,
+                        format!(
+                            "{what} at {} s is after the simulation ends ({sim_end_s} s)",
+                            from.as_secs_f64()
+                        ),
+                    ));
+                }
+                if until <= from {
+                    return Err(self.err(
+                        until_v.at,
+                        ScenarioErrorKind::BadValue,
+                        format!(
+                            "{what} must end after it starts ({} s <= {} s)",
+                            until.as_secs_f64(),
+                            from.as_secs_f64()
+                        ),
+                    ));
+                }
+                let halves = self.array(self.get(fields, "partition").unwrap(), "\"partition\"")?;
+                let [a, b] = halves else {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::BadValue,
+                        format!(
+                            "\"partition\" must list exactly two regions, got {}",
+                            halves.len()
+                        ),
+                    ));
+                };
+                Ok(TimedFault::Partition {
+                    from,
+                    until,
+                    a: self.geometry(a, "partition side A")?,
+                    b: self.geometry(b, "partition side B")?,
+                })
+            }
+            "attrition" => {
+                self.check_keys(fields, &["at_s", "attrition"], &what)?;
+                let robots = self.uint(self.get(fields, "attrition").unwrap(), "\"attrition\"")?;
+                if robots == 0 {
+                    return Err(self.err(
+                        item.at,
+                        ScenarioErrorKind::BadValue,
+                        "\"attrition\" must kill at least one robot".into(),
+                    ));
+                }
+                Ok(TimedFault::Attrition {
+                    at: at_s(fields)?,
+                    robots: robots as u32,
+                })
+            }
+            "loss" => {
+                self.check_keys(fields, &["at_s", "loss"], &what)?;
+                let loss = self.get(fields, "loss").unwrap();
+                let loss_fields = self.object(loss, "\"loss\"")?;
+                self.check_keys(loss_fields, &["report", "dispatch", "update"], "\"loss\"")?;
+                let rate = |key: &str| -> Result<f64, ScenarioError> {
+                    self.get(loss_fields, key)
+                        .map(|p| self.prob(p, &format!("\"loss\" {key}")))
+                        .unwrap_or(Ok(0.0))
+                };
+                Ok(TimedFault::LossRate {
+                    at: at_s(fields)?,
+                    report: rate("report")?,
+                    dispatch: rate("dispatch")?,
+                    update: rate("update")?,
+                })
+            }
+            _ => unreachable!("discriminant comes from DISCRIMINANTS"),
+        }
+    }
+
+    fn compile(&self, ov: &Overrides) -> Result<Compiled, ScenarioError> {
+        const ROOT_KEYS: &[&str] = &[
+            "name",
+            "algorithm",
+            "k",
+            "seed",
+            "scale",
+            "sensors",
+            "field",
+            "regions",
+            "faults",
+            "timeline",
+        ];
+        let root = parse_relaxed(self.src)
+            .map_err(|e| self.err(e.at, ScenarioErrorKind::Syntax, e.message))?;
+        let fields = self.object(&root, "the scenario")?;
+        self.check_keys(fields, ROOT_KEYS, "the scenario")?;
+
+        let Some(name_v) = self.get(fields, "name") else {
+            return Err(self.err(
+                root.at,
+                ScenarioErrorKind::MissingKey,
+                "the scenario needs a \"name\"".into(),
+            ));
+        };
+        let name = self.string(name_v, "\"name\"")?.to_string();
+
+        let algorithm = match ov.algorithm {
+            Some(a) => a,
+            None => match self.get(fields, "algorithm") {
+                Some(v) => {
+                    let s = self.string(v, "\"algorithm\"")?;
+                    Algorithm::parse(s).ok_or_else(|| {
+                        let known: Vec<&str> = crate::coord::names().collect();
+                        self.err(
+                            v.at,
+                            ScenarioErrorKind::BadValue,
+                            format!(
+                                "unknown algorithm \"{s}\" (expected one of: {})",
+                                known.join(", ")
+                            ),
+                        )
+                    })?
+                }
+                None => Algorithm::Dynamic,
+            },
+        };
+        let k = match ov.k {
+            Some(k) => k,
+            None => match self.get(fields, "k") {
+                Some(v) => {
+                    let k = self.uint(v, "\"k\"")?;
+                    if k == 0 {
+                        return Err(self.err(
+                            v.at,
+                            ScenarioErrorKind::BadValue,
+                            "\"k\" must be at least 1".into(),
+                        ));
+                    }
+                    k as usize
+                }
+                None => 2,
+            },
+        };
+        let seed = match ov.seed {
+            Some(s) => s,
+            None => match self.get(fields, "seed") {
+                Some(v) => self.uint(v, "\"seed\"")?,
+                None => 1,
+            },
+        };
+        let scale = match ov.scale {
+            Some(s) => s,
+            None => match self.get(fields, "scale") {
+                Some(v) => {
+                    let s = self.number(v, "\"scale\"")?;
+                    if !(s.is_finite() && s >= 1.0) {
+                        return Err(self.err(
+                            v.at,
+                            ScenarioErrorKind::BadValue,
+                            format!("\"scale\" must be at least 1, got {s}"),
+                        ));
+                    }
+                    s
+                }
+                None => 1.0,
+            },
+        };
+        let sensors = match ov.sensors {
+            Some(n) => Some(n),
+            None => self
+                .get(fields, "sensors")
+                .map(|v| self.uint(v, "\"sensors\"").map(|n| n as usize))
+                .transpose()?,
+        };
+
+        // Mirror cmd_run's construction order exactly: preset → sensors
+        // → field overrides → faults → scale. A scenario that encodes
+        // the defaults therefore builds the identical config.
+        let mut cfg = ScenarioConfig::paper(k, algorithm).with_seed(seed);
+        if let Some(n) = sensors {
+            let fleet = k * k;
+            let spr = n / fleet;
+            if spr == 0 || spr * fleet != n {
+                let at = self.get(fields, "sensors").map_or(root.at, |v| v.at);
+                return Err(self.err(
+                    at,
+                    ScenarioErrorKind::BadValue,
+                    format!("{n} sensors do not divide evenly into the {k}x{k} fleet"),
+                ));
+            }
+            cfg.sensors_per_robot = spr;
+            cfg.area_per_robot_side = 200.0 * (spr as f64 / 50.0).sqrt();
+        }
+        if let Some(field_v) = self.get(fields, "field") {
+            const KEYS: &[&str] = &["area_per_robot_side", "mean_lifetime_s", "sim_time_s"];
+            let ff = self.object(field_v, "\"field\"")?;
+            self.check_keys(ff, KEYS, "\"field\"")?;
+            if let Some(v) = self.get(ff, "area_per_robot_side") {
+                cfg.area_per_robot_side = self.positive(v, "\"area_per_robot_side\"")?;
+            }
+            if let Some(v) = self.get(ff, "mean_lifetime_s") {
+                cfg.mean_lifetime =
+                    SimDuration::from_secs(self.positive(v, "\"mean_lifetime_s\"")?);
+            }
+            if let Some(v) = self.get(ff, "sim_time_s") {
+                cfg.sim_time = SimDuration::from_secs(self.positive(v, "\"sim_time_s\"")?);
+            }
+        }
+
+        let sim_end_s = cfg.sim_time.as_secs_f64();
+        let mut timeline = Vec::new();
+        if let Some(tl) = self.get(fields, "timeline") {
+            let items = self.array(tl, "\"timeline\"")?;
+            for (i, item) in items.iter().enumerate() {
+                timeline.push(self.timeline_event(item, i, sim_end_s)?);
+            }
+            timeline.sort_by_key(|a| a.at());
+        }
+        let mut plan = match self.get(fields, "faults") {
+            Some(v) => Some(self.fault_plan(v)?),
+            None if !timeline.is_empty() => Some(FaultPlan::default()),
+            None => None,
+        };
+        if let Some(flag_plan) = &ov.faults {
+            // CLI fault flags override the plan's scalar fields; the
+            // scenario's timeline rides along untouched.
+            plan = Some(flag_plan.clone());
+        }
+        if let Some(p) = plan.as_mut() {
+            p.timeline = timeline;
+        }
+        // An inert plan is normalised away here (not just in the
+        // harness) so the compiled config — which the manifest records —
+        // equals the flag path's `None` field for field.
+        cfg.faults = plan.filter(|p| !p.is_inert());
+
+        if let Some(regions_v) = self.get(fields, "regions") {
+            cfg.regions = self.regions(regions_v)?;
+        }
+        cfg.scenario_name = Some(name);
+        if scale > 1.0 {
+            cfg = cfg.scaled(scale);
+        }
+        cfg.validate().map_err(|message| ScenarioError {
+            line: 1,
+            col: 1,
+            kind: ScenarioErrorKind::Invalid,
+            message,
+        })?;
+        Ok(Compiled { cfg, scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_ok(src: &str) -> Compiled {
+        compile(src, &Overrides::default()).expect("scenario compiles")
+    }
+
+    fn compile_err(src: &str) -> ScenarioError {
+        compile(src, &Overrides::default()).expect_err("scenario must be rejected")
+    }
+
+    #[test]
+    fn minimal_scenario_equals_flag_built_config() {
+        let c = compile_ok(r#"{ "name": "defaults", "scale": 16.0 }"#);
+        let mut expected = ScenarioConfig::paper(2, Algorithm::Dynamic)
+            .with_seed(1)
+            .scaled(16.0);
+        expected.scenario_name = Some("defaults".into());
+        assert_eq!(c.cfg, expected);
+        assert_eq!(c.scale, 16.0);
+    }
+
+    #[test]
+    fn comments_and_trailing_commas_are_fine() {
+        let c = compile_ok(
+            "{\n  // the paper's setup, compressed\n  \"name\": \"demo\",\n  \"k\": 3,\n  \"scale\": 8.0,\n}",
+        );
+        assert_eq!(c.cfg.k, 3);
+        assert_eq!(c.cfg.n_robots(), 9);
+    }
+
+    #[test]
+    fn full_scenario_compiles() {
+        let c = compile_ok(
+            r#"{
+                "name": "kitchen_sink",
+                "algorithm": "centralized",
+                "k": 2, "seed": 9, "scale": 16.0, "sensors": 100,
+                "field": { "mean_lifetime_s": 20000.0 },
+                "regions": [
+                    { "name": "core", "rect": [100, 100, 200, 200], "density": 4.0 },
+                    { "poly": [[300, 300], [380, 300], [380, 380]], "density": 0.5,
+                      "mean_lifetime_s": 10000.0 },
+                ],
+                "faults": { "report_loss": 0.05, "breakdown_mean_s": 32000.0 },
+                "timeline": [
+                    { "at_s": 48000, "attrition": 1 },
+                    { "at_s": 16000, "blackout": [0, 0, 100, 100] },
+                    { "from_s": 20000, "until_s": 30000,
+                      "partition": [[0, 0, 200, 400], [200, 0, 400, 400]] },
+                    { "at_s": 32000, "loss": { "report": 0.4, "update": 0.1 } },
+                ],
+            }"#,
+        );
+        assert_eq!(c.cfg.algorithm, Algorithm::Centralized);
+        assert_eq!(c.cfg.seed, 9);
+        assert_eq!(c.cfg.n_sensors(), 100);
+        // mean_lifetime override, then scaled by 16.
+        assert_eq!(c.cfg.mean_lifetime, SimDuration::from_secs(1250.0));
+        assert_eq!(c.cfg.regions.len(), 2);
+        let plan = c.cfg.faults.as_ref().expect("fault plan");
+        assert_eq!(plan.report_loss, 0.05);
+        // Timeline sorted by time and scaled with the clock.
+        assert_eq!(plan.timeline.len(), 4);
+        assert_eq!(plan.timeline[0].at(), SimDuration::from_secs(1000.0));
+        assert!(matches!(plan.timeline[0], TimedFault::Blackout { .. }));
+        assert!(matches!(plan.timeline[3], TimedFault::Attrition { .. }));
+    }
+
+    #[test]
+    fn overrides_replace_file_scalars() {
+        let src = r#"{ "name": "base", "algorithm": "fixed", "k": 3, "seed": 5, "scale": 8.0 }"#;
+        let ov = Overrides {
+            algorithm: Some(Algorithm::Dynamic),
+            k: Some(2),
+            seed: Some(11),
+            scale: Some(16.0),
+            ..Overrides::default()
+        };
+        let c = compile(src, &ov).unwrap();
+        assert_eq!(c.cfg.algorithm, Algorithm::Dynamic);
+        assert_eq!(c.cfg.k, 2);
+        assert_eq!(c.cfg.seed, 11);
+        assert_eq!(c.scale, 16.0);
+    }
+
+    #[test]
+    fn flag_fault_plan_keeps_scenario_timeline() {
+        let src = r#"{
+            "name": "t",
+            "scale": 16.0,
+            "faults": { "report_loss": 0.5 },
+            "timeline": [ { "at_s": 1000, "attrition": 1 } ],
+        }"#;
+        let ov = Overrides {
+            faults: Some(FaultPlan::message_loss(0.1)),
+            ..Overrides::default()
+        };
+        let plan = compile(src, &ov).unwrap().cfg.faults.unwrap();
+        assert_eq!(plan.report_loss, 0.1, "flag scalar wins");
+        assert_eq!(plan.timeline.len(), 1, "scenario timeline survives");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        let e = compile_err("{\n  \"name\": \"x\",\n  \"k\": ,\n}");
+        assert_eq!(e.kind, ScenarioErrorKind::Syntax);
+        assert_eq!((e.line, e.col), (3, 8));
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_position() {
+        let e = compile_err("{\n  \"name\": \"x\",\n  \"robots\": 4,\n}");
+        assert_eq!(e.kind, ScenarioErrorKind::UnknownKey);
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("\"robots\""), "{}", e.message);
+        assert!(e.message.contains("expected one of"), "{}", e.message);
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let e = compile_err("{ \"name\": \"x\", \"k\": 2,\n  \"k\": 3 }");
+        assert_eq!(e.kind, ScenarioErrorKind::DuplicateKey);
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn bad_types_are_rejected_with_position() {
+        let e = compile_err("{ \"name\": \"x\",\n  \"k\": \"two\" }");
+        assert_eq!(e.kind, ScenarioErrorKind::BadType);
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("must be a number"), "{}", e.message);
+
+        let e = compile_err("{ \"name\": 7 }");
+        assert_eq!(e.kind, ScenarioErrorKind::BadType);
+        assert!(e.message.contains("must be a string"), "{}", e.message);
+    }
+
+    #[test]
+    fn overlapping_regions_are_rejected() {
+        let e = compile_err(
+            r#"{ "name": "x", "regions": [
+                { "rect": [0, 0, 200, 200], "density": 2.0 },
+                { "rect": [100, 100, 300, 300], "density": 3.0 },
+            ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::OverlappingRegions);
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("overlaps"), "{}", e.message);
+    }
+
+    #[test]
+    fn timeline_event_after_sim_end_is_rejected() {
+        let e = compile_err(
+            "{ \"name\": \"x\", \"timeline\": [\n  { \"at_s\": 65000, \"attrition\": 1 },\n] }",
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::EventAfterSimEnd);
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("after the simulation"), "{}", e.message);
+    }
+
+    #[test]
+    fn negative_rates_are_rejected() {
+        let e = compile_err("{ \"name\": \"x\", \"faults\": { \"report_loss\": -0.1 } }");
+        assert_eq!(e.kind, ScenarioErrorKind::NegativeRate);
+
+        let e = compile_err(
+            "{ \"name\": \"x\", \"timeline\": [ { \"at_s\": -5, \"attrition\": 1 } ] }",
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::NegativeRate);
+
+        let e = compile_err(
+            r#"{ "name": "x", "regions": [ { "rect": [0,0,1,1], "density": -4.0 } ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::NegativeRate);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected() {
+        let e = compile_err(r#"{ "name": "x", "regions": [ { "rect": [200, 0, 100, 100] } ] }"#);
+        assert_eq!(e.kind, ScenarioErrorKind::BadValue);
+        assert!(e.message.contains("no area"), "{}", e.message);
+
+        // Clockwise polygon.
+        let e = compile_err(
+            r#"{ "name": "x", "regions": [
+                { "poly": [[0, 0], [0, 100], [100, 100]], "density": 2.0 } ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::BadValue);
+        assert!(e.message.contains("counter-clockwise"), "{}", e.message);
+    }
+
+    #[test]
+    fn timeline_discriminants_are_exclusive_and_required() {
+        let e = compile_err("{ \"name\": \"x\", \"timeline\": [ { \"at_s\": 10 } ] }");
+        assert_eq!(e.kind, ScenarioErrorKind::MissingKey);
+        let e = compile_err(
+            r#"{ "name": "x", "timeline": [
+                { "at_s": 10, "attrition": 1, "blackout": [0,0,1,1] } ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::MissingKey);
+        assert!(e.message.contains("exactly one of"), "{}", e.message);
+    }
+
+    #[test]
+    fn partition_must_heal_after_it_starts() {
+        let e = compile_err(
+            r#"{ "name": "x", "timeline": [
+                { "from_s": 100, "until_s": 50,
+                  "partition": [[0,0,1,1], [2,2,3,3]] } ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::BadValue);
+        assert!(e.message.contains("end after it starts"), "{}", e.message);
+    }
+
+    #[test]
+    fn inert_regions_are_dropped() {
+        let c = compile_ok(
+            r#"{ "name": "x", "scale": 16.0, "regions": [
+                { "name": "doc-only", "rect": [0, 0, 100, 100] },
+                { "rect": [200, 200, 300, 300], "density": 2.0 },
+            ] }"#,
+        );
+        assert_eq!(c.cfg.regions.len(), 1, "inert region dropped");
+        assert_eq!(c.cfg.regions[0].density, 2.0);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_normalised_to_none() {
+        let c = compile_ok(
+            r#"{ "name": "x", "scale": 16.0,
+                 "faults": { "report_loss": 0.0 }, "timeline": [] }"#,
+        );
+        assert_eq!(c.cfg.faults, None);
+    }
+
+    #[test]
+    fn semantic_backstop_reports_validate_failures() {
+        // Region lifetime below the failure timeout: only the full
+        // config validator knows the timeout, so this lands as Invalid.
+        let e = compile_err(
+            r#"{ "name": "x", "regions": [
+                { "rect": [0, 0, 100, 100], "mean_lifetime_s": 5.0 } ] }"#,
+        );
+        assert_eq!(e.kind, ScenarioErrorKind::Invalid);
+        assert!(e.message.contains("failure-detection"), "{}", e.message);
+    }
+
+    #[test]
+    fn display_formats_position() {
+        let e = compile_err("{ \"name\": \"x\", \"bogus\": 1 }");
+        let text = e.to_string();
+        assert!(text.starts_with("1:"), "{text}");
+        assert!(text.contains("bogus"), "{text}");
+    }
+}

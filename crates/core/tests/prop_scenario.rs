@@ -1,0 +1,203 @@
+//! Property tests for the scenario compiler's error reporting: every
+//! malformed-input class must be rejected with the right typed error
+//! and a position pointing at the offending token — not at byte 0, and
+//! never with a panic.
+
+use robonet_core::scenario::{compile, Overrides, ScenarioErrorKind};
+use robonet_des::check::{self, Outcome};
+
+fn compile_err(src: &str) -> robonet_core::ScenarioError {
+    compile(src, &Overrides::default()).expect_err("malformed scenario must be rejected")
+}
+
+/// Root-schema keys (must be discarded when generated as "unknown").
+const ROOT_KEYS: &[&str] = &[
+    "name",
+    "algorithm",
+    "k",
+    "seed",
+    "scale",
+    "sensors",
+    "field",
+    "regions",
+    "faults",
+    "timeline",
+];
+
+#[test]
+fn unknown_keys_are_rejected_at_their_line() {
+    check::forall(
+        "unknown root key -> UnknownKey at its line",
+        &check::pair(check::lowercase_strings(1..12), check::usizes(0..5)),
+        |(key, blank_lines)| {
+            if ROOT_KEYS.contains(&key.as_str()) {
+                return Outcome::Discard;
+            }
+            let padding = "\n".repeat(*blank_lines);
+            let src = format!("{{\n  \"name\": \"x\",{padding}\n  \"{key}\": 1,\n}}");
+            let e = compile_err(&src);
+            assert_eq!(e.kind, ScenarioErrorKind::UnknownKey, "{e}");
+            assert_eq!(e.line as usize, 3 + blank_lines, "{e}");
+            assert!(e.message.contains(key.as_str()), "{e}");
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn negative_rates_are_rejected_wherever_they_appear() {
+    // Each slot embeds the negative number on source line 3.
+    let slots: &[fn(f64) -> String] = &[
+        |v| format!("{{\n  \"name\": \"x\",\n  \"faults\": {{ \"report_loss\": {v} }},\n}}"),
+        |v| format!("{{\n  \"name\": \"x\",\n  \"faults\": {{ \"dispatch_loss\": {v} }},\n}}"),
+        |v| format!("{{\n  \"name\": \"x\",\n  \"faults\": {{ \"breakdown_mean_s\": {v} }},\n}}"),
+        |v| {
+            format!(
+                "{{\n  \"name\": \"x\",\n  \"regions\": [ {{ \"rect\": [0,0,9,9], \"density\": {v} }} ],\n}}"
+            )
+        },
+        |v| {
+            format!(
+                "{{\n  \"name\": \"x\",\n  \"timeline\": [ {{ \"at_s\": {v}, \"attrition\": 1 }} ],\n}}"
+            )
+        },
+        |v| {
+            format!(
+                "{{\n  \"name\": \"x\",\n  \"timeline\": [ {{ \"at_s\": 5, \"loss\": {{ \"report\": {v} }} }} ],\n}}"
+            )
+        },
+    ];
+    check::forall(
+        "negative value in any rate slot -> NegativeRate on its line",
+        &check::pair(check::f64s(-1e9..-1e-3), check::usizes(0..slots.len())),
+        |&(v, slot)| {
+            let e = compile_err(&slots[slot](v));
+            assert_eq!(e.kind, ScenarioErrorKind::NegativeRate, "slot {slot}: {e}");
+            assert_eq!(e.line, 3, "slot {slot}: {e}");
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn timeline_events_after_sim_end_are_rejected() {
+    check::forall(
+        "event beyond sim_time_s -> EventAfterSimEnd",
+        &check::pair(check::f64s(1000.0..50000.0), check::f64s(1.0..1e6)),
+        |&(sim_end, excess)| {
+            let at = sim_end + excess;
+            let src = format!(
+                "{{\n  \"name\": \"x\",\n  \"field\": {{ \"sim_time_s\": {sim_end} }},\n  \"timeline\": [\n    {{ \"at_s\": {at}, \"attrition\": 1 }},\n  ],\n}}"
+            );
+            let e = compile_err(&src);
+            assert_eq!(e.kind, ScenarioErrorKind::EventAfterSimEnd, "{e}");
+            assert_eq!(e.line, 5, "{e}");
+            // And the same time *within* the horizon is accepted.
+            let fine = at.min(sim_end);
+            let src = format!(
+                "{{\n  \"name\": \"x\",\n  \"field\": {{ \"sim_time_s\": {sim_end} }},\n  \"timeline\": [\n    {{ \"at_s\": {fine}, \"attrition\": 1 }},\n  ],\n}}"
+            );
+            compile(&src, &Overrides::default()).expect("in-horizon event compiles");
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn wrong_json_types_are_rejected_as_bad_type() {
+    // Each slot puts a wrongly-typed value on source line 3.
+    let slots: &[&str] = &[
+        "{\n  \"name\": \"x\",\n  \"k\": \"two\",\n}",
+        "{\n  \"name\": \"x\",\n  \"scale\": [16],\n}",
+        "{\n  \"name\": \"x\",\n  \"algorithm\": 3,\n}",
+        "{\n  \"name\": \"x\",\n  \"field\": 7,\n}",
+        "{\n  \"name\": \"x\",\n  \"regions\": {},\n}",
+        "{\n  \"name\": \"x\",\n  \"timeline\": true,\n}",
+        "{\n  \"name\": \"x\",\n  \"faults\": null,\n}",
+        "{\n  \"name\": 4,\n  \"k\": 2,\n}",
+    ];
+    check::forall(
+        "wrongly-typed value -> BadType at its line",
+        &check::usizes(0..slots.len()),
+        |&slot| {
+            let e = compile_err(slots[slot]);
+            assert_eq!(e.kind, ScenarioErrorKind::BadType, "slot {slot}: {e}");
+            let expected_line = if slot == slots.len() - 1 { 2 } else { 3 };
+            assert_eq!(e.line, expected_line, "slot {slot}: {e}");
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn overlapping_regions_are_always_caught() {
+    check::forall(
+        "two rects sharing area -> OverlappingRegions",
+        &check::quad(
+            check::f64s(0.0..100.0),
+            check::f64s(0.0..100.0),
+            check::f64s(10.0..50.0),
+            check::f64s(0.0..0.9),
+        ),
+        |&(x, y, side, shift)| {
+            // The second rect is offset by less than one side length, so
+            // the two always share interior area.
+            let (x2, y2) = (x + side * shift, y + side * shift);
+            let src = format!(
+                "{{\n  \"name\": \"x\",\n  \"regions\": [\n    {{ \"rect\": [{x}, {y}, {}, {}], \"density\": 2.0 }},\n    {{ \"rect\": [{x2}, {y2}, {}, {}], \"density\": 3.0 }},\n  ],\n}}",
+                x + side,
+                y + side,
+                x2 + side,
+                y2 + side,
+            );
+            let e = compile_err(&src);
+            assert_eq!(e.kind, ScenarioErrorKind::OverlappingRegions, "{e}");
+            assert_eq!(e.line, 5, "points at the second region: {e}");
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn arbitrary_garbage_never_panics_the_compiler() {
+    check::forall(
+        "arbitrary bytes -> Err or Ok, never a panic",
+        &check::lowercase_strings(0..60),
+        |junk| {
+            let _ = compile(junk, &Overrides::default());
+            let braced = format!("{{{junk}}}");
+            let _ = compile(&braced, &Overrides::default());
+            Outcome::Pass
+        },
+    );
+}
+
+#[test]
+fn errors_always_point_inside_the_source() {
+    // Syntax errors from truncation land on a real line/col of the
+    // truncated text (never 0, never past the end).
+    let full =
+        "{\n  \"name\": \"x\",\n  \"timeline\": [\n    { \"at_s\": 5, \"attrition\": 1 },\n  ],\n}";
+    check::forall(
+        "truncated source -> position within bounds",
+        &check::usizes(0..full.len()),
+        |&cut| {
+            if !full.is_char_boundary(cut) {
+                return Outcome::Discard;
+            }
+            let src = &full[..cut];
+            if let Err(e) = compile(src, &Overrides::default()) {
+                assert!(e.line >= 1, "{e}");
+                assert!(e.col >= 1, "{e}");
+                let lines: Vec<&str> = src.split('\n').collect();
+                assert!(
+                    (e.line as usize) <= lines.len().max(1),
+                    "line {} beyond {} lines",
+                    e.line,
+                    lines.len()
+                );
+            }
+            Outcome::Pass
+        },
+    );
+}

@@ -17,14 +17,16 @@ use crate::point::{Bounds, Point};
 /// assert!(pts.iter().all(|p| Bounds::square(200.0).contains(*p)));
 /// ```
 pub fn uniform<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds, n: usize) -> Vec<Point> {
-    (0..n)
-        .map(|_| {
-            Point::new(
-                rng.gen_range(bounds.min().x..=bounds.max().x),
-                rng.gen_range(bounds.min().y..=bounds.max().y),
-            )
-        })
-        .collect()
+    (0..n).map(|_| uniform_point(rng, bounds)).collect()
+}
+
+/// Samples one point uniformly inside `bounds` (x drawn before y — the
+/// draw order [`uniform`] has always used, which golden artifacts pin).
+pub fn uniform_point<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds) -> Point {
+    Point::new(
+        rng.gen_range(bounds.min().x..=bounds.max().x),
+        rng.gen_range(bounds.min().y..=bounds.max().y),
+    )
 }
 
 /// Samples `n` points on a jittered grid: near-uniform coverage without

@@ -128,6 +128,25 @@ impl ConvexPolygon {
         }
         ConvexPolygon::new(out)
     }
+
+    /// The intersection of two convex polygons: `self` clipped by each
+    /// edge half-plane of `other` in turn (Sutherland–Hodgman).
+    ///
+    /// Returns `None` when the polygons are disjoint or touch only
+    /// along an edge or vertex (zero-area intersection).
+    pub fn intersection(&self, other: &ConvexPolygon) -> Option<ConvexPolygon> {
+        let n = other.vertices.len();
+        let mut clipped = self.clone();
+        for i in 0..n {
+            let a = other.vertices[i];
+            let b = other.vertices[(i + 1) % n];
+            // The CCW edge a→b keeps the half-plane on its left:
+            // (b.y - a.y)·x - (b.x - a.x)·y <= (b.y - a.y)·a.x - (b.x - a.x)·a.y.
+            let (dx, dy) = (b.x - a.x, b.y - a.y);
+            clipped = clipped.clip_halfplane(dy, -dx, dy * a.x - dx * a.y)?;
+        }
+        Some(clipped)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +234,62 @@ mod tests {
             let inner = v.lerp(cell.centroid(), 0.01);
             assert!(inner.distance(left) <= inner.distance(right) + 1e-6);
         }
+    }
+
+    #[test]
+    fn intersection_of_overlapping_squares() {
+        let a = unit_square();
+        let b = ConvexPolygon::new(vec![
+            Point::new(0.5, 0.5),
+            Point::new(1.5, 0.5),
+            Point::new(1.5, 1.5),
+            Point::new(0.5, 1.5),
+        ])
+        .unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert!((i.area() - 0.25).abs() < 1e-9);
+        assert!(i.contains(Point::new(0.75, 0.75)));
+        assert_eq!(
+            a.intersection(&b).map(|p| p.area()),
+            b.intersection(&a).map(|p| p.area()),
+            "intersection area is symmetric"
+        );
+    }
+
+    #[test]
+    fn intersection_disjoint_and_touching_is_none() {
+        let a = unit_square();
+        let far = ConvexPolygon::new(vec![
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 5.0),
+            Point::new(6.0, 6.0),
+            Point::new(5.0, 6.0),
+        ])
+        .unwrap();
+        assert!(a.intersection(&far).is_none());
+        // Shares the x = 1 edge: zero-area contact does not count.
+        let adjacent = ConvexPolygon::new(vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+        ])
+        .unwrap();
+        assert!(a.intersection(&adjacent).is_none());
+    }
+
+    #[test]
+    fn intersection_with_contained_polygon_is_the_inner() {
+        let outer = ConvexPolygon::from_bounds(&Bounds::square(10.0));
+        let inner = ConvexPolygon::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let i = outer.intersection(&inner).unwrap();
+        assert!((i.area() - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -4,19 +4,65 @@
 # this), so --offline is not just a flag but a guarantee being tested.
 #
 # Usage:
-#   scripts/ci.sh          full gate (what .github/workflows/ci.yml runs)
-#   scripts/ci.sh --fast   pre-push subset: fmt + clippy + tests only
+#   scripts/ci.sh               full gate (what .github/workflows/ci.yml runs)
+#   scripts/ci.sh --fast        pre-push subset: fmt + clippy + tests only
+#   scripts/ci.sh --stage NAME  one named gate (see --list); stages that
+#                               read the golden trace artifact produce it
+#                               first if it is missing
+#   scripts/ci.sh --list        print every stage name and its label
 #
 # Every stage is timed; a wall-clock summary prints at the end of a
 # green run so regressions in CI latency are visible in the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The full gate in order: `name` is the `--stage` handle, the function
+# is `stage_<name>`, and the label is what the log prints.
+all_stages=(fmt clippy build test golden_trace golden_spans timeline
+            replay_figs determinism sweep_determinism golden_figs
+            scenarios scale_smoke bench_smoke)
+
+stage_label() {
+    case "$1" in
+        fmt) echo "rustfmt (check only)" ;;
+        clippy) echo "clippy (all targets, warnings are errors)" ;;
+        build) echo "build (release, offline)" ;;
+        test) echo "tests (offline)" ;;
+        golden_trace) echo "golden trace artifact" ;;
+        golden_spans) echo "golden span decomposition" ;;
+        timeline) echo "timeline gate (golden CSVs, sampling inert)" ;;
+        replay_figs) echo "replay figures gate (byte-deterministic)" ;;
+        determinism) echo "determinism gate (fault-free + faulty)" ;;
+        sweep_determinism) echo "sweep engine gate (--jobs 1 vs --jobs 4)" ;;
+        golden_figs) echo "golden figures gate (paper-scale sweep)" ;;
+        scenarios) echo "scenario library gate (golden summaries)" ;;
+        scale_smoke) echo "scale smoke (2000 sensors under wall budget)" ;;
+        bench_smoke) echo "bench smoke (one iteration per target)" ;;
+        *) echo "$1" ;;
+    esac
+}
+
+usage() {
+    echo "usage: scripts/ci.sh [--fast | --stage NAME | --list]" >&2
+    exit 2
+}
+
 fast=0
+only_stage=""
 case "${1:-}" in
     --fast) fast=1 ;;
+    --stage)
+        only_stage="${2:-}"
+        [ -n "$only_stage" ] || usage
+        ;;
+    --list)
+        for name in "${all_stages[@]}"; do
+            printf '%-20s %s\n' "$name" "$(stage_label "$name")"
+        done
+        exit 0
+        ;;
     "") ;;
-    *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+    *) usage ;;
 esac
 
 stage_names=()
@@ -261,6 +307,48 @@ stage_scale_smoke() {
     }
 }
 
+# A run summary with the legitimately non-deterministic wall-clock
+# `profile:` line and any trailing blank lines removed — the exact
+# normalization the scenario golden tests apply.
+normalize_summary() {
+    grep -v '^profile:' "$1" | awk '
+        { lines[NR] = $0; if ($0 != "") last = NR }
+        END { for (i = 1; i <= last; i++) print lines[i] }
+    '
+}
+
+stage_scenarios() {
+    # Scenario library gate: every scenarios/*.rjson runs fixed-seed and
+    # must reproduce its committed golden summary byte for byte, and the
+    # paper_baseline scenario must additionally match the flag run it
+    # encodes — proving the declarative path perturbs nothing.
+    mkdir -p "$artifact_dir"
+    local file name out matched=0
+    for file in scenarios/*.rjson; do
+        name=$(basename "$file" .rjson)
+        out="$artifact_dir/scenario_${name}.txt"
+        echo "--> $name"
+        robonet run --scenario "$file" > "$out"
+        if ! diff <(normalize_summary "$out") "tests/golden/scenario_${name}.txt"; then
+            echo "scenario gate failed: $name drifted from tests/golden/scenario_${name}.txt" >&2
+            echo "(ROBONET_UPDATE_GOLDEN=1 cargo test -q -p robonet-cli scenario_golden to regenerate)" >&2
+            exit 1
+        fi
+        matched=$((matched + 1))
+    done
+    [ "$matched" -ge 6 ] || {
+        echo "scenario gate: library shrank to $matched scenarios" >&2
+        exit 1
+    }
+    robonet run --alg dynamic --k 2 --scale 64 --seed 1 \
+        > "$artifact_dir/scenario_flag_equivalent.txt"
+    if ! diff <(normalize_summary "$artifact_dir/scenario_paper_baseline.txt") \
+              <(normalize_summary "$artifact_dir/scenario_flag_equivalent.txt"); then
+        echo "scenario gate failed: paper_baseline.rjson differs from its flag-equivalent run" >&2
+        exit 1
+    fi
+}
+
 stage_bench_smoke() {
     mkdir -p "$artifact_dir"
     local bench
@@ -315,6 +403,16 @@ stage_bench_smoke() {
                     bad = 1
                 }
             }
+            # A bench present fresh but absent from the baseline would
+            # otherwise pass silently — and ship ungated forever.
+            for (name in fresh) {
+                if (!(name in base)) {
+                    printf "bench %s has no committed baseline — add it to %s\n", \
+                           name, \
+                           "tests/golden/BENCH_scale_baseline.json" > "/dev/stderr"
+                    bad = 1
+                }
+            }
             exit bad
         }
     ' tests/golden/BENCH_scale_baseline.json "$artifact_dir/BENCH_scale.json" || {
@@ -323,24 +421,37 @@ stage_bench_smoke() {
     }
 }
 
-run_stage "rustfmt (check only)" stage_fmt
-run_stage "clippy (all targets, warnings are errors)" stage_clippy
+if [ -n "$only_stage" ]; then
+    declare -F "stage_$only_stage" > /dev/null || {
+        echo "unknown stage \`$only_stage\` (scripts/ci.sh --list)" >&2
+        exit 2
+    }
+    # These gates read the golden trace artifact; produce it first when
+    # a standalone invocation has no earlier stage to rely on.
+    case "$only_stage" in
+        golden_spans|timeline|replay_figs)
+            if [ ! -s "$artifact_dir/golden.jsonl" ]; then
+                run_stage "$(stage_label golden_trace)" stage_golden_trace
+            fi
+            ;;
+    esac
+    run_stage "$(stage_label "$only_stage")" "stage_$only_stage"
+    print_timings
+    echo "==> ci.sh --stage $only_stage: green"
+    exit 0
+fi
+
+run_stage "$(stage_label fmt)" stage_fmt
+run_stage "$(stage_label clippy)" stage_clippy
 if [ "$fast" = 1 ]; then
-    run_stage "tests (offline)" stage_test
+    run_stage "$(stage_label test)" stage_test
     print_timings
     echo "==> ci.sh --fast: all green"
     exit 0
 fi
-run_stage "build (release, offline)" stage_build
-run_stage "tests (offline)" stage_test
-run_stage "golden trace artifact" stage_golden_trace
-run_stage "golden span decomposition" stage_golden_spans
-run_stage "timeline gate (golden CSVs, sampling inert)" stage_timeline
-run_stage "replay figures gate (byte-deterministic)" stage_replay_figs
-run_stage "determinism gate (fault-free + faulty)" stage_determinism
-run_stage "sweep engine gate (--jobs 1 vs --jobs 4)" stage_sweep_determinism
-run_stage "golden figures gate (paper-scale sweep)" stage_golden_figs
-run_stage "scale smoke (2000 sensors under wall budget)" stage_scale_smoke
-run_stage "bench smoke (one iteration per target)" stage_bench_smoke
+for name in "${all_stages[@]}"; do
+    case "$name" in fmt|clippy) continue ;; esac
+    run_stage "$(stage_label "$name")" "stage_$name"
+done
 print_timings
 echo "==> ci.sh: all green"
